@@ -1,0 +1,87 @@
+//! Criterion benches for every wire codec: image compression, SOAP,
+//! binary frames, and scene marshalling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rave_compress::Codec;
+use rave_grid::{SoapCodec, SoapEnvelope, SoapValue};
+use rave_net::{Frame, FrameKind};
+use rave_scene::introspect::{marshal_direct, marshal_introspective};
+use rave_scene::{NodeKind, SceneTree};
+use std::sync::Arc;
+
+fn synthetic_frame(px: usize) -> Vec<u8> {
+    (0..px * 3)
+        .map(|i| if (i / 600) % 2 == 0 { 40 } else { ((i * 7) % 251) as u8 })
+        .collect()
+}
+
+fn bench_image_codecs(c: &mut Criterion) {
+    let frame = synthetic_frame(200 * 200);
+    let prev = synthetic_frame(200 * 200);
+    let mut g = c.benchmark_group("image_codec_encode_200x200");
+    g.throughput(Throughput::Bytes(frame.len() as u64));
+    for codec in Codec::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(codec.name()), &codec, |b, &codec| {
+            b.iter(|| std::hint::black_box(codec.encode(&frame, Some(&prev))));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("image_codec_decode_200x200");
+    for codec in Codec::ALL {
+        let enc = codec.encode(&frame, Some(&prev));
+        g.bench_with_input(BenchmarkId::from_parameter(codec.name()), &codec, |b, &codec| {
+            b.iter(|| std::hint::black_box(codec.decode(&enc, Some(&prev)).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_soap(c: &mut Criterion) {
+    let codec = SoapCodec::default();
+    let env = SoapEnvelope::new("render-service", "createInstance")
+        .arg("dataUrl", SoapValue::Str("rave://adrenochrome/Skull".into()))
+        .arg("width", SoapValue::Int(200))
+        .arg("blob", SoapValue::Bytes(vec![7u8; 4096]));
+    let xml = codec.encode(&env);
+    c.bench_function("soap_encode_4k_blob", |b| {
+        b.iter(|| std::hint::black_box(codec.encode(&env)));
+    });
+    c.bench_function("soap_decode_4k_blob", |b| {
+        b.iter(|| std::hint::black_box(codec.decode(&xml).unwrap()));
+    });
+}
+
+fn bench_frames(c: &mut Criterion) {
+    let f = Frame::new(FrameKind::FrameBuffer, vec![3u8; 120_000]);
+    let enc = f.encode();
+    c.bench_function("binary_frame_encode_120k", |b| {
+        b.iter(|| std::hint::black_box(f.encode()));
+    });
+    c.bench_function("binary_frame_decode_120k", |b| {
+        b.iter(|| {
+            let mut buf = bytes::BytesMut::from(&enc[..]);
+            std::hint::black_box(Frame::decode(&mut buf).unwrap())
+        });
+    });
+}
+
+fn bench_marshalling(c: &mut Criterion) {
+    let mesh = rave_models::build_with_budget(rave_models::PaperModel::Galleon, 5_500);
+    let mut tree = SceneTree::new();
+    let root = tree.root();
+    tree.add_node(root, "m", NodeKind::Mesh(Arc::new(mesh))).unwrap();
+    c.bench_function("marshal_introspective_galleon", |b| {
+        b.iter(|| std::hint::black_box(marshal_introspective(&tree)));
+    });
+    c.bench_function("marshal_direct_galleon", |b| {
+        b.iter(|| std::hint::black_box(marshal_direct(&tree)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_image_codecs, bench_soap, bench_frames, bench_marshalling
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion benches for scene-tree operations on the replication hot
+//! path: update application, subset extraction, audit replay, and model
+//! generation/decimation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rave_math::Vec3;
+use rave_models::decimate::decimate_to;
+use rave_models::generators::sphere;
+use rave_scene::{
+    AuditTrail, NodeKind, SceneTree, SceneUpdate, StampedUpdate, Transform,
+};
+
+fn wide_tree(children: usize) -> SceneTree {
+    let mut tree = SceneTree::new();
+    let root = tree.root();
+    for i in 0..children {
+        let g = tree.add_node(root, format!("g{i}"), NodeKind::Group).unwrap();
+        for j in 0..4 {
+            tree.add_node(g, format!("c{j}"), NodeKind::Group).unwrap();
+        }
+    }
+    tree
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let tree = wide_tree(200);
+    let targets: Vec<_> = tree.descendants(tree.root());
+    c.bench_function("apply_1000_transform_updates", |b| {
+        b.iter_batched(
+            || tree.clone(),
+            |mut t| {
+                for i in 0..1000 {
+                    let id = targets[i % targets.len()];
+                    SceneUpdate::SetTransform {
+                        id,
+                        transform: Transform::from_translation(Vec3::new(i as f32, 0.0, 0.0)),
+                    }
+                    .apply(&mut t)
+                    .unwrap();
+                }
+                std::hint::black_box(t.len())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_subset(c: &mut Criterion) {
+    let tree = wide_tree(500);
+    let root = tree.root();
+    let pick = tree.node(root).unwrap().children[250];
+    c.bench_function("extract_subset_from_2500_nodes", |b| {
+        b.iter(|| std::hint::black_box(tree.extract_subset(&[pick])));
+    });
+    c.bench_function("world_bounds_2500_nodes", |b| {
+        b.iter(|| std::hint::black_box(tree.world_bounds(root)));
+    });
+}
+
+fn bench_audit_replay(c: &mut Criterion) {
+    let mut tree = SceneTree::new();
+    let mut trail = AuditTrail::new();
+    for i in 0..1000u64 {
+        let id = tree.allocate_id();
+        let update = SceneUpdate::AddNode {
+            id,
+            parent: tree.root(),
+            name: format!("n{i}"),
+            kind: NodeKind::Group,
+        };
+        update.apply(&mut tree).unwrap();
+        trail.record(i as f64, StampedUpdate { seq: i + 1, origin: "b".into(), update });
+    }
+    c.bench_function("audit_replay_1000_updates", |b| {
+        b.iter(|| std::hint::black_box(trail.replay_all().unwrap()));
+    });
+}
+
+fn bench_model_pipeline(c: &mut Criterion) {
+    c.bench_function("generate_sphere_10k", |b| {
+        b.iter(|| std::hint::black_box(sphere(Vec3::ZERO, 1.0, 10_000)));
+    });
+    c.bench_function("decimate_10k_to_2k", |b| {
+        b.iter_batched(
+            || sphere(Vec3::ZERO, 1.0, 10_000),
+            |mut m| {
+                decimate_to(&mut m, 2_000);
+                std::hint::black_box(m.triangle_count())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_updates, bench_subset, bench_audit_replay, bench_model_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Regenerate every table and figure from the paper.
+//!
+//! ```text
+//! cargo run --release -p bench --bin tables -- all
+//! cargo run --release -p bench --bin tables -- table2 fig5
+//! cargo run --release -p bench --bin tables -- all --quick   # scaled models
+//! ```
+
+use bench::{ablations, extras, figures, table1, table2, table3, table4, table5, RunOpts};
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "table3", "table4", "table5", "fig2", "fig3", "fig4", "fig5",
+    "pda_ablation", "tile_latency", "ablations",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    if selected.is_empty() || selected.contains(&"all") {
+        selected = EXPERIMENTS.to_vec();
+    }
+    let opts = RunOpts { quick, out_dir: "out" };
+    if quick {
+        println!("(--quick: models scaled to 1/50 of paper sizes; timing-model tables are unaffected)");
+    }
+
+    for exp in selected {
+        match exp {
+            "table1" => print!("{}", table1::render(&table1::run(&opts))),
+            "table2" => print!("{}", table2::render(&table2::run(&opts))),
+            "table3" => print!("{}", table3::render(&table3::run(&opts))),
+            "table4" => print!("{}", table4::render(&table4::run(&opts))),
+            "table5" => print!("{}", table5::render(&table5::run(&opts))),
+            "fig2" => {
+                println!("\n== Fig 2: PDA screenshots ==");
+                for (path, coverage) in figures::fig2(&opts) {
+                    println!("  {path} (model covers {:.0}% of frame)", coverage * 100.0);
+                }
+            }
+            "fig3" => {
+                let (path, visible) = figures::fig3(&opts);
+                println!("\n== Fig 3: collaborative view ==");
+                println!("  {path} (remote avatar visible: {visible})");
+            }
+            "fig4" => {
+                println!("\n== Fig 4: UDDI registry GUI ==");
+                for line in figures::fig4(&opts).lines() {
+                    println!("  {line}");
+                }
+            }
+            "fig5" => {
+                println!("\n== Fig 5: tile tearing ==");
+                let rows = figures::fig5(&opts);
+                for (label, (path, seam)) in
+                    ["clean", "torn (helper stalled)", "healed"].iter().zip(&rows)
+                {
+                    println!("  {label:<22} {path} seam discontinuity {seam:.2}");
+                }
+            }
+            "pda_ablation" => print!("{}", extras::render_pda(&extras::pda_ablation(&opts))),
+            "tile_latency" => {
+                print!("{}", extras::render_tile_latency(&extras::tile_latency(&opts)))
+            }
+            "ablations" => {
+                print!("{}", ablations::render_soap(&ablations::soap_vs_binary(&opts)));
+                print!("{}", ablations::render_marshalling(&ablations::marshalling(&opts)));
+                print!("{}", ablations::render_tile_sweep(&ablations::tile_sweep(&opts)));
+                print!("{}", ablations::render_compression(&ablations::compression(&opts)));
+            }
+            other => {
+                eprintln!("unknown experiment {other:?}; available: {EXPERIMENTS:?} or 'all'");
+                std::process::exit(2);
+            }
+        }
+    }
+}

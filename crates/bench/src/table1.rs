@@ -1,0 +1,75 @@
+//! Table 1: "Models used in benchmarks" — polygon counts and data-file
+//! sizes.
+//!
+//! Paper values: Skeletal Hand 0.83 M polygons / 20 MB; Skeleton 2.8 M /
+//! 75 MB. We rebuild the models procedurally at the exact polygon counts
+//! and measure the *actual* file size of their binary-PLY encoding (the
+//! archive format both originals shipped in).
+
+use crate::RunOpts;
+use rave_models::{build_with_budget, obj, ply, PaperModel};
+
+/// One measured row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub model: PaperModel,
+    pub polygons: u64,
+    pub ply_bytes: u64,
+    pub obj_bytes: u64,
+    pub paper_mb: Option<f64>,
+}
+
+pub fn run(opts: &RunOpts) -> Vec<Row> {
+    [PaperModel::SkeletalHand, PaperModel::Skeleton]
+        .into_iter()
+        .map(|model| {
+            let budget = opts.budget(model);
+            let mesh = build_with_budget(model, budget);
+            Row {
+                model,
+                polygons: mesh.triangle_count(),
+                ply_bytes: ply::binary_file_size(&mesh),
+                obj_bytes: obj::file_size(&mesh),
+                paper_mb: model.paper_file_size_mb(),
+            }
+        })
+        .collect()
+}
+
+pub fn render(rows: &[Row]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.name().to_string(),
+                format!("{:.2} million", r.polygons as f64 / 1e6),
+                format!("{:.1} MB", r.ply_bytes as f64 / 1e6),
+                format!("{:.1} MB", r.obj_bytes as f64 / 1e6),
+                r.paper_mb.map_or("-".into(), |m| format!("{m:.0} MB")),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        "Table 1: Models used in benchmarks",
+        &["Model", "Polygons", "PLY size (measured)", "OBJ size (measured)", "Paper file size"],
+        &table_rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_both_rows() {
+        let rows = run(&RunOpts { quick: true, out_dir: "out" });
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.ply_bytes > 0 && r.obj_bytes > 0);
+        }
+        // Quick budgets preserve the hand:skeleton polygon ratio.
+        assert!(rows[1].polygons > rows[0].polygons * 3);
+        let text = render(&rows);
+        assert!(text.contains("Skeletal Hand"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Table 2: "Visualization Timings Using a PDA".
+//!
+//! Paper setup: Zaurus thin client, 200×200 uncompressed frames over
+//! 11 Mbit/s wireless, render service = Centrino laptop with GeForce2
+//! 420 Go. Paper values:
+//!
+//! | Model | fps | Total latency | Image receipt | Render | Other |
+//! |---|---|---|---|---|---|
+//! | Skeletal Hand (0.83 M) | 2.9 | 0.339 s | 0.201 s | 0.091 s | 0.047 s |
+//! | Skeleton (2.8 M)       | 1.6 | 0.598 s | 0.194 s | 0.355 s | 0.049 s |
+
+use crate::RunOpts;
+use rave_core::thin_client::{connect, stream_frames};
+use rave_core::world::RaveWorld;
+use rave_core::RaveConfig;
+use rave_math::Vec3;
+use rave_models::PaperModel;
+use rave_scene::{MeshData, NodeKind};
+use rave_sim::Simulation;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub model: PaperModel,
+    pub polygons: u64,
+    pub fps: f64,
+    pub total_latency: f64,
+    pub receipt: f64,
+    pub render: f64,
+    pub overheads: f64,
+}
+
+/// Paper reference values for the comparison column.
+pub fn paper_row(model: PaperModel) -> (f64, f64, f64, f64, f64) {
+    match model {
+        PaperModel::SkeletalHand => (2.9, 0.339, 0.201, 0.091, 0.047),
+        PaperModel::Skeleton => (1.6, 0.598, 0.194, 0.355, 0.049),
+        _ => (0.0, 0.0, 0.0, 0.0, 0.0),
+    }
+}
+
+/// A polygon-count-exact placeholder mesh: the timing model only consumes
+/// counts, so Table 2 runs at full 2.8 M polygons without building real
+/// geometry.
+fn counting_mesh(polygons: u64) -> MeshData {
+    MeshData {
+        positions: vec![Vec3::ZERO, Vec3::X, Vec3::Y],
+        normals: vec![],
+        colors: vec![],
+        triangles: vec![[0, 1, 2]; polygons as usize],
+        texture_bytes: 0,
+    }
+}
+
+pub fn run(_opts: &RunOpts) -> Vec<Row> {
+    [PaperModel::SkeletalHand, PaperModel::Skeleton]
+        .into_iter()
+        .map(|model| {
+            // Timing is count-driven: always run at the paper's full
+            // polygon counts regardless of --quick.
+            let polygons = model.target_polygons();
+            let mut sim = Simulation::new(RaveWorld::paper_testbed(RaveConfig::default(), 2));
+            let rs = sim.world.spawn_render_service("laptop");
+            {
+                let scene = &mut sim.world.render_mut(rs).scene;
+                let root = scene.root();
+                scene
+                    .add_node(root, "model", NodeKind::Mesh(Arc::new(counting_mesh(polygons))))
+                    .unwrap();
+            }
+            let pda = sim.world.spawn_thin_client("zaurus");
+            connect(&mut sim, pda, rs);
+            stream_frames(&mut sim, pda, 20);
+            sim.run();
+            let stats = &mut sim.world.client_mut(pda).stats;
+            Row {
+                model,
+                polygons,
+                fps: stats.fps(),
+                total_latency: stats.total_latency.mean(),
+                receipt: stats.receipt.mean(),
+                render: stats.render.mean(),
+                overheads: stats.other_overheads.mean(),
+            }
+        })
+        .collect()
+}
+
+pub fn render(rows: &[Row]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let p = paper_row(r.model);
+            vec![
+                r.model.name().to_string(),
+                format!("{:.2} M", r.polygons as f64 / 1e6),
+                format!("{:.1} ({:.1})", r.fps, p.0),
+                format!("{:.3}s ({:.3})", r.total_latency, p.1),
+                format!("{:.3}s ({:.3})", r.receipt, p.2),
+                format!("{:.3}s ({:.3})", r.render, p.3),
+                format!("{:.3}s ({:.3})", r.overheads, p.4),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        "Table 2: PDA visualization timings — measured (paper)",
+        &["Model", "Polygons", "fps", "Total latency", "Image receipt", "Render", "Other overheads"],
+        &table_rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_within_tolerance() {
+        let rows = run(&RunOpts::default());
+        for r in &rows {
+            let (fps, lat, receipt, render, over) = paper_row(r.model);
+            let close = |a: f64, b: f64, tol: f64| (a - b).abs() / b < tol;
+            assert!(close(r.fps, fps, 0.30), "{:?} fps {} vs {fps}", r.model, r.fps);
+            assert!(close(r.total_latency, lat, 0.30), "{:?} latency", r.model);
+            assert!(close(r.receipt, receipt, 0.15), "{:?} receipt", r.model);
+            assert!(close(r.render, render, 0.25), "{:?} render", r.model);
+            assert!(close(r.overheads, over, 0.40), "{:?} overheads", r.model);
+        }
+        // Ordering: skeleton strictly slower.
+        assert!(rows[0].fps > rows[1].fps);
+    }
+}

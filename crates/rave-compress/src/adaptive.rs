@@ -1,0 +1,206 @@
+//! Bandwidth-adaptive codec selection.
+//!
+//! Picks the codec minimizing estimated end-to-end frame latency:
+//! `encode_time(sender) + transfer_time(link) + decode_time(receiver)`,
+//! re-evaluated whenever the link changes ("adapt on the fly to changing
+//! network conditions", §5.1). Lossy codecs are only considered when the
+//! caller allows them.
+
+use crate::Codec;
+use rave_net::LinkSpec;
+use rave_sim::SimTime;
+
+/// CPU cost rates of one endpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct EndpointSpeed {
+    /// Bytes/s the endpoint can RLE/delta-encode or decode.
+    pub codec_bytes_per_sec: f64,
+}
+
+impl EndpointSpeed {
+    /// A 2004 laptop/desktop CPU.
+    pub fn workstation() -> Self {
+        Self { codec_bytes_per_sec: 80.0e6 }
+    }
+
+    /// The Zaurus PDA — an order of magnitude slower, which is why heavy
+    /// codecs can *lose* on the PDA even when they shrink the payload.
+    pub fn pda() -> Self {
+        Self { codec_bytes_per_sec: 6.0e6 }
+    }
+}
+
+/// One codec's predicted cost for a frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodecEstimate {
+    pub codec: Codec,
+    pub encoded_bytes: u64,
+    pub total_time: SimTime,
+}
+
+/// Predict the end-to-end time of sending `frame` with `codec`, given the
+/// measured compression ratio on this very frame (the selector encodes
+/// for real — ratios are content-dependent and the paper's wireless
+/// frames are exactly the content we have).
+pub fn estimate(
+    codec: Codec,
+    frame: &[u8],
+    prev: Option<&[u8]>,
+    link: &LinkSpec,
+    sender: EndpointSpeed,
+    receiver: EndpointSpeed,
+) -> CodecEstimate {
+    let encoded = codec.encode(frame, prev);
+    let encode_time = if codec == Codec::Raw {
+        0.0
+    } else {
+        frame.len() as f64 / sender.codec_bytes_per_sec
+    };
+    let decode_time = if codec == Codec::Raw {
+        0.0
+    } else {
+        frame.len() as f64 / receiver.codec_bytes_per_sec
+    };
+    let transfer = link.transfer_time(encoded.len() as u64);
+    CodecEstimate {
+        codec,
+        encoded_bytes: encoded.len() as u64,
+        total_time: SimTime::from_secs(encode_time + decode_time) + transfer,
+    }
+}
+
+/// Choose the best codec for this frame/link/endpoint combination.
+pub fn select(
+    frame: &[u8],
+    prev: Option<&[u8]>,
+    link: &LinkSpec,
+    sender: EndpointSpeed,
+    receiver: EndpointSpeed,
+    allow_lossy: bool,
+) -> CodecEstimate {
+    Codec::ALL
+        .iter()
+        .filter(|c| allow_lossy || !c.is_lossy())
+        .map(|&c| estimate(c, frame, prev, link, sender, receiver))
+        .min_by(|a, b| a.total_time.cmp(&b.total_time))
+        .expect("at least Raw is always a candidate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_flat(n: usize) -> Vec<u8> {
+        vec![30u8; n * 3]
+    }
+
+    fn frame_noise(n: usize) -> Vec<u8> {
+        (0..n * 3).map(|i| ((i as u64).wrapping_mul(2654435761) >> 13) as u8).collect()
+    }
+
+    #[test]
+    fn slow_link_prefers_compression() {
+        let link = LinkSpec::wireless_11mb(0.3); // weak signal
+        let choice = select(
+            &frame_flat(40_000),
+            None,
+            &link,
+            EndpointSpeed::workstation(),
+            EndpointSpeed::pda(),
+            false,
+        );
+        assert_ne!(choice.codec, Codec::Raw, "weak wireless must compress");
+    }
+
+    #[test]
+    fn fast_link_with_noise_prefers_raw() {
+        // Loopback-speed link + incompressible frame: codec time is pure
+        // loss.
+        let link = LinkSpec::loopback();
+        let choice = select(
+            &frame_noise(40_000),
+            None,
+            &link,
+            EndpointSpeed::workstation(),
+            EndpointSpeed::workstation(),
+            false,
+        );
+        assert_eq!(choice.codec, Codec::Raw);
+    }
+
+    #[test]
+    fn static_scene_prefers_delta() {
+        let link = LinkSpec::wireless_11mb(1.0);
+        let frame = frame_noise(40_000); // incompressible content...
+        let choice = select(
+            &frame,
+            Some(&frame), // ...but identical to the previous frame
+            &link,
+            EndpointSpeed::workstation(),
+            EndpointSpeed::pda(),
+            false,
+        );
+        assert_eq!(choice.codec, Codec::DeltaRle);
+    }
+
+    #[test]
+    fn lossy_only_when_allowed() {
+        let link = LinkSpec::wireless_11mb(0.2);
+        let frame = frame_noise(40_000);
+        let lossless =
+            select(&frame, None, &link, EndpointSpeed::workstation(), EndpointSpeed::pda(), false);
+        assert!(!lossless.codec.is_lossy());
+        let lossy =
+            select(&frame, None, &link, EndpointSpeed::workstation(), EndpointSpeed::pda(), true);
+        // Incompressible noise: quantization is the only way to shrink it.
+        assert!(lossy.codec.is_lossy());
+        assert!(lossy.total_time < lossless.total_time);
+    }
+
+    #[test]
+    fn adaptation_switches_codec_as_signal_degrades() {
+        // The §5.1 scenario: user walks away from the access point.
+        let frame = frame_noise(13_333); // ~200x200 / 3 region changing
+        let strong = select(
+            &frame,
+            None,
+            &LinkSpec::loopback(),
+            EndpointSpeed::workstation(),
+            EndpointSpeed::pda(),
+            true,
+        );
+        let weak = select(
+            &frame,
+            None,
+            &LinkSpec::wireless_11mb(0.15),
+            EndpointSpeed::workstation(),
+            EndpointSpeed::pda(),
+            true,
+        );
+        assert_eq!(strong.codec, Codec::Raw);
+        assert_ne!(weak.codec, Codec::Raw);
+    }
+
+    #[test]
+    fn estimates_account_for_pda_decode_cost() {
+        let link = LinkSpec::ethernet_100mb();
+        let frame = frame_flat(40_000);
+        let to_pda = estimate(
+            Codec::Rle,
+            &frame,
+            None,
+            &link,
+            EndpointSpeed::workstation(),
+            EndpointSpeed::pda(),
+        );
+        let to_ws = estimate(
+            Codec::Rle,
+            &frame,
+            None,
+            &link,
+            EndpointSpeed::workstation(),
+            EndpointSpeed::workstation(),
+        );
+        assert!(to_pda.total_time > to_ws.total_time);
+    }
+}

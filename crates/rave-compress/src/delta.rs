@@ -1,0 +1,104 @@
+//! Frame differencing.
+//!
+//! Encodes the byte-wise difference (wrapping subtraction) between the
+//! current and previous frame, then RLE-compresses it. Unchanged regions
+//! become zero runs, which RLE collapses — interactive frames where only
+//! the model moved compress dramatically. A one-byte header distinguishes
+//! keyframes (no previous frame available) from delta frames, so a
+//! receiver that lost sync can always decode a keyframe.
+
+use crate::rle;
+
+const KEYFRAME: u8 = 0;
+const DELTA: u8 = 1;
+
+/// Encode `cur` against `prev` (must be the same length if present).
+pub fn encode(cur: &[u8], prev: Option<&[u8]>) -> Vec<u8> {
+    match prev {
+        Some(p) if p.len() == cur.len() => {
+            let diff: Vec<u8> =
+                cur.iter().zip(p).map(|(c, p)| c.wrapping_sub(*p)).collect();
+            let mut out = vec![DELTA];
+            out.extend(rle::encode(&diff));
+            out
+        }
+        _ => {
+            let mut out = vec![KEYFRAME];
+            out.extend(rle::encode(cur));
+            out
+        }
+    }
+}
+
+/// Decode. A delta frame requires `prev` of the right length.
+pub fn decode(data: &[u8], prev: Option<&[u8]>) -> Option<Vec<u8>> {
+    let (&tag, body) = data.split_first()?;
+    let payload = rle::decode(body)?;
+    match tag {
+        KEYFRAME => Some(payload),
+        DELTA => {
+            let p = prev?;
+            if p.len() != payload.len() {
+                return None;
+            }
+            Some(payload.iter().zip(p).map(|(d, p)| p.wrapping_add(*d)).collect())
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_roundtrip() {
+        let prev: Vec<u8> = (0..600).map(|i| (i % 256) as u8).collect();
+        let mut cur = prev.clone();
+        for px in cur[90..120].iter_mut() {
+            *px = px.wrapping_add(50);
+        }
+        let enc = encode(&cur, Some(&prev));
+        assert_eq!(decode(&enc, Some(&prev)).unwrap(), cur);
+    }
+
+    #[test]
+    fn keyframe_when_no_prev() {
+        let cur = vec![5u8; 300];
+        let enc = encode(&cur, None);
+        assert_eq!(enc[0], KEYFRAME);
+        assert_eq!(decode(&enc, None).unwrap(), cur);
+    }
+
+    #[test]
+    fn keyframe_when_size_changed() {
+        let cur = vec![5u8; 300];
+        let prev = vec![5u8; 150]; // viewport resized
+        let enc = encode(&cur, Some(&prev));
+        assert_eq!(enc[0], KEYFRAME);
+        assert_eq!(decode(&enc, None).unwrap(), cur);
+    }
+
+    #[test]
+    fn identical_frames_collapse() {
+        let frame: Vec<u8> = (0..30_000).map(|i| (i * 7 % 256) as u8).collect();
+        let enc = encode(&frame, Some(&frame));
+        assert!(enc.len() < 600, "all-zero diff collapses: {}", enc.len());
+    }
+
+    #[test]
+    fn delta_frame_without_prev_fails_cleanly() {
+        let prev = vec![1u8; 100];
+        let cur = vec![2u8; 100];
+        let enc = encode(&cur, Some(&prev));
+        assert_eq!(enc[0], DELTA);
+        assert!(decode(&enc, None).is_none());
+        assert!(decode(&enc, Some(&[0u8; 50])).is_none(), "wrong prev length");
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(decode(&[9, 1, 2], None).is_none());
+        assert!(decode(&[], None).is_none());
+    }
+}

@@ -1,0 +1,155 @@
+//! Thin-client image compression (the §6 future-work item, built out).
+//!
+//! "We need a compression algorithm that can adapt on the fly to changing
+//! network conditions" (§5.1) — the PDA's wireless bandwidth is both low
+//! and variable. This crate provides:
+//!
+//! - lossless **RLE** of RGB frames ([`rle`]);
+//! - **delta** coding against the previous frame ([`delta`]) — interactive
+//!   visualization frames are mostly identical between updates;
+//! - lossy **RGB565 quantization** ([`quantize`]), composable with RLE;
+//! - an **adaptive selector** ([`adaptive`]) that picks the codec
+//!   minimizing estimated end-to-end frame time (encode + transfer +
+//!   decode) for the current link quality and endpoint speeds.
+
+pub mod adaptive;
+pub mod delta;
+pub mod quantize;
+pub mod rle;
+
+/// The codecs a render service can apply to an outgoing frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Codec {
+    /// Raw 24-bpp RGB (the paper's baseline).
+    Raw,
+    /// Run-length encoded RGB.
+    Rle,
+    /// Delta vs the previous frame, then RLE. Requires the receiver to
+    /// hold the previous frame.
+    DeltaRle,
+    /// RGB565 quantization (lossy, fixed 2/3 ratio).
+    Quant565,
+    /// RGB565 then RLE (lossy).
+    Quant565Rle,
+}
+
+impl Codec {
+    pub const ALL: [Codec; 5] =
+        [Codec::Raw, Codec::Rle, Codec::DeltaRle, Codec::Quant565, Codec::Quant565Rle];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Codec::Raw => "raw",
+            Codec::Rle => "rle",
+            Codec::DeltaRle => "delta+rle",
+            Codec::Quant565 => "rgb565",
+            Codec::Quant565Rle => "rgb565+rle",
+        }
+    }
+
+    pub fn is_lossy(self) -> bool {
+        matches!(self, Codec::Quant565 | Codec::Quant565Rle)
+    }
+
+    pub fn needs_previous_frame(self) -> bool {
+        matches!(self, Codec::DeltaRle)
+    }
+
+    /// Encode an RGB frame. `prev` is the previous frame (same length)
+    /// when the codec is delta-based; encoding falls back to keyframe
+    /// behaviour when it is absent.
+    pub fn encode(self, cur: &[u8], prev: Option<&[u8]>) -> Vec<u8> {
+        assert_eq!(cur.len() % 3, 0, "RGB frames are 3 bytes per pixel");
+        match self {
+            Codec::Raw => cur.to_vec(),
+            Codec::Rle => rle::encode(cur),
+            Codec::DeltaRle => delta::encode(cur, prev),
+            Codec::Quant565 => quantize::encode_565(cur),
+            Codec::Quant565Rle => rle::encode(&quantize::encode_565(cur)),
+        }
+    }
+
+    /// Decode back to RGB bytes. Returns `None` on a corrupt payload or a
+    /// missing required previous frame.
+    pub fn decode(self, data: &[u8], prev: Option<&[u8]>) -> Option<Vec<u8>> {
+        match self {
+            Codec::Raw => Some(data.to_vec()),
+            Codec::Rle => rle::decode(data),
+            Codec::DeltaRle => delta::decode(data, prev),
+            Codec::Quant565 => Some(quantize::decode_565(data)?),
+            Codec::Quant565Rle => quantize::decode_565(&rle::decode(data)?),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient_frame(n: usize) -> Vec<u8> {
+        (0..n * 3).map(|i| ((i / 13) % 251) as u8).collect()
+    }
+
+    fn flat_frame(n: usize) -> Vec<u8> {
+        vec![40; n * 3]
+    }
+
+    #[test]
+    fn lossless_codecs_roundtrip_exactly() {
+        let frame = gradient_frame(500);
+        let prev = flat_frame(500);
+        for codec in [Codec::Raw, Codec::Rle, Codec::DeltaRle] {
+            let enc = codec.encode(&frame, Some(&prev));
+            let dec = codec.decode(&enc, Some(&prev)).unwrap();
+            assert_eq!(dec, frame, "{}", codec.name());
+        }
+    }
+
+    #[test]
+    fn lossy_codecs_bounded_error() {
+        let frame = gradient_frame(500);
+        for codec in [Codec::Quant565, Codec::Quant565Rle] {
+            let enc = codec.encode(&frame, None);
+            let dec = codec.decode(&enc, None).unwrap();
+            assert_eq!(dec.len(), frame.len());
+            for (a, b) in frame.iter().zip(&dec) {
+                assert!((*a as i16 - *b as i16).abs() <= 8, "{}", codec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn rle_crushes_flat_frames() {
+        let frame = flat_frame(40_000); // a 200x200 clear screen
+        let enc = Codec::Rle.encode(&frame, None);
+        assert!(enc.len() * 20 < frame.len(), "flat frame ratio: {}", enc.len());
+    }
+
+    #[test]
+    fn delta_crushes_static_scenes() {
+        let frame = gradient_frame(40_000);
+        let enc = Codec::DeltaRle.encode(&frame, Some(&frame));
+        assert!(enc.len() * 50 < frame.len() * 3, "static scene delta: {}", enc.len());
+    }
+
+    #[test]
+    fn delta_without_prev_still_roundtrips() {
+        let frame = gradient_frame(100);
+        let enc = Codec::DeltaRle.encode(&frame, None);
+        let dec = Codec::DeltaRle.decode(&enc, None).unwrap();
+        assert_eq!(dec, frame);
+    }
+
+    #[test]
+    fn quant565_is_two_thirds_size() {
+        let frame = gradient_frame(300);
+        let enc = Codec::Quant565.encode(&frame, None);
+        assert_eq!(enc.len(), 300 * 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_rgb_length_rejected() {
+        Codec::Raw.encode(&[1, 2, 3, 4], None);
+    }
+}

@@ -1,0 +1,122 @@
+//! Byte-level run-length coding.
+//!
+//! Format: a stream of `(count: u8, op)` records. `count` with the high
+//! bit set means a *run*: the next byte repeats `count & 0x7F` times
+//! (1–127). High bit clear means a *literal span* of `count` bytes
+//! (1–127) copied verbatim. Rendered frames have large flat regions
+//! (background, solid shading), which is where this wins.
+
+/// Encode a byte stream.
+pub fn encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 4 + 16);
+    let mut i = 0;
+    while i < data.len() {
+        // Measure the run at i.
+        let b = data[i];
+        let mut run = 1usize;
+        while run < 127 && i + run < data.len() && data[i + run] == b {
+            run += 1;
+        }
+        if run >= 3 {
+            out.push(0x80 | run as u8);
+            out.push(b);
+            i += run;
+            continue;
+        }
+        // Literal span: until the next ≥3 run or 127 bytes.
+        let start = i;
+        let mut len = 0usize;
+        while len < 127 && i < data.len() {
+            let b = data[i];
+            let mut run = 1usize;
+            while run < 3 && i + run < data.len() && data[i + run] == b {
+                run += 1;
+            }
+            if run >= 3 && i + 2 < data.len() && data[i + 2] == b {
+                break;
+            }
+            i += 1;
+            len += 1;
+        }
+        out.push(len as u8);
+        out.extend_from_slice(&data[start..start + len]);
+    }
+    out
+}
+
+/// Decode a stream produced by [`encode`]. `None` on truncation or
+/// zero-length records (corrupt input).
+pub fn decode(data: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut i = 0;
+    while i < data.len() {
+        let tag = data[i];
+        i += 1;
+        let count = (tag & 0x7F) as usize;
+        if count == 0 {
+            return None;
+        }
+        if tag & 0x80 != 0 {
+            let b = *data.get(i)?;
+            i += 1;
+            out.extend(std::iter::repeat_n(b, count));
+        } else {
+            if i + count > data.len() {
+                return None;
+            }
+            out.extend_from_slice(&data[i..i + count]);
+            i += count;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_content() {
+        let mut data = vec![7u8; 500];
+        data.extend((0..200u32).map(|i| (i * 31 % 256) as u8));
+        data.extend(vec![0u8; 300]);
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        assert_eq!(decode(&encode(&[])).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn roundtrip_single_byte() {
+        assert_eq!(decode(&encode(&[42])).unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn long_runs_split_correctly() {
+        let data = vec![9u8; 1000]; // > 127, forces multiple run records
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+        assert!(encode(&data).len() < 20);
+    }
+
+    #[test]
+    fn incompressible_data_bounded_overhead() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+        let enc = encode(&data);
+        assert!(enc.len() < data.len() + data.len() / 64 + 16, "overhead {}", enc.len());
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let enc = encode(&[5u8; 100]);
+        assert!(decode(&enc[..enc.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn zero_count_rejected() {
+        assert!(decode(&[0x00]).is_none());
+        assert!(decode(&[0x80]).is_none());
+    }
+}

@@ -1,0 +1,75 @@
+//! Capacity interrogation.
+//!
+//! §3.2.5: "The data service interrogates the render service for its
+//! capacity (available polygons per second, texture memory, support for
+//! hardware assisted volume rendering, etc.)." A [`CapacityReport`] is
+//! that answer, and is the planner's only view of a service — the planner
+//! never peeks at service internals.
+
+use crate::ids::RenderServiceId;
+use rave_scene::NodeCost;
+
+/// A render service's advertised capacity at a moment in time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityReport {
+    pub service: RenderServiceId,
+    pub host: String,
+    /// Raw triangle throughput (tris/s).
+    pub polys_per_sec: f64,
+    /// Polygons the service can hold *per frame* while sustaining the
+    /// configured interactive rate, minus what it already carries.
+    pub poly_headroom: u64,
+    /// Unused texture memory (bytes).
+    pub texture_headroom: u64,
+    /// Hardware-assisted volume rendering available?
+    pub volume_hw: bool,
+    /// Cost of the scene content currently assigned.
+    pub assigned: NodeCost,
+    /// Rolling measured frame rate, if the service has rendered recently.
+    pub rolling_fps: Option<f64>,
+}
+
+impl CapacityReport {
+    /// Can this service additionally accept `cost` (with the planner's
+    /// fill factor already applied by the caller)?
+    pub fn can_accept(&self, cost: &NodeCost) -> bool {
+        cost.polygons <= self.poly_headroom && cost.texture_bytes <= self.texture_headroom
+    }
+
+    /// Scalar headroom used for ordering candidate services (most spare
+    /// capacity first).
+    pub fn headroom_weight(&self) -> u64 {
+        self.poly_headroom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(poly: u64, tex: u64) -> CapacityReport {
+        CapacityReport {
+            service: RenderServiceId(1),
+            host: "laptop".into(),
+            polys_per_sec: 8.8e6,
+            poly_headroom: poly,
+            texture_headroom: tex,
+            volume_hw: false,
+            assigned: NodeCost::ZERO,
+            rolling_fps: None,
+        }
+    }
+
+    #[test]
+    fn accept_requires_both_axes() {
+        let r = report(1000, 500);
+        assert!(r.can_accept(&NodeCost { polygons: 1000, texture_bytes: 500, ..NodeCost::ZERO }));
+        assert!(!r.can_accept(&NodeCost { polygons: 1001, ..NodeCost::ZERO }));
+        assert!(!r.can_accept(&NodeCost { texture_bytes: 501, ..NodeCost::ZERO }));
+    }
+
+    #[test]
+    fn headroom_orders_candidates() {
+        assert!(report(5000, 0).headroom_weight() > report(100, 0).headroom_weight());
+    }
+}

@@ -1,0 +1,72 @@
+//! Tunable system parameters.
+
+use rave_sim::SimTime;
+
+/// Global RAVE configuration: the thresholds and knobs §3.2.7 describes
+/// qualitatively, made explicit.
+#[derive(Debug, Clone)]
+pub struct RaveConfig {
+    /// A render service whose rolling frame rate drops below this reports
+    /// itself overloaded to the data service.
+    pub overload_fps: f64,
+    /// A render service sustaining more than this is a migration target
+    /// (has spare capacity).
+    pub underload_fps: f64,
+    /// How long under-load must persist before the data service reacts —
+    /// "for a given amount of time, to smooth out spikes of usage".
+    pub underload_debounce: SimTime,
+    /// Frames in the rolling fps window.
+    pub fps_window: usize,
+    /// Target interactive rate used when interrogating capacity
+    /// ("available polygons per second ... and still maintain its current
+    /// interactive frame rate").
+    pub target_fps: f64,
+    /// Headroom factor the planner leaves on each service (1.0 = fill to
+    /// capacity; 0.8 = leave 20%).
+    pub fill_factor: f64,
+    /// Whether render services actually rasterize pixels (figure
+    /// generation) or only charge the cost model (timing runs with
+    /// multi-million-polygon scenes).
+    pub produce_images: bool,
+    /// Introspection marshalling rates for scene bootstrap (§5.5): the
+    /// Java-reflection path, seconds per field visit and per byte.
+    pub introspect_per_field: f64,
+    pub introspect_per_byte: f64,
+    /// Direct marshalling per byte (the ablation comparator).
+    pub direct_per_byte: f64,
+}
+
+impl Default for RaveConfig {
+    fn default() -> Self {
+        Self {
+            overload_fps: 10.0,
+            underload_fps: 40.0,
+            underload_debounce: SimTime::from_secs(5.0),
+            fps_window: 10,
+            target_fps: 15.0,
+            fill_factor: 0.85,
+            produce_images: false,
+            // Calibrated against Table 5: a 20 MB model bootstraps in
+            // ≈68 s, of which ≈58 s is marshalling (the rest is instance
+            // creation + wire time) ⇒ ≈2.3 µs/byte through the
+            // introspective path.
+            introspect_per_field: 4.0e-6,
+            introspect_per_byte: 2.3e-6,
+            // Direct serialization: bulk memcpy-ish, ~50 ns/byte.
+            direct_per_byte: 50.0e-9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_thresholds_ordered() {
+        let c = RaveConfig::default();
+        assert!(c.overload_fps < c.underload_fps);
+        assert!(c.fill_factor > 0.0 && c.fill_factor <= 1.0);
+        assert!(c.introspect_per_byte > c.direct_per_byte * 10.0);
+    }
+}

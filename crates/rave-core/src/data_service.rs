@@ -1,0 +1,303 @@
+//! The data service (§3.1.1): "a persistent, central distribution point
+//! for the data to be visualized".
+
+use crate::ids::{DataServiceId, RenderServiceId};
+use rave_scene::{AuditTrail, InterestSet, SceneTree, SceneUpdate, StampedUpdate, UpdateError};
+use std::collections::BTreeMap;
+
+/// A subscriber's delivery state.
+#[derive(Debug, Clone)]
+pub enum SubState {
+    /// Scene snapshot still in flight; live updates are buffered and
+    /// replayed on arrival so the replica comes up pre-synchronised
+    /// (§5.5: "We overlap update messages with the initial bootstrap
+    /// messages, so the remote resource does not miss any updates").
+    Bootstrapping { buffered: Vec<StampedUpdate> },
+    /// Replica live; updates stream as they are published.
+    Live,
+}
+
+/// One render service's subscription.
+#[derive(Debug, Clone)]
+pub struct Subscription {
+    pub interest: InterestSet,
+    pub state: SubState,
+}
+
+/// A data service instance. Multiple sessions may be managed by the same
+/// service process; each `DataService` here is one session's distribution
+/// point (the paper's "Skull" instance on host "adrenochrome", say).
+#[derive(Debug, Clone)]
+pub struct DataService {
+    pub id: DataServiceId,
+    pub host: String,
+    /// Session name shown in the registry ("Skull").
+    pub name: String,
+    /// The master scene.
+    pub scene: SceneTree,
+    /// The persistent session record.
+    pub audit: AuditTrail,
+    next_seq: u64,
+    pub subscribers: BTreeMap<RenderServiceId, Subscription>,
+}
+
+impl DataService {
+    pub fn new(id: DataServiceId, host: &str, name: &str) -> Self {
+        Self {
+            id,
+            host: host.into(),
+            name: name.into(),
+            scene: SceneTree::new(),
+            audit: AuditTrail::new(),
+            next_seq: 1,
+            subscribers: BTreeMap::new(),
+        }
+    }
+
+    /// Assign the next global sequence number to an update.
+    pub fn stamp(&mut self, origin: &str, update: SceneUpdate) -> StampedUpdate {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        StampedUpdate { seq, origin: origin.into(), update }
+    }
+
+    /// Apply a stamped update to the master scene and the audit trail.
+    /// Also advances the sequence counter past the committed number, so a
+    /// mirror that commits a primary's replicated log can take over
+    /// stamping seamlessly after failover.
+    pub fn commit(&mut self, at_secs: f64, stamped: &StampedUpdate) -> Result<(), UpdateError> {
+        stamped.update.apply(&mut self.scene)?;
+        self.audit.record(at_secs, stamped.clone());
+        self.next_seq = self.next_seq.max(stamped.seq + 1);
+        Ok(())
+    }
+
+    /// Make future stamps continue after `seq` (used when state arrives
+    /// out-of-band, e.g. a mirror replaying a whole audit trail).
+    pub fn observe_seq(&mut self, seq: u64) {
+        self.next_seq = self.next_seq.max(seq + 1);
+    }
+
+    /// Register a live subscriber (used when the replica is seeded
+    /// synchronously, e.g. a local active client).
+    pub fn subscribe_live(&mut self, rs: RenderServiceId, interest: InterestSet) {
+        let mut interest = interest;
+        interest.refresh(&self.scene);
+        self.subscribers.insert(rs, Subscription { interest, state: SubState::Live });
+    }
+
+    /// Begin a bootstrap: subscriber is registered but buffered.
+    pub fn begin_bootstrap(&mut self, rs: RenderServiceId, interest: InterestSet) {
+        let mut interest = interest;
+        interest.refresh(&self.scene);
+        self.subscribers.insert(
+            rs,
+            Subscription { interest, state: SubState::Bootstrapping { buffered: Vec::new() } },
+        );
+    }
+
+    /// Finish a bootstrap: returns the updates buffered while the
+    /// snapshot was in flight, in seq order, and flips the subscriber
+    /// live.
+    pub fn complete_bootstrap(&mut self, rs: RenderServiceId) -> Vec<StampedUpdate> {
+        match self.subscribers.get_mut(&rs) {
+            Some(sub) => {
+                let drained = match &mut sub.state {
+                    SubState::Bootstrapping { buffered } => std::mem::take(buffered),
+                    SubState::Live => Vec::new(),
+                };
+                sub.state = SubState::Live;
+                drained
+            }
+            None => Vec::new(),
+        }
+    }
+
+    pub fn unsubscribe(&mut self, rs: RenderServiceId) -> bool {
+        self.subscribers.remove(&rs).is_some()
+    }
+
+    /// Route a freshly committed update: returns the live subscribers it
+    /// must be delivered to, buffering it for bootstrapping ones.
+    pub fn route(&mut self, stamped: &StampedUpdate) -> Vec<RenderServiceId> {
+        let mut deliver = Vec::new();
+        for (rs, sub) in &mut self.subscribers {
+            if !sub.interest.relevant(&stamped.update, &self.scene) {
+                continue;
+            }
+            match &mut sub.state {
+                SubState::Bootstrapping { buffered } => buffered.push(stamped.clone()),
+                SubState::Live => deliver.push(*rs),
+            }
+        }
+        deliver
+    }
+
+    /// Refresh every subscriber's interest closure after structural scene
+    /// changes.
+    pub fn refresh_interests(&mut self) {
+        for sub in self.subscribers.values_mut() {
+            sub.interest.refresh(&self.scene);
+        }
+    }
+
+    /// Stream the session to disk (§3.1.1: "The data are intermittently
+    /// streamed to disk, recording any changes that are made in the form
+    /// of an audit trail").
+    pub fn save_session(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        self.audit.save(std::io::BufWriter::new(file))
+    }
+
+    /// Resume a recorded session from disk: replays the trail into the
+    /// master scene and continues sequence numbers where the recording
+    /// stopped, so new collaborators "append to a recorded session".
+    pub fn load_session(
+        id: DataServiceId,
+        host: &str,
+        name: &str,
+        path: &std::path::Path,
+    ) -> std::io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        let audit = rave_scene::AuditTrail::load(std::io::BufReader::new(file))?;
+        let scene = audit
+            .replay_all()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut ds = Self::new(id, host, name);
+        ds.next_seq = audit.last_seq() + 1;
+        ds.scene = scene;
+        ds.audit = audit;
+        Ok(ds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rave_scene::{NodeId, NodeKind};
+
+    fn add_update(ds: &mut DataService, name: &str) -> StampedUpdate {
+        let id = ds.scene.allocate_id();
+        ds.stamp(
+            "test",
+            SceneUpdate::AddNode {
+                id,
+                parent: ds.scene.root(),
+                name: name.into(),
+                kind: NodeKind::Group,
+            },
+        )
+    }
+
+    #[test]
+    fn stamp_sequences_monotonically() {
+        let mut ds = DataService::new(DataServiceId(1), "adrenochrome", "Skull");
+        let a = add_update(&mut ds, "a");
+        let b = add_update(&mut ds, "b");
+        assert!(b.seq > a.seq);
+    }
+
+    #[test]
+    fn commit_applies_and_records() {
+        let mut ds = DataService::new(DataServiceId(1), "h", "s");
+        let u = add_update(&mut ds, "node");
+        ds.commit(0.5, &u).unwrap();
+        assert!(ds.scene.find_by_path("/node").is_some());
+        assert_eq!(ds.audit.len(), 1);
+    }
+
+    #[test]
+    fn route_delivers_to_live_buffers_for_bootstrapping() {
+        let mut ds = DataService::new(DataServiceId(1), "h", "s");
+        ds.subscribe_live(RenderServiceId(1), InterestSet::everything());
+        ds.begin_bootstrap(RenderServiceId(2), InterestSet::everything());
+        let u = add_update(&mut ds, "x");
+        ds.commit(0.0, &u).unwrap();
+        let deliver = ds.route(&u);
+        assert_eq!(deliver, vec![RenderServiceId(1)]);
+        // Completing the bootstrap yields the buffered update.
+        let drained = ds.complete_bootstrap(RenderServiceId(2));
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].seq, u.seq);
+        // Next update now goes to both.
+        let u2 = add_update(&mut ds, "y");
+        ds.commit(0.0, &u2).unwrap();
+        assert_eq!(ds.route(&u2).len(), 2);
+    }
+
+    #[test]
+    fn route_respects_interest_sets() {
+        let mut ds = DataService::new(DataServiceId(1), "h", "s");
+        // Build two subtrees in the master scene.
+        let left = ds.scene.add_node(ds.scene.root(), "left", NodeKind::Group).unwrap();
+        let right = ds.scene.add_node(ds.scene.root(), "right", NodeKind::Group).unwrap();
+        ds.subscribe_live(RenderServiceId(1), InterestSet::subtrees([left]));
+        ds.subscribe_live(RenderServiceId(2), InterestSet::subtrees([right]));
+        let u = ds.stamp(
+            "t",
+            SceneUpdate::SetName { id: left, name: "renamed".into() },
+        );
+        ds.commit(0.0, &u).unwrap();
+        assert_eq!(ds.route(&u), vec![RenderServiceId(1)]);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let mut ds = DataService::new(DataServiceId(1), "h", "s");
+        ds.subscribe_live(RenderServiceId(1), InterestSet::everything());
+        assert!(ds.unsubscribe(RenderServiceId(1)));
+        assert!(!ds.unsubscribe(RenderServiceId(1)));
+        let u = add_update(&mut ds, "x");
+        ds.commit(0.0, &u).unwrap();
+        assert!(ds.route(&u).is_empty());
+    }
+
+    #[test]
+    fn session_playback_from_audit() {
+        // The persistence story end-to-end: commit updates, replay the
+        // audit trail into a fresh tree, identical content.
+        let mut ds = DataService::new(DataServiceId(1), "h", "s");
+        for name in ["a", "b", "c"] {
+            let u = add_update(&mut ds, name);
+            ds.commit(0.0, &u).unwrap();
+        }
+        let u = ds.stamp("t", SceneUpdate::RemoveNode { id: NodeId(2) });
+        ds.commit(1.0, &u).unwrap();
+        let replayed = ds.audit.replay_all().unwrap();
+        assert_eq!(replayed.len(), ds.scene.len());
+        assert!(replayed.find_by_path("/a").is_some());
+        assert!(replayed.find_by_path("/b").is_none());
+    }
+
+    #[test]
+    fn session_save_load_resume_from_disk() {
+        let dir = std::env::temp_dir().join(format!("rave-session-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.jsonl");
+
+        // Record a session and stream it to disk.
+        let mut ds = DataService::new(DataServiceId(1), "adrenochrome", "recorded");
+        for name in ["a", "b", "c"] {
+            let u = add_update(&mut ds, name);
+            ds.commit(0.0, &u).unwrap();
+        }
+        ds.save_session(&path).unwrap();
+
+        // A later service process resumes it and appends.
+        let mut resumed =
+            DataService::load_session(DataServiceId(2), "tower", "resumed", &path).unwrap();
+        assert_eq!(resumed.scene.len(), ds.scene.len());
+        let u = add_update(&mut resumed, "appended");
+        assert!(u.seq > 3, "sequence continues after the recording: {}", u.seq);
+        resumed.commit(1.0, &u).unwrap();
+        assert!(resumed.scene.find_by_path("/appended").is_some());
+        assert!(resumed.scene.find_by_path("/a").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn complete_bootstrap_on_unknown_subscriber_is_empty() {
+        let mut ds = DataService::new(DataServiceId(1), "h", "s");
+        assert!(ds.complete_bootstrap(RenderServiceId(9)).is_empty());
+    }
+}

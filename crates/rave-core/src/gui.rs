@@ -1,0 +1,257 @@
+//! The client GUI, as a scriptable controller (§5.2).
+//!
+//! "Our current GUI enables users to carry out actions with specific
+//! objects ... with selected objects or relative to selected objects
+//! (such as rotate the camera around a selected object). The GUI
+//! interrogates objects for any supported interactions, and reflects this
+//! in the drop-down menus; all interactions are based on clicking to
+//! select/deselect an object, and dragging. This simple interface then
+//! maps neatly onto a PDA."
+//!
+//! [`GuiController`] is that interface: click → pick → selection;
+//! interrogation builds the menu; drags map to the selected object's
+//! supported interactions and publish ordinary scene updates. The GUI
+//! never hardcodes object behaviour — exactly the property the paper
+//! wanted ("permits alterations of the supported interactions without
+//! affecting any part of the GUI or underlying message transport").
+
+use crate::collaboration::Participant;
+use crate::ids::DataServiceId;
+use crate::world::{publish_update, RaveSim};
+use rave_math::{Vec3, Viewport};
+use rave_render::pick::pick_node_skipping;
+use rave_scene::node::Interaction;
+use rave_scene::{CameraParams, NodeId, SceneUpdate, Transform, UpdateError};
+
+/// One user's GUI state: their camera, viewport, and current selection.
+#[derive(Debug, Clone)]
+pub struct GuiController {
+    pub user: String,
+    pub data_service: DataServiceId,
+    pub participant: Participant,
+    pub camera: CameraParams,
+    pub viewport: Viewport,
+    pub selected: Option<NodeId>,
+}
+
+impl GuiController {
+    pub fn new(
+        user: &str,
+        ds: DataServiceId,
+        participant: Participant,
+        camera: CameraParams,
+        viewport: Viewport,
+    ) -> Self {
+        Self {
+            user: user.into(),
+            data_service: ds,
+            participant,
+            camera,
+            viewport,
+            selected: None,
+        }
+    }
+
+    /// Click at a pixel: select what's under the cursor (deselect on
+    /// background, toggle off when re-clicking the selection — the
+    /// "select/deselect" behaviour). Picking runs against the *master*
+    /// scene via the user's camera.
+    pub fn click(&mut self, sim: &RaveSim, x: u32, y: u32) -> Option<NodeId> {
+        let scene = &sim.world.data(self.data_service).scene;
+        // Never pick your own avatar — it sits at your camera.
+        let hit = pick_node_skipping(
+            scene,
+            &self.camera,
+            &self.viewport,
+            x,
+            y,
+            Some(self.participant.avatar),
+        );
+        self.selected = match (hit, self.selected) {
+            (Some(h), Some(s)) if h == s => None, // toggle off
+            (h, _) => h,
+        };
+        self.selected
+    }
+
+    /// The drop-down menu for the current selection, built by
+    /// interrogation.
+    pub fn menu(&self, sim: &RaveSim) -> Vec<Interaction> {
+        let scene = &sim.world.data(self.data_service).scene;
+        self.selected
+            .and_then(|id| scene.node(id))
+            .map(|n| n.supported_interactions())
+            .unwrap_or_default()
+    }
+
+    /// Drag with an object selected: moves the object if it supports
+    /// `Drag`, otherwise orbits the camera around it if it supports
+    /// `RotateAround`, otherwise orbits the world origin (plain camera
+    /// navigation). Returns which interaction ran.
+    pub fn drag(
+        &mut self,
+        sim: &mut RaveSim,
+        dx: f32,
+        dy: f32,
+    ) -> Result<Interaction, UpdateError> {
+        let menu = self.menu(sim);
+        if let Some(id) = self.selected {
+            if menu.contains(&Interaction::Drag) {
+                // Translate the object in the camera plane, scaled to feel
+                // like pixels.
+                let scale = 0.01;
+                let delta = self.camera.right() * (dx * scale) + self.camera.up() * (-dy * scale);
+                let current =
+                    sim.world.data(self.data_service).scene.node(id).map(|n| n.transform);
+                let mut t = current.unwrap_or(Transform::IDENTITY);
+                t.translation += delta;
+                publish_update(
+                    sim,
+                    self.data_service,
+                    &self.user,
+                    SceneUpdate::SetTransform { id, transform: t },
+                )?;
+                return Ok(Interaction::Drag);
+            }
+            if menu.contains(&Interaction::RotateAround) {
+                let center = sim.world.data(self.data_service).scene.world_bounds(id).center();
+                self.orbit_camera(sim, center, dx, dy)?;
+                return Ok(Interaction::RotateAround);
+            }
+        }
+        self.orbit_camera(sim, Vec3::ZERO, dx, dy)?;
+        Ok(Interaction::Select) // plain navigation
+    }
+
+    fn orbit_camera(
+        &mut self,
+        sim: &mut RaveSim,
+        center: Vec3,
+        dx: f32,
+        dy: f32,
+    ) -> Result<(), UpdateError> {
+        self.camera.orbit(center, dx * 0.01, dy * 0.01);
+        publish_update(
+            sim,
+            self.data_service,
+            &self.user,
+            SceneUpdate::CameraMoved { id: self.participant.avatar, camera: self.camera },
+        )
+        .map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collaboration::join_session;
+    use crate::world::RaveWorld;
+    use crate::RaveConfig;
+    use rave_scene::{InterestSet, MeshData, NodeKind};
+    use rave_sim::Simulation;
+    use std::sync::Arc;
+
+    fn gui_world() -> (RaveSim, GuiController, NodeId, crate::ids::RenderServiceId) {
+        let mut sim = Simulation::new(RaveWorld::paper_testbed(RaveConfig::default(), 31));
+        let ds = sim.world.spawn_data_service("adrenochrome", "sess");
+        let rs = sim.world.spawn_render_service("laptop");
+        sim.world.data_mut(ds).subscribe_live(rs, InterestSet::everything());
+        let mesh = MeshData::new(
+            vec![
+                Vec3::new(-1.0, -1.0, 0.0),
+                Vec3::new(1.0, -1.0, 0.0),
+                Vec3::new(1.0, 1.0, 0.0),
+                Vec3::new(-1.0, 1.0, 0.0),
+            ],
+            vec![[0, 1, 2], [0, 2, 3]],
+        );
+        let (obj, root) = {
+            let scene = &mut sim.world.data_mut(ds).scene;
+            (scene.allocate_id(), scene.root())
+        };
+        publish_update(
+            &mut sim,
+            ds,
+            "u",
+            SceneUpdate::AddNode {
+                id: obj,
+                parent: root,
+                name: "quad".into(),
+                kind: NodeKind::Mesh(Arc::new(mesh)),
+            },
+        )
+        .unwrap();
+        let cam = CameraParams::look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, Vec3::Y);
+        let who = join_session(&mut sim, ds, "gui-user", Vec3::X, cam).unwrap();
+        sim.run();
+        let gui = GuiController::new("gui-user", ds, who, cam, Viewport::new(64, 64));
+        (sim, gui, obj, rs)
+    }
+
+    #[test]
+    fn click_selects_and_toggles() {
+        let (sim, mut gui, obj, _) = gui_world();
+        assert_eq!(gui.click(&sim, 32, 32), Some(obj));
+        assert_eq!(gui.click(&sim, 32, 32), None, "re-click deselects");
+        assert_eq!(gui.click(&sim, 1, 1), None, "background deselects");
+    }
+
+    #[test]
+    fn menu_comes_from_interrogation() {
+        let (sim, mut gui, _, _) = gui_world();
+        assert!(gui.menu(&sim).is_empty(), "no selection, no menu");
+        gui.click(&sim, 32, 32);
+        let menu = gui.menu(&sim);
+        assert!(menu.contains(&Interaction::Drag));
+        assert!(menu.contains(&Interaction::RotateAround));
+    }
+
+    #[test]
+    fn drag_selected_object_moves_it_everywhere() {
+        let (mut sim, mut gui, obj, rs) = gui_world();
+        gui.click(&sim, 32, 32);
+        let ran = gui.drag(&mut sim, 30.0, 0.0).unwrap();
+        assert_eq!(ran, Interaction::Drag);
+        sim.run();
+        let master_t =
+            sim.world.data(gui.data_service).scene.node(obj).unwrap().transform.translation;
+        assert!(master_t.x > 0.2, "object moved: {master_t:?}");
+        let replica_t = sim.world.render(rs).scene.node(obj).unwrap().transform.translation;
+        assert_eq!(master_t, replica_t, "replica follows the drag");
+    }
+
+    #[test]
+    fn drag_with_no_selection_navigates_camera() {
+        let (mut sim, mut gui, _, rs) = gui_world();
+        let pos0 = gui.camera.position;
+        let ran = gui.drag(&mut sim, 40.0, 10.0).unwrap();
+        assert_eq!(ran, Interaction::Select);
+        assert!(gui.camera.position.distance(pos0) > 0.01);
+        sim.run();
+        // Avatar on the replica moved with the camera.
+        let av = sim
+            .world
+            .render(rs)
+            .scene
+            .node(gui.participant.avatar)
+            .unwrap()
+            .transform
+            .translation;
+        assert_eq!(av, gui.camera.position);
+    }
+
+    #[test]
+    fn avatar_selection_offers_no_drag() {
+        let (mut sim, mut gui, obj, _) = gui_world();
+        // Remove the quad so the avatar is exposed?  Simpler: select the
+        // avatar node directly and check the menu path.
+        let _ = obj;
+        gui.selected = Some(gui.participant.avatar);
+        let menu = gui.menu(&sim);
+        assert!(menu.contains(&Interaction::Select));
+        assert!(!menu.contains(&Interaction::Drag));
+        // Dragging with an avatar selected falls through to navigation.
+        let ran = gui.drag(&mut sim, 10.0, 0.0).unwrap();
+        assert_eq!(ran, Interaction::Select);
+    }
+}

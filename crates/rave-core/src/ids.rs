@@ -1,0 +1,55 @@
+//! Typed service identifiers.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A data-service instance.
+    DataServiceId,
+    "ds"
+);
+id_type!(
+    /// A render-service instance.
+    RenderServiceId,
+    "rs"
+);
+id_type!(
+    /// A connected client (thin client or render-capable user).
+    ClientId,
+    "cl"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(DataServiceId(3).to_string(), "ds3");
+        assert_eq!(RenderServiceId(1).to_string(), "rs1");
+        assert_eq!(ClientId(9).to_string(), "cl9");
+    }
+
+    #[test]
+    fn ids_order_and_hash() {
+        use std::collections::BTreeSet;
+        let s: BTreeSet<RenderServiceId> =
+            [RenderServiceId(2), RenderServiceId(1)].into_iter().collect();
+        assert_eq!(s.iter().next(), Some(&RenderServiceId(1)));
+    }
+}

@@ -1,0 +1,680 @@
+//! Workload migration (§3.2.7).
+//!
+//! "When a render service becomes overloaded (i.e. its rendering rate
+//! drops below a given threshold), it informs the data server. The data
+//! server then examines available render services to find which service
+//! has spare capacity ... removing nodes or tiles from the overloaded
+//! service and adding them to an alternate service. If there is
+//! insufficient spare capacity, then the data server uses UDDI to
+//! discover additional render services that are not connected to the data
+//! service."
+
+use crate::bootstrap::connect_render_service;
+use crate::ids::{DataServiceId, RenderServiceId};
+use crate::trace::TraceKind;
+use crate::world::RaveSim;
+use rave_grid::TechnicalModel;
+use rave_scene::{InterestSet, NodeCost, NodeId};
+
+/// What a migration pass did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MigrationOutcome {
+    /// `(node, from, to)` moves performed.
+    pub moved: Vec<(NodeId, RenderServiceId, RenderServiceId)>,
+    /// Render services recruited via UDDI this pass.
+    pub recruited: Vec<RenderServiceId>,
+    /// True when work remained unplaceable ("the request is refused").
+    pub refused: bool,
+}
+
+impl MigrationOutcome {
+    pub fn acted(&self) -> bool {
+        !self.moved.is_empty() || !self.recruited.is_empty()
+    }
+}
+
+/// The node set to shed from an overloaded service: smallest nodes first,
+/// until `excess` polygons are covered. Fine-grain selection is the whole
+/// point — "If an underloaded service has capacity for another 5k
+/// polygons/sec ... we do not want to add 100k polygons by mistake."
+pub fn select_nodes_to_shed(
+    scene: &rave_scene::SceneTree,
+    roots: &[NodeId],
+    excess_polygons: u64,
+) -> Vec<(NodeId, NodeCost)> {
+    let mut candidates: Vec<(NodeId, NodeCost)> = roots
+        .iter()
+        .filter_map(|&id| scene.node(id).map(|_| (id, scene.subtree_cost(id))))
+        .filter(|(_, c)| !c.is_zero())
+        .collect();
+    candidates.sort_by_key(|(id, c)| (c.render_weight(), *id));
+    let mut shed = Vec::new();
+    let mut covered = 0u64;
+    for (id, cost) in candidates {
+        if covered >= excess_polygons {
+            break;
+        }
+        covered += cost.polygons;
+        shed.push((id, cost));
+    }
+    shed
+}
+
+/// One migration pass for `ds_id`: shed from overloaded services onto
+/// connected services with headroom, recruiting via UDDI when that is not
+/// enough.
+pub fn check_and_migrate(sim: &mut RaveSim, ds_id: DataServiceId) -> MigrationOutcome {
+    let now = sim.now();
+    let cfg = sim.world.config.clone();
+    let mut outcome = MigrationOutcome::default();
+
+    // Interrogate every connected render service.
+    let subscriber_ids: Vec<RenderServiceId> =
+        sim.world.data(ds_id).subscribers.keys().copied().collect();
+    let reports: Vec<_> = subscriber_ids
+        .iter()
+        .map(|&rs| sim.world.render(rs).capacity_report(&cfg))
+        .collect();
+
+    let overloaded: Vec<RenderServiceId> = reports
+        .iter()
+        .filter(|r| r.rolling_fps.is_some_and(|f| f < cfg.overload_fps))
+        .map(|r| r.service)
+        .collect();
+    if overloaded.is_empty() {
+        return outcome;
+    }
+    for &rs in &overloaded {
+        sim.world.trace.record(
+            now,
+            TraceKind::Overload,
+            format!(
+                "{rs} at {:.1} fps (threshold {})",
+                sim.world.render(rs).rolling_fps().unwrap_or(0.0),
+                cfg.overload_fps
+            ),
+        );
+    }
+
+    // Headroom ledger over connected, non-overloaded services.
+    let mut ledger: Vec<(RenderServiceId, u64, u64)> = reports
+        .iter()
+        .filter(|r| !overloaded.contains(&r.service))
+        .map(|r| (r.service, r.poly_headroom, r.texture_headroom))
+        .collect();
+    ledger.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    for over_rs in overloaded {
+        // How much must go: bring the service back inside its interactive
+        // polygon budget.
+        let (assigned, budget, roots) = {
+            let rs = sim.world.render(over_rs);
+            let pixels = rs
+                .sessions
+                .values()
+                .map(|s| s.viewport.pixel_count() as u64)
+                .max()
+                .unwrap_or(160_000);
+            let budget = rs.machine.poly_budget_at_fps(cfg.target_fps, pixels);
+            let roots: Vec<NodeId> = if rs.interest.is_everything() {
+                rs.scene
+                    .node(rs.scene.root())
+                    .map(|root| root.children.clone())
+                    .unwrap_or_default()
+            } else {
+                rs.interest.roots().collect()
+            };
+            (rs.assigned_cost(), budget, roots)
+        };
+        let excess = assigned.polygons.saturating_sub(budget);
+        if excess == 0 {
+            continue;
+        }
+        let shed = select_nodes_to_shed(&sim.world.render(over_rs).scene, &roots, excess);
+
+        let mut unplaced: Vec<(NodeId, NodeCost)> = Vec::new();
+        for (node, cost) in shed {
+            let slot = ledger
+                .iter_mut()
+                .find(|(_, p, t)| cost.polygons <= *p && cost.texture_bytes <= *t);
+            match slot {
+                Some((to, p, t)) => {
+                    let to = *to;
+                    *p -= cost.polygons;
+                    *t -= cost.texture_bytes;
+                    move_node(sim, ds_id, node, over_rs, to, &cost);
+                    outcome.moved.push((node, over_rs, to));
+                }
+                None => unplaced.push((node, cost)),
+            }
+        }
+
+        if !unplaced.is_empty() {
+            // Recruit via UDDI: registered render services not yet
+            // connected to this data service.
+            let recruited = recruit_unconnected(sim, ds_id);
+            match recruited {
+                Some(new_rs) => {
+                    outcome.recruited.push(new_rs);
+                    let report = sim.world.render(new_rs).capacity_report(&cfg);
+                    let mut p = report.poly_headroom;
+                    let mut t = report.texture_headroom;
+                    let mut still_unplaced = Vec::new();
+                    for (node, cost) in unplaced {
+                        if cost.polygons <= p && cost.texture_bytes <= t {
+                            p -= cost.polygons;
+                            t -= cost.texture_bytes;
+                            move_node(sim, ds_id, node, over_rs, new_rs, &cost);
+                            outcome.moved.push((node, over_rs, new_rs));
+                        } else {
+                            still_unplaced.push((node, cost));
+                        }
+                    }
+                    ledger.push((new_rs, p, t));
+                    if !still_unplaced.is_empty() {
+                        refuse(sim, ds_id, &still_unplaced);
+                        outcome.refused = true;
+                    }
+                }
+                None => {
+                    refuse(sim, ds_id, &unplaced);
+                    outcome.refused = true;
+                }
+            }
+        }
+    }
+    outcome
+}
+
+/// Track under-load and rebalance onto services that have been idle past
+/// the debounce window: "When a render service is significantly
+/// underloaded (for a given amount of time, to smooth out spikes of
+/// usage), the data service again redistributes data."
+pub fn check_underload_rebalance(sim: &mut RaveSim, ds_id: DataServiceId) -> MigrationOutcome {
+    let now = sim.now();
+    let cfg = sim.world.config.clone();
+    let mut outcome = MigrationOutcome::default();
+    let subscriber_ids: Vec<RenderServiceId> =
+        sim.world.data(ds_id).subscribers.keys().copied().collect();
+
+    // Update the debounce ledger.
+    let mut ready: Vec<RenderServiceId> = Vec::new();
+    for &rs in &subscriber_ids {
+        let fps = sim.world.render(rs).rolling_fps();
+        // No fps data counts as under-loaded only for an *empty* service
+        // (a fresh recruit); a loaded service that simply has not rendered
+        // lately is not a migration target.
+        let under = match fps {
+            Some(f) => f > cfg.underload_fps,
+            None => sim.world.render(rs).assigned_cost().is_zero(),
+        };
+        if under {
+            let since = *sim.world.underload_since.entry(rs).or_insert(now);
+            if now - since >= cfg.underload_debounce {
+                ready.push(rs);
+            }
+        } else {
+            sim.world.underload_since.remove(&rs);
+        }
+    }
+    if ready.is_empty() {
+        return outcome;
+    }
+
+    // Donor: the most loaded service not in the ready set.
+    let donor = subscriber_ids
+        .iter()
+        .filter(|rs| !ready.contains(rs))
+        .max_by_key(|&&rs| sim.world.render(rs).assigned_cost().polygons)
+        .copied();
+    let Some(donor) = donor else { return outcome };
+
+    for under_rs in ready {
+        sim.world.trace.record(now, TraceKind::Underload, format!("{under_rs} has headroom"));
+        let headroom = sim.world.render(under_rs).capacity_report(&cfg).poly_headroom;
+        if headroom == 0 {
+            continue;
+        }
+        let roots: Vec<NodeId> = {
+            let rs = sim.world.render(donor);
+            if rs.interest.is_everything() {
+                rs.scene
+                    .node(rs.scene.root())
+                    .map(|r| r.children.clone())
+                    .unwrap_or_default()
+            } else {
+                rs.interest.roots().collect()
+            }
+        };
+        // Fine-grain: move the largest node set that FITS the headroom
+        // (never overshoot — the §3.2.7 "5k vs 100k" rule).
+        let mut candidates: Vec<(NodeId, NodeCost)> = roots
+            .iter()
+            .filter_map(|&id| {
+                let scene = &sim.world.render(donor).scene;
+                scene.node(id).map(|_| (id, scene.subtree_cost(id)))
+            })
+            .filter(|(_, c)| !c.is_zero())
+            .collect();
+        candidates.sort_by_key(|(id, c)| (std::cmp::Reverse(c.render_weight()), *id));
+        let mut remaining = headroom;
+        for (node, cost) in candidates {
+            if cost.polygons <= remaining && donor != under_rs {
+                remaining -= cost.polygons;
+                move_node(sim, ds_id, node, donor, under_rs, &cost);
+                outcome.moved.push((node, donor, under_rs));
+            }
+        }
+        sim.world.underload_since.remove(&under_rs);
+    }
+    outcome
+}
+
+/// Execute one node move: update interest sets at the data service,
+/// charge the data transfer to the receiving service, and install/remove
+/// the subtree on the replicas.
+fn move_node(
+    sim: &mut RaveSim,
+    ds_id: DataServiceId,
+    node: NodeId,
+    from: RenderServiceId,
+    to: RenderServiceId,
+    cost: &NodeCost,
+) {
+    let now = sim.now();
+    let ds_host = sim.world.data(ds_id).host.clone();
+    let to_host = sim.world.render(to).host.clone();
+
+    // Update interest sets (data-service side routing).
+    {
+        let master_len;
+        {
+            let ds = sim.world.data_mut(ds_id);
+            master_len = ds.scene.len();
+            if let Some(sub) = ds.subscribers.get_mut(&from) {
+                sub.interest.remove_root(node);
+            }
+            if let Some(sub) = ds.subscribers.get_mut(&to) {
+                sub.interest.add_root(node);
+            }
+            ds.refresh_interests();
+        }
+        let _ = master_len;
+    }
+
+    // Replica surgery now; the transfer cost lands on the receiving side
+    // as an arrival event (the node is "in flight" until then, but the
+    // old holder keeps rendering it until the handoff — best effort).
+    let subtree = {
+        let ds = sim.world.data(ds_id);
+        ds.scene.extract_subset(&[node])
+    };
+    let bytes = cost.data_bytes.max(256);
+    let arrival = sim.world.send_bytes(now, &ds_host, &to_host, bytes);
+    sim.schedule_at(arrival, move |sim| {
+        let at = sim.now();
+        // The donor may already be gone (failure-triggered moves).
+        if let Some(rs) = sim.world.render_services.get_mut(&from) {
+            let _ = rs.scene.remove(node);
+            rs.interest.remove_root(node);
+        }
+        {
+            let rs = sim.world.render_mut(to);
+            rs.interest.add_root(node);
+            rs.scene.merge_subset(&subtree);
+        }
+        sim.world.trace.record(
+            at,
+            TraceKind::Migration,
+            format!("node {node} moved {from} -> {to}"),
+        );
+    });
+}
+
+/// Recruit one registered-but-unconnected render service via UDDI,
+/// charging the warm-scan cost and the bootstrap. Returns its id.
+fn recruit_unconnected(sim: &mut RaveSim, ds_id: DataServiceId) -> Option<RenderServiceId> {
+    let now = sim.now();
+    // Which render services exist but are not subscribed?
+    let connected: Vec<RenderServiceId> =
+        sim.world.data(ds_id).subscribers.keys().copied().collect();
+    let candidate = sim
+        .world
+        .render_services
+        .iter()
+        .filter(|(id, rs)| !connected.contains(id) && rs.offscreen_capable)
+        .map(|(id, _)| *id)
+        .next()?;
+
+    // Charge the UDDI inquiry (warm scan on the kept-alive proxy).
+    let results = sim
+        .world
+        .registry
+        .scan_access_points("RAVE", TechnicalModel::RenderService)
+        .len();
+    let scan = sim.world.uddi_cost.scan_cost(results);
+    sim.world.trace.record(
+        now,
+        TraceKind::Recruitment,
+        format!("{candidate} discovered via UDDI ({results} services scanned, {scan})"),
+    );
+    // The bootstrap starts after the scan completes; we approximate by
+    // offsetting the connect with a scheduled wrapper.
+    let start = now + scan;
+    sim.schedule_at(start, move |sim| {
+        connect_render_service(sim, candidate, ds_id, InterestSet::subtrees([]));
+    });
+    Some(candidate)
+}
+
+/// Handle the death of a render service (§6: "we can stop using a machine
+/// once it becomes loaded by (for instance) a local user logging on" — or
+/// a crash): unsubscribe it and redistribute its scene share onto the
+/// remaining services, recruiting via UDDI if necessary.
+pub fn handle_service_failure(
+    sim: &mut RaveSim,
+    ds_id: DataServiceId,
+    dead: RenderServiceId,
+) -> MigrationOutcome {
+    let now = sim.now();
+    let mut outcome = MigrationOutcome::default();
+    let cfg = sim.world.config.clone();
+
+    // Take the dead service's interest roots off the subscription.
+    let orphaned: Vec<NodeId> = {
+        let ds = sim.world.data_mut(ds_id);
+        let roots = ds
+            .subscribers
+            .get(&dead)
+            .map(|sub| {
+                if sub.interest.is_everything() {
+                    // A full replica holds everything; its loss orphans
+                    // nothing that others don't already have.
+                    Vec::new()
+                } else {
+                    sub.interest.roots().collect()
+                }
+            })
+            .unwrap_or_default();
+        ds.unsubscribe(dead);
+        roots
+    };
+    // Remove the dead service from the world and the registry: its
+    // replica and advertisement are gone.
+    let dead_host = sim.world.render(dead).host.clone();
+    sim.world.render_services.remove(&dead);
+    sim.world.registry.unpublish("RAVE", &dead_host, &format!("render-{dead}"));
+    sim.world.trace.record(
+        now,
+        TraceKind::Overload,
+        format!("{dead} failed; {} orphaned subtree(s)", orphaned.len()),
+    );
+    if orphaned.is_empty() {
+        return outcome;
+    }
+
+    // Redistribute orphaned nodes onto surviving subscribers by headroom.
+    let survivors: Vec<RenderServiceId> =
+        sim.world.data(ds_id).subscribers.keys().copied().collect();
+    let mut ledger: Vec<(RenderServiceId, u64, u64)> = survivors
+        .iter()
+        .map(|&rs| {
+            let r = sim.world.render(rs).capacity_report(&cfg);
+            (rs, r.poly_headroom, r.texture_headroom)
+        })
+        .collect();
+    ledger.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let mut unplaced = Vec::new();
+    for node in orphaned {
+        let cost = sim.world.data(ds_id).scene.subtree_cost(node);
+        let slot = ledger
+            .iter_mut()
+            .find(|(_, p, t)| cost.polygons <= *p && cost.texture_bytes <= *t);
+        match slot {
+            Some((to, p, t)) => {
+                let to = *to;
+                *p -= cost.polygons;
+                *t -= cost.texture_bytes;
+                move_node(sim, ds_id, node, dead, to, &cost);
+                outcome.moved.push((node, dead, to));
+            }
+            None => unplaced.push((node, cost)),
+        }
+    }
+    if !unplaced.is_empty() {
+        match recruit_unconnected(sim, ds_id) {
+            Some(new_rs) => {
+                outcome.recruited.push(new_rs);
+                for (node, cost) in unplaced {
+                    move_node(sim, ds_id, node, dead, new_rs, &cost);
+                    outcome.moved.push((node, dead, new_rs));
+                }
+            }
+            None => {
+                refuse(sim, ds_id, &unplaced);
+                outcome.refused = true;
+            }
+        }
+    }
+    outcome
+}
+
+fn refuse(sim: &mut RaveSim, ds_id: DataServiceId, unplaced: &[(NodeId, NodeCost)]) {
+    let now = sim.now();
+    let polys: u64 = unplaced.iter().map(|(_, c)| c.polygons).sum();
+    sim.world.trace.record(
+        now,
+        TraceKind::Refusal,
+        format!(
+            "{ds_id}: insufficient resources for {} nodes ({polys} polygons) — request refused",
+            unplaced.len()
+        ),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rave_sim::SimTime;
+    use crate::world::RaveWorld;
+    use crate::RaveConfig;
+    use rave_math::{Vec3, Viewport};
+    use rave_render::OffscreenMode;
+    use rave_scene::{CameraParams, MeshData, NodeKind, SceneTree};
+    use rave_sim::Simulation;
+    use std::sync::Arc;
+
+    fn mesh(tris: usize) -> NodeKind {
+        NodeKind::Mesh(Arc::new(MeshData {
+            positions: vec![Vec3::ZERO, Vec3::X, Vec3::Y],
+            normals: vec![],
+            colors: vec![],
+            triangles: vec![[0, 1, 2]; tris],
+            texture_bytes: 0,
+        }))
+    }
+
+    /// Two connected render services: `slow` overloaded with two meshes,
+    /// `fast` idle.
+    fn overload_world() -> (RaveSim, DataServiceId, RenderServiceId, RenderServiceId) {
+        let mut sim = Simulation::new(RaveWorld::paper_testbed(RaveConfig::default(), 11));
+        let ds = sim.world.spawn_data_service("adrenochrome", "sess");
+        let slow = sim.world.spawn_render_service("laptop");
+        let fast = sim.world.spawn_render_service("onyx");
+        // Master scene: one big and one small mesh.
+        let (big, small) = {
+            let scene = &mut sim.world.data_mut(ds).scene;
+            let root = scene.root();
+            let big = scene.add_node(root, "big", mesh(600_000)).unwrap();
+            let small = scene.add_node(root, "small", mesh(40_000)).unwrap();
+            (big, small)
+        };
+        // Slow service holds everything; fast holds nothing.
+        {
+            let replica = sim.world.data(ds).scene.clone();
+            let rs = sim.world.render_mut(slow);
+            rs.scene = replica;
+            rs.interest = InterestSet::subtrees([big, small]);
+            rs.open_session(
+                crate::ids::ClientId(1),
+                Viewport::new(200, 200),
+                CameraParams::default(),
+                OffscreenMode::Sequential,
+            );
+        }
+        sim.world.data_mut(ds).subscribe_live(slow, InterestSet::subtrees([big, small]));
+        sim.world.data_mut(ds).subscribe_live(fast, InterestSet::subtrees([]));
+        (sim, ds, slow, fast)
+    }
+
+    fn make_overloaded(sim: &mut RaveSim, rs: RenderServiceId) {
+        // Record slow frames: 2 fps.
+        for i in 0..6 {
+            let t = SimTime::from_secs(i as f64 * 0.5);
+            sim.world.render_mut(rs).record_frame(t, 10);
+        }
+    }
+
+    #[test]
+    fn overload_sheds_to_spare_capacity() {
+        let (mut sim, ds, slow, fast) = overload_world();
+        make_overloaded(&mut sim, slow);
+        let outcome = check_and_migrate(&mut sim, ds);
+        assert!(outcome.acted(), "migration must act on overload");
+        assert!(!outcome.refused);
+        assert!(outcome.moved.iter().all(|(_, from, to)| *from == slow && *to == fast));
+        sim.run();
+        // Replicas updated: fast now holds content, slow holds less.
+        let fast_polys = sim.world.render(fast).assigned_cost().polygons;
+        assert!(fast_polys > 0, "receiver got content");
+        let slow_polys = sim.world.render(slow).assigned_cost().polygons;
+        assert!(slow_polys < 640_000);
+        assert_eq!(sim.world.trace.count(TraceKind::Overload), 1);
+        assert!(sim.world.trace.count(TraceKind::Migration) >= 1);
+    }
+
+    #[test]
+    fn no_action_when_healthy() {
+        let (mut sim, ds, slow, _) = overload_world();
+        // Fast frames: healthy.
+        for i in 0..6 {
+            sim.world.render_mut(slow).record_frame(SimTime::from_secs(i as f64 * 0.02), 10);
+        }
+        let outcome = check_and_migrate(&mut sim, ds);
+        assert!(!outcome.acted());
+    }
+
+    #[test]
+    fn shed_selection_is_fine_grained() {
+        let mut scene = SceneTree::new();
+        let root = scene.root();
+        let tiny = scene.add_node(root, "tiny", mesh(5_000)).unwrap();
+        let big = scene.add_node(root, "big", mesh(100_000)).unwrap();
+        // Excess of 4k polygons: shedding the tiny node suffices; the big
+        // one must stay.
+        let shed = select_nodes_to_shed(&scene, &[tiny, big], 4_000);
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].0, tiny);
+    }
+
+    #[test]
+    fn recruitment_via_uddi_when_no_connected_capacity() {
+        let (mut sim, ds, slow, fast) = overload_world();
+        // Saturate the fast service so nothing fits there.
+        {
+            let rs = sim.world.render_mut(fast);
+            let root = rs.scene.root();
+            rs.scene.add_node(root, "filler", mesh(3_000_000)).unwrap();
+        }
+        // Spawn an unconnected render service for UDDI to find.
+        let fresh = sim.world.spawn_render_service("tower");
+        make_overloaded(&mut sim, slow);
+        let outcome = check_and_migrate(&mut sim, ds);
+        assert_eq!(outcome.recruited, vec![fresh]);
+        assert!(sim.world.trace.count(TraceKind::Recruitment) == 1);
+        sim.run();
+        // The recruit ends up subscribed.
+        assert!(sim.world.data(ds).subscribers.contains_key(&fresh));
+    }
+
+    #[test]
+    fn refusal_when_nothing_available() {
+        let (mut sim, ds, slow, fast) = overload_world();
+        {
+            let rs = sim.world.render_mut(fast);
+            let root = rs.scene.root();
+            rs.scene.add_node(root, "filler", mesh(3_000_000)).unwrap();
+        }
+        make_overloaded(&mut sim, slow);
+        // No unconnected services exist: must refuse.
+        let outcome = check_and_migrate(&mut sim, ds);
+        assert!(outcome.refused);
+        assert_eq!(sim.world.trace.count(TraceKind::Refusal), 1);
+    }
+
+    #[test]
+    fn failed_service_work_redistributes() {
+        let (mut sim, ds, slow, fast) = overload_world();
+        // `slow` holds both subtrees; kill it.
+        let outcome = handle_service_failure(&mut sim, ds, slow);
+        sim.run();
+        assert!(!outcome.refused);
+        assert!(!outcome.moved.is_empty(), "orphans rehomed");
+        assert!(outcome.moved.iter().all(|(_, from, to)| *from == slow && *to == fast));
+        assert!(!sim.world.data(ds).subscribers.contains_key(&slow));
+        assert!(!sim.world.render_services.contains_key(&slow));
+        // Fast now holds the content.
+        assert!(sim.world.render(fast).assigned_cost().polygons >= 640_000);
+    }
+
+    #[test]
+    fn failure_recruits_when_survivors_are_full() {
+        let (mut sim, ds, slow, fast) = overload_world();
+        {
+            let rs = sim.world.render_mut(fast);
+            let root = rs.scene.root();
+            rs.scene.add_node(root, "filler", mesh(3_000_000)).unwrap();
+        }
+        let fresh = sim.world.spawn_render_service("tower");
+        let outcome = handle_service_failure(&mut sim, ds, slow);
+        sim.run();
+        assert_eq!(outcome.recruited, vec![fresh]);
+        assert!(outcome.moved.iter().all(|(_, _, to)| *to == fresh));
+        assert!(sim.world.render(fresh).assigned_cost().polygons > 0);
+    }
+
+    #[test]
+    fn failure_of_full_replica_orphans_nothing() {
+        let (mut sim, ds, _slow, fast) = overload_world();
+        // Make `fast` a full replica, then kill it.
+        sim.world.data_mut(ds).subscribe_live(fast, InterestSet::everything());
+        let outcome = handle_service_failure(&mut sim, ds, fast);
+        assert!(!outcome.acted());
+        assert!(!outcome.refused);
+    }
+
+    #[test]
+    fn underload_rebalance_waits_for_debounce() {
+        let (mut sim, ds, slow, fast) = overload_world();
+        // Fast service renders very fast (underloaded); slow is the donor.
+        for i in 0..6 {
+            sim.world.render_mut(fast).record_frame(SimTime::from_secs(i as f64 * 0.01), 10);
+        }
+        let _ = slow;
+        // First check: starts the debounce clock, no action.
+        let o1 = check_underload_rebalance(&mut sim, ds);
+        assert!(!o1.acted(), "debounce holds immediate action");
+        // Advance past the debounce window and check again.
+        sim.schedule_in(SimTime::from_secs(6.0), |_| {});
+        sim.run();
+        let o2 = check_underload_rebalance(&mut sim, ds);
+        assert!(o2.acted(), "after debounce the rebalance moves work");
+        assert!(o2.moved.iter().all(|(_, _, to)| *to == fast));
+        // Receiver never overshoots its headroom.
+        sim.run();
+        let cfg = sim.world.config.clone();
+        let fast_report = sim.world.render(fast).capacity_report(&cfg);
+        assert!(fast_report.poly_headroom > 0 || fast_report.assigned.polygons > 0);
+    }
+}

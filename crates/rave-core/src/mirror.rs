@@ -1,0 +1,289 @@
+//! Data-service mirroring and failover (§6 future work, implemented).
+//!
+//! "Finally, we will consider the distribution of the data across several
+//! data servers ... This will alleviate any bottleneck in our system, and
+//! also support a fail-safe mechanism, where data servers could mirror
+//! each other."
+//!
+//! A [`MirrorPair`] keeps a secondary data service synchronized by
+//! shipping every committed update to it (the audit trail *is* the
+//! replication log). On primary failure, subscribers are re-pointed at
+//! the mirror, which owns the session from then on — no committed update
+//! is lost, and sequence numbers continue where the primary stopped.
+
+use crate::ids::{DataServiceId, RenderServiceId};
+use crate::trace::TraceKind;
+use crate::world::RaveSim;
+use rave_scene::StampedUpdate;
+use rave_sim::SimTime;
+
+/// A primary/mirror pairing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MirrorPair {
+    pub primary: DataServiceId,
+    pub mirror: DataServiceId,
+}
+
+impl MirrorPair {
+    /// Establish mirroring: the mirror receives the primary's current
+    /// audit trail (charged as one bulk transfer) and replays it.
+    /// Subsequent updates must be forwarded with
+    /// [`MirrorPair::replicate_pending`].
+    pub fn establish(sim: &mut RaveSim, primary: DataServiceId, mirror: DataServiceId) -> Self {
+        let now = sim.now();
+        let (entries, bytes, p_host) = {
+            let p = sim.world.data(primary);
+            let bytes: u64 =
+                p.audit.entries().iter().map(|e| e.stamped.wire_size()).sum::<u64>() + 64;
+            (p.audit.clone(), bytes, p.host.clone())
+        };
+        let m_host = sim.world.data(mirror).host.clone();
+        let arrival = sim.world.send_bytes(now, &p_host, &m_host, bytes);
+        sim.schedule_at(arrival, move |sim| {
+            let at = sim.now();
+            {
+                let m = sim.world.data_mut(mirror);
+                m.scene = entries.replay_all().expect("primary trail replays");
+                m.observe_seq(entries.last_seq());
+                m.audit = entries.clone();
+            }
+            sim.world.trace.record(
+                at,
+                TraceKind::Bootstrap,
+                format!("{mirror} mirroring {primary} ({} entries)", entries.len()),
+            );
+        });
+        Self { primary, mirror }
+    }
+
+    /// Forward updates committed on the primary since the mirror's last
+    /// known sequence number. Call after publishes (or on a timer); the
+    /// mirror applies them in order at wire-arrival time.
+    pub fn replicate_pending(&self, sim: &mut RaveSim) -> usize {
+        let mirror = self.mirror;
+        let (pending, p_host, m_host): (Vec<(f64, StampedUpdate)>, String, String) = {
+            let last = sim.world.data(self.mirror).audit.last_seq();
+            let p = sim.world.data(self.primary);
+            (
+                p.audit
+                    .entries()
+                    .iter()
+                    .filter(|e| e.stamped.seq > last)
+                    .map(|e| (e.at_secs, e.stamped.clone()))
+                    .collect(),
+                p.host.clone(),
+                sim.world.data(self.mirror).host.clone(),
+            )
+        };
+        let n = pending.len();
+        for (at_secs, stamped) in pending {
+            let now = sim.now();
+            let arrival = sim.world.send_bytes(now, &p_host, &m_host, stamped.wire_size());
+            sim.schedule_at(arrival, move |sim| {
+                let m = sim.world.data_mut(mirror);
+                // The replication log is authoritative; divergence here is
+                // a bug, not a runtime condition.
+                if stamped.seq > m.audit.last_seq() {
+                    m.commit(at_secs, &stamped).expect("mirror applies primary log");
+                }
+            });
+        }
+        n
+    }
+
+    /// How many committed updates the mirror is behind.
+    pub fn lag(&self, sim: &RaveSim) -> u64 {
+        let p = sim.world.data(self.primary).audit.last_seq();
+        let m = sim.world.data(self.mirror).audit.last_seq();
+        p.saturating_sub(m)
+    }
+
+    /// Fail the primary over to the mirror: move every subscriber (with
+    /// its interest set) onto the mirror, which continues the session.
+    /// Returns the number of subscribers moved. The mirror serves from its
+    /// replicated state — any un-replicated tail is lost, which the
+    /// caller can bound by checking [`MirrorPair::lag`] first.
+    pub fn failover(&self, sim: &mut RaveSim) -> usize {
+        let now = sim.now();
+        let subs: Vec<(RenderServiceId, rave_scene::InterestSet)> = {
+            let p = sim.world.data_mut(self.primary);
+            let subs = p
+                .subscribers
+                .iter()
+                .map(|(rs, sub)| (*rs, sub.interest.clone()))
+                .collect();
+            p.subscribers.clear();
+            subs
+        };
+        let moved = subs.len();
+        {
+            let m = sim.world.data_mut(self.mirror);
+            for (rs, interest) in subs {
+                m.subscribe_live(rs, interest);
+            }
+        }
+        sim.world.trace.record(
+            now,
+            TraceKind::Recruitment,
+            format!("failover: {} -> {} ({moved} subscribers)", self.primary, self.mirror),
+        );
+        moved
+    }
+}
+
+/// Periodic replication driver: replicate every `interval` until the
+/// horizon (a convenience for experiments).
+pub fn run_replication(
+    sim: &mut RaveSim,
+    pair: MirrorPair,
+    interval: SimTime,
+    horizon: SimTime,
+) {
+    fn tick(sim: &mut RaveSim, pair: MirrorPair, interval: SimTime, horizon: SimTime) {
+        pair.replicate_pending(sim);
+        let next = sim.now() + interval;
+        if next <= horizon {
+            sim.schedule_at(next, move |sim| tick(sim, pair, interval, horizon));
+        }
+    }
+    let first = sim.now() + interval;
+    sim.schedule_at(first, move |sim| tick(sim, pair, interval, horizon));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{publish_update, RaveWorld};
+    use crate::RaveConfig;
+    use rave_scene::{InterestSet, NodeKind, SceneUpdate};
+    use rave_sim::Simulation;
+
+    fn mirrored_world() -> (RaveSim, MirrorPair, RenderServiceId) {
+        let mut sim = Simulation::new(RaveWorld::paper_testbed(RaveConfig::default(), 99));
+        let primary = sim.world.spawn_data_service("adrenochrome", "sess");
+        let mirror = sim.world.spawn_data_service("tower", "sess-mirror");
+        let rs = sim.world.spawn_render_service("laptop");
+        sim.world.data_mut(primary).subscribe_live(rs, InterestSet::everything());
+        // Seed some history before mirroring starts.
+        for name in ["a", "b"] {
+            let id = sim.world.data_mut(primary).scene.allocate_id();
+            publish_update(
+                &mut sim,
+                primary,
+                "u",
+                SceneUpdate::AddNode {
+                    id,
+                    parent: rave_scene::NodeId(0),
+                    name: name.into(),
+                    kind: NodeKind::Group,
+                },
+            )
+            .unwrap();
+        }
+        sim.run();
+        let pair = MirrorPair::establish(&mut sim, primary, mirror);
+        sim.run();
+        (sim, pair, rs)
+    }
+
+    #[test]
+    fn establish_copies_history() {
+        let (sim, pair, _) = mirrored_world();
+        let p = &sim.world.data(pair.primary).scene;
+        let m = &sim.world.data(pair.mirror).scene;
+        assert_eq!(p.len(), m.len());
+        assert_eq!(pair.lag(&sim), 0);
+    }
+
+    #[test]
+    fn replication_catches_mirror_up() {
+        let (mut sim, pair, _) = mirrored_world();
+        let id = sim.world.data_mut(pair.primary).scene.allocate_id();
+        publish_update(
+            &mut sim,
+            pair.primary,
+            "u",
+            SceneUpdate::AddNode {
+                id,
+                parent: rave_scene::NodeId(0),
+                name: "late".into(),
+                kind: NodeKind::Group,
+            },
+        )
+        .unwrap();
+        sim.run();
+        assert_eq!(pair.lag(&sim), 1);
+        pair.replicate_pending(&mut sim);
+        sim.run();
+        assert_eq!(pair.lag(&sim), 0);
+        assert!(sim.world.data(pair.mirror).scene.contains(id));
+    }
+
+    #[test]
+    fn replication_is_idempotent() {
+        let (mut sim, pair, _) = mirrored_world();
+        pair.replicate_pending(&mut sim);
+        pair.replicate_pending(&mut sim);
+        sim.run();
+        assert_eq!(pair.lag(&sim), 0);
+        assert_eq!(
+            sim.world.data(pair.primary).audit.len(),
+            sim.world.data(pair.mirror).audit.len()
+        );
+    }
+
+    #[test]
+    fn failover_continues_the_session() {
+        let (mut sim, pair, rs) = mirrored_world();
+        pair.replicate_pending(&mut sim);
+        sim.run();
+        // Primary dies; subscribers move.
+        let moved = pair.failover(&mut sim);
+        assert_eq!(moved, 1);
+        assert!(sim.world.data(pair.primary).subscribers.is_empty());
+        // Publishing through the mirror reaches the replica, sequence
+        // numbers continuing past the primary's.
+        let last_seq = sim.world.data(pair.mirror).audit.last_seq();
+        let id = sim.world.data_mut(pair.mirror).scene.allocate_id();
+        let seq = publish_update(
+            &mut sim,
+            pair.mirror,
+            "u",
+            SceneUpdate::AddNode {
+                id,
+                parent: rave_scene::NodeId(0),
+                name: "post-failover".into(),
+                kind: NodeKind::Group,
+            },
+        )
+        .unwrap();
+        assert!(seq > last_seq);
+        sim.run();
+        assert!(sim.world.render(rs).scene.contains(id));
+    }
+
+    #[test]
+    fn periodic_replication_bounds_lag() {
+        let (mut sim, pair, _) = mirrored_world();
+        let horizon = sim.now() + SimTime::from_secs(5.0);
+        run_replication(&mut sim, pair, SimTime::from_millis(100.0), horizon);
+        // Publish a burst.
+        for i in 0..10 {
+            let id = sim.world.data_mut(pair.primary).scene.allocate_id();
+            publish_update(
+                &mut sim,
+                pair.primary,
+                "u",
+                SceneUpdate::AddNode {
+                    id,
+                    parent: rave_scene::NodeId(0),
+                    name: format!("n{i}"),
+                    kind: NodeKind::Group,
+                },
+            )
+            .unwrap();
+        }
+        sim.run();
+        assert_eq!(pair.lag(&sim), 0, "replication drains the burst");
+    }
+}

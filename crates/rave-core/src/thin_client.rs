@@ -1,0 +1,273 @@
+//! The thin client (§3.1.3): a PDA-class device that "has no or very
+//! modest local rendering resources" and receives rendered frames from a
+//! render service.
+
+use crate::ids::{ClientId, RenderServiceId};
+use crate::trace::TraceKind;
+use crate::world::RaveSim;
+use rave_math::Viewport;
+use rave_render::machine::PdaProfile;
+use rave_render::OffscreenMode;
+use rave_scene::CameraParams;
+use rave_sim::{Histogram, SimTime};
+
+/// How the client converts received bytes into a displayable image —
+/// §5.1's J2ME-vs-C++ finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImportMode {
+    /// J2ME per-pixel "manual" conversion (over two minutes per frame).
+    J2me,
+    /// C/C++ pointer cast (minimal overhead) — what the Zaurus client
+    /// actually shipped with.
+    NativeCast,
+}
+
+/// Per-frame timing breakdown, mirroring Table 2's columns.
+#[derive(Debug, Clone, Default)]
+pub struct FrameStats {
+    pub frames: u64,
+    /// Inter-display period (1/fps).
+    pub periods: Histogram,
+    /// Request → displayed (Table 2 "Total Latency").
+    pub total_latency: Histogram,
+    /// Wire time of the image (Table 2 "Image Receipt Time").
+    pub receipt: Histogram,
+    /// Render-service render time (Table 2 "Render").
+    pub render: Histogram,
+    /// Import + blit + GUI (Table 2 "Other Overheads").
+    pub other_overheads: Histogram,
+    pub last_display: Option<SimTime>,
+}
+
+impl FrameStats {
+    pub fn fps(&mut self) -> f64 {
+        let p = self.periods.mean();
+        if p <= 0.0 {
+            0.0
+        } else {
+            1.0 / p
+        }
+    }
+}
+
+/// A thin client instance.
+#[derive(Debug, Clone)]
+pub struct ThinClient {
+    pub id: ClientId,
+    pub host: String,
+    pub pda: PdaProfile,
+    pub import_mode: ImportMode,
+    pub render_service: Option<RenderServiceId>,
+    pub viewport: Viewport,
+    pub camera: CameraParams,
+    pub stats: FrameStats,
+}
+
+impl ThinClient {
+    pub fn new(id: ClientId, host: &str) -> Self {
+        Self {
+            id,
+            host: host.into(),
+            pda: PdaProfile::zaurus(),
+            import_mode: ImportMode::NativeCast,
+            render_service: None,
+            viewport: Viewport::new(200, 200),
+            camera: CameraParams::default(),
+            stats: FrameStats::default(),
+        }
+    }
+
+    /// Image import time under the configured mode.
+    pub fn import_time(&self, bytes: u64) -> f64 {
+        match self.import_mode {
+            ImportMode::J2me => self.pda.import_j2me(bytes),
+            ImportMode::NativeCast => self.pda.import_cast(bytes),
+        }
+    }
+}
+
+/// Connect a thin client to a render service (opens an off-screen session
+/// sized to the client's viewport).
+pub fn connect(sim: &mut RaveSim, client_id: ClientId, rs_id: RenderServiceId) {
+    let (viewport, camera) = {
+        let c = sim.world.client_mut(client_id);
+        c.render_service = Some(rs_id);
+        (c.viewport, c.camera)
+    };
+    sim.world
+        .render_mut(rs_id)
+        .open_session(client_id, viewport, camera, OffscreenMode::Sequential);
+}
+
+/// Stream `frames` frames to the client: the §5.1 measurement loop.
+/// Each cycle: interaction request → off-screen render → image transfer →
+/// import/blit → display → next request ("local and remote simply
+/// rendering best effort and continuously stream images to the user").
+pub fn stream_frames(sim: &mut RaveSim, client_id: ClientId, frames: u64) {
+    if frames == 0 {
+        return;
+    }
+    frame_cycle(sim, client_id, frames);
+}
+
+fn frame_cycle(sim: &mut RaveSim, client_id: ClientId, remaining: u64) {
+    let t0 = sim.now();
+    let Some(rs_id) = sim.world.client(client_id).render_service else { return };
+    let client_host = sim.world.client(client_id).host.clone();
+    let rs_host = sim.world.render(rs_id).host.clone();
+
+    // 1. Interaction/camera request (small control message).
+    let t_request_arrives = sim.world.send_bytes(t0, &client_host, &rs_host, 64);
+
+    // 2. Off-screen render at the service.
+    let render_cost = sim
+        .world
+        .render(rs_id)
+        .offscreen_render_cost(client_id)
+        .expect("thin client session must be off-screen capable");
+    let t_rendered = t_request_arrives + SimTime::from_secs(render_cost.total());
+
+    // 3. Image transfer back (uncompressed 24 bpp, the paper's baseline).
+    let frame_bytes = {
+        let c = sim.world.client(client_id);
+        c.viewport.pixel_count() as u64 * 3
+    };
+    let t_image_arrives = sim.world.send_bytes(t_rendered, &rs_host, &client_host, frame_bytes);
+    let receipt = t_image_arrives - t_rendered;
+
+    // 4. Import + blit + GUI overhead at the client, then display.
+    let (import, overhead) = {
+        let c = sim.world.client(client_id);
+        (c.import_time(frame_bytes), c.pda.frame_overhead)
+    };
+    let t_displayed = t_image_arrives + SimTime::from_secs(import + overhead);
+
+    let window = sim.world.config.fps_window;
+    sim.schedule_at(t_displayed, move |sim| {
+        let now = sim.now();
+        {
+            let rs = sim.world.render_mut(rs_id);
+            rs.record_frame(now, window);
+        }
+        {
+            let c = sim.world.client_mut(client_id);
+            c.stats.frames += 1;
+            c.stats.total_latency.record((now - t0).as_secs());
+            c.stats.receipt.record(receipt.as_secs());
+            c.stats.render.record(render_cost.total());
+            c.stats.other_overheads.record(import + overhead);
+            if let Some(last) = c.stats.last_display {
+                c.stats.periods.record((now - last).as_secs());
+            }
+            c.stats.last_display = Some(now);
+        }
+        sim.world.trace.record(
+            now,
+            TraceKind::FrameDelivered,
+            format!("{client_id} frame via {rs_id}"),
+        );
+        if remaining > 1 {
+            frame_cycle(sim, client_id, remaining - 1);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{RaveSim, RaveWorld};
+    use crate::RaveConfig;
+    use rave_math::Vec3;
+    use rave_scene::{MeshData, NodeKind};
+    use rave_sim::Simulation;
+    use std::sync::Arc;
+
+    fn world_with_model(polys: usize) -> (RaveSim, ClientId, RenderServiceId) {
+        let mut sim = Simulation::new(RaveWorld::paper_testbed(RaveConfig::default(), 7));
+        let rs = sim.world.spawn_render_service("laptop");
+        let mesh = MeshData {
+            positions: vec![Vec3::ZERO, Vec3::X, Vec3::Y],
+            normals: vec![],
+            colors: vec![],
+            triangles: vec![[0, 1, 2]; polys],
+            texture_bytes: 0,
+        };
+        let scene = &mut sim.world.render_mut(rs).scene;
+        let root = scene.root();
+        scene.add_node(root, "model", NodeKind::Mesh(Arc::new(mesh))).unwrap();
+        let cl = sim.world.spawn_thin_client("zaurus");
+        connect(&mut sim, cl, rs);
+        (sim, cl, rs)
+    }
+
+    #[test]
+    fn hand_streaming_matches_table2_shape() {
+        // 0.83M polygons at 200x200 over wireless: paper reports 2.9 fps,
+        // 0.339s total latency, 0.201s receipt, 0.091s render.
+        let (mut sim, cl, _) = world_with_model(830_000);
+        stream_frames(&mut sim, cl, 12);
+        sim.run();
+        let stats = &mut sim.world.client_mut(cl).stats;
+        assert_eq!(stats.frames, 12);
+        let fps = stats.fps();
+        assert!((2.2..3.6).contains(&fps), "hand fps {fps} (paper 2.9)");
+        let lat = stats.total_latency.mean();
+        assert!((0.28..0.42).contains(&lat), "latency {lat} (paper 0.339)");
+        let receipt = stats.receipt.mean();
+        assert!((0.17..0.24).contains(&receipt), "receipt {receipt} (paper 0.201)");
+    }
+
+    #[test]
+    fn skeleton_slower_than_hand() {
+        let (mut sim, cl, _) = world_with_model(2_800_000);
+        stream_frames(&mut sim, cl, 8);
+        sim.run();
+        let fps = sim.world.client_mut(cl).stats.fps();
+        assert!((1.2..2.1).contains(&fps), "skeleton fps {fps} (paper 1.6)");
+    }
+
+    #[test]
+    fn j2me_import_destroys_frame_rate() {
+        let (mut sim, cl, _) = world_with_model(10_000);
+        sim.world.client_mut(cl).import_mode = ImportMode::J2me;
+        stream_frames(&mut sim, cl, 3);
+        sim.run();
+        let stats = &mut sim.world.client_mut(cl).stats;
+        assert!(
+            stats.total_latency.mean() > 100.0,
+            "J2ME frame takes minutes: {}",
+            stats.total_latency.mean()
+        );
+    }
+
+    #[test]
+    fn bigger_viewport_lowers_fps() {
+        // §5.1: 640x480 would fall to ~0.6 fps.
+        let (mut sim, cl, rs) = world_with_model(10_000);
+        sim.world.client_mut(cl).viewport = Viewport::new(640, 480);
+        // Reconnect with the larger viewport.
+        connect(&mut sim, cl, rs);
+        stream_frames(&mut sim, cl, 5);
+        sim.run();
+        let fps = sim.world.client_mut(cl).stats.fps();
+        assert!((0.4..0.8).contains(&fps), "640x480 fps {fps} (paper ~0.6)");
+    }
+
+    #[test]
+    fn render_service_load_tracked() {
+        let (mut sim, cl, rs) = world_with_model(830_000);
+        stream_frames(&mut sim, cl, 12);
+        sim.run();
+        let fps = sim.world.render(rs).rolling_fps().unwrap();
+        assert!(fps < 5.0, "render service sees its own low fps: {fps}");
+        assert_eq!(sim.world.trace.count(TraceKind::FrameDelivered), 12);
+    }
+
+    #[test]
+    fn stream_zero_frames_is_noop() {
+        let (mut sim, cl, _) = world_with_model(100);
+        stream_frames(&mut sim, cl, 0);
+        sim.run();
+        assert_eq!(sim.world.client_mut(cl).stats.frames, 0);
+    }
+}

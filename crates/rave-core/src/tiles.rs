@@ -1,0 +1,333 @@
+//! Framebuffer (tile) distribution (§3.2.5) and the Fig 5 tearing
+//! scenario.
+//!
+//! "To distribute the framebuffer, the render service divides its target
+//! frame buffer into tiles. A single tile is rendered locally, whilst the
+//! remaining tiles are rendered remotely... The assisting render service
+//! renders to an off-screen buffer, which it then forwards directly to
+//! the requesting render service."
+
+use crate::capacity::CapacityReport;
+use crate::ids::{ClientId, RenderServiceId};
+use crate::trace::TraceKind;
+use crate::world::RaveSim;
+use rave_math::Viewport;
+use rave_render::composite::stitch_tiles;
+use rave_render::{Framebuffer, OffscreenMode};
+use rave_scene::CameraParams;
+use rave_sim::SimTime;
+use std::collections::BTreeSet;
+
+/// A tile assignment: who renders which rectangle of the target image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TilePlan {
+    pub tiles: Vec<(Viewport, RenderServiceId)>,
+}
+
+impl TilePlan {
+    pub fn helpers(&self) -> BTreeSet<RenderServiceId> {
+        self.tiles.iter().skip(1).map(|(_, rs)| *rs).collect()
+    }
+}
+
+/// Split `viewport` into one tile per participant. The owner takes the
+/// first tile; helpers are ordered most-capacity-first so the largest
+/// remainder tiles go to the strongest assistants.
+pub fn plan_tiles(
+    viewport: &Viewport,
+    owner: RenderServiceId,
+    helpers: &[CapacityReport],
+) -> TilePlan {
+    let n = helpers.len() as u32 + 1;
+    // Vertical strips: exactly one tile per participant, covering every
+    // pixel exactly once (Fig 5 shows precisely this side-by-side split).
+    let cells = viewport.split_tiles(n, 1);
+    let mut ordered: Vec<&CapacityReport> = helpers.iter().collect();
+    ordered.sort_by_key(|r| std::cmp::Reverse(r.headroom_weight()));
+    let mut tiles = Vec::with_capacity(n as usize);
+    for (i, cell) in cells.into_iter().enumerate() {
+        let svc = if i == 0 { owner } else { ordered[i - 1].service };
+        tiles.push((cell, svc));
+    }
+    TilePlan { tiles }
+}
+
+/// Result of one distributed tiled frame.
+#[derive(Debug)]
+pub struct TiledFrameResult {
+    /// When every tile (fresh or stale) was in place.
+    pub completed_at: SimTime,
+    /// Arrival time per tile, parallel to the plan.
+    pub tile_arrivals: Vec<SimTime>,
+    /// The stitched image (only when the world renders images).
+    pub image: Option<Framebuffer>,
+    /// Whether any stale tile was used (tearing possible).
+    pub used_stale_tile: bool,
+}
+
+/// Render one frame of `client`'s session on `owner` under `plan`,
+/// "continuously stream... best effort" semantics:
+///
+/// - the owner renders its own tile on-screen;
+/// - each helper renders its tile off-screen *with the camera it
+///   currently knows* and ships it back;
+/// - helpers in `stalled` do not respond this frame, so the owner reuses
+///   their previous tile (stale camera ⇒ the Fig 5 tear). The paper
+///   produced its figure "by artificially stalling the remote render
+///   service" — `stalled` is that injection point.
+///
+/// Camera propagation: non-stalled helpers receive `camera` with the
+/// request; stalled ones keep their session camera unchanged.
+pub fn render_tiled_frame(
+    sim: &mut RaveSim,
+    owner: RenderServiceId,
+    client: ClientId,
+    plan: &TilePlan,
+    camera: CameraParams,
+    stalled: &BTreeSet<RenderServiceId>,
+) -> TiledFrameResult {
+    let t0 = sim.now();
+    let produce_images = sim.world.config.produce_images;
+    let owner_host = sim.world.render(owner).host.clone();
+    let (full_viewport, _) = {
+        let rs = sim.world.render_mut(owner);
+        let session = rs.sessions.get_mut(&client).expect("owner session");
+        session.camera = camera;
+        (session.viewport, ())
+    };
+
+    let mut tile_arrivals = Vec::with_capacity(plan.tiles.len());
+    let mut images: Vec<Option<Framebuffer>> = Vec::with_capacity(plan.tiles.len());
+    let mut used_stale = false;
+
+    for (i, (tile_vp, svc)) in plan.tiles.iter().enumerate() {
+        let pixels = tile_vp.pixel_count() as u64;
+        if *svc == owner {
+            // Local tile, on-screen path.
+            let polys = sim.world.render(owner).assigned_cost().polygons;
+            let cost = sim.world.render(owner).machine.onscreen_cost(polys, pixels);
+            let done = t0 + SimTime::from_secs(cost.total());
+            tile_arrivals.push(done);
+            images.push(produce_images.then(|| {
+                sim.world
+                    .render(owner)
+                    .rasterize_tile(&camera, &full_viewport, tile_vp)
+            }));
+            continue;
+        }
+        let helper_host = sim.world.render(*svc).host.clone();
+        if stalled.contains(svc) {
+            // No response this frame: stale tile rendered with the
+            // helper's *old* camera arrives "immediately" (it was already
+            // here from the previous frame).
+            used_stale = true;
+            let stale_camera = sim
+                .world
+                .render(*svc)
+                .sessions
+                .get(&client)
+                .map(|s| s.camera)
+                .unwrap_or(camera);
+            tile_arrivals.push(t0);
+            images.push(produce_images.then(|| {
+                sim.world
+                    .render(*svc)
+                    .rasterize_tile(&stale_camera, &full_viewport, tile_vp)
+            }));
+            continue;
+        }
+        // Fresh helper tile: request → off-screen render → tile transfer.
+        {
+            let rs = sim.world.render_mut(*svc);
+            let entry = rs.sessions.entry(client).or_insert_with(|| {
+                crate::render_service::RenderSession {
+                    client,
+                    viewport: *tile_vp,
+                    camera,
+                    mode: OffscreenMode::Sequential,
+                    frames_rendered: 0,
+                    last_frame: None,
+                }
+            });
+            entry.camera = camera;
+            entry.viewport = *tile_vp;
+        }
+        let req_arrives = sim.world.send_bytes(t0, &owner_host, &helper_host, 128);
+        let polys = sim.world.render(*svc).assigned_cost().polygons;
+        let cost = sim.world.render(*svc).machine.offscreen_cost(
+            polys,
+            pixels,
+            OffscreenMode::Sequential,
+        );
+        let rendered = req_arrives + SimTime::from_secs(cost.total());
+        let arrival = sim.world.send_bytes(rendered, &helper_host, &owner_host, pixels * 3);
+        tile_arrivals.push(arrival);
+        images.push(produce_images.then(|| {
+            sim.world
+                .render(*svc)
+                .rasterize_tile(&camera, &full_viewport, tile_vp)
+        }));
+        let _ = i;
+    }
+
+    let completed_at = tile_arrivals.iter().copied().fold(t0, SimTime::max);
+    let image = if produce_images {
+        let mut target = Framebuffer::new(full_viewport.width, full_viewport.height);
+        let refs: Vec<(Viewport, &Framebuffer)> = plan
+            .tiles
+            .iter()
+            .zip(&images)
+            .map(|((vp, _), img)| (*vp, img.as_ref().expect("image mode")))
+            .collect();
+        stitch_tiles(&mut target, &refs);
+        Some(target)
+    } else {
+        None
+    };
+    sim.world.trace.record(
+        completed_at,
+        TraceKind::FrameDelivered,
+        format!(
+            "tiled frame for {client} on {owner}: {} tiles, stale={used_stale}",
+            plan.tiles.len()
+        ),
+    );
+    TiledFrameResult { completed_at, tile_arrivals, image, used_stale_tile: used_stale }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::RaveWorld;
+    use crate::RaveConfig;
+    use rave_math::Vec3;
+    use rave_scene::{MeshData, NodeCost, NodeKind};
+    use rave_sim::Simulation;
+    use std::sync::Arc;
+
+    fn report(id: RenderServiceId, headroom: u64) -> CapacityReport {
+        CapacityReport {
+            service: id,
+            host: "x".into(),
+            polys_per_sec: 1e7,
+            poly_headroom: headroom,
+            texture_headroom: u64::MAX,
+            volume_hw: false,
+            assigned: NodeCost::ZERO,
+            rolling_fps: None,
+        }
+    }
+
+    #[test]
+    fn plan_covers_viewport_once() {
+        let vp = Viewport::new(400, 400);
+        let plan = plan_tiles(
+            &vp,
+            RenderServiceId(1),
+            &[report(RenderServiceId(2), 100), report(RenderServiceId(3), 500)],
+        );
+        assert_eq!(plan.tiles.len(), 3);
+        let total: usize = plan.tiles.iter().map(|(t, _)| t.pixel_count()).sum();
+        assert_eq!(total, vp.pixel_count());
+        // Owner gets the first tile.
+        assert_eq!(plan.tiles[0].1, RenderServiceId(1));
+        // Strongest helper ordered first.
+        assert_eq!(plan.tiles[1].1, RenderServiceId(3));
+    }
+
+    #[test]
+    fn plan_with_no_helpers_is_single_tile() {
+        let vp = Viewport::new(100, 100);
+        let plan = plan_tiles(&vp, RenderServiceId(1), &[]);
+        assert_eq!(plan.tiles.len(), 1);
+        assert_eq!(plan.tiles[0].0, vp);
+    }
+
+    fn tiled_world() -> (RaveSim, RenderServiceId, RenderServiceId, ClientId) {
+        let cfg = RaveConfig { produce_images: true, ..RaveConfig::default() };
+        let mut sim = Simulation::new(RaveWorld::paper_testbed(cfg, 5));
+        let owner = sim.world.spawn_render_service("laptop");
+        let helper = sim.world.spawn_render_service("tower");
+        // Both replicas hold the same small scene (a triangle strip).
+        let mesh = MeshData::new(
+            vec![
+                Vec3::new(-1.5, -1.0, 0.0),
+                Vec3::new(1.5, -1.0, 0.0),
+                Vec3::new(0.0, 1.5, 0.0),
+            ],
+            vec![[0, 1, 2]],
+        );
+        for rs in [owner, helper] {
+            let scene = &mut sim.world.render_mut(rs).scene;
+            let root = scene.root();
+            scene
+                .insert_with_id(rave_scene::NodeId(1), root, "tri", NodeKind::Mesh(Arc::new(mesh.clone())))
+                .unwrap();
+        }
+        let client = sim.world.spawn_thin_client("zaurus");
+        let cam = CameraParams::look_at(Vec3::new(0.0, 0.0, 4.0), Vec3::ZERO, Vec3::Y);
+        sim.world.render_mut(owner).open_session(
+            client,
+            Viewport::new(64, 64),
+            cam,
+            OffscreenMode::Sequential,
+        );
+        (sim, owner, helper, client)
+    }
+
+    #[test]
+    fn tiled_render_matches_monolithic_image() {
+        let (mut sim, owner, helper, client) = tiled_world();
+        let cam = CameraParams::look_at(Vec3::new(0.0, 0.0, 4.0), Vec3::ZERO, Vec3::Y);
+        let plan = plan_tiles(&Viewport::new(64, 64), owner, &[report(helper, 100)]);
+        let result =
+            render_tiled_frame(&mut sim, owner, client, &plan, cam, &BTreeSet::new());
+        let tiled = result.image.unwrap();
+        // Monolithic reference.
+        let mono = sim.world.render_mut(owner).rasterize(client).unwrap();
+        assert_eq!(mono.diff_fraction(&tiled, 0.0), 0.0, "tiling is invisible");
+        assert!(!result.used_stale_tile);
+    }
+
+    #[test]
+    fn stalled_helper_with_moved_camera_tears() {
+        let (mut sim, owner, helper, client) = tiled_world();
+        let cam0 = CameraParams::look_at(Vec3::new(0.0, 0.0, 4.0), Vec3::ZERO, Vec3::Y);
+        let plan = plan_tiles(&Viewport::new(64, 64), owner, &[report(helper, 100)]);
+        // Frame 1: everyone in sync.
+        render_tiled_frame(&mut sim, owner, client, &plan, cam0, &BTreeSet::new());
+        // Frame 2: camera moved, helper stalled.
+        let mut cam1 = cam0;
+        cam1.orbit(Vec3::ZERO, 0.35, 0.0);
+        let stalled: BTreeSet<_> = [helper].into_iter().collect();
+        let torn = render_tiled_frame(&mut sim, owner, client, &plan, cam1, &stalled)
+            .image
+            .unwrap();
+        assert!(sim.world.trace.render().contains("stale=true"));
+        // Reference run in a fresh world: helper not stalled.
+        let (mut sim2, o2, h2, c2) = tiled_world();
+        let plan2 = plan_tiles(&Viewport::new(64, 64), o2, &[report(h2, 100)]);
+        render_tiled_frame(&mut sim2, o2, c2, &plan2, cam0, &BTreeSet::new());
+        let clean = render_tiled_frame(&mut sim2, o2, c2, &plan2, cam1, &BTreeSet::new())
+            .image
+            .unwrap();
+        assert!(
+            torn.diff_fraction(&clean, 0.0) > 0.0,
+            "stale tile produces a visibly different (torn) image"
+        );
+    }
+
+    #[test]
+    fn helper_tiles_cost_network_time() {
+        let (mut sim, owner, helper, client) = tiled_world();
+        sim.world.config.produce_images = false;
+        let cam = CameraParams::look_at(Vec3::new(0.0, 0.0, 4.0), Vec3::ZERO, Vec3::Y);
+        let plan = plan_tiles(&Viewport::new(64, 64), owner, &[report(helper, 100)]);
+        let result =
+            render_tiled_frame(&mut sim, owner, client, &plan, cam, &BTreeSet::new());
+        assert!(result.image.is_none());
+        // Helper tile arrives after the local one (network round trip).
+        assert!(result.tile_arrivals[1] > result.tile_arrivals[0]);
+        assert_eq!(result.completed_at, result.tile_arrivals[1]);
+    }
+}

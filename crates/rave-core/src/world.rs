@@ -1,0 +1,444 @@
+//! The assembled RAVE world: network + registry + containers + services,
+//! living inside a `rave_sim::Simulation`.
+
+use crate::config::RaveConfig;
+use crate::data_service::DataService;
+use crate::ids::{ClientId, DataServiceId, RenderServiceId};
+use crate::render_service::RenderService;
+use crate::thin_client::ThinClient;
+use crate::trace::{EventTrace, TraceKind};
+use rave_grid::{ServiceContainer, TechnicalModel, UddiCostModel, UddiRegistry};
+use rave_grid::uddi::ServiceBinding;
+use rave_grid::wsdl::WsdlDocument;
+use rave_net::{Channel, Network};
+use rave_render::MachineProfile;
+use rave_scene::{SceneUpdate, UpdateError};
+use rave_sim::{SimRng, SimTime, Simulation};
+use std::collections::BTreeMap;
+
+/// The simulation type every RAVE experiment drives.
+pub type RaveSim = Simulation<RaveWorld>;
+
+/// All mutable state of a RAVE deployment.
+pub struct RaveWorld {
+    pub config: RaveConfig,
+    pub network: Network,
+    pub registry: UddiRegistry,
+    pub uddi_cost: UddiCostModel,
+    pub containers: BTreeMap<String, ServiceContainer>,
+    pub data_services: BTreeMap<DataServiceId, DataService>,
+    pub render_services: BTreeMap<RenderServiceId, RenderService>,
+    pub thin_clients: BTreeMap<ClientId, ThinClient>,
+    /// Serializing per-(sender, receiver) channels for bulk streams.
+    channels: BTreeMap<(String, String), Channel>,
+    pub trace: EventTrace,
+    pub rng: SimRng,
+    /// When each render service first reported sustained under-load
+    /// (debounce state for §3.2.7's "for a given amount of time").
+    pub underload_since: BTreeMap<RenderServiceId, SimTime>,
+    /// Latest scheduled update-delivery time per (data service,
+    /// subscriber) pair: updates are applied strictly in publish order on
+    /// every replica, so a small update must not overtake a large one
+    /// still on the wire (TCP FIFO semantics).
+    delivery_high_water: BTreeMap<(DataServiceId, RenderServiceId), SimTime>,
+    next_ds: u64,
+    next_rs: u64,
+    next_cl: u64,
+}
+
+impl RaveWorld {
+    pub fn new(network: Network, config: RaveConfig, seed: u64) -> Self {
+        let mut registry = UddiRegistry::new();
+        registry.register_business("RAVE");
+        Self {
+            config,
+            network,
+            registry,
+            uddi_cost: UddiCostModel::default(),
+            containers: BTreeMap::new(),
+            data_services: BTreeMap::new(),
+            render_services: BTreeMap::new(),
+            thin_clients: BTreeMap::new(),
+            channels: BTreeMap::new(),
+            trace: EventTrace::new(),
+            rng: SimRng::new(seed),
+            underload_since: BTreeMap::new(),
+            delivery_high_water: BTreeMap::new(),
+            next_ds: 1,
+            next_rs: 1,
+            next_cl: 1,
+        }
+    }
+
+    /// The paper's testbed (§4.4): LAN + wireless, one container per
+    /// render-capable host with both factories deployed.
+    pub fn paper_testbed(config: RaveConfig, seed: u64) -> Self {
+        let mut w = Self::new(Network::paper_testbed(1.0), config, seed);
+        for host in ["onyx", "v880z", "laptop", "desktop", "tower", "adrenochrome"] {
+            let mut c = ServiceContainer::new(host);
+            c.deploy_factory("data-factory", TechnicalModel::DataService);
+            c.deploy_factory("render-factory", TechnicalModel::RenderService);
+            w.containers.insert(host.to_string(), c);
+        }
+        w
+    }
+
+    /// The machine profile for a testbed host.
+    pub fn machine_for(host: &str) -> MachineProfile {
+        match host {
+            "onyx" => MachineProfile::sgi_onyx(),
+            "v880z" => MachineProfile::sun_v880z(),
+            "laptop" => MachineProfile::centrino_laptop(),
+            "tower" => MachineProfile::xeon_tower(),
+            // "desktop" and anything unknown: the Athlon.
+            _ => MachineProfile::athlon_desktop(),
+        }
+    }
+
+    // ---- spawning -----------------------------------------------------
+
+    pub fn spawn_data_service(&mut self, host: &str, name: &str) -> DataServiceId {
+        let id = DataServiceId(self.next_ds);
+        self.next_ds += 1;
+        self.data_services.insert(id, DataService::new(id, host, name));
+        self.publish_to_registry(host, name, TechnicalModel::DataService);
+        id
+    }
+
+    pub fn spawn_render_service(&mut self, host: &str) -> RenderServiceId {
+        let id = RenderServiceId(self.next_rs);
+        self.next_rs += 1;
+        let name = format!("render-{id}");
+        self.render_services
+            .insert(id, RenderService::new(id, host, Self::machine_for(host)));
+        self.publish_to_registry(host, &name, TechnicalModel::RenderService);
+        id
+    }
+
+    /// An active render client: render engine without a grid container —
+    /// not registered in UDDI (it "does not have a Grid/Web service
+    /// interface to advertise", §3.1.2) and cannot assist off-screen.
+    pub fn spawn_active_client(&mut self, host: &str) -> RenderServiceId {
+        let id = RenderServiceId(self.next_rs);
+        self.next_rs += 1;
+        self.render_services
+            .insert(id, RenderService::active_client(id, host, Self::machine_for(host)));
+        id
+    }
+
+    pub fn spawn_thin_client(&mut self, host: &str) -> ClientId {
+        let id = ClientId(self.next_cl);
+        self.next_cl += 1;
+        self.thin_clients.insert(id, ThinClient::new(id, host));
+        id
+    }
+
+    fn publish_to_registry(&mut self, host: &str, name: &str, tmodel: TechnicalModel) {
+        let access_point = format!("{host}:{}", 4400 + self.next_rs + self.next_ds);
+        let binding = ServiceBinding {
+            business: "RAVE".into(),
+            service_name: name.to_string(),
+            host: host.to_string(),
+            tmodel,
+            access_point: access_point.clone(),
+            wsdl: WsdlDocument::conforming(name, tmodel, &access_point),
+        };
+        self.registry.publish(binding).expect("registry publish");
+    }
+
+    // ---- transport ----------------------------------------------------
+
+    /// The serializing channel from one host to another.
+    pub fn channel(&mut self, from: &str, to: &str) -> &mut Channel {
+        let key = (from.to_string(), to.to_string());
+        if !self.channels.contains_key(&key) {
+            let link = self.network.link_between(from, to).clone();
+            self.channels.insert(key.clone(), Channel::new(link));
+        }
+        self.channels.get_mut(&key).expect("just inserted")
+    }
+
+    /// Queue `bytes` from `from` to `to` at `now`; returns arrival time.
+    pub fn send_bytes(&mut self, now: SimTime, from: &str, to: &str, bytes: u64) -> SimTime {
+        self.channel(from, to).send(now, bytes)
+    }
+
+    // ---- lookups with panics-on-bug semantics --------------------------
+
+    pub fn data(&self, id: DataServiceId) -> &DataService {
+        self.data_services.get(&id).unwrap_or_else(|| panic!("no data service {id}"))
+    }
+
+    pub fn data_mut(&mut self, id: DataServiceId) -> &mut DataService {
+        self.data_services.get_mut(&id).unwrap_or_else(|| panic!("no data service {id}"))
+    }
+
+    pub fn render(&self, id: RenderServiceId) -> &RenderService {
+        self.render_services.get(&id).unwrap_or_else(|| panic!("no render service {id}"))
+    }
+
+    pub fn render_mut(&mut self, id: RenderServiceId) -> &mut RenderService {
+        self.render_services.get_mut(&id).unwrap_or_else(|| panic!("no render service {id}"))
+    }
+
+    pub fn client(&self, id: ClientId) -> &ThinClient {
+        self.thin_clients.get(&id).unwrap_or_else(|| panic!("no thin client {id}"))
+    }
+
+    pub fn client_mut(&mut self, id: ClientId) -> &mut ThinClient {
+        self.thin_clients.get_mut(&id).unwrap_or_else(|| panic!("no thin client {id}"))
+    }
+}
+
+/// Publish an update through a data service: commit to the master scene
+/// and audit trail, then multicast to every live, interested subscriber
+/// (delivery events apply the update to each replica at its arrival
+/// time). Returns the assigned sequence number.
+pub fn publish_update(
+    sim: &mut RaveSim,
+    ds_id: DataServiceId,
+    origin: &str,
+    update: SceneUpdate,
+) -> Result<u64, UpdateError> {
+    let now = sim.now();
+    let (stamped, targets) = {
+        let ds = sim.world.data_mut(ds_id);
+        let stamped = ds.stamp(origin, update);
+        ds.commit(now.as_secs(), &stamped)?;
+        ds.refresh_interests();
+        let targets = ds.route(&stamped);
+        (stamped, targets)
+    };
+    let seq = stamped.seq;
+    sim.world.trace.record(
+        now,
+        TraceKind::UpdatePublished,
+        format!("{ds_id} seq={seq} from {origin}"),
+    );
+    let ds_host = sim.world.data(ds_id).host.clone();
+    let size = stamped.wire_size();
+    for rs_id in targets {
+        let rs_host = sim.world.render(rs_id).host.clone();
+        // Multicast semantics: receivers are served in parallel (one
+        // transmission per segment), so each arrival is an independent
+        // transfer-time offset, not a serialized channel send — but
+        // deliveries to any one subscriber stay FIFO in publish order.
+        let wire = now + sim.world.network.transfer_time(&ds_host, &rs_host, size);
+        let hw = sim
+            .world
+            .delivery_high_water
+            .entry((ds_id, rs_id))
+            .or_insert(SimTime::ZERO);
+        let arrival = wire.max(*hw);
+        *hw = arrival;
+        let stamped = stamped.clone();
+        sim.schedule_at(arrival, move |sim| {
+            let now = sim.now();
+            let rs = sim.world.render_mut(rs_id);
+            // A benign race: the replica may legitimately reject an update
+            // to a node it never held (interest narrowed since routing).
+            let applied = stamped.update.apply(&mut rs.scene).is_ok();
+            sim.world.trace.record(
+                now,
+                TraceKind::UpdateDelivered,
+                format!("seq={} -> {rs_id} applied={applied}", stamped.seq),
+            );
+        });
+    }
+    Ok(seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rave_scene::{InterestSet, NodeKind};
+
+    fn sim() -> RaveSim {
+        Simulation::new(RaveWorld::paper_testbed(RaveConfig::default(), 42))
+    }
+
+    #[test]
+    fn testbed_spawns_and_registers() {
+        let mut s = sim();
+        let ds = s.world.spawn_data_service("adrenochrome", "Skull");
+        let rs = s.world.spawn_render_service("tower");
+        assert_eq!(s.world.data(ds).name, "Skull");
+        assert_eq!(s.world.render(rs).host, "tower");
+        let aps = s.world.registry.scan_access_points("RAVE", TechnicalModel::RenderService);
+        assert_eq!(aps.len(), 1);
+    }
+
+    #[test]
+    fn active_client_not_in_registry() {
+        let mut s = sim();
+        s.world.spawn_active_client("desktop");
+        let aps = s.world.registry.scan_access_points("RAVE", TechnicalModel::RenderService);
+        assert!(aps.is_empty());
+    }
+
+    #[test]
+    fn publish_propagates_to_live_replicas() {
+        let mut s = sim();
+        let ds = s.world.spawn_data_service("adrenochrome", "sess");
+        let rs = s.world.spawn_render_service("tower");
+        s.world.data_mut(ds).subscribe_live(rs, InterestSet::everything());
+
+        let id = s.world.data_mut(ds).scene.allocate_id();
+        publish_update(
+            &mut s,
+            ds,
+            "user",
+            SceneUpdate::AddNode {
+                id,
+                parent: rave_scene::NodeId(0),
+                name: "obj".into(),
+                kind: NodeKind::Group,
+            },
+        )
+        .unwrap();
+        // Master updated immediately; replica only after delivery.
+        assert!(s.world.data(ds).scene.contains(id));
+        assert!(!s.world.render(rs).scene.contains(id));
+        s.run();
+        assert!(s.world.render(rs).scene.contains(id));
+        assert_eq!(s.world.trace.count(TraceKind::UpdateDelivered), 1);
+    }
+
+    #[test]
+    fn replica_delivery_takes_network_time() {
+        let mut s = sim();
+        let ds = s.world.spawn_data_service("adrenochrome", "sess");
+        let rs = s.world.spawn_render_service("tower");
+        s.world.data_mut(ds).subscribe_live(rs, InterestSet::everything());
+        let id = s.world.data_mut(ds).scene.allocate_id();
+        publish_update(
+            &mut s,
+            ds,
+            "u",
+            SceneUpdate::AddNode {
+                id,
+                parent: rave_scene::NodeId(0),
+                name: "n".into(),
+                kind: NodeKind::Group,
+            },
+        )
+        .unwrap();
+        s.run();
+        assert!(s.now().as_secs() > 0.0, "delivery charged wire time");
+        assert!(s.now().as_secs() < 0.1, "but only milliseconds on the LAN");
+    }
+
+    #[test]
+    fn sequence_numbers_increase_across_publishes() {
+        let mut s = sim();
+        let ds = s.world.spawn_data_service("adrenochrome", "sess");
+        let id1 = s.world.data_mut(ds).scene.allocate_id();
+        let s1 = publish_update(
+            &mut s,
+            ds,
+            "u",
+            SceneUpdate::AddNode {
+                id: id1,
+                parent: rave_scene::NodeId(0),
+                name: "a".into(),
+                kind: NodeKind::Group,
+            },
+        )
+        .unwrap();
+        let id2 = s.world.data_mut(ds).scene.allocate_id();
+        let s2 = publish_update(
+            &mut s,
+            ds,
+            "u",
+            SceneUpdate::AddNode {
+                id: id2,
+                parent: rave_scene::NodeId(0),
+                name: "b".into(),
+                kind: NodeKind::Group,
+            },
+        )
+        .unwrap();
+        assert!(s2 > s1);
+    }
+
+    #[test]
+    fn channels_memoized_per_pair() {
+        let mut s = sim();
+        let a1 = s.world.send_bytes(SimTime::ZERO, "laptop", "tower", 1_000_000);
+        // Second send on the same pair queues behind the first.
+        let a2 = s.world.send_bytes(SimTime::ZERO, "laptop", "tower", 1_000_000);
+        assert!(a2 > a1);
+    }
+
+    #[test]
+    fn small_updates_cannot_overtake_large_ones() {
+        // A big AddNode followed by a tiny CameraMoved to the same node:
+        // FIFO delivery means the replica always applies both, in order.
+        let mut s = sim();
+        let ds = s.world.spawn_data_service("adrenochrome", "sess");
+        let rs = s.world.spawn_render_service("tower");
+        s.world.data_mut(ds).subscribe_live(rs, InterestSet::everything());
+        let big_mesh = rave_scene::MeshData {
+            positions: vec![rave_math::Vec3::ZERO; 3],
+            normals: vec![],
+            colors: vec![],
+            triangles: vec![[0, 1, 2]; 100_000],
+            texture_bytes: 0,
+        };
+        let id = s.world.data_mut(ds).scene.allocate_id();
+        publish_update(
+            &mut s,
+            ds,
+            "u",
+            SceneUpdate::AddNode {
+                id,
+                parent: rave_scene::NodeId(0),
+                name: "cam".into(),
+                kind: NodeKind::Camera(rave_scene::CameraParams::default()),
+            },
+        )
+        .unwrap();
+        // Stuff the pipe with a large geometry update, then a tiny one.
+        let id2 = s.world.data_mut(ds).scene.allocate_id();
+        publish_update(
+            &mut s,
+            ds,
+            "u",
+            SceneUpdate::AddNode {
+                id: id2,
+                parent: rave_scene::NodeId(0),
+                name: "big".into(),
+                kind: NodeKind::Mesh(std::sync::Arc::new(big_mesh)),
+            },
+        )
+        .unwrap();
+        let cam = rave_scene::CameraParams {
+            position: rave_math::Vec3::new(9.0, 9.0, 9.0),
+            ..Default::default()
+        };
+        publish_update(&mut s, ds, "u", SceneUpdate::CameraMoved { id, camera: cam }).unwrap();
+        s.run();
+        // Every delivery applied (in order), none rejected.
+        for e in s.world.trace.of_kind(TraceKind::UpdateDelivered) {
+            assert!(e.detail.contains("applied=true"), "out-of-order delivery: {}", e.detail);
+        }
+        assert_eq!(
+            s.world.render(rs).scene.node(id).unwrap().transform.translation,
+            rave_math::Vec3::new(9.0, 9.0, 9.0)
+        );
+    }
+
+    #[test]
+    fn failed_update_does_not_sequence() {
+        let mut s = sim();
+        let ds = s.world.spawn_data_service("adrenochrome", "sess");
+        let err = publish_update(
+            &mut s,
+            ds,
+            "u",
+            SceneUpdate::RemoveNode { id: rave_scene::NodeId(999) },
+        );
+        assert!(err.is_err());
+        assert_eq!(s.world.data(ds).audit.len(), 0, "failed update not recorded");
+    }
+}

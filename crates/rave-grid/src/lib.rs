@@ -1,0 +1,27 @@
+//! Grid/Web services substrate: the discovery and control plane.
+//!
+//! §4.3 of the paper wraps the serving engine in OGSA/Web-services so only
+//! the wrapper changes as grid standards churn; SOAP is used **only** for
+//! discovery, status interrogation and subscription, with bulk data on
+//! raw sockets (`rave-net`). This crate rebuilds that stack:
+//!
+//! - [`soap`] — a real XML envelope codec for RPC calls, with the
+//!   marshalling cost model that makes SOAP "not suited to large data
+//!   transmission";
+//! - [`wsdl`] — service descriptions; two *technical models* exist, one
+//!   for the data service and one for the render service (§4.3);
+//! - [`uddi`] — an in-process UDDI registry (businesses, tModels, service
+//!   bindings, access points) with publish and inquiry APIs and the cost
+//!   model behind Table 5's scan/bootstrap timings;
+//! - [`container`] — the Axis/Tomcat stand-in hosting service factories
+//!   that create per-session service instances.
+
+pub mod container;
+pub mod soap;
+pub mod uddi;
+pub mod wsdl;
+
+pub use container::{ServiceContainer, ServiceInstance};
+pub use soap::{SoapCodec, SoapEnvelope, SoapValue};
+pub use uddi::{UddiCostModel, UddiRegistry};
+pub use wsdl::{TechnicalModel, WsdlDocument};

@@ -1,0 +1,320 @@
+//! SOAP 1.2-style envelope encoding/decoding.
+//!
+//! Calls really are marshalled to XML text and parsed back — the size
+//! blow-up and per-element cost are measured, not assumed, which is what
+//! drives the paper's decision to "back off from SOAP" for bulk data.
+
+use rave_sim::SimTime;
+
+/// A typed RPC argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SoapValue {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    /// Binary payload, base64-encoded on the wire (the 4/3 size blow-up is
+    /// part of why SOAP loses for bulk data).
+    Bytes(Vec<u8>),
+}
+
+impl SoapValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            SoapValue::Str(_) => "xsd:string",
+            SoapValue::Int(_) => "xsd:long",
+            SoapValue::Float(_) => "xsd:double",
+            SoapValue::Bool(_) => "xsd:boolean",
+            SoapValue::Bytes(_) => "xsd:base64Binary",
+        }
+    }
+}
+
+/// One RPC envelope: operation + named arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoapEnvelope {
+    pub service: String,
+    pub operation: String,
+    pub args: Vec<(String, SoapValue)>,
+}
+
+impl SoapEnvelope {
+    pub fn new(service: &str, operation: &str) -> Self {
+        Self { service: service.into(), operation: operation.into(), args: Vec::new() }
+    }
+
+    pub fn arg(mut self, name: &str, value: SoapValue) -> Self {
+        self.args.push((name.into(), value));
+        self
+    }
+}
+
+const B64: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let n = ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | b[2] as u32;
+        out.push(B64[(n >> 18) as usize & 63] as char);
+        out.push(B64[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 { B64[(n >> 6) as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 2 { B64[n as usize & 63] as char } else { '=' });
+    }
+    out
+}
+
+fn base64_decode(s: &str) -> Option<Vec<u8>> {
+    let val = |c: u8| -> Option<u32> {
+        Some(match c {
+            b'A'..=b'Z' => (c - b'A') as u32,
+            b'a'..=b'z' => (c - b'a' + 26) as u32,
+            b'0'..=b'9' => (c - b'0' + 52) as u32,
+            b'+' => 62,
+            b'/' => 63,
+            _ => return None,
+        })
+    };
+    let bytes: Vec<u8> = s.bytes().filter(|&b| b != b'\n').collect();
+    if !bytes.len().is_multiple_of(4) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for chunk in bytes.chunks(4) {
+        let pad = chunk.iter().filter(|&&c| c == b'=').count();
+        let mut n = 0u32;
+        for (i, &c) in chunk.iter().enumerate() {
+            let v = if c == b'=' { 0 } else { val(c)? };
+            n |= v << (18 - 6 * i);
+        }
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Some(out)
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn xml_unescape(s: &str) -> String {
+    s.replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+}
+
+/// Encoder/decoder plus the marshalling cost model ("the time required to
+/// marshall/demarshall the data", §4.3).
+#[derive(Debug, Clone)]
+pub struct SoapCodec {
+    /// Seconds per XML element marshalled or parsed.
+    pub per_element: f64,
+    /// Seconds per payload byte converted to/from text.
+    pub per_byte: f64,
+}
+
+impl Default for SoapCodec {
+    fn default() -> Self {
+        // 2004-era Java XML stacks: ~20 µs/element, ~80 ns/byte.
+        Self { per_element: 20e-6, per_byte: 80e-9 }
+    }
+}
+
+impl SoapCodec {
+    /// Serialize an envelope to real XML text.
+    pub fn encode(&self, env: &SoapEnvelope) -> String {
+        use std::fmt::Write;
+        let mut x = String::with_capacity(512);
+        x.push_str("<?xml version=\"1.0\"?>\n");
+        x.push_str("<soap:Envelope xmlns:soap=\"http://www.w3.org/2003/05/soap-envelope\">\n");
+        x.push_str("<soap:Body>\n");
+        let _ = writeln!(x, "<m:{} xmlns:m=\"urn:rave:{}\">", env.operation, env.service);
+        for (name, value) in &env.args {
+            let body = match value {
+                SoapValue::Str(s) => xml_escape(s),
+                SoapValue::Int(i) => i.to_string(),
+                SoapValue::Float(f) => format!("{f:e}"),
+                SoapValue::Bool(b) => b.to_string(),
+                SoapValue::Bytes(b) => base64_encode(b),
+            };
+            let _ = writeln!(
+                x,
+                "<{name} xsi:type=\"{}\">{body}</{name}>",
+                value.type_name()
+            );
+        }
+        let _ = writeln!(x, "</m:{}>", env.operation);
+        x.push_str("</soap:Body>\n</soap:Envelope>\n");
+        x
+    }
+
+    /// Parse an envelope produced by [`SoapCodec::encode`].
+    pub fn decode(&self, xml: &str) -> Result<SoapEnvelope, String> {
+        // Find the operation element: <m:OPNAME xmlns:m="urn:rave:SERVICE">
+        let op_start = xml.find("<m:").ok_or("missing operation element")?;
+        let rest = &xml[op_start + 3..];
+        let op_end = rest.find(' ').ok_or("malformed operation tag")?;
+        let operation = rest[..op_end].to_string();
+        let svc_marker = "urn:rave:";
+        let svc_at = rest.find(svc_marker).ok_or("missing service urn")?;
+        let svc_rest = &rest[svc_at + svc_marker.len()..];
+        let svc_end = svc_rest.find('"').ok_or("unterminated service urn")?;
+        let service = svc_rest[..svc_end].to_string();
+
+        let mut env = SoapEnvelope::new(&service, &operation);
+        // Walk argument elements: <NAME xsi:type="TYPE">BODY</NAME>
+        let body = &svc_rest[svc_end..];
+        let mut cursor = 0usize;
+        while let Some(open) = body[cursor..].find("xsi:type=\"") {
+            // Backtrack to the element name.
+            let abs = cursor + open;
+            let tag_open = body[..abs].rfind('<').ok_or("orphan xsi:type")?;
+            let name_end = body[tag_open + 1..]
+                .find(' ')
+                .ok_or("malformed argument tag")?
+                + tag_open
+                + 1;
+            let name = body[tag_open + 1..name_end].to_string();
+            let ty_start = abs + "xsi:type=\"".len();
+            let ty_end = body[ty_start..].find('"').ok_or("unterminated type")? + ty_start;
+            let ty = &body[ty_start..ty_end];
+            let content_start = body[ty_end..].find('>').ok_or("unterminated tag")? + ty_end + 1;
+            let close = format!("</{name}>");
+            let content_end =
+                body[content_start..].find(&close).ok_or("missing close tag")? + content_start;
+            let content = &body[content_start..content_end];
+            let value = match ty {
+                "xsd:string" => SoapValue::Str(xml_unescape(content)),
+                "xsd:long" => {
+                    SoapValue::Int(content.parse().map_err(|e| format!("bad int: {e}"))?)
+                }
+                "xsd:double" => {
+                    SoapValue::Float(content.parse().map_err(|e| format!("bad float: {e}"))?)
+                }
+                "xsd:boolean" => {
+                    SoapValue::Bool(content.parse().map_err(|e| format!("bad bool: {e}"))?)
+                }
+                "xsd:base64Binary" => {
+                    SoapValue::Bytes(base64_decode(content).ok_or("bad base64")?)
+                }
+                other => return Err(format!("unknown xsi:type {other}")),
+            };
+            env.args.push((name, value));
+            cursor = content_end + close.len();
+        }
+        Ok(env)
+    }
+
+    /// Wire size of the encoded envelope.
+    pub fn wire_size(&self, env: &SoapEnvelope) -> u64 {
+        self.encode(env).len() as u64
+    }
+
+    /// CPU time to marshal (or demarshal — symmetric) an envelope.
+    pub fn marshal_time(&self, env: &SoapEnvelope) -> SimTime {
+        // Elements: envelope + body + operation + one per argument.
+        let elements = 3 + env.args.len() as u64;
+        let payload_bytes: u64 = env
+            .args
+            .iter()
+            .map(|(_, v)| match v {
+                SoapValue::Bytes(b) => b.len() as u64,
+                SoapValue::Str(s) => s.len() as u64,
+                _ => 8,
+            })
+            .sum();
+        SimTime::from_secs(
+            elements as f64 * self.per_element + payload_bytes as f64 * self.per_byte,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SoapEnvelope {
+        SoapEnvelope::new("render-service", "createInstance")
+            .arg("dataUrl", SoapValue::Str("rave://adrenochrome/Skull".into()))
+            .arg("width", SoapValue::Int(200))
+            .arg("quality", SoapValue::Float(0.75))
+            .arg("stereo", SoapValue::Bool(false))
+            .arg("token", SoapValue::Bytes(vec![1, 2, 3, 250, 251]))
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        let codec = SoapCodec::default();
+        let xml = codec.encode(&sample());
+        let back = codec.decode(&xml).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn escaping_survives_roundtrip() {
+        let codec = SoapCodec::default();
+        let env = SoapEnvelope::new("s", "op")
+            .arg("tricky", SoapValue::Str("a<b & c>d".into()));
+        let back = codec.decode(&codec.encode(&env)).unwrap();
+        assert_eq!(back.args[0].1, SoapValue::Str("a<b & c>d".into()));
+    }
+
+    #[test]
+    fn base64_roundtrip_various_lengths() {
+        for len in 0..20 {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37) as u8).collect();
+            assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn base64_rejects_garbage() {
+        assert!(base64_decode("???!").is_none());
+        assert!(base64_decode("abc").is_none(), "length not multiple of 4");
+    }
+
+    #[test]
+    fn xml_overhead_dominates_small_payloads() {
+        // "the size of the SOAP packets related to the size of the data":
+        // a 4-byte int costs hundreds of XML bytes.
+        let codec = SoapCodec::default();
+        let env = SoapEnvelope::new("s", "ping").arg("x", SoapValue::Int(1));
+        assert!(codec.wire_size(&env) > 50 * 4);
+    }
+
+    #[test]
+    fn binary_payload_blows_up_by_4_over_3() {
+        let codec = SoapCodec::default();
+        let payload = vec![0u8; 9_000];
+        let env = SoapEnvelope::new("s", "put").arg("data", SoapValue::Bytes(payload));
+        let size = codec.wire_size(&env);
+        assert!(size as f64 > 9_000.0 * 4.0 / 3.0, "base64 blow-up: {size}");
+    }
+
+    #[test]
+    fn marshal_time_scales_with_payload() {
+        let codec = SoapCodec::default();
+        let small = SoapEnvelope::new("s", "op").arg("d", SoapValue::Bytes(vec![0; 100]));
+        let big = SoapEnvelope::new("s", "op").arg("d", SoapValue::Bytes(vec![0; 1_000_000]));
+        assert!(codec.marshal_time(&big).as_secs() > codec.marshal_time(&small).as_secs() * 100.0);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        let codec = SoapCodec::default();
+        assert!(codec.decode("<not-soap/>").is_err());
+        assert!(codec.decode("").is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_type() {
+        let codec = SoapCodec::default();
+        let xml = codec
+            .encode(&SoapEnvelope::new("s", "op").arg("x", SoapValue::Int(1)))
+            .replace("xsd:long", "xsd:alien");
+        assert!(codec.decode(&xml).is_err());
+    }
+}

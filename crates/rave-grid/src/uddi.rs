@@ -1,0 +1,308 @@
+//! An in-process UDDI registry.
+//!
+//! Mirrors the jUDDI/IBM-test-registry/WeSC setup of §4.3: businesses own
+//! services; services bind a technical model to an access point. The
+//! inquiry API supports the two access patterns §5.5 times in Table 5:
+//! a *full bootstrap* (create proxy, find the RAVE business, find its
+//! render services, fetch access points) and the cheaper *warm scan*
+//! (re-fetch access points on a live proxy).
+
+use crate::wsdl::{TechnicalModel, WsdlDocument};
+use rave_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// A registered service binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceBinding {
+    pub business: String,
+    pub service_name: String,
+    pub host: String,
+    pub tmodel: TechnicalModel,
+    pub access_point: String,
+    pub wsdl: WsdlDocument,
+}
+
+/// Registry error space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UddiError {
+    UnknownBusiness(String),
+    DuplicateService(String),
+    NonConformingWsdl(String),
+}
+
+impl std::fmt::Display for UddiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UddiError::UnknownBusiness(b) => write!(f, "business {b} not registered"),
+            UddiError::DuplicateService(s) => write!(f, "service {s} already registered"),
+            UddiError::NonConformingWsdl(s) => {
+                write!(f, "service {s} does not conform to its technical model")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UddiError {}
+
+/// The registry: businesses → services.
+#[derive(Debug, Clone, Default)]
+pub struct UddiRegistry {
+    businesses: BTreeMap<String, Vec<ServiceBinding>>,
+    inquiries_served: u64,
+}
+
+impl UddiRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn register_business(&mut self, name: &str) {
+        self.businesses.entry(name.to_string()).or_default();
+    }
+
+    pub fn businesses(&self) -> impl Iterator<Item = &str> {
+        self.businesses.keys().map(|s| s.as_str())
+    }
+
+    /// Publish a service binding. Conformance to the technical model is
+    /// checked at publish time — a registry full of unusable bindings
+    /// would defeat automatic connection.
+    pub fn publish(&mut self, binding: ServiceBinding) -> Result<(), UddiError> {
+        if !binding.wsdl.conforms() {
+            return Err(UddiError::NonConformingWsdl(binding.service_name));
+        }
+        let services = self
+            .businesses
+            .get_mut(&binding.business)
+            .ok_or_else(|| UddiError::UnknownBusiness(binding.business.clone()))?;
+        if services
+            .iter()
+            .any(|s| s.service_name == binding.service_name && s.host == binding.host)
+        {
+            return Err(UddiError::DuplicateService(binding.service_name));
+        }
+        services.push(binding);
+        Ok(())
+    }
+
+    /// Remove a binding (service shutdown). Returns whether it existed.
+    pub fn unpublish(&mut self, business: &str, host: &str, service_name: &str) -> bool {
+        let Some(services) = self.businesses.get_mut(business) else { return false };
+        let before = services.len();
+        services.retain(|s| !(s.host == host && s.service_name == service_name));
+        services.len() != before
+    }
+
+    /// Inquiry: all services of a business matching a technical model.
+    pub fn find_services(&mut self, business: &str, tmodel: TechnicalModel) -> Vec<&ServiceBinding> {
+        self.inquiries_served += 1;
+        self.businesses
+            .get(business)
+            .map(|services| services.iter().filter(|s| s.tmodel == tmodel).collect())
+            .unwrap_or_default()
+    }
+
+    /// Inquiry: access points only (the warm-scan fast path: "the UDDI
+    /// proxy can be kept live and ... the simpler check of scanning the
+    /// access points").
+    pub fn scan_access_points(&mut self, business: &str, tmodel: TechnicalModel) -> Vec<String> {
+        self.inquiries_served += 1;
+        self.businesses
+            .get(business)
+            .map(|services| {
+                services
+                    .iter()
+                    .filter(|s| s.tmodel == tmodel)
+                    .map(|s| s.access_point.clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Registry tree (Fig 4's GUI view): business → host → service
+    /// instances, with a trailing "Create new instance" entry per listing
+    /// exactly as the screenshot shows.
+    pub fn render_tree(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (business, services) in &self.businesses {
+            let _ = writeln!(out, "{business}");
+            let mut by_host: BTreeMap<&str, Vec<&ServiceBinding>> = BTreeMap::new();
+            for s in services {
+                by_host.entry(s.host.as_str()).or_default().push(s);
+            }
+            for (host, list) in by_host {
+                let _ = writeln!(out, "  {host}");
+                let mut by_kind: BTreeMap<&str, Vec<&ServiceBinding>> = BTreeMap::new();
+                for s in list {
+                    let kind = match s.tmodel {
+                        TechnicalModel::DataService => "Data service",
+                        TechnicalModel::RenderService => "Render service",
+                    };
+                    by_kind.entry(kind).or_default().push(s);
+                }
+                for (kind, instances) in by_kind {
+                    let _ = writeln!(out, "    {kind}");
+                    for inst in instances {
+                        let _ =
+                            writeln!(out, "      {} @ {}", inst.service_name, inst.access_point);
+                    }
+                    let _ = writeln!(out, "      [Create new instance]");
+                }
+            }
+        }
+        out
+    }
+
+    pub fn inquiries_served(&self) -> u64 {
+        self.inquiries_served
+    }
+}
+
+/// The timing model behind Table 5's UDDI column, calibrated to the
+/// paper: warm access-point scan ≈0.7 s, full bootstrap ≈4.2–4.8 s.
+/// Dominated by registry-server processing, not wire time (the paper ran
+/// on a "clear" 100 Mbit network).
+#[derive(Debug, Clone)]
+pub struct UddiCostModel {
+    /// Creating and initializing a UDDI proxy (connection setup, schema
+    /// download).
+    pub proxy_creation: SimTime,
+    /// Server-side processing per inquiry.
+    pub per_inquiry: SimTime,
+    /// Additional marshalling time per result row.
+    pub per_result: SimTime,
+}
+
+impl Default for UddiCostModel {
+    fn default() -> Self {
+        Self {
+            proxy_creation: SimTime::from_secs(2.65),
+            per_inquiry: SimTime::from_secs(0.66),
+            per_result: SimTime::from_millis(12.0),
+        }
+    }
+}
+
+impl UddiCostModel {
+    /// Warm scan: one access-point inquiry on a live proxy.
+    pub fn scan_cost(&self, results: usize) -> SimTime {
+        self.per_inquiry + self.per_result * results as f64
+    }
+
+    /// Full bootstrap: proxy creation + scan business + scan services +
+    /// scan access points (§5.5's enumeration).
+    pub fn full_bootstrap_cost(&self, results: usize) -> SimTime {
+        self.proxy_creation
+            + self.per_inquiry * 3.0
+            + self.per_result * results as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render_binding(host: &str, name: &str) -> ServiceBinding {
+        ServiceBinding {
+            business: "RAVE".into(),
+            service_name: name.into(),
+            host: host.into(),
+            tmodel: TechnicalModel::RenderService,
+            access_point: format!("{host}:4411"),
+            wsdl: WsdlDocument::conforming(name, TechnicalModel::RenderService, "x:1"),
+        }
+    }
+
+    fn registry_with_two_hosts() -> UddiRegistry {
+        let mut r = UddiRegistry::new();
+        r.register_business("RAVE");
+        r.publish(render_binding("tower", "Skull-internal")).unwrap();
+        r.publish(render_binding("adrenochrome", "render-1")).unwrap();
+        let mut data = render_binding("adrenochrome", "Skull");
+        data.tmodel = TechnicalModel::DataService;
+        data.wsdl = WsdlDocument::conforming("Skull", TechnicalModel::DataService, "x:2");
+        r.publish(data).unwrap();
+        r
+    }
+
+    #[test]
+    fn publish_and_find_by_tmodel() {
+        let mut r = registry_with_two_hosts();
+        let renders = r.find_services("RAVE", TechnicalModel::RenderService);
+        assert_eq!(renders.len(), 2);
+        let data = r.find_services("RAVE", TechnicalModel::DataService);
+        assert_eq!(data.len(), 1);
+        assert_eq!(data[0].service_name, "Skull");
+    }
+
+    #[test]
+    fn publish_requires_business() {
+        let mut r = UddiRegistry::new();
+        assert!(matches!(
+            r.publish(render_binding("h", "s")),
+            Err(UddiError::UnknownBusiness(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_rejected_but_same_name_other_host_ok() {
+        let mut r = UddiRegistry::new();
+        r.register_business("RAVE");
+        r.publish(render_binding("h1", "render")).unwrap();
+        assert!(matches!(
+            r.publish(render_binding("h1", "render")),
+            Err(UddiError::DuplicateService(_))
+        ));
+        assert!(r.publish(render_binding("h2", "render")).is_ok());
+    }
+
+    #[test]
+    fn nonconforming_wsdl_rejected() {
+        let mut r = UddiRegistry::new();
+        r.register_business("RAVE");
+        let mut b = render_binding("h", "bad");
+        b.wsdl.operations.clear();
+        assert!(matches!(r.publish(b), Err(UddiError::NonConformingWsdl(_))));
+    }
+
+    #[test]
+    fn unpublish_removes_binding() {
+        let mut r = registry_with_two_hosts();
+        assert!(r.unpublish("RAVE", "tower", "Skull-internal"));
+        assert!(!r.unpublish("RAVE", "tower", "Skull-internal"), "second time false");
+        assert_eq!(r.find_services("RAVE", TechnicalModel::RenderService).len(), 1);
+    }
+
+    #[test]
+    fn scan_returns_access_points_only() {
+        let mut r = registry_with_two_hosts();
+        let aps = r.scan_access_points("RAVE", TechnicalModel::RenderService);
+        assert_eq!(aps.len(), 2);
+        assert!(aps.contains(&"tower:4411".to_string()));
+        assert_eq!(r.inquiries_served(), 1);
+    }
+
+    #[test]
+    fn tree_matches_fig4_structure() {
+        let r = registry_with_two_hosts();
+        let tree = r.render_tree();
+        assert!(tree.contains("RAVE"));
+        assert!(tree.contains("tower"));
+        assert!(tree.contains("adrenochrome"));
+        assert!(tree.contains("Skull-internal"));
+        assert!(tree.contains("[Create new instance]"));
+        // Data service on adrenochrome, render service on tower: the Fig 4
+        // cross-machine case.
+        assert!(tree.contains("Data service"));
+    }
+
+    #[test]
+    fn cost_model_matches_table5() {
+        let m = UddiCostModel::default();
+        let scan = m.scan_cost(3).as_secs();
+        let full = m.full_bootstrap_cost(3).as_secs();
+        assert!((0.6..0.8).contains(&scan), "warm scan {scan}s (paper 0.70-0.73)");
+        assert!((4.0..5.0).contains(&full), "full bootstrap {full}s (paper 4.2-4.8)");
+    }
+}

@@ -1,0 +1,171 @@
+//! WSDL service descriptions and technical models.
+//!
+//! §3.2.2/§4.3: services advertise WSDL documents; a UDDI "technical
+//! model" names an API contract, and "if any services are advertised as
+//! adhering to this technical model, then we know they will have the same
+//! API and underlying behaviour. Hence we have two technical models, one
+//! for the data service and one for the render service."
+
+use serde::{Deserialize, Serialize};
+
+/// A named API contract registered as a UDDI tModel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TechnicalModel {
+    /// `rave:data-service:v1`
+    DataService,
+    /// `rave:render-service:v1`
+    RenderService,
+}
+
+impl TechnicalModel {
+    pub fn urn(self) -> &'static str {
+        match self {
+            TechnicalModel::DataService => "urn:rave:tmodel:data-service:v1",
+            TechnicalModel::RenderService => "urn:rave:tmodel:render-service:v1",
+        }
+    }
+
+    /// The operations the contract requires.
+    pub fn operations(self) -> &'static [&'static str] {
+        match self {
+            TechnicalModel::DataService => &[
+                "createSession",
+                "listSessions",
+                "subscribe",
+                "publishUpdate",
+                "requestDistribution",
+                "interrogateCapacity",
+            ],
+            TechnicalModel::RenderService => &[
+                "createRenderSession",
+                "interrogateCapacity",
+                "renderSubset",
+                "renderTile",
+                "subscribeFrames",
+            ],
+        }
+    }
+}
+
+/// One operation signature in a WSDL document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WsdlOperation {
+    pub name: String,
+    pub inputs: Vec<String>,
+    pub outputs: Vec<String>,
+}
+
+/// A service's WSDL document: which contract it implements and where it
+/// listens.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WsdlDocument {
+    pub service_name: String,
+    pub tmodel: TechnicalModel,
+    pub operations: Vec<WsdlOperation>,
+    /// Binary-socket access point, `host:port`.
+    pub access_point: String,
+}
+
+impl WsdlDocument {
+    /// Build a conforming document for a contract at an access point.
+    pub fn conforming(service_name: &str, tmodel: TechnicalModel, access_point: &str) -> Self {
+        let operations = tmodel
+            .operations()
+            .iter()
+            .map(|op| WsdlOperation {
+                name: (*op).to_string(),
+                inputs: vec!["request".into()],
+                outputs: vec!["response".into()],
+            })
+            .collect();
+        Self {
+            service_name: service_name.into(),
+            tmodel,
+            operations,
+            access_point: access_point.into(),
+        }
+    }
+
+    /// Does this document implement every operation its tModel requires?
+    /// (The compatibility check a client runs before connecting — the
+    /// guarantee that lets a C++ PDA client talk to the Java services.)
+    pub fn conforms(&self) -> bool {
+        self.tmodel
+            .operations()
+            .iter()
+            .all(|req| self.operations.iter().any(|op| op.name == *req))
+    }
+
+    /// Render the document as WSDL-ish XML (registered as the technical
+    /// model's exemplar in UDDI).
+    pub fn to_xml(&self) -> String {
+        use std::fmt::Write;
+        let mut x = String::new();
+        let _ = writeln!(x, "<definitions name=\"{}\" targetNamespace=\"{}\">", self.service_name, self.tmodel.urn());
+        for op in &self.operations {
+            let _ = writeln!(x, "  <operation name=\"{}\">", op.name);
+            for i in &op.inputs {
+                let _ = writeln!(x, "    <input message=\"{i}\"/>");
+            }
+            for o in &op.outputs {
+                let _ = writeln!(x, "    <output message=\"{o}\"/>");
+            }
+            x.push_str("  </operation>\n");
+        }
+        let _ = writeln!(x, "  <port><address location=\"tcp://{}\"/></port>", self.access_point);
+        x.push_str("</definitions>\n");
+        x
+    }
+
+    pub fn wire_size(&self) -> u64 {
+        self.to_xml().len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conforming_documents_conform() {
+        for tm in [TechnicalModel::DataService, TechnicalModel::RenderService] {
+            let doc = WsdlDocument::conforming("svc", tm, "host:9000");
+            assert!(doc.conforms());
+        }
+    }
+
+    #[test]
+    fn missing_operation_breaks_conformance() {
+        let mut doc =
+            WsdlDocument::conforming("svc", TechnicalModel::RenderService, "host:9000");
+        doc.operations.retain(|op| op.name != "renderTile");
+        assert!(!doc.conforms());
+    }
+
+    #[test]
+    fn extra_operations_allowed() {
+        let mut doc = WsdlDocument::conforming("svc", TechnicalModel::DataService, "h:1");
+        doc.operations.push(WsdlOperation {
+            name: "vendorExtension".into(),
+            inputs: vec![],
+            outputs: vec![],
+        });
+        assert!(doc.conforms(), "supersets still conform");
+    }
+
+    #[test]
+    fn xml_mentions_all_operations_and_access_point() {
+        let doc = WsdlDocument::conforming("render1", TechnicalModel::RenderService, "tower:4411");
+        let xml = doc.to_xml();
+        for op in TechnicalModel::RenderService.operations() {
+            assert!(xml.contains(op), "{op} missing from WSDL");
+        }
+        assert!(xml.contains("tcp://tower:4411"));
+        assert_eq!(doc.wire_size(), xml.len() as u64);
+    }
+
+    #[test]
+    fn tmodels_have_distinct_urns() {
+        assert_ne!(TechnicalModel::DataService.urn(), TechnicalModel::RenderService.urn());
+    }
+}

@@ -1,0 +1,212 @@
+//! Axis-aligned bounding boxes.
+//!
+//! Every scene node carries an AABB; the distribution planner uses them for
+//! spatial partitioning and the renderer for frustum culling.
+
+use crate::{Mat4, Vec3};
+
+/// An axis-aligned box. An *empty* box has `min > max` on every axis and is
+/// the identity for [`Aabb::union`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Aabb {
+    pub min: Vec3,
+    pub max: Vec3,
+}
+
+impl Default for Aabb {
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
+impl Aabb {
+    pub const EMPTY: Self = Self {
+        min: Vec3::new(f32::INFINITY, f32::INFINITY, f32::INFINITY),
+        max: Vec3::new(f32::NEG_INFINITY, f32::NEG_INFINITY, f32::NEG_INFINITY),
+    };
+
+    #[inline]
+    pub const fn new(min: Vec3, max: Vec3) -> Self {
+        Self { min, max }
+    }
+
+    pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Self {
+        let mut b = Self::EMPTY;
+        for p in points {
+            b.expand(p);
+        }
+        b
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    #[inline]
+    pub fn expand(&mut self, p: Vec3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    pub fn union(&self, o: &Self) -> Self {
+        Self { min: self.min.min(o.min), max: self.max.max(o.max) }
+    }
+
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    pub fn extent(&self) -> Vec3 {
+        if self.is_empty() {
+            Vec3::ZERO
+        } else {
+            self.max - self.min
+        }
+    }
+
+    /// Radius of the bounding sphere centred at [`Aabb::center`].
+    pub fn radius(&self) -> f32 {
+        self.extent().length() * 0.5
+    }
+
+    pub fn contains(&self, p: Vec3) -> bool {
+        !self.is_empty()
+            && p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    pub fn intersects(&self, o: &Self) -> bool {
+        !self.is_empty()
+            && !o.is_empty()
+            && self.min.x <= o.max.x
+            && self.max.x >= o.min.x
+            && self.min.y <= o.max.y
+            && self.max.y >= o.min.y
+            && self.min.z <= o.max.z
+            && self.max.z >= o.min.z
+    }
+
+    /// The eight corner points (undefined content for an empty box).
+    pub fn corners(&self) -> [Vec3; 8] {
+        let (mn, mx) = (self.min, self.max);
+        [
+            Vec3::new(mn.x, mn.y, mn.z),
+            Vec3::new(mx.x, mn.y, mn.z),
+            Vec3::new(mn.x, mx.y, mn.z),
+            Vec3::new(mx.x, mx.y, mn.z),
+            Vec3::new(mn.x, mn.y, mx.z),
+            Vec3::new(mx.x, mn.y, mx.z),
+            Vec3::new(mn.x, mx.y, mx.z),
+            Vec3::new(mx.x, mx.y, mx.z),
+        ]
+    }
+
+    /// AABB of this box under an affine transform (the world-space bound of
+    /// a locally-bounded scene node).
+    pub fn transformed(&self, m: &Mat4) -> Self {
+        if self.is_empty() {
+            return Self::EMPTY;
+        }
+        Self::from_points(self.corners().into_iter().map(|c| m.transform_point(c)))
+    }
+
+    /// Surface area (SAH metric for the distribution planner's spatial
+    /// splits).
+    pub fn surface_area(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let e = self.extent();
+        2.0 * (e.x * e.y + e.y * e.z + e.z * e.x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_union_identity() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        assert_eq!(Aabb::EMPTY.union(&b), b);
+        assert_eq!(b.union(&Aabb::EMPTY), b);
+    }
+
+    #[test]
+    fn from_points_bounds_all() {
+        let pts = [Vec3::new(1.0, -2.0, 3.0), Vec3::new(-1.0, 4.0, 0.0), Vec3::ZERO];
+        let b = Aabb::from_points(pts);
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(b.min, Vec3::new(-1.0, -2.0, 0.0));
+        assert_eq!(b.max, Vec3::new(1.0, 4.0, 3.0));
+    }
+
+    #[test]
+    fn empty_contains_nothing() {
+        assert!(!Aabb::EMPTY.contains(Vec3::ZERO));
+        assert!(!Aabb::EMPTY.intersects(&Aabb::new(Vec3::ZERO, Vec3::ONE)));
+    }
+
+    #[test]
+    fn intersection_symmetric() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::splat(2.0));
+        let b = Aabb::new(Vec3::splat(1.0), Vec3::splat(3.0));
+        let c = Aabb::new(Vec3::splat(5.0), Vec3::splat(6.0));
+        assert!(a.intersects(&b) && b.intersects(&a));
+        assert!(!a.intersects(&c) && !c.intersects(&a));
+    }
+
+    #[test]
+    fn touching_boxes_intersect() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        let b = Aabb::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(2.0, 1.0, 1.0));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn transform_translates_bounds() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        let t = Mat4::translation(Vec3::new(10.0, 0.0, 0.0));
+        let tb = b.transformed(&t);
+        assert_eq!(tb.min, Vec3::new(10.0, 0.0, 0.0));
+        assert_eq!(tb.max, Vec3::new(11.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn transform_of_empty_stays_empty() {
+        let t = Mat4::translation(Vec3::ONE);
+        assert!(Aabb::EMPTY.transformed(&t).is_empty());
+    }
+
+    #[test]
+    fn rotated_box_still_bounds_corners() {
+        let b = Aabb::new(-Vec3::ONE, Vec3::ONE);
+        let m = Mat4::rotation_y(0.7);
+        let tb = b.transformed(&m);
+        for c in b.corners() {
+            assert!(tb.contains(m.transform_point(c)));
+        }
+    }
+
+    #[test]
+    fn surface_area_unit_cube() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        assert_eq!(b.surface_area(), 6.0);
+        assert_eq!(Aabb::EMPTY.surface_area(), 0.0);
+    }
+
+    #[test]
+    fn center_and_radius() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::splat(2.0));
+        assert_eq!(b.center(), Vec3::splat(1.0));
+        assert!((b.radius() - 3.0_f32.sqrt()).abs() < 1e-6);
+    }
+}

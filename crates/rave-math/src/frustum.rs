@@ -1,0 +1,166 @@
+//! View-frustum extraction and culling.
+//!
+//! Render services cull scene subtrees against the shared camera before
+//! charging render cost; the migration planner uses visibility to estimate
+//! on-screen polygon counts ("views were arranged to have the maximum
+//! possible number of visible polygons" — §5.1).
+
+use crate::{Aabb, Mat4, Vec3};
+
+/// A plane in Hessian normal form: `normal · p + d = 0`, with the normal
+/// pointing towards the *inside* of the frustum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plane {
+    pub normal: Vec3,
+    pub d: f32,
+}
+
+impl Plane {
+    pub fn new(normal: Vec3, d: f32) -> Self {
+        Self { normal, d }
+    }
+
+    /// Signed distance: positive on the inside half-space.
+    #[inline]
+    pub fn distance(&self, p: Vec3) -> f32 {
+        self.normal.dot(p) + self.d
+    }
+
+    fn normalized(self) -> Self {
+        let len = self.normal.length();
+        if len <= f32::EPSILON {
+            self
+        } else {
+            Self { normal: self.normal / len, d: self.d / len }
+        }
+    }
+}
+
+/// Result of a bounds-vs-frustum test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Containment {
+    Outside,
+    Intersecting,
+    Inside,
+}
+
+/// The six planes of a view frustum, extracted from a combined
+/// view-projection matrix (Gribb–Hartmann method).
+#[derive(Debug, Clone, Copy)]
+pub struct Frustum {
+    /// left, right, bottom, top, near, far
+    pub planes: [Plane; 6],
+}
+
+impl Frustum {
+    pub fn from_view_proj(vp: &Mat4) -> Self {
+        let row = |r: usize| Vec3::new(vp.at(r, 0), vp.at(r, 1), vp.at(r, 2));
+        let roww = |r: usize| vp.at(r, 3);
+        let (r0, r1, r2, r3) = (row(0), row(1), row(2), row(3));
+        let (w0, w1, w2, w3) = (roww(0), roww(1), roww(2), roww(3));
+        Self {
+            planes: [
+                Plane::new(r3 + r0, w3 + w0).normalized(), // left
+                Plane::new(r3 - r0, w3 - w0).normalized(), // right
+                Plane::new(r3 + r1, w3 + w1).normalized(), // bottom
+                Plane::new(r3 - r1, w3 - w1).normalized(), // top
+                Plane::new(r3 + r2, w3 + w2).normalized(), // near
+                Plane::new(r3 - r2, w3 - w2).normalized(), // far
+            ],
+        }
+    }
+
+    /// Classify an AABB against the frustum. Conservative: may report
+    /// `Intersecting` for a box that is actually outside (corner cases of
+    /// the plane test), never `Inside`/`Intersecting` for a box that has no
+    /// overlap with all six half-spaces.
+    pub fn classify(&self, b: &Aabb) -> Containment {
+        if b.is_empty() {
+            return Containment::Outside;
+        }
+        let c = b.center();
+        let e = b.extent() * 0.5;
+        let mut inside_all = true;
+        for plane in &self.planes {
+            let n = plane.normal;
+            // Projection radius of the box onto the plane normal.
+            let r = e.x * n.x.abs() + e.y * n.y.abs() + e.z * n.z.abs();
+            let dist = plane.distance(c);
+            if dist < -r {
+                return Containment::Outside;
+            }
+            if dist < r {
+                inside_all = false;
+            }
+        }
+        if inside_all {
+            Containment::Inside
+        } else {
+            Containment::Intersecting
+        }
+    }
+
+    pub fn contains_point(&self, p: Vec3) -> bool {
+        self.planes.iter().all(|pl| pl.distance(p) >= 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn standard_frustum() -> Frustum {
+        let view = Mat4::look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, Vec3::Y);
+        let proj = Mat4::perspective(std::f32::consts::FRAC_PI_2, 1.0, 0.1, 100.0);
+        Frustum::from_view_proj(&(proj * view))
+    }
+
+    #[test]
+    fn origin_is_inside() {
+        assert!(standard_frustum().contains_point(Vec3::ZERO));
+    }
+
+    #[test]
+    fn behind_camera_is_outside() {
+        assert!(!standard_frustum().contains_point(Vec3::new(0.0, 0.0, 10.0)));
+    }
+
+    #[test]
+    fn beyond_far_is_outside() {
+        assert!(!standard_frustum().contains_point(Vec3::new(0.0, 0.0, -200.0)));
+    }
+
+    #[test]
+    fn small_centered_box_fully_inside() {
+        let f = standard_frustum();
+        let b = Aabb::new(Vec3::splat(-0.5), Vec3::splat(0.5));
+        assert_eq!(f.classify(&b), Containment::Inside);
+    }
+
+    #[test]
+    fn distant_box_outside() {
+        let f = standard_frustum();
+        let b = Aabb::new(Vec3::new(500.0, 0.0, 0.0), Vec3::new(501.0, 1.0, 1.0));
+        assert_eq!(f.classify(&b), Containment::Outside);
+    }
+
+    #[test]
+    fn straddling_box_intersects() {
+        let f = standard_frustum();
+        // Box spanning the near plane and behind the camera.
+        let b = Aabb::new(Vec3::new(-0.5, -0.5, 4.0), Vec3::new(0.5, 0.5, 20.0));
+        assert_eq!(f.classify(&b), Containment::Intersecting);
+    }
+
+    #[test]
+    fn empty_box_outside() {
+        assert_eq!(standard_frustum().classify(&Aabb::EMPTY), Containment::Outside);
+    }
+
+    #[test]
+    fn huge_box_intersects() {
+        let f = standard_frustum();
+        let b = Aabb::new(Vec3::splat(-1e4), Vec3::splat(1e4));
+        assert_eq!(f.classify(&b), Containment::Intersecting);
+    }
+}

@@ -1,0 +1,64 @@
+//! Minimal 3-D linear algebra for the RAVE reproduction.
+//!
+//! Everything in the renderer, scene graph and distribution planner is built
+//! on these types. The crate is dependency-free and deterministic: all
+//! operations are plain `f32` arithmetic with no platform intrinsics, so
+//! rasterized images are bit-identical across runs (required for the
+//! figure-regeneration harness).
+
+pub mod aabb;
+pub mod frustum;
+pub mod mat4;
+pub mod quat;
+pub mod vec;
+pub mod viewport;
+
+pub use aabb::Aabb;
+pub use frustum::{Frustum, Plane};
+pub use mat4::Mat4;
+pub use quat::Quat;
+pub use vec::{Vec2, Vec3, Vec4};
+pub use viewport::Viewport;
+
+/// Clamp a float into `[lo, hi]`.
+#[inline]
+pub fn clampf(x: f32, lo: f32, hi: f32) -> f32 {
+    x.max(lo).min(hi)
+}
+
+/// Linear interpolation between `a` and `b` by `t` in `[0, 1]`.
+#[inline]
+pub fn lerp(a: f32, b: f32, t: f32) -> f32 {
+    a + (b - a) * t
+}
+
+/// Approximate float equality used throughout the test-suite.
+#[inline]
+pub fn approx_eq(a: f32, b: f32, eps: f32) -> bool {
+    (a - b).abs() <= eps * (1.0 + a.abs().max(b.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_behaves() {
+        assert_eq!(clampf(5.0, 0.0, 1.0), 1.0);
+        assert_eq!(clampf(-5.0, 0.0, 1.0), 0.0);
+        assert_eq!(clampf(0.5, 0.0, 1.0), 0.5);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        assert_eq!(lerp(2.0, 4.0, 0.0), 2.0);
+        assert_eq!(lerp(2.0, 4.0, 1.0), 4.0);
+        assert_eq!(lerp(2.0, 4.0, 0.5), 3.0);
+    }
+
+    #[test]
+    fn approx_eq_scales_with_magnitude() {
+        assert!(approx_eq(1_000_000.0, 1_000_000.05, 1e-6));
+        assert!(!approx_eq(1.0, 1.1, 1e-6));
+    }
+}

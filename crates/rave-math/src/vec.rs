@@ -1,0 +1,350 @@
+//! 2-, 3- and 4-component float vectors.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 2-component vector (texture coordinates, screen positions).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Vec2 {
+    pub x: f32,
+    pub y: f32,
+}
+
+impl Vec2 {
+    pub const ZERO: Self = Self { x: 0.0, y: 0.0 };
+
+    #[inline]
+    pub const fn new(x: f32, y: f32) -> Self {
+        Self { x, y }
+    }
+
+    #[inline]
+    pub fn dot(self, o: Self) -> f32 {
+        self.x * o.x + self.y * o.y
+    }
+
+    #[inline]
+    pub fn length(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// 2-D cross product (signed area of the parallelogram); the sign gives
+    /// the winding of a screen-space triangle, which the rasterizer uses for
+    /// back-face tests and edge functions.
+    #[inline]
+    pub fn cross(self, o: Self) -> f32 {
+        self.x * o.y - self.y * o.x
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Self;
+    #[inline]
+    fn add(self, o: Self) -> Self {
+        Self::new(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, o: Self) -> Self {
+        Self::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl Mul<f32> for Vec2 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, s: f32) -> Self {
+        Self::new(self.x * s, self.y * s)
+    }
+}
+
+/// A 3-component vector (positions, normals, colors).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Vec3 {
+    pub x: f32,
+    pub y: f32,
+    pub z: f32,
+}
+
+impl Vec3 {
+    pub const ZERO: Self = Self { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ONE: Self = Self { x: 1.0, y: 1.0, z: 1.0 };
+    pub const X: Self = Self { x: 1.0, y: 0.0, z: 0.0 };
+    pub const Y: Self = Self { x: 0.0, y: 1.0, z: 0.0 };
+    pub const Z: Self = Self { x: 0.0, y: 0.0, z: 1.0 };
+
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Self { x, y, z }
+    }
+
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        Self { x: v, y: v, z: v }
+    }
+
+    #[inline]
+    pub fn dot(self, o: Self) -> f32 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    #[inline]
+    pub fn cross(self, o: Self) -> Self {
+        Self::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    #[inline]
+    pub fn length_sq(self) -> f32 {
+        self.dot(self)
+    }
+
+    #[inline]
+    pub fn length(self) -> f32 {
+        self.length_sq().sqrt()
+    }
+
+    /// Unit vector in the same direction; returns `ZERO` for a zero vector
+    /// instead of producing NaNs (degenerate normals appear in decimated
+    /// meshes and must not poison the shading pipeline).
+    #[inline]
+    pub fn normalized(self) -> Self {
+        let len = self.length();
+        if len <= f32::EPSILON {
+            Self::ZERO
+        } else {
+            self * (1.0 / len)
+        }
+    }
+
+    #[inline]
+    pub fn min(self, o: Self) -> Self {
+        Self::new(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    #[inline]
+    pub fn max(self, o: Self) -> Self {
+        Self::new(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    #[inline]
+    pub fn lerp(self, o: Self, t: f32) -> Self {
+        self + (o - self) * t
+    }
+
+    /// Component-wise multiply (modulating a material color by a light).
+    #[inline]
+    pub fn mul_elem(self, o: Self) -> Self {
+        Self::new(self.x * o.x, self.y * o.y, self.z * o.z)
+    }
+
+    #[inline]
+    pub fn extend(self, w: f32) -> Vec4 {
+        Vec4::new(self.x, self.y, self.z, w)
+    }
+
+    #[inline]
+    pub fn distance(self, o: Self) -> f32 {
+        (self - o).length()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Self;
+    #[inline]
+    fn add(self, o: Self) -> Self {
+        Self::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Self) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, o: Self) -> Self {
+        Self::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, o: Self) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, s: f32) -> Self {
+        Self::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl MulAssign<f32> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, s: f32) {
+        *self = *self * s;
+    }
+}
+
+impl Div<f32> for Vec3 {
+    type Output = Self;
+    #[inline]
+    fn div(self, s: f32) -> Self {
+        self * (1.0 / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// A 4-component homogeneous vector (clip-space positions).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Vec4 {
+    pub x: f32,
+    pub y: f32,
+    pub z: f32,
+    pub w: f32,
+}
+
+impl Vec4 {
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32, w: f32) -> Self {
+        Self { x, y, z, w }
+    }
+
+    #[inline]
+    pub fn dot(self, o: Self) -> f32 {
+        self.x * o.x + self.y * o.y + self.z * o.z + self.w * o.w
+    }
+
+    #[inline]
+    pub fn truncate(self) -> Vec3 {
+        Vec3::new(self.x, self.y, self.z)
+    }
+
+    /// Perspective divide: project a clip-space point to NDC. The caller
+    /// must have clipped against `w > 0` first.
+    #[inline]
+    pub fn perspective_divide(self) -> Vec3 {
+        let inv = 1.0 / self.w;
+        Vec3::new(self.x * inv, self.y * inv, self.z * inv)
+    }
+
+    #[inline]
+    pub fn lerp(self, o: Self, t: f32) -> Self {
+        Self::new(
+            self.x + (o.x - self.x) * t,
+            self.y + (o.y - self.y) * t,
+            self.z + (o.z - self.z) * t,
+            self.w + (o.w - self.w) * t,
+        )
+    }
+}
+
+impl Add for Vec4 {
+    type Output = Self;
+    #[inline]
+    fn add(self, o: Self) -> Self {
+        Self::new(self.x + o.x, self.y + o.y, self.z + o.z, self.w + o.w)
+    }
+}
+
+impl Sub for Vec4 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, o: Self) -> Self {
+        Self::new(self.x - o.x, self.y - o.y, self.z - o.z, self.w - o.w)
+    }
+}
+
+impl Mul<f32> for Vec4 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, s: f32) -> Self {
+        Self::new(self.x * s, self.y * s, self.z * s, self.w * s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 0.5, 2.0);
+        let c = a.cross(b);
+        assert!(approx_eq(c.dot(a), 0.0, 1e-6));
+        assert!(approx_eq(c.dot(b), 0.0, 1e-6));
+    }
+
+    #[test]
+    fn cross_right_handed() {
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+    }
+
+    #[test]
+    fn normalize_zero_is_zero() {
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn normalize_gives_unit_length() {
+        let v = Vec3::new(3.0, -4.0, 12.0).normalized();
+        assert!(approx_eq(v.length(), 1.0, 1e-6));
+    }
+
+    #[test]
+    fn perspective_divide_projects() {
+        let v = Vec4::new(2.0, 4.0, 6.0, 2.0);
+        assert_eq!(v.perspective_divide(), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn vec2_cross_sign_gives_winding() {
+        // Counter-clockwise triangle in screen space => positive area.
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(1.0, 0.0);
+        let c = Vec2::new(0.0, 1.0);
+        assert!((b - a).cross(c - a) > 0.0);
+        assert!((c - a).cross(b - a) < 0.0);
+    }
+
+    #[test]
+    fn lerp_midpoint() {
+        let a = Vec3::ZERO;
+        let b = Vec3::new(2.0, 4.0, -6.0);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.0, 2.0, -3.0));
+    }
+
+    #[test]
+    fn min_max_componentwise() {
+        let a = Vec3::new(1.0, 5.0, -2.0);
+        let b = Vec3::new(3.0, 2.0, -1.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, 2.0, -2.0));
+        assert_eq!(a.max(b), Vec3::new(3.0, 5.0, -1.0));
+    }
+}

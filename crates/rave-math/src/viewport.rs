@@ -1,0 +1,135 @@
+//! NDC ↔ pixel-space mapping.
+
+use crate::{Vec2, Vec3};
+
+/// A pixel-space viewport. Maps NDC `[-1, 1]²` to pixel coordinates with
+/// `(0, 0)` at the *top-left* (framebuffer convention), Y down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Viewport {
+    pub x: u32,
+    pub y: u32,
+    pub width: u32,
+    pub height: u32,
+}
+
+impl Viewport {
+    pub fn new(width: u32, height: u32) -> Self {
+        Self { x: 0, y: 0, width, height }
+    }
+
+    pub fn with_origin(x: u32, y: u32, width: u32, height: u32) -> Self {
+        Self { x, y, width, height }
+    }
+
+    pub fn aspect(&self) -> f32 {
+        self.width as f32 / self.height.max(1) as f32
+    }
+
+    pub fn pixel_count(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Map an NDC point to continuous pixel coordinates (Z passes through
+    /// unchanged as the depth value).
+    #[inline]
+    pub fn ndc_to_pixel(&self, ndc: Vec3) -> Vec3 {
+        Vec3::new(
+            self.x as f32 + (ndc.x + 1.0) * 0.5 * self.width as f32,
+            self.y as f32 + (1.0 - ndc.y) * 0.5 * self.height as f32,
+            ndc.z,
+        )
+    }
+
+    /// Map continuous pixel coordinates back to NDC X/Y.
+    #[inline]
+    pub fn pixel_to_ndc(&self, px: Vec2) -> Vec2 {
+        Vec2::new(
+            (px.x - self.x as f32) / self.width as f32 * 2.0 - 1.0,
+            1.0 - (px.y - self.y as f32) / self.height as f32 * 2.0,
+        )
+    }
+
+    /// Split this viewport into a `cols × rows` grid of tiles, row-major.
+    /// Tile edges cover every pixel exactly once even when the dimensions
+    /// do not divide evenly (the last row/column absorbs the remainder) —
+    /// the invariant the tile compositor depends on.
+    pub fn split_tiles(&self, cols: u32, rows: u32) -> Vec<Viewport> {
+        assert!(cols > 0 && rows > 0, "tile grid must be non-empty");
+        let mut tiles = Vec::with_capacity((cols * rows) as usize);
+        let tw = self.width / cols;
+        let th = self.height / rows;
+        for r in 0..rows {
+            for c in 0..cols {
+                let x = self.x + c * tw;
+                let y = self.y + r * th;
+                let w = if c == cols - 1 { self.width - c * tw } else { tw };
+                let h = if r == rows - 1 { self.height - r * th } else { th };
+                tiles.push(Viewport::with_origin(x, y, w, h));
+            }
+        }
+        tiles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndc_corners_map_to_pixel_corners() {
+        let vp = Viewport::new(200, 100);
+        let tl = vp.ndc_to_pixel(Vec3::new(-1.0, 1.0, 0.0));
+        let br = vp.ndc_to_pixel(Vec3::new(1.0, -1.0, 0.0));
+        assert_eq!((tl.x, tl.y), (0.0, 0.0));
+        assert_eq!((br.x, br.y), (200.0, 100.0));
+    }
+
+    #[test]
+    fn pixel_ndc_roundtrip() {
+        let vp = Viewport::new(640, 480);
+        let p = Vec2::new(123.5, 456.5);
+        let ndc = vp.pixel_to_ndc(p);
+        let back = vp.ndc_to_pixel(Vec3::new(ndc.x, ndc.y, 0.0));
+        assert!((back.x - p.x).abs() < 1e-3);
+        assert!((back.y - p.y).abs() < 1e-3);
+    }
+
+    #[test]
+    fn tiles_partition_exactly() {
+        let vp = Viewport::new(201, 99); // deliberately not divisible
+        let tiles = vp.split_tiles(4, 3);
+        assert_eq!(tiles.len(), 12);
+        let total: usize = tiles.iter().map(|t| t.pixel_count()).sum();
+        assert_eq!(total, vp.pixel_count());
+        // No overlap: each pixel in exactly one tile.
+        let mut covered = vec![false; vp.pixel_count()];
+        for t in &tiles {
+            for yy in t.y..t.y + t.height {
+                for xx in t.x..t.x + t.width {
+                    let idx = (yy * vp.width + xx) as usize;
+                    assert!(!covered[idx], "pixel covered twice");
+                    covered[idx] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn single_tile_is_identity() {
+        let vp = Viewport::new(64, 64);
+        assert_eq!(vp.split_tiles(1, 1), vec![vp]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_tile_grid_panics() {
+        Viewport::new(10, 10).split_tiles(0, 1);
+    }
+
+    #[test]
+    fn aspect_ratio() {
+        assert_eq!(Viewport::new(200, 100).aspect(), 2.0);
+    }
+}

@@ -1,0 +1,505 @@
+//! The paper's four benchmark models, rebuilt procedurally with exact
+//! polygon counts (Table 1).
+
+use crate::decimate::decimate_to;
+use crate::generators::{
+    hull, merge, pad_to_exact, paint, parametric_grid, sail, sphere, transform, tube,
+};
+use crate::implicit::{Blobby, Capsule, Ellipsoid, ScalarField};
+use crate::marching::polygonize;
+use rave_math::{Aabb, Quat, Vec3};
+use rave_scene::MeshData;
+
+/// The models used in the paper's benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperModel {
+    /// Clemson Stereolithography Archive hand — 0.83 M polygons, 20 MB.
+    SkeletalHand,
+    /// Visible Man skeleton (marching cubes + decimation) — 2.8 M, 75 MB.
+    Skeleton,
+    /// Blaxxun VRML benchmark figure — 50 k polygons (Tables 3/4).
+    Elle,
+    /// Java3D example galleon — 5.5 k polygons (Tables 3/4/5, Fig 5).
+    Galleon,
+}
+
+impl PaperModel {
+    pub const ALL: [PaperModel; 4] =
+        [PaperModel::SkeletalHand, PaperModel::Skeleton, PaperModel::Elle, PaperModel::Galleon];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperModel::SkeletalHand => "Skeletal Hand",
+            PaperModel::Skeleton => "Skeleton",
+            PaperModel::Elle => "Elle",
+            PaperModel::Galleon => "Galleon",
+        }
+    }
+
+    /// Polygon count reported in the paper.
+    pub fn target_polygons(self) -> u64 {
+        match self {
+            PaperModel::SkeletalHand => 830_000,
+            PaperModel::Skeleton => 2_800_000,
+            PaperModel::Elle => 50_000,
+            PaperModel::Galleon => 5_500,
+        }
+    }
+
+    /// Data-file size the paper reports (MB), where given.
+    pub fn paper_file_size_mb(self) -> Option<f64> {
+        match self {
+            PaperModel::SkeletalHand => Some(20.0),
+            PaperModel::Skeleton => Some(75.0),
+            _ => None,
+        }
+    }
+}
+
+/// Split `total` into integer shares proportional to `weights`, summing
+/// exactly to `total` (largest-remainder assignment of the slack).
+pub fn split_budget(total: u64, weights: &[u32]) -> Vec<u64> {
+    assert!(!weights.is_empty());
+    let wsum: u64 = weights.iter().map(|&w| w as u64).sum();
+    assert!(wsum > 0);
+    let mut shares: Vec<u64> =
+        weights.iter().map(|&w| total * w as u64 / wsum).collect();
+    let mut assigned: u64 = shares.iter().sum();
+    let n = shares.len();
+    let mut i = 0;
+    while assigned < total {
+        shares[i % n] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    shares
+}
+
+/// Build a paper model at its published polygon count. Full-size builds of
+/// the Hand/Skeleton take seconds in release mode; tests should use
+/// [`build_with_budget`] with small budgets.
+pub fn build_model(model: PaperModel) -> MeshData {
+    build_with_budget(model, model.target_polygons())
+}
+
+/// Build a paper model scaled to exactly `budget` triangles.
+pub fn build_with_budget(model: PaperModel, budget: u64) -> MeshData {
+    assert!(budget >= 64, "budget too small for a recognizable model");
+    let mut mesh = match model {
+        PaperModel::SkeletalHand => skeletal_hand(budget),
+        PaperModel::Skeleton => skeleton(budget),
+        PaperModel::Elle => elle(budget),
+        PaperModel::Galleon => galleon(budget),
+    };
+    assert_eq!(mesh.triangle_count(), budget, "{} budget miss", model.name());
+    debug_assert!(mesh.validate().is_ok());
+    if mesh.normals.is_empty() {
+        mesh.compute_normals();
+    }
+    mesh
+}
+
+/// Isosurface `field` within `bounds` at a resolution sized to the budget,
+/// then decimate (if over) or T-split pad (if under) to exactly `budget`.
+fn isosurface_budgeted(
+    field: &(impl ScalarField + ?Sized),
+    bounds: Aabb,
+    budget: u64,
+) -> MeshData {
+    // Probe to estimate triangle yield per res² (marching-tet output grows
+    // quadratically with res for a 2-D surface). The res cap scales with
+    // the budget: tiny budgets must not escalate to huge grids only to be
+    // decimated straight back down — padding covers the shortfall instead.
+    let res_cap = ((budget as f64).sqrt() * 3.0).clamp(32.0, 360.0) as u32;
+    let probe_res = 20.min(res_cap);
+    let mut mesh = polygonize(field, bounds, probe_res);
+    let mut res = probe_res;
+    while mesh.triangle_count() < budget && res < res_cap {
+        let have = mesh.triangle_count().max(8);
+        // Aim 25% above target.
+        let factor = ((budget as f64 * 1.25 / have as f64).sqrt()).max(1.3);
+        res = (((res as f64 * factor).ceil() as u32).min(res_cap)).max(res + 1);
+        mesh = polygonize(field, bounds, res);
+    }
+    if mesh.triangle_count() == 0 {
+        // Field surface missed the grid entirely (degenerate bone):
+        // substitute a budget-exact sphere at the bounds center so the
+        // budget contract still holds.
+        return sphere(bounds.center(), bounds.extent().length().max(0.01) * 0.25, budget);
+    }
+    if mesh.triangle_count() > budget {
+        decimate_to(&mut mesh, budget);
+        assert!(mesh.triangle_count() <= budget, "decimation stuck");
+    }
+    pad_to_exact(&mut mesh, budget);
+    mesh
+}
+
+/// The skeletal hand: a squashed palm plus five articulated fingers built
+/// from capsule chains, isosurfaced per digit (bones render as distinct
+/// solids, like the stereolithography original).
+fn skeletal_hand(budget: u64) -> MeshData {
+    // Weights: palm 4, thumb 2, four fingers 3 each.
+    let shares = split_budget(budget, &[4, 2, 3, 3, 3, 3]);
+    let bone = Vec3::new(0.93, 0.90, 0.82); // aged-bone tint
+
+    let mut parts: Vec<MeshData> = Vec::new();
+
+    // Palm: flattened ellipsoid.
+    let palm_field = Ellipsoid { center: Vec3::ZERO, radii: Vec3::new(0.85, 1.0, 0.28) };
+    let palm_bounds = Aabb::new(Vec3::new(-1.1, -1.3, -0.5), Vec3::new(1.1, 1.3, 0.5));
+    parts.push(isosurface_budgeted(&palm_field, palm_bounds, shares[0]));
+
+    // Thumb: two phalanges angled off the palm edge.
+    let mut thumb = Blobby::new(0.04);
+    thumb.push(Capsule {
+        a: Vec3::new(-0.8, -0.5, 0.0),
+        b: Vec3::new(-1.35, 0.1, 0.1),
+        radius: 0.14,
+    });
+    thumb.push(Capsule {
+        a: Vec3::new(-1.35, 0.1, 0.1),
+        b: Vec3::new(-1.6, 0.62, 0.15),
+        radius: 0.11,
+    });
+    let thumb_bounds = Aabb::new(Vec3::new(-2.0, -0.9, -0.3), Vec3::new(-0.5, 1.0, 0.5));
+    parts.push(isosurface_budgeted(&thumb, thumb_bounds, shares[1]));
+
+    // Four fingers: three phalanges each, fanned across the palm top.
+    for (i, &share) in shares[2..].iter().enumerate() {
+        let x = -0.6 + 0.4 * i as f32;
+        let len = [1.05, 1.2, 1.1, 0.85][i];
+        let mut finger = Blobby::new(0.03);
+        let joints = [0.0, 0.45, 0.78, 1.0];
+        for s in 0..3 {
+            finger.push(Capsule {
+                a: Vec3::new(x, 1.0 + joints[s] * len, 0.0),
+                b: Vec3::new(x, 1.0 + joints[s + 1] * len, 0.0),
+                radius: 0.13 - 0.02 * s as f32,
+            });
+        }
+        let b = Aabb::new(
+            Vec3::new(x - 0.3, 0.6, -0.3),
+            Vec3::new(x + 0.3, 1.1 + len + 0.3, 0.3),
+        );
+        parts.push(isosurface_budgeted(&finger, b, share));
+    }
+
+    let mut mesh = merge(&parts);
+    paint(&mut mesh, bone);
+    mesh
+}
+
+/// The full skeleton: ~30 bones, each an implicit solid isosurfaced in its
+/// own local bounds (the same marching + decimation pipeline the Visible
+/// Man model went through, run per bone so the grid stays tractable).
+fn skeleton(budget: u64) -> MeshData {
+    struct BonePart {
+        field: Blobby,
+        bounds: Aabb,
+        weight: u32,
+    }
+    let mut bones: Vec<BonePart> = Vec::new();
+    fn add_capsule(bones: &mut Vec<BonePart>, a: Vec3, b: Vec3, r: f32, weight: u32) {
+        let mut f = Blobby::new(0.0);
+        f.push(Capsule { a, b, radius: r });
+        let lo = a.min(b) - Vec3::splat(r * 2.0);
+        let hi = a.max(b) + Vec3::splat(r * 2.0);
+        bones.push(BonePart { field: f, bounds: Aabb::new(lo, hi), weight });
+    }
+
+    // Skull.
+    {
+        let mut f = Blobby::new(0.05);
+        f.push(Ellipsoid { center: Vec3::new(0.0, 3.4, 0.0), radii: Vec3::new(0.32, 0.4, 0.36) });
+        f.push(Ellipsoid {
+            center: Vec3::new(0.0, 3.05, 0.12),
+            radii: Vec3::new(0.2, 0.16, 0.2),
+        }); // jaw
+        bones.push(BonePart {
+            field: f,
+            bounds: Aabb::new(Vec3::new(-0.6, 2.6, -0.6), Vec3::new(0.6, 4.0, 0.6)),
+            weight: 6,
+        });
+    }
+    // Spine: 8 vertebra segments.
+    for s in 0..8 {
+        let y0 = 1.4 + 0.19 * s as f32;
+        add_capsule(&mut bones, Vec3::new(0.0, y0, 0.0), Vec3::new(0.0, y0 + 0.14, 0.0), 0.09, 1);
+    }
+    // Rib cage: 6 pairs of curved-ish ribs approximated by two capsules per
+    // side.
+    for r in 0..6 {
+        let y = 2.0 + 0.12 * r as f32;
+        let spread = 0.42 - 0.02 * r as f32;
+        for side in [-1.0f32, 1.0] {
+            let mut f = Blobby::new(0.02);
+            f.push(Capsule {
+                a: Vec3::new(0.0, y, -0.05),
+                b: Vec3::new(side * spread, y - 0.05, 0.12),
+                radius: 0.035,
+            });
+            f.push(Capsule {
+                a: Vec3::new(side * spread, y - 0.05, 0.12),
+                b: Vec3::new(side * 0.12, y - 0.12, 0.3),
+                radius: 0.03,
+            });
+            let lo = Vec3::new(-0.6, y - 0.3, -0.2);
+            let hi = Vec3::new(0.6, y + 0.2, 0.5);
+            bones.push(BonePart { field: f, bounds: Aabb::new(lo, hi), weight: 2 });
+        }
+    }
+    // Pelvis.
+    {
+        let mut f = Blobby::new(0.04);
+        f.push(Ellipsoid {
+            center: Vec3::new(0.0, 1.25, 0.0),
+            radii: Vec3::new(0.4, 0.22, 0.26),
+        });
+        bones.push(BonePart {
+            field: f,
+            bounds: Aabb::new(Vec3::new(-0.7, 0.9, -0.5), Vec3::new(0.7, 1.6, 0.5)),
+            weight: 4,
+        });
+    }
+    // Shoulders + arms: clavicle, humerus, radius/ulna per side.
+    for side in [-1.0f32, 1.0] {
+        add_capsule(
+            &mut bones,
+            Vec3::new(0.0, 2.75, 0.0),
+            Vec3::new(side * 0.45, 2.7, 0.0),
+            0.05,
+            1,
+        );
+        add_capsule(
+            &mut bones,
+            Vec3::new(side * 0.45, 2.7, 0.0),
+            Vec3::new(side * 0.55, 1.95, 0.0),
+            0.06,
+            3,
+        );
+        add_capsule(
+            &mut bones,
+            Vec3::new(side * 0.55, 1.95, 0.0),
+            Vec3::new(side * 0.6, 1.25, 0.05),
+            0.05,
+            3,
+        );
+        // Hand blob.
+        let mut f = Blobby::new(0.02);
+        f.push(Ellipsoid {
+            center: Vec3::new(side * 0.62, 1.1, 0.07),
+            radii: Vec3::new(0.07, 0.12, 0.04),
+        });
+        bones.push(BonePart {
+            field: f,
+            bounds: Aabb::new(
+                Vec3::new(side * 0.62 - 0.25, 0.85, -0.2),
+                Vec3::new(side * 0.62 + 0.25, 1.35, 0.3),
+            ),
+            weight: 1,
+        });
+    }
+    // Legs: femur, tibia, foot per side.
+    for side in [-1.0f32, 1.0] {
+        add_capsule(
+            &mut bones,
+            Vec3::new(side * 0.22, 1.15, 0.0),
+            Vec3::new(side * 0.25, 0.55, 0.0),
+            0.07,
+            4,
+        );
+        add_capsule(
+            &mut bones,
+            Vec3::new(side * 0.25, 0.55, 0.0),
+            Vec3::new(side * 0.26, 0.05, 0.0),
+            0.055,
+            4,
+        );
+        add_capsule(
+            &mut bones,
+            Vec3::new(side * 0.26, 0.05, 0.0),
+            Vec3::new(side * 0.26, 0.02, 0.22),
+            0.045,
+            1,
+        );
+    }
+
+    let weights: Vec<u32> = bones.iter().map(|b| b.weight).collect();
+    let shares = split_budget(budget, &weights);
+    let parts: Vec<MeshData> = bones
+        .iter()
+        .zip(&shares)
+        .map(|(b, &share)| isosurface_budgeted(&b.field, b.bounds, share.max(4)))
+        .collect();
+    // Budget exactness: shares sum to budget but the `.max(4)` floor for
+    // micro-shares can overshoot; reconcile by decimating the merge.
+    let mut mesh = merge(&parts);
+    if mesh.triangle_count() > budget {
+        decimate_to(&mut mesh, budget);
+    }
+    pad_to_exact(&mut mesh, budget);
+    paint(&mut mesh, Vec3::new(0.92, 0.91, 0.86));
+    mesh
+}
+
+/// "Elle": a standing figure (the Blaxxun VRML benchmark was a human
+/// figure), as one smooth blobby body.
+fn elle(budget: u64) -> MeshData {
+    let mut body = Blobby::new(0.08);
+    // Head, torso, hips.
+    body.push(Ellipsoid { center: Vec3::new(0.0, 1.62, 0.0), radii: Vec3::new(0.11, 0.14, 0.12) });
+    body.push(Ellipsoid { center: Vec3::new(0.0, 1.25, 0.0), radii: Vec3::new(0.17, 0.26, 0.12) });
+    body.push(Ellipsoid { center: Vec3::new(0.0, 0.92, 0.0), radii: Vec3::new(0.17, 0.14, 0.13) });
+    // Arms.
+    for side in [-1.0f32, 1.0] {
+        body.push(Capsule {
+            a: Vec3::new(side * 0.2, 1.42, 0.0),
+            b: Vec3::new(side * 0.3, 1.1, 0.02),
+            radius: 0.05,
+        });
+        body.push(Capsule {
+            a: Vec3::new(side * 0.3, 1.1, 0.02),
+            b: Vec3::new(side * 0.33, 0.8, 0.06),
+            radius: 0.04,
+        });
+    }
+    // Legs.
+    for side in [-1.0f32, 1.0] {
+        body.push(Capsule {
+            a: Vec3::new(side * 0.09, 0.86, 0.0),
+            b: Vec3::new(side * 0.11, 0.45, 0.0),
+            radius: 0.07,
+        });
+        body.push(Capsule {
+            a: Vec3::new(side * 0.11, 0.45, 0.0),
+            b: Vec3::new(side * 0.12, 0.04, 0.0),
+            radius: 0.05,
+        });
+    }
+    let bounds = Aabb::new(Vec3::new(-0.6, -0.1, -0.4), Vec3::new(0.6, 1.9, 0.4));
+    let mut mesh = isosurface_budgeted(&body, bounds, budget);
+    paint(&mut mesh, Vec3::new(0.8, 0.65, 0.55));
+    mesh
+}
+
+/// The galleon: hull, deck, three masts, three sails, bowsprit.
+fn galleon(budget: u64) -> MeshData {
+    let shares = split_budget(budget, &[8, 2, 1, 1, 1, 3, 3, 3, 1]);
+    let mut parts = Vec::new();
+
+    // Hull + deck.
+    let mut h = hull(4.0, 1.2, 0.9, shares[0]);
+    paint(&mut h, Vec3::new(0.45, 0.3, 0.18));
+    parts.push(h);
+    let mut deck = parametric_grid(1, (shares[1] / 2).max(1) as u32, |u, v| {
+        let x = (v - 0.5) * 3.8;
+        let w = (1.0 - (2.0 * v - 1.0).powi(2)).max(0.05);
+        Vec3::new(x, 0.02, (u - 0.5) * 1.1 * w)
+    });
+    // Grid dims may undershoot odd shares; pad below via the merge step.
+    pad_to_exact(&mut deck, shares[1]);
+    paint(&mut deck, Vec3::new(0.55, 0.42, 0.25));
+    parts.push(deck);
+
+    // Masts.
+    let mast_x = [-1.2f32, 0.0, 1.2];
+    for (i, &x) in mast_x.iter().enumerate() {
+        let mut m = tube(Vec3::new(x, 0.0, 0.0), Vec3::new(0.0, 2.2, 0.0), 0.05, shares[2 + i]);
+        paint(&mut m, Vec3::new(0.4, 0.3, 0.2));
+        parts.push(m);
+    }
+    // Sails.
+    for (i, &x) in mast_x.iter().enumerate() {
+        let mut s = sail(Vec3::new(x, 1.3, 0.0), 1.1, 1.2, shares[5 + i]);
+        paint(&mut s, Vec3::new(0.95, 0.93, 0.85));
+        parts.push(s);
+    }
+    // Bowsprit.
+    let mut b = tube(
+        Vec3::new(1.9, 0.15, 0.0),
+        Vec3::new(1.0, 0.35, 0.0),
+        0.03,
+        shares[8],
+    );
+    paint(&mut b, Vec3::new(0.4, 0.3, 0.2));
+    parts.push(b);
+
+    let mut mesh = merge(&parts);
+    // Tilt slightly so a straight-on view shows the masts (Fig 5 framing).
+    transform(&mut mesh, Quat::from_axis_angle(Vec3::Y, 0.15), Vec3::ZERO);
+    mesh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_budget_sums_exactly() {
+        for total in [100u64, 101, 5_500, 12_345] {
+            let shares = split_budget(total, &[4, 2, 3, 3, 3, 3]);
+            assert_eq!(shares.iter().sum::<u64>(), total);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_budget_rejects_zero_weights() {
+        split_budget(100, &[0, 0]);
+    }
+
+    #[test]
+    fn galleon_small_budget_exact() {
+        let m = build_with_budget(PaperModel::Galleon, 5_500);
+        assert_eq!(m.triangle_count(), 5_500);
+        m.validate().unwrap();
+        assert!(!m.colors.is_empty());
+    }
+
+    #[test]
+    fn hand_scaled_down_exact() {
+        let m = build_with_budget(PaperModel::SkeletalHand, 3_000);
+        assert_eq!(m.triangle_count(), 3_000);
+        m.validate().unwrap();
+        // Five fingers + thumb + palm: spans in both x and y.
+        let b = m.bounds();
+        assert!(b.extent().x > 1.5 && b.extent().y > 2.0);
+    }
+
+    #[test]
+    fn skeleton_scaled_down_exact() {
+        let m = build_with_budget(PaperModel::Skeleton, 4_000);
+        assert_eq!(m.triangle_count(), 4_000);
+        m.validate().unwrap();
+        let b = m.bounds();
+        assert!(b.extent().y > 3.0, "skeleton should be tall: {:?}", b);
+    }
+
+    #[test]
+    fn elle_scaled_down_exact() {
+        let m = build_with_budget(PaperModel::Elle, 2_000);
+        assert_eq!(m.triangle_count(), 2_000);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn targets_match_paper() {
+        assert_eq!(PaperModel::SkeletalHand.target_polygons(), 830_000);
+        assert_eq!(PaperModel::Skeleton.target_polygons(), 2_800_000);
+        assert_eq!(PaperModel::Elle.target_polygons(), 50_000);
+        assert_eq!(PaperModel::Galleon.target_polygons(), 5_500);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_budget_rejected() {
+        build_with_budget(PaperModel::Galleon, 10);
+    }
+
+    #[test]
+    fn models_have_normals() {
+        let m = build_with_budget(PaperModel::Galleon, 600);
+        assert_eq!(m.normals.len(), m.positions.len());
+    }
+}

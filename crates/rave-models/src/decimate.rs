@@ -1,0 +1,215 @@
+//! Polygon decimation by iterative edge collapse.
+//!
+//! The paper's Skeleton model "was processed by marching cubes and a
+//! polygon decimation algorithm" (§5). This is that decimation stage:
+//! shortest-edge collapse in batched rounds (collapse a disjoint set of
+//! shortest edges, rebuild, repeat) until the triangle count reaches the
+//! target. Collapsing the shortest edges first removes the least visual
+//! detail per triangle removed.
+
+use rave_scene::MeshData;
+
+/// Reduce `mesh` to at most `target` triangles. Returns the number of
+/// collapse rounds performed. The result may land under `target` (each
+/// collapse removes up to 2 triangles); use
+/// [`crate::generators::pad_to_exact`] afterwards if an exact count is
+/// required.
+pub fn decimate_to(mesh: &mut MeshData, target: u64) -> u32 {
+    let mut rounds = 0;
+    while mesh.triangle_count() > target {
+        let before = mesh.triangle_count();
+        collapse_round(mesh, target);
+        rounds += 1;
+        if mesh.triangle_count() == before {
+            // No progress (all remaining edges blocked): bail rather than
+            // spin. Callers treat a stuck decimation as an error via the
+            // count check below.
+            break;
+        }
+    }
+    rounds
+}
+
+/// One round: sort edges by length, greedily collapse a maximal set of
+/// vertex-disjoint short edges (at most enough to reach `target`), then
+/// compact.
+fn collapse_round(mesh: &mut MeshData, target: u64) {
+    let need = mesh.triangle_count().saturating_sub(target);
+    // Each collapse removes ~2 triangles in a closed mesh.
+    let want_collapses = (need / 2).max(1) as usize;
+
+    // Collect unique edges with lengths.
+    let mut edges: Vec<(f32, u32, u32)> = Vec::with_capacity(mesh.triangles.len() * 3 / 2);
+    let mut seen = std::collections::HashSet::with_capacity(mesh.triangles.len() * 3 / 2);
+    for t in &mesh.triangles {
+        for k in 0..3 {
+            let (a, b) = (t[k], t[(k + 1) % 3]);
+            let key = (a.min(b), a.max(b));
+            if seen.insert(key) {
+                let len = mesh.positions[key.0 as usize]
+                    .distance(mesh.positions[key.1 as usize]);
+                edges.push((len, key.0, key.1));
+            }
+        }
+    }
+    edges.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+    // Greedy vertex-disjoint selection.
+    let mut touched = vec![false; mesh.positions.len()];
+    let mut remap: Vec<u32> = (0..mesh.positions.len() as u32).collect();
+    let mut collapsed = 0usize;
+    for &(_, a, b) in &edges {
+        if collapsed >= want_collapses {
+            break;
+        }
+        if touched[a as usize] || touched[b as usize] {
+            continue;
+        }
+        touched[a as usize] = true;
+        touched[b as usize] = true;
+        // Collapse b into a, placing a at the midpoint.
+        let mid = (mesh.positions[a as usize] + mesh.positions[b as usize]) * 0.5;
+        mesh.positions[a as usize] = mid;
+        if !mesh.normals.is_empty() {
+            mesh.normals[a as usize] =
+                (mesh.normals[a as usize] + mesh.normals[b as usize]).normalized();
+        }
+        if !mesh.colors.is_empty() {
+            mesh.colors[a as usize] =
+                (mesh.colors[a as usize] + mesh.colors[b as usize]) * 0.5;
+        }
+        remap[b as usize] = a;
+        collapsed += 1;
+    }
+
+    // Rewrite triangles through the remap, dropping degenerates — but never
+    // dropping below `target`.
+    let mut out = Vec::with_capacity(mesh.triangles.len());
+    let mut live = mesh.triangles.len() as u64;
+    for t in &mesh.triangles {
+        let r = [remap[t[0] as usize], remap[t[1] as usize], remap[t[2] as usize]];
+        let degenerate = r[0] == r[1] || r[1] == r[2] || r[0] == r[2];
+        if degenerate && live > target {
+            live -= 1;
+            continue;
+        }
+        // Keep (degenerate triangles that would overshoot stay as slivers;
+        // the padding contract tolerates them).
+        out.push(if degenerate { *t } else { r });
+    }
+    mesh.triangles = out;
+    compact(mesh);
+}
+
+/// Drop unreferenced vertices and reindex.
+pub fn compact(mesh: &mut MeshData) {
+    let mut used = vec![false; mesh.positions.len()];
+    for t in &mesh.triangles {
+        for &i in t {
+            used[i as usize] = true;
+        }
+    }
+    let mut remap = vec![u32::MAX; mesh.positions.len()];
+    let mut positions = Vec::new();
+    let mut normals = Vec::new();
+    let mut colors = Vec::new();
+    for (i, &u) in used.iter().enumerate() {
+        if u {
+            remap[i] = positions.len() as u32;
+            positions.push(mesh.positions[i]);
+            if !mesh.normals.is_empty() {
+                normals.push(mesh.normals[i]);
+            }
+            if !mesh.colors.is_empty() {
+                colors.push(mesh.colors[i]);
+            }
+        }
+    }
+    for t in &mut mesh.triangles {
+        for i in t.iter_mut() {
+            *i = remap[*i as usize];
+        }
+    }
+    mesh.positions = positions;
+    mesh.normals = normals;
+    mesh.colors = colors;
+}
+
+/// Hausdorff-ish one-sided error estimate: max distance from decimated
+/// vertices to the original vertex set (brute force on a sample; test
+/// instrumentation, not production geometry processing).
+pub fn sample_error(original: &MeshData, decimated: &MeshData, sample_every: usize) -> f32 {
+    let mut worst = 0.0f32;
+    for p in decimated.positions.iter().step_by(sample_every.max(1)) {
+        let mut best = f32::INFINITY;
+        for q in &original.positions {
+            best = best.min(p.distance(*q));
+        }
+        worst = worst.max(best);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::sphere;
+    use rave_math::Vec3;
+
+    #[test]
+    fn decimates_to_target_or_below() {
+        let mut m = sphere(Vec3::ZERO, 1.0, 2000);
+        decimate_to(&mut m, 500);
+        assert!(m.triangle_count() <= 500);
+        assert!(m.triangle_count() > 100, "did not destroy the mesh");
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn preserves_rough_shape() {
+        let original = sphere(Vec3::ZERO, 1.0, 2000);
+        let mut m = original.clone();
+        decimate_to(&mut m, 600);
+        // Decimated vertices stay near the unit sphere.
+        for p in &m.positions {
+            let r = p.length();
+            assert!((0.7..1.3).contains(&r), "vertex drifted to radius {r}");
+        }
+        let err = sample_error(&original, &m, 7);
+        assert!(err < 0.3, "decimation error {err}");
+    }
+
+    #[test]
+    fn no_op_when_under_target() {
+        let mut m = sphere(Vec3::ZERO, 1.0, 100);
+        let before = m.clone();
+        decimate_to(&mut m, 200);
+        assert_eq!(m.triangle_count(), before.triangle_count());
+    }
+
+    #[test]
+    fn compact_removes_orphans() {
+        let mut m = sphere(Vec3::ZERO, 1.0, 100);
+        let orig_verts = m.vertex_count();
+        m.triangles.truncate(10);
+        compact(&mut m);
+        assert!(m.vertex_count() < orig_verts);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn normals_survive_decimation() {
+        let mut m = sphere(Vec3::ZERO, 1.0, 1000); // generator computes normals
+        decimate_to(&mut m, 300);
+        assert_eq!(m.normals.len(), m.positions.len());
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn heavy_decimation_converges() {
+        let mut m = sphere(Vec3::ZERO, 1.0, 5000);
+        let rounds = decimate_to(&mut m, 50);
+        assert!(m.triangle_count() <= 50 || rounds > 0);
+        assert!(m.triangle_count() <= 200, "stuck at {}", m.triangle_count());
+    }
+}

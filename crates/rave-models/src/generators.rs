@@ -1,0 +1,297 @@
+//! Parametric surface generators with exact triangle budgets.
+
+use rave_math::{Quat, Vec3};
+use rave_scene::MeshData;
+
+/// Generate a grid-parameterized surface: `f(u, v) -> position` evaluated
+/// on a `(rows+1) × (cols+1)` lattice with `u, v ∈ [0, 1]`, triangulated
+/// into exactly `2 * rows * cols` triangles.
+pub fn parametric_grid(
+    rows: u32,
+    cols: u32,
+    f: impl Fn(f32, f32) -> Vec3,
+) -> MeshData {
+    assert!(rows > 0 && cols > 0);
+    let mut positions = Vec::with_capacity(((rows + 1) * (cols + 1)) as usize);
+    for r in 0..=rows {
+        for c in 0..=cols {
+            positions.push(f(r as f32 / rows as f32, c as f32 / cols as f32));
+        }
+    }
+    let stride = cols + 1;
+    let mut triangles = Vec::with_capacity((2 * rows * cols) as usize);
+    for r in 0..rows {
+        for c in 0..cols {
+            let a = r * stride + c;
+            let b = a + 1;
+            let d = a + stride;
+            let e = d + 1;
+            triangles.push([a, d, b]);
+            triangles.push([b, d, e]);
+        }
+    }
+    let mut mesh = MeshData::new(positions, triangles);
+    mesh.compute_normals();
+    mesh
+}
+
+/// Pick `(rows, cols)` so a grid yields *exactly* `target` triangles when
+/// `target` is even, or `target - 1` (the caller pads the last one). Grids
+/// give `2*r*c`; we choose a near-square factorization.
+fn grid_dims_for(target: u64) -> (u32, u32) {
+    let quads = (target / 2).max(1);
+    let mut best = (1u64, quads);
+    let mut r = (quads as f64).sqrt() as u64;
+    while r >= 1 {
+        if quads.is_multiple_of(r) {
+            best = (r, quads / r);
+            break;
+        }
+        r -= 1;
+    }
+    (best.0 as u32, best.1.min(u32::MAX as u64) as u32)
+}
+
+/// Force a mesh to an exact triangle count by T-junction edge splits
+/// (+1 triangle each). Splits render identically to the unsplit surface,
+/// so budgets can be hit without altering the image.
+pub fn pad_to_exact(mesh: &mut MeshData, target: u64) {
+    assert!(
+        mesh.triangle_count() <= target,
+        "cannot pad downward: have {} want {target}",
+        mesh.triangle_count()
+    );
+    let mut i = 0usize;
+    while mesh.triangle_count() < target {
+        let slot = i % mesh.triangles.len();
+        let t = mesh.triangles[slot];
+        let a = mesh.positions[t[0] as usize];
+        let b = mesh.positions[t[1] as usize];
+        let mid = (a + b) * 0.5;
+        let mid_idx = mesh.positions.len() as u32;
+        mesh.positions.push(mid);
+        if !mesh.normals.is_empty() {
+            let na = mesh.normals[t[0] as usize];
+            let nb = mesh.normals[t[1] as usize];
+            mesh.normals.push((na + nb).normalized());
+        }
+        if !mesh.colors.is_empty() {
+            let ca = mesh.colors[t[0] as usize];
+            let cb = mesh.colors[t[1] as usize];
+            mesh.colors.push((ca + cb) * 0.5);
+        }
+        // Replace tri (a,b,c) with (a,mid,c) + (mid,b,c).
+        let c = t[2];
+        mesh.triangles[slot] = [t[0], mid_idx, c];
+        mesh.triangles.push([mid_idx, t[1], c]);
+        i += 1;
+    }
+}
+
+/// A UV sphere with exactly `target` triangles (padding as needed).
+pub fn sphere(center: Vec3, radius: f32, target: u64) -> MeshData {
+    let (r, c) = grid_dims_for(target);
+    let mut mesh = parametric_grid(r.max(2), c.max(3), |u, v| {
+        let theta = u * std::f32::consts::PI;
+        let phi = v * std::f32::consts::TAU;
+        center
+            + Vec3::new(
+                radius * theta.sin() * phi.cos(),
+                radius * theta.cos(),
+                radius * theta.sin() * phi.sin(),
+            )
+    });
+    clamp_or_pad(&mut mesh, target);
+    mesh
+}
+
+/// A capped tube (cylinder bent along `axis`) — limbs, masts, fingers.
+pub fn tube(base: Vec3, axis: Vec3, radius: f32, target: u64) -> MeshData {
+    let (r, c) = grid_dims_for(target);
+    let len = axis.length();
+    let dir = axis.normalized();
+    // Build an orthonormal frame around `dir`.
+    let ref_up = if dir.y.abs() < 0.9 { Vec3::Y } else { Vec3::X };
+    let side = dir.cross(ref_up).normalized();
+    let out = side.cross(dir);
+    let mut mesh = parametric_grid(r.max(1), c.max(3), |u, v| {
+        let ang = v * std::f32::consts::TAU;
+        // Taper the ends so the tube reads as capped.
+        let taper = 1.0 - (2.0 * u - 1.0).powi(8);
+        let rr = radius * taper.max(0.05);
+        base + dir * (u * len) + side * (rr * ang.cos()) + out * (rr * ang.sin())
+    });
+    clamp_or_pad(&mut mesh, target);
+    mesh
+}
+
+/// A swept "hull" profile (the galleon's body): elliptical cross-sections
+/// lofted along X with a keel curve.
+pub fn hull(length: f32, beam: f32, depth: f32, target: u64) -> MeshData {
+    let (r, c) = grid_dims_for(target);
+    let mut mesh = parametric_grid(r.max(2), c.max(3), |u, v| {
+        let x = (u - 0.5) * length;
+        // Narrow the hull toward bow and stern.
+        let w = (1.0 - (2.0 * u - 1.0).powi(2)).max(0.05);
+        let ang = v * std::f32::consts::PI; // half-shell, open deck
+        Vec3::new(x, -depth * w * ang.sin(), beam * 0.5 * w * ang.cos())
+    });
+    clamp_or_pad(&mut mesh, target);
+    mesh
+}
+
+/// A rectangular "sail" billowing in +Z.
+pub fn sail(center: Vec3, width: f32, height: f32, target: u64) -> MeshData {
+    let (r, c) = grid_dims_for(target);
+    let mut mesh = parametric_grid(r.max(1), c.max(1), |u, v| {
+        let billow = (u * std::f32::consts::PI).sin() * (v * std::f32::consts::PI).sin();
+        center
+            + Vec3::new(
+                (v - 0.5) * width,
+                (u - 0.5) * height,
+                0.25 * width * billow,
+            )
+    });
+    clamp_or_pad(&mut mesh, target);
+    mesh
+}
+
+fn clamp_or_pad(mesh: &mut MeshData, target: u64) {
+    // Grid dims may undershoot for tiny/odd targets; pad up. Overshoot can
+    // only happen from the `.max()` floors on dims; trim excess triangles.
+    while mesh.triangle_count() > target {
+        mesh.triangles.pop();
+    }
+    pad_to_exact(mesh, target);
+}
+
+/// Merge several meshes into one (concatenating vertex arrays with index
+/// fix-up). Normals/colors are preserved when *all* parts carry them and
+/// dropped otherwise, keeping the parallel-array invariant.
+pub fn merge(parts: &[MeshData]) -> MeshData {
+    let all_normals = parts.iter().all(|p| !p.normals.is_empty());
+    let all_colors = parts.iter().all(|p| !p.colors.is_empty());
+    let mut out = MeshData::new(Vec::new(), Vec::new());
+    for p in parts {
+        let base = out.positions.len() as u32;
+        out.positions.extend_from_slice(&p.positions);
+        if all_normals {
+            out.normals.extend_from_slice(&p.normals);
+        }
+        if all_colors {
+            out.colors.extend_from_slice(&p.colors);
+        }
+        out.triangles
+            .extend(p.triangles.iter().map(|t| [t[0] + base, t[1] + base, t[2] + base]));
+        out.texture_bytes += p.texture_bytes;
+    }
+    out
+}
+
+/// Rigid-transform a mesh in place.
+pub fn transform(mesh: &mut MeshData, rotation: Quat, translation: Vec3) {
+    for p in &mut mesh.positions {
+        *p = rotation.rotate(*p) + translation;
+    }
+    for n in &mut mesh.normals {
+        *n = rotation.rotate(*n);
+    }
+}
+
+/// Paint the whole mesh one color.
+pub fn paint(mesh: &mut MeshData, color: Vec3) {
+    mesh.colors = vec![color; mesh.positions.len()];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_triangle_count_exact() {
+        let m = parametric_grid(4, 6, |u, v| Vec3::new(u, v, 0.0));
+        assert_eq!(m.triangle_count(), 2 * 4 * 6);
+        assert_eq!(m.vertex_count(), 5 * 7);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn sphere_hits_exact_budget() {
+        for target in [100u64, 101, 5_500, 7_777] {
+            let m = sphere(Vec3::ZERO, 1.0, target);
+            assert_eq!(m.triangle_count(), target, "target {target}");
+            m.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn sphere_vertices_on_surface() {
+        let m = sphere(Vec3::new(1.0, 2.0, 3.0), 2.0, 500);
+        for p in &m.positions {
+            let d = (*p - Vec3::new(1.0, 2.0, 3.0)).length();
+            assert!((d - 2.0).abs() < 1e-3, "vertex off sphere: {d}");
+        }
+    }
+
+    #[test]
+    fn tube_spans_axis() {
+        let m = tube(Vec3::ZERO, Vec3::new(0.0, 4.0, 0.0), 0.5, 600);
+        let b = m.bounds();
+        assert!(b.max.y > 3.9 && b.min.y < 0.1);
+        assert_eq!(m.triangle_count(), 600);
+    }
+
+    #[test]
+    fn pad_to_exact_adds_correct_count() {
+        let mut m = parametric_grid(2, 2, |u, v| Vec3::new(u, v, 0.0)); // 8 tris
+        pad_to_exact(&mut m, 13);
+        assert_eq!(m.triangle_count(), 13);
+        m.validate().unwrap();
+        // Normals stay parallel.
+        assert_eq!(m.normals.len(), m.positions.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn pad_cannot_shrink() {
+        let mut m = parametric_grid(2, 2, |u, v| Vec3::new(u, v, 0.0));
+        pad_to_exact(&mut m, 1);
+    }
+
+    #[test]
+    fn merge_concatenates_and_fixes_indices() {
+        let a = sphere(Vec3::ZERO, 1.0, 100);
+        let b = sphere(Vec3::new(5.0, 0.0, 0.0), 1.0, 60);
+        let m = merge(&[a.clone(), b]);
+        assert_eq!(m.triangle_count(), 160);
+        m.validate().unwrap();
+        assert!(m.bounds().contains(Vec3::new(5.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn merge_drops_colors_unless_universal() {
+        let mut a = sphere(Vec3::ZERO, 1.0, 10);
+        paint(&mut a, Vec3::X);
+        let b = sphere(Vec3::ZERO, 1.0, 10); // uncolored
+        let m = merge(&[a.clone(), b.clone()]);
+        assert!(m.colors.is_empty());
+        let mut b2 = b;
+        paint(&mut b2, Vec3::Y);
+        let m2 = merge(&[a, b2]);
+        assert_eq!(m2.colors.len(), m2.positions.len());
+        m2.validate().unwrap();
+    }
+
+    #[test]
+    fn transform_moves_bounds() {
+        let mut m = sphere(Vec3::ZERO, 1.0, 50);
+        transform(&mut m, Quat::IDENTITY, Vec3::new(10.0, 0.0, 0.0));
+        assert!(m.bounds().center().distance(Vec3::new(10.0, 0.0, 0.0)) < 0.2);
+    }
+
+    #[test]
+    fn grid_dims_factorization() {
+        let (r, c) = grid_dims_for(5500);
+        assert_eq!(2 * r as u64 * c as u64, 5500 / 2 * 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! Signed-distance-style implicit bodies.
+//!
+//! The Visible-Man skeleton entered the paper's pipeline as volume data
+//! that was isosurfaced; we rebuild equivalent input as smooth implicit
+//! bodies (unions of capsules and ellipsoids) that [`crate::marching`]
+//! polygonizes.
+
+use rave_math::Vec3;
+
+/// A scalar field sampled over space; the isosurface sits at `value = 0`
+/// (negative inside).
+pub trait ScalarField: Sync {
+    fn sample(&self, p: Vec3) -> f32;
+
+    /// Gradient by central differences (isosurface normals).
+    fn gradient(&self, p: Vec3) -> Vec3 {
+        const H: f32 = 1e-3;
+        Vec3::new(
+            self.sample(p + Vec3::new(H, 0.0, 0.0)) - self.sample(p - Vec3::new(H, 0.0, 0.0)),
+            self.sample(p + Vec3::new(0.0, H, 0.0)) - self.sample(p - Vec3::new(0.0, H, 0.0)),
+            self.sample(p + Vec3::new(0.0, 0.0, H)) - self.sample(p - Vec3::new(0.0, 0.0, H)),
+        )
+        .normalized()
+    }
+}
+
+/// Distance to a sphere surface.
+#[derive(Debug, Clone, Copy)]
+pub struct Sphere {
+    pub center: Vec3,
+    pub radius: f32,
+}
+
+impl ScalarField for Sphere {
+    fn sample(&self, p: Vec3) -> f32 {
+        (p - self.center).length() - self.radius
+    }
+}
+
+/// Distance to a capsule (line segment with radius) — bones and fingers.
+#[derive(Debug, Clone, Copy)]
+pub struct Capsule {
+    pub a: Vec3,
+    pub b: Vec3,
+    pub radius: f32,
+}
+
+impl ScalarField for Capsule {
+    fn sample(&self, p: Vec3) -> f32 {
+        let ab = self.b - self.a;
+        let t = ((p - self.a).dot(ab) / ab.length_sq()).clamp(0.0, 1.0);
+        (p - (self.a + ab * t)).length() - self.radius
+    }
+}
+
+/// An axis-aligned ellipsoid (approximate distance) — skulls and torsos.
+#[derive(Debug, Clone, Copy)]
+pub struct Ellipsoid {
+    pub center: Vec3,
+    pub radii: Vec3,
+}
+
+impl ScalarField for Ellipsoid {
+    fn sample(&self, p: Vec3) -> f32 {
+        let q = p - self.center;
+        let k = Vec3::new(q.x / self.radii.x, q.y / self.radii.y, q.z / self.radii.z).length();
+        // First-order distance approximation; adequate for polygonization.
+        let min_r = self.radii.x.min(self.radii.y).min(self.radii.z);
+        (k - 1.0) * min_r
+    }
+}
+
+/// Smooth union of many parts (the "blobby" body).
+pub struct Blobby {
+    parts: Vec<Box<dyn ScalarField + Send>>,
+    /// Smoothing radius; 0 = hard min.
+    pub smoothing: f32,
+}
+
+impl Blobby {
+    pub fn new(smoothing: f32) -> Self {
+        Self { parts: Vec::new(), smoothing }
+    }
+
+    pub fn push(&mut self, part: impl ScalarField + Send + 'static) -> &mut Self {
+        self.parts.push(Box::new(part));
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+}
+
+impl ScalarField for Blobby {
+    fn sample(&self, p: Vec3) -> f32 {
+        let mut d = f32::INFINITY;
+        for part in &self.parts {
+            let pd = part.sample(p);
+            if d.is_infinite() {
+                // First part: the smooth-min formula would produce INF*0
+                // = NaN against the empty-union identity.
+                d = pd;
+            } else if self.smoothing > 0.0 {
+                // Polynomial smooth-min keeps the union round at joints.
+                let h = ((self.smoothing + d - pd) / (2.0 * self.smoothing)).clamp(0.0, 1.0);
+                d = d * (1.0 - h) + pd * h - self.smoothing * h * (1.0 - h);
+            } else {
+                d = d.min(pd);
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_signs() {
+        let s = Sphere { center: Vec3::ZERO, radius: 1.0 };
+        assert!(s.sample(Vec3::ZERO) < 0.0);
+        assert!(s.sample(Vec3::new(2.0, 0.0, 0.0)) > 0.0);
+        assert!(s.sample(Vec3::X).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capsule_distance_from_segment() {
+        let c = Capsule { a: Vec3::ZERO, b: Vec3::new(2.0, 0.0, 0.0), radius: 0.5 };
+        // Point beside the middle of the segment.
+        assert!((c.sample(Vec3::new(1.0, 1.0, 0.0)) - 0.5).abs() < 1e-6);
+        // Beyond the end cap.
+        assert!((c.sample(Vec3::new(3.0, 0.0, 0.0)) - 0.5).abs() < 1e-6);
+        // Inside.
+        assert!(c.sample(Vec3::new(1.0, 0.0, 0.0)) < 0.0);
+    }
+
+    #[test]
+    fn ellipsoid_axes() {
+        let e = Ellipsoid { center: Vec3::ZERO, radii: Vec3::new(2.0, 1.0, 1.0) };
+        assert!(e.sample(Vec3::new(2.0, 0.0, 0.0)).abs() < 1e-5);
+        assert!(e.sample(Vec3::new(0.0, 1.0, 0.0)).abs() < 1e-5);
+        assert!(e.sample(Vec3::ZERO) < 0.0);
+    }
+
+    #[test]
+    fn blobby_union_includes_all_parts() {
+        let mut b = Blobby::new(0.0);
+        b.push(Sphere { center: Vec3::ZERO, radius: 1.0 });
+        b.push(Sphere { center: Vec3::new(5.0, 0.0, 0.0), radius: 1.0 });
+        assert!(b.sample(Vec3::ZERO) < 0.0);
+        assert!(b.sample(Vec3::new(5.0, 0.0, 0.0)) < 0.0);
+        assert!(b.sample(Vec3::new(2.5, 0.0, 0.0)) > 0.0);
+    }
+
+    #[test]
+    fn smooth_union_bulges_at_joint() {
+        let make = |s: f32| {
+            let mut b = Blobby::new(s);
+            b.push(Sphere { center: Vec3::new(-0.9, 0.0, 0.0), radius: 1.0 });
+            b.push(Sphere { center: Vec3::new(0.9, 0.0, 0.0), radius: 1.0 });
+            b
+        };
+        let joint = Vec3::new(0.0, 1.1, 0.0);
+        let hard = make(0.0).sample(joint);
+        let smooth = make(0.5).sample(joint);
+        assert!(smooth < hard, "smoothing pulls the surface outward at joints");
+    }
+
+    #[test]
+    fn gradient_points_outward() {
+        let s = Sphere { center: Vec3::ZERO, radius: 1.0 };
+        let g = s.gradient(Vec3::new(2.0, 0.0, 0.0));
+        assert!((g.x - 1.0).abs() < 1e-2);
+    }
+}

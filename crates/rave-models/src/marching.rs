@@ -1,0 +1,263 @@
+//! Isosurface extraction by marching tetrahedra.
+//!
+//! Each grid cell is decomposed into 6 tetrahedra; each tetrahedron emits
+//! 0, 1 or 2 triangles depending on the sign pattern of its corners, with
+//! vertices placed by linear interpolation along sign-crossing edges.
+//! Output is watertight across cells because shared faces see identical
+//! corner samples. Cells are processed in parallel rows via Rayon (this is
+//! the biggest single compute in model construction).
+
+use crate::implicit::ScalarField;
+use rave_math::{Aabb, Vec3};
+use rave_scene::MeshData;
+use rayon::prelude::*;
+
+/// The 6-tetrahedron decomposition of a unit cell, as corner indices into
+/// the cell's 8 corners (standard Kuhn split).
+const TETS: [[usize; 4]; 6] = [
+    [0, 5, 1, 6],
+    [0, 1, 2, 6],
+    [0, 2, 3, 6],
+    [0, 3, 7, 6],
+    [0, 7, 4, 6],
+    [0, 4, 5, 6],
+];
+
+/// Corner offsets of a cell, in (x, y, z) order matching `TETS`.
+const CORNERS: [(f32, f32, f32); 8] = [
+    (0.0, 0.0, 0.0),
+    (1.0, 0.0, 0.0),
+    (1.0, 1.0, 0.0),
+    (0.0, 1.0, 0.0),
+    (0.0, 0.0, 1.0),
+    (1.0, 0.0, 1.0),
+    (1.0, 1.0, 1.0),
+    (0.0, 1.0, 1.0),
+];
+
+fn interp(p0: Vec3, v0: f32, p1: Vec3, v1: f32) -> Vec3 {
+    let denom = v1 - v0;
+    let t = if denom.abs() < 1e-12 { 0.5 } else { (-v0 / denom).clamp(0.0, 1.0) };
+    p0.lerp(p1, t)
+}
+
+fn emit_tet(
+    corners: &[(Vec3, f32); 8],
+    tet: &[usize; 4],
+    tris: &mut Vec<[Vec3; 3]>,
+) {
+    let (p, v): (Vec<Vec3>, Vec<f32>) =
+        tet.iter().map(|&i| corners[i]).unzip();
+    let mut inside = [false; 4];
+    let mut n_inside = 0;
+    for i in 0..4 {
+        inside[i] = v[i] < 0.0;
+        if inside[i] {
+            n_inside += 1;
+        }
+    }
+    // Indices of inside/outside corners, deterministic order.
+    let ins: Vec<usize> = (0..4).filter(|&i| inside[i]).collect();
+    let outs: Vec<usize> = (0..4).filter(|&i| !inside[i]).collect();
+    match n_inside {
+        0 | 4 => {}
+        1 => {
+            let a = ins[0];
+            tris.push([
+                interp(p[a], v[a], p[outs[0]], v[outs[0]]),
+                interp(p[a], v[a], p[outs[1]], v[outs[1]]),
+                interp(p[a], v[a], p[outs[2]], v[outs[2]]),
+            ]);
+        }
+        3 => {
+            let a = outs[0];
+            tris.push([
+                interp(p[a], v[a], p[ins[0]], v[ins[0]]),
+                interp(p[a], v[a], p[ins[2]], v[ins[2]]),
+                interp(p[a], v[a], p[ins[1]], v[ins[1]]),
+            ]);
+        }
+        2 => {
+            // Quad between the two crossing pairs, split into 2 triangles.
+            let q0 = interp(p[ins[0]], v[ins[0]], p[outs[0]], v[outs[0]]);
+            let q1 = interp(p[ins[0]], v[ins[0]], p[outs[1]], v[outs[1]]);
+            let q2 = interp(p[ins[1]], v[ins[1]], p[outs[1]], v[outs[1]]);
+            let q3 = interp(p[ins[1]], v[ins[1]], p[outs[0]], v[outs[0]]);
+            tris.push([q0, q1, q2]);
+            tris.push([q0, q2, q3]);
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Polygonize the zero isosurface of `field` inside `bounds` on a
+/// `res³`-cell grid. Returns a welded, indexed mesh with smooth normals
+/// from the field gradient.
+pub fn polygonize(field: &(impl ScalarField + ?Sized), bounds: Aabb, res: u32) -> MeshData {
+    assert!(res >= 1);
+    let n = res as usize;
+    let ext = bounds.extent();
+    let cell = Vec3::new(ext.x / res as f32, ext.y / res as f32, ext.z / res as f32);
+
+    // Sample the lattice once: (n+1)^3 values.
+    let lat = n + 1;
+    let sample_at = |x: usize, y: usize, z: usize| {
+        bounds.min
+            + Vec3::new(x as f32 * cell.x, y as f32 * cell.y, z as f32 * cell.z)
+    };
+    let samples: Vec<f32> = (0..lat * lat * lat)
+        .into_par_iter()
+        .map(|i| {
+            let x = i % lat;
+            let y = (i / lat) % lat;
+            let z = i / (lat * lat);
+            field.sample(sample_at(x, y, z))
+        })
+        .collect();
+    let value = |x: usize, y: usize, z: usize| samples[x + lat * (y + lat * z)];
+
+    // March cells, one z-slab per parallel task.
+    let slabs: Vec<Vec<[Vec3; 3]>> = (0..n)
+        .into_par_iter()
+        .map(|z| {
+            let mut tris = Vec::new();
+            for y in 0..n {
+                for x in 0..n {
+                    let mut corners = [(Vec3::ZERO, 0.0f32); 8];
+                    let mut all_pos = true;
+                    let mut all_neg = true;
+                    for (i, &(dx, dy, dz)) in CORNERS.iter().enumerate() {
+                        let cx = x + dx as usize;
+                        let cy = y + dy as usize;
+                        let cz = z + dz as usize;
+                        let v = value(cx, cy, cz);
+                        corners[i] = (sample_at(cx, cy, cz), v);
+                        all_pos &= v >= 0.0;
+                        all_neg &= v < 0.0;
+                    }
+                    if all_pos || all_neg {
+                        continue;
+                    }
+                    for tet in &TETS {
+                        emit_tet(&corners, tet, &mut tris);
+                    }
+                }
+            }
+            tris
+        })
+        .collect();
+
+    // Weld vertices by quantized position so the output is indexed.
+    let mut mesh = MeshData::new(Vec::new(), Vec::new());
+    let quant = |p: Vec3| {
+        let s = 1.0 / (cell.x.min(cell.y).min(cell.z) * 1e-3).max(1e-9);
+        ((p.x * s).round() as i64, (p.y * s).round() as i64, (p.z * s).round() as i64)
+    };
+    let mut index: std::collections::HashMap<(i64, i64, i64), u32> = std::collections::HashMap::new();
+    for tri in slabs.iter().flatten() {
+        let mut idx = [0u32; 3];
+        for (k, &p) in tri.iter().enumerate() {
+            let key = quant(p);
+            idx[k] = *index.entry(key).or_insert_with(|| {
+                mesh.positions.push(p);
+                (mesh.positions.len() - 1) as u32
+            });
+        }
+        // Drop degenerate triangles produced by corner-touching cases.
+        if idx[0] != idx[1] && idx[1] != idx[2] && idx[0] != idx[2] {
+            mesh.triangles.push(idx);
+        }
+    }
+    mesh.normals = mesh.positions.iter().map(|&p| field.gradient(p)).collect();
+    mesh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::implicit::{Blobby, Capsule, Sphere};
+
+    fn unit_sphere_mesh(res: u32) -> MeshData {
+        let s = Sphere { center: Vec3::ZERO, radius: 1.0 };
+        polygonize(&s, Aabb::new(Vec3::splat(-1.5), Vec3::splat(1.5)), res)
+    }
+
+    #[test]
+    fn sphere_polygonizes_nonempty_valid() {
+        let m = unit_sphere_mesh(16);
+        assert!(m.triangle_count() > 100);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn vertices_lie_near_isosurface() {
+        let m = unit_sphere_mesh(24);
+        for p in &m.positions {
+            let d = (p.length() - 1.0).abs();
+            assert!(d < 0.15, "vertex {p:?} is {d} from the isosurface");
+        }
+    }
+
+    #[test]
+    fn resolution_refines_triangle_count() {
+        let lo = unit_sphere_mesh(8).triangle_count();
+        let hi = unit_sphere_mesh(20).triangle_count();
+        assert!(hi > lo * 3, "lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn surface_area_converges_to_sphere() {
+        let m = unit_sphere_mesh(32);
+        let mut area = 0.0f64;
+        for t in &m.triangles {
+            let a = m.positions[t[0] as usize];
+            let b = m.positions[t[1] as usize];
+            let c = m.positions[t[2] as usize];
+            area += (b - a).cross(c - a).length() as f64 * 0.5;
+        }
+        let expect = 4.0 * std::f64::consts::PI;
+        assert!(
+            (area - expect).abs() / expect < 0.05,
+            "area {area} vs sphere {expect}"
+        );
+    }
+
+    #[test]
+    fn empty_field_produces_empty_mesh() {
+        let s = Sphere { center: Vec3::splat(100.0), radius: 0.1 };
+        let m = polygonize(&s, Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)), 8);
+        assert_eq!(m.triangle_count(), 0);
+    }
+
+    #[test]
+    fn welding_produces_shared_vertices() {
+        let m = unit_sphere_mesh(12);
+        // A triangle soup would have 3 vertices per triangle; welding must
+        // do much better.
+        assert!(
+            (m.vertex_count() as u64) < m.triangle_count() * 3 / 2,
+            "verts {} tris {}",
+            m.vertex_count(),
+            m.triangle_count()
+        );
+    }
+
+    #[test]
+    fn blobby_capsule_polygonizes() {
+        let mut b = Blobby::new(0.1);
+        b.push(Capsule { a: Vec3::ZERO, b: Vec3::new(2.0, 0.0, 0.0), radius: 0.3 });
+        let m = polygonize(&b, Aabb::new(Vec3::splat(-1.0), Vec3::new(3.0, 1.0, 1.0)), 20);
+        assert!(m.triangle_count() > 50);
+        m.validate().unwrap();
+        let bb = m.bounds();
+        assert!(bb.max.x > 1.8, "capsule spans x: {:?}", bb);
+    }
+
+    #[test]
+    fn normals_point_outward_on_sphere() {
+        let m = unit_sphere_mesh(16);
+        for (p, n) in m.positions.iter().zip(&m.normals) {
+            assert!(p.normalized().dot(*n) > 0.7, "normal not outward at {p:?}");
+        }
+    }
+}

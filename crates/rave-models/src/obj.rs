@@ -1,0 +1,234 @@
+//! Wavefront OBJ writer/parser.
+//!
+//! "The models were in PLY format, converted to Wavefront OBJ and then
+//! imported into our data service" (§5) — this module is the OBJ side of
+//! that real conversion pipeline.
+
+use rave_math::Vec3;
+use rave_scene::MeshData;
+use std::io::{BufRead, Write};
+
+/// Write a mesh as OBJ (`v`, optional `vn`, `f` records; faces reference
+/// normals when present).
+pub fn write<W: Write>(mesh: &MeshData, mut w: W) -> std::io::Result<()> {
+    let mut buf = String::with_capacity(64);
+    use std::fmt::Write as _;
+    for p in &mesh.positions {
+        buf.clear();
+        let _ = writeln!(buf, "v {:.4} {:.4} {:.4}", p.x, p.y, p.z);
+        w.write_all(buf.as_bytes())?;
+    }
+    let has_normals = !mesh.normals.is_empty();
+    if has_normals {
+        for n in &mesh.normals {
+            buf.clear();
+            let _ = writeln!(buf, "vn {:.3} {:.3} {:.3}", n.x, n.y, n.z);
+            w.write_all(buf.as_bytes())?;
+        }
+    }
+    for t in &mesh.triangles {
+        buf.clear();
+        if has_normals {
+            let _ = writeln!(
+                buf,
+                "f {}//{} {}//{} {}//{}",
+                t[0] + 1,
+                t[0] + 1,
+                t[1] + 1,
+                t[1] + 1,
+                t[2] + 1,
+                t[2] + 1
+            );
+        } else {
+            let _ = writeln!(buf, "f {} {} {}", t[0] + 1, t[1] + 1, t[2] + 1);
+        }
+        w.write_all(buf.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Parse OBJ text. Supports `v`, `vn`, `f` (triangles and larger polygons,
+/// fan-triangulated), comments, and unknown records (skipped). Vertex
+/// indices may be `i`, `i/t`, `i//n` or `i/t/n`, and may be negative
+/// (relative).
+pub fn read<R: BufRead>(r: R) -> std::io::Result<MeshData> {
+    let mut positions: Vec<Vec3> = Vec::new();
+    let mut normals_pool: Vec<Vec3> = Vec::new();
+    let mut normals: Vec<Vec3> = Vec::new();
+    let mut triangles: Vec<[u32; 3]> = Vec::new();
+
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("v") => {
+                let mut xyz = [0.0f32; 3];
+                for x in &mut xyz {
+                    *x = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| bad(format!("line {}: bad vertex", lineno + 1)))?;
+                }
+                positions.push(Vec3::new(xyz[0], xyz[1], xyz[2]));
+            }
+            Some("vn") => {
+                let mut xyz = [0.0f32; 3];
+                for x in &mut xyz {
+                    *x = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| bad(format!("line {}: bad normal", lineno + 1)))?;
+                }
+                normals_pool.push(Vec3::new(xyz[0], xyz[1], xyz[2]));
+            }
+            Some("f") => {
+                let mut verts: Vec<(u32, Option<u32>)> = Vec::new();
+                for token in parts {
+                    let mut fields = token.split('/');
+                    let vi_raw: i64 = fields
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| bad(format!("line {}: bad face index", lineno + 1)))?;
+                    let vi = resolve_index(vi_raw, positions.len())
+                        .ok_or_else(|| bad(format!("line {}: index out of range", lineno + 1)))?;
+                    let _vt = fields.next(); // texture coord index, unused
+                    let ni = fields
+                        .next()
+                        .filter(|s| !s.is_empty())
+                        .and_then(|s| s.parse::<i64>().ok())
+                        .and_then(|n| resolve_index(n, normals_pool.len()));
+                    verts.push((vi, ni));
+                }
+                if verts.len() < 3 {
+                    return Err(bad(format!("line {}: face with <3 vertices", lineno + 1)));
+                }
+                for k in 1..verts.len() - 1 {
+                    triangles.push([verts[0].0, verts[k].0, verts[k + 1].0]);
+                }
+                // Record per-vertex normals if the face names them; filled
+                // into position order below.
+                for &(vi, ni) in &verts {
+                    if let Some(n) = ni {
+                        if normals.len() < positions.len() {
+                            normals.resize(positions.len(), Vec3::ZERO);
+                        }
+                        normals[vi as usize] = normals_pool[n as usize];
+                    }
+                }
+            }
+            _ => {} // mtllib/usemtl/g/o/s/vt — irrelevant to import
+        }
+    }
+    let mut mesh = MeshData::new(positions, triangles);
+    if normals.len() == mesh.positions.len() && !normals.is_empty() {
+        mesh.normals = normals;
+    }
+    mesh.validate()
+        .map_err(|e| bad(format!("invalid mesh: {e}")))?;
+    Ok(mesh)
+}
+
+/// OBJ indices are 1-based; negative counts from the end.
+fn resolve_index(raw: i64, len: usize) -> Option<u32> {
+    let idx = if raw > 0 {
+        raw - 1
+    } else if raw < 0 {
+        len as i64 + raw
+    } else {
+        return None;
+    };
+    if (0..len as i64).contains(&idx) {
+        Some(idx as u32)
+    } else {
+        None
+    }
+}
+
+/// Size in bytes the mesh occupies as OBJ text (without materializing the
+/// whole file in memory).
+pub fn file_size(mesh: &MeshData) -> u64 {
+    struct CountingSink(u64);
+    impl Write for CountingSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0 += buf.len() as u64;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let mut sink = CountingSink(0);
+    write(mesh, &mut sink).expect("counting sink cannot fail");
+    sink.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::sphere;
+
+    #[test]
+    fn roundtrip_preserves_geometry() {
+        let m = sphere(Vec3::ZERO, 1.0, 200);
+        let mut buf = Vec::new();
+        write(&m, &mut buf).unwrap();
+        let back = read(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back.triangle_count(), m.triangle_count());
+        assert_eq!(back.vertex_count(), m.vertex_count());
+        // Positions match to the 4-decimal precision of the writer.
+        for (a, b) in m.positions.iter().zip(&back.positions) {
+            assert!((a.x - b.x).abs() < 1e-3);
+            assert!((a.y - b.y).abs() < 1e-3);
+            assert!((a.z - b.z).abs() < 1e-3);
+        }
+        assert_eq!(back.normals.len(), back.positions.len());
+    }
+
+    #[test]
+    fn parses_quads_by_fanning() {
+        let text = "v 0 0 0\nv 1 0 0\nv 1 1 0\nv 0 1 0\nf 1 2 3 4\n";
+        let m = read(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(m.triangle_count(), 2);
+    }
+
+    #[test]
+    fn parses_negative_indices() {
+        let text = "v 0 0 0\nv 1 0 0\nv 0 1 0\nf -3 -2 -1\n";
+        let m = read(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(m.triangle_count(), 1);
+        assert_eq!(m.triangles[0], [0, 1, 2]);
+    }
+
+    #[test]
+    fn skips_comments_and_unknown_records() {
+        let text = "# comment\nmtllib foo.mtl\ng group\nv 0 0 0\nv 1 0 0\nv 0 1 0\ns off\nf 1 2 3\n";
+        let m = read(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(m.triangle_count(), 1);
+    }
+
+    #[test]
+    fn rejects_out_of_range_index() {
+        let text = "v 0 0 0\nf 1 2 3\n";
+        assert!(read(std::io::Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn rejects_two_vertex_face() {
+        let text = "v 0 0 0\nv 1 0 0\nf 1 2\n";
+        assert!(read(std::io::Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn file_size_matches_actual_bytes() {
+        let m = sphere(Vec3::ZERO, 1.0, 64);
+        let mut buf = Vec::new();
+        write(&m, &mut buf).unwrap();
+        assert_eq!(file_size(&m), buf.len() as u64);
+    }
+}

@@ -1,0 +1,141 @@
+//! Serializing send queues.
+//!
+//! A link can only carry one message at a time; a sender streaming frames
+//! faster than the wire drains them queues behind itself. This is what
+//! turns the wireless link's 580 kB/s into the PDA's ~5 fps ceiling: each
+//! frame's *arrival* time is `max(now, link_free) + tx + latency`.
+
+use crate::link::LinkSpec;
+use rave_sim::SimTime;
+
+/// A one-way serializing channel over a link.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    link: LinkSpec,
+    /// When the wire finishes carrying the last queued message.
+    busy_until: SimTime,
+    /// Total payload bytes accepted.
+    bytes_sent: u64,
+    messages_sent: u64,
+}
+
+impl Channel {
+    pub fn new(link: LinkSpec) -> Self {
+        Self { link, busy_until: SimTime::ZERO, bytes_sent: 0, messages_sent: 0 }
+    }
+
+    pub fn link(&self) -> &LinkSpec {
+        &self.link
+    }
+
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Time the wire becomes free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Queue a message of `bytes` at time `now`; returns its arrival time
+    /// at the receiver.
+    pub fn send(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let start = now.max(self.busy_until);
+        let done_tx = start + self.link.tx_time(bytes);
+        self.busy_until = done_tx;
+        self.bytes_sent += bytes;
+        self.messages_sent += 1;
+        done_tx + self.link.latency
+    }
+
+    /// Queueing delay a message sent at `now` would experience before its
+    /// bits start flowing.
+    pub fn backlog(&self, now: SimTime) -> SimTime {
+        if self.busy_until > now {
+            self.busy_until - now
+        } else {
+            SimTime::ZERO
+        }
+    }
+
+    /// Mean goodput since t=0 if the channel has been saturated.
+    pub fn observed_goodput(&self, now: SimTime) -> f64 {
+        if now <= SimTime::ZERO {
+            0.0
+        } else {
+            self.bytes_sent as f64 / now.as_secs()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_channel_delivers_after_tx_plus_latency() {
+        let mut c = Channel::new(LinkSpec::ethernet_100mb());
+        let arrival = c.send(SimTime::from_secs(1.0), 1_000_000);
+        let expect = SimTime::from_secs(1.0) + c.link().transfer_time(1_000_000);
+        assert_eq!(arrival, expect);
+    }
+
+    #[test]
+    fn back_to_back_sends_queue() {
+        let mut c = Channel::new(LinkSpec::wireless_11mb(1.0));
+        let a1 = c.send(SimTime::ZERO, 120_000);
+        let a2 = c.send(SimTime::ZERO, 120_000);
+        let a3 = c.send(SimTime::ZERO, 120_000);
+        assert!(a2 > a1 && a3 > a2);
+        // Spacing equals the tx time (pipeline steady state).
+        let gap12 = (a2 - a1).as_secs();
+        let tx = c.link().tx_time(120_000).as_secs();
+        assert!((gap12 - tx).abs() < 1e-9);
+        assert_eq!(c.messages_sent(), 3);
+    }
+
+    #[test]
+    fn wireless_stream_caps_near_five_fps() {
+        // Stream 20 frames of 120 kB: the paper's 5 fps ceiling.
+        let mut c = Channel::new(LinkSpec::wireless_11mb(1.0));
+        let mut last = SimTime::ZERO;
+        for _ in 0..20 {
+            last = c.send(SimTime::ZERO, 120_000);
+        }
+        let fps = 20.0 / last.as_secs();
+        assert!((4.0..6.0).contains(&fps), "streamed fps {fps}");
+    }
+
+    #[test]
+    fn idle_gap_resets_queueing() {
+        let mut c = Channel::new(LinkSpec::ethernet_100mb());
+        c.send(SimTime::ZERO, 1_000_000);
+        // Long idle gap: next send sees an empty queue.
+        let late = SimTime::from_secs(10.0);
+        assert_eq!(c.backlog(late), SimTime::ZERO);
+        let arrival = c.send(late, 1000);
+        assert_eq!(arrival, late + c.link().transfer_time(1000));
+    }
+
+    #[test]
+    fn backlog_reflects_queue() {
+        let mut c = Channel::new(LinkSpec::wireless_11mb(1.0));
+        c.send(SimTime::ZERO, 1_200_000);
+        assert!(c.backlog(SimTime::ZERO).as_secs() > 1.0);
+    }
+
+    #[test]
+    fn observed_goodput_sane() {
+        let mut c = Channel::new(LinkSpec::wireless_11mb(1.0));
+        let mut t = SimTime::ZERO;
+        for _ in 0..10 {
+            t = c.send(t, 120_000);
+        }
+        let goodput = c.observed_goodput(t);
+        assert!((400_000.0..700_000.0).contains(&goodput), "goodput {goodput}");
+    }
+}

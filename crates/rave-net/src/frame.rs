@@ -1,0 +1,210 @@
+//! The binary socket protocol.
+//!
+//! §4.3: "we only use Grid/Web services for initial service discovery ...
+//! We then back off from SOAP and use direct socket communication to send
+//! binary information." These are those binary frames: a fixed header
+//! (magic, kind, length) followed by an opaque payload. Streaming decode
+//! supports partial buffers, because simulated sockets deliver bytes in
+//! link-sized chunks.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Frame magic: `0xCADF` — CArdiff Data Format, in the spirit of the
+/// original.
+pub const FRAME_MAGIC: u16 = 0xCADF;
+
+/// Frame type tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Subscription / control handshake.
+    Control = 0,
+    /// A scene update (binary-serialized `StampedUpdate`).
+    SceneUpdate = 1,
+    /// A full rendered framebuffer (RGB bytes) for a thin client.
+    FrameBuffer = 2,
+    /// A rendered tile (tile rect + RGB bytes).
+    Tile = 3,
+    /// A color+depth buffer for depth compositing.
+    DepthBuffer = 4,
+    /// Scene bootstrap payload (marshalled tree).
+    Bootstrap = 5,
+    /// Camera/interaction event from a client.
+    Interaction = 6,
+}
+
+impl FrameKind {
+    pub fn from_u8(v: u8) -> Option<FrameKind> {
+        Some(match v {
+            0 => FrameKind::Control,
+            1 => FrameKind::SceneUpdate,
+            2 => FrameKind::FrameBuffer,
+            3 => FrameKind::Tile,
+            4 => FrameKind::DepthBuffer,
+            5 => FrameKind::Bootstrap,
+            6 => FrameKind::Interaction,
+            _ => return None,
+        })
+    }
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    pub kind: FrameKind,
+    pub payload: Bytes,
+}
+
+/// Decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    BadMagic(u16),
+    UnknownKind(u8),
+    /// Declared length exceeds the sanity cap (corrupt stream).
+    Oversized(u32),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:#06x}"),
+            FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::Oversized(n) => write!(f, "frame length {n} exceeds cap"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+const HEADER_LEN: usize = 2 + 1 + 4;
+/// Largest legal payload: a 2048×2048 color+depth buffer with headroom.
+const MAX_PAYLOAD: u32 = 64 << 20;
+
+impl Frame {
+    pub fn new(kind: FrameKind, payload: impl Into<Bytes>) -> Self {
+        Self { kind, payload: payload.into() }
+    }
+
+    /// Total encoded size (header + payload) — the byte count charged to
+    /// the simulated link.
+    pub fn wire_size(&self) -> u64 {
+        (HEADER_LEN + self.payload.len()) as u64
+    }
+
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(HEADER_LEN + self.payload.len());
+        buf.put_u16(FRAME_MAGIC);
+        buf.put_u8(self.kind as u8);
+        buf.put_u32(self.payload.len() as u32);
+        buf.extend_from_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Try to decode one frame from the front of `buf`. Returns:
+    /// - `Ok(Some(frame))` and consumes its bytes,
+    /// - `Ok(None)` if more bytes are needed (partial frame),
+    /// - `Err(..)` on a corrupt stream (caller should drop the
+    ///   connection, as a TCP reader would).
+    pub fn decode(buf: &mut BytesMut) -> Result<Option<Frame>, FrameError> {
+        if buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let magic = u16::from_be_bytes([buf[0], buf[1]]);
+        if magic != FRAME_MAGIC {
+            return Err(FrameError::BadMagic(magic));
+        }
+        let kind_raw = buf[2];
+        let len = u32::from_be_bytes([buf[3], buf[4], buf[5], buf[6]]);
+        if len > MAX_PAYLOAD {
+            return Err(FrameError::Oversized(len));
+        }
+        if buf.len() < HEADER_LEN + len as usize {
+            return Ok(None);
+        }
+        let kind = FrameKind::from_u8(kind_raw).ok_or(FrameError::UnknownKind(kind_raw))?;
+        buf.advance(HEADER_LEN);
+        let payload = buf.split_to(len as usize).freeze();
+        Ok(Some(Frame { kind, payload }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let f = Frame::new(FrameKind::SceneUpdate, &b"hello"[..]);
+        let mut buf = BytesMut::from(&f.encode()[..]);
+        let decoded = Frame::decode(&mut buf).unwrap().unwrap();
+        assert_eq!(decoded, f);
+        assert!(buf.is_empty(), "all bytes consumed");
+    }
+
+    #[test]
+    fn partial_header_needs_more() {
+        let f = Frame::new(FrameKind::Tile, &b"abc"[..]);
+        let enc = f.encode();
+        let mut buf = BytesMut::from(&enc[..3]);
+        assert_eq!(Frame::decode(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn partial_payload_needs_more() {
+        let f = Frame::new(FrameKind::FrameBuffer, vec![0u8; 100]);
+        let enc = f.encode();
+        let mut buf = BytesMut::from(&enc[..50]);
+        assert_eq!(Frame::decode(&mut buf).unwrap(), None);
+        // Feed the rest: decodes.
+        buf.extend_from_slice(&enc[50..]);
+        assert_eq!(Frame::decode(&mut buf).unwrap().unwrap().payload.len(), 100);
+    }
+
+    #[test]
+    fn stream_of_frames_decodes_in_order() {
+        let frames = vec![
+            Frame::new(FrameKind::Control, &b"sub"[..]),
+            Frame::new(FrameKind::SceneUpdate, &b"u1"[..]),
+            Frame::new(FrameKind::FrameBuffer, vec![7u8; 300]),
+        ];
+        let mut buf = BytesMut::new();
+        for f in &frames {
+            buf.extend_from_slice(&f.encode());
+        }
+        let mut out = Vec::new();
+        while let Some(f) = Frame::decode(&mut buf).unwrap() {
+            out.push(f);
+        }
+        assert_eq!(out, frames);
+    }
+
+    #[test]
+    fn bad_magic_is_fatal() {
+        let mut buf = BytesMut::from(&[0xDEu8, 0xAD, 1, 0, 0, 0, 0][..]);
+        assert!(matches!(Frame::decode(&mut buf), Err(FrameError::BadMagic(0xDEAD))));
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let f = Frame::new(FrameKind::Control, &b""[..]);
+        let mut enc = BytesMut::from(&f.encode()[..]);
+        enc[2] = 99;
+        assert!(matches!(Frame::decode(&mut enc), Err(FrameError::UnknownKind(99))));
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(FRAME_MAGIC);
+        buf.put_u8(0);
+        buf.put_u32(u32::MAX);
+        assert!(matches!(Frame::decode(&mut buf), Err(FrameError::Oversized(_))));
+    }
+
+    #[test]
+    fn wire_size_counts_header() {
+        let f = Frame::new(FrameKind::Control, vec![0u8; 10]);
+        assert_eq!(f.wire_size(), 17);
+        assert_eq!(f.encode().len() as u64, f.wire_size());
+    }
+}

@@ -1,0 +1,164 @@
+//! Point-to-point link models.
+
+use rave_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A transmission medium between two hosts (or segments).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    pub name: String,
+    /// Nominal signalling rate, bits/s (what the datasheet says).
+    pub bandwidth_bps: f64,
+    /// One-way propagation + stack latency.
+    pub latency: SimTime,
+    /// Fixed cost per message (framing, syscalls, interrupts).
+    pub per_message: SimTime,
+    /// Fraction of nominal bandwidth actually achievable as goodput
+    /// (MAC/protocol overhead; ~0.42 for 802.11b, ~0.9 for ethernet).
+    pub efficiency: f64,
+}
+
+impl LinkSpec {
+    /// 100 Mbit switched ethernet — the paper's LAN.
+    pub fn ethernet_100mb() -> Self {
+        Self {
+            name: "ethernet-100".into(),
+            bandwidth_bps: 100.0e6,
+            latency: SimTime::from_micros(200.0),
+            per_message: SimTime::from_micros(120.0),
+            efficiency: 0.90,
+        }
+    }
+
+    /// Gigabit ethernet (for the "larger datasets" future-work sweeps).
+    pub fn ethernet_1gb() -> Self {
+        Self {
+            name: "ethernet-1000".into(),
+            bandwidth_bps: 1.0e9,
+            latency: SimTime::from_micros(80.0),
+            per_message: SimTime::from_micros(50.0),
+            efficiency: 0.92,
+        }
+    }
+
+    /// 11 Mbit/s 802.11b wireless at the given `signal_quality ∈ (0, 1]`.
+    /// Full quality yields ≈580 kB/s goodput — the ceiling the paper
+    /// measured from its 5 fps of 120 kB frames (§5.1). Reduced quality
+    /// scales goodput down, modelling "when the user moves away from an
+    /// access point, or when walls, etc. attenuate the signal".
+    pub fn wireless_11mb(signal_quality: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&signal_quality) && signal_quality > 0.0,
+            "signal quality must be in (0, 1]"
+        );
+        Self {
+            name: "wireless-11".into(),
+            bandwidth_bps: 11.0e6,
+            latency: SimTime::from_millis(2.5),
+            per_message: SimTime::from_millis(1.0),
+            efficiency: 0.435 * signal_quality,
+        }
+    }
+
+    /// Same-host communication.
+    pub fn loopback() -> Self {
+        Self {
+            name: "loopback".into(),
+            bandwidth_bps: 10.0e9,
+            latency: SimTime::from_micros(10.0),
+            per_message: SimTime::from_micros(5.0),
+            efficiency: 1.0,
+        }
+    }
+
+    /// Achievable goodput, bytes/s.
+    pub fn goodput_bytes_per_sec(&self) -> f64 {
+        self.bandwidth_bps * self.efficiency / 8.0
+    }
+
+    /// Serialization (wire occupancy) time for `bytes`, excluding
+    /// propagation latency.
+    pub fn tx_time(&self, bytes: u64) -> SimTime {
+        self.per_message + SimTime::from_secs(bytes as f64 / self.goodput_bytes_per_sec())
+    }
+
+    /// End-to-end one-way transfer time for a single message of `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        self.tx_time(bytes) + self.latency
+    }
+
+    /// Sustainable message rate (messages/s) for back-to-back messages of
+    /// `bytes` — the frame-rate ceiling a streaming sender hits.
+    pub fn sustained_rate(&self, bytes: u64) -> f64 {
+        1.0 / self.tx_time(bytes).as_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wireless_matches_paper_image_receipt() {
+        // Table 2: 120 kB uncompressed 200x200 frame takes ≈0.2 s.
+        let w = LinkSpec::wireless_11mb(1.0);
+        let t = w.transfer_time(120_000).as_secs();
+        assert!((t - 0.20).abs() < 0.02, "wireless 120kB transfer: {t}s");
+    }
+
+    #[test]
+    fn wireless_goodput_near_580kbs() {
+        let w = LinkSpec::wireless_11mb(1.0);
+        let g = w.goodput_bytes_per_sec();
+        assert!((g - 580_000.0).abs() < 40_000.0, "goodput {g}");
+    }
+
+    #[test]
+    fn wireless_frame_rate_ceilings_match_paper() {
+        // §5.1: ≈5 fps max at 200x200, ≈0.6 fps at 640x480.
+        let w = LinkSpec::wireless_11mb(1.0);
+        let fps_small = w.sustained_rate(120_000);
+        let fps_big = w.sustained_rate(921_600);
+        assert!((4.0..6.0).contains(&fps_small), "200x200 ceiling {fps_small}");
+        assert!((0.5..0.75).contains(&fps_big), "640x480 ceiling {fps_big}");
+    }
+
+    #[test]
+    fn signal_quality_scales_bandwidth() {
+        let full = LinkSpec::wireless_11mb(1.0);
+        let weak = LinkSpec::wireless_11mb(0.25);
+        assert!(
+            weak.transfer_time(120_000).as_secs() > full.transfer_time(120_000).as_secs() * 3.0
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_signal_rejected() {
+        LinkSpec::wireless_11mb(0.0);
+    }
+
+    #[test]
+    fn ethernet_much_faster_than_wireless() {
+        let e = LinkSpec::ethernet_100mb();
+        let w = LinkSpec::wireless_11mb(1.0);
+        assert!(e.transfer_time(120_000).as_secs() * 10.0 < w.transfer_time(120_000).as_secs());
+        // 120kB over 100Mb ethernet ≈ 11ms.
+        let t = e.transfer_time(120_000).as_secs();
+        assert!((0.008..0.015).contains(&t), "ethernet 120kB: {t}");
+    }
+
+    #[test]
+    fn tiny_messages_dominated_by_fixed_costs() {
+        let e = LinkSpec::ethernet_100mb();
+        let t1 = e.transfer_time(1).as_secs();
+        let t100 = e.transfer_time(100).as_secs();
+        assert!((t100 - t1) / t1 < 0.05, "fixed costs dominate small messages");
+    }
+
+    #[test]
+    fn loopback_is_cheapest() {
+        let l = LinkSpec::loopback();
+        assert!(l.transfer_time(1_000_000).as_secs() < 0.001);
+    }
+}

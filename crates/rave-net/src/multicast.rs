@@ -1,0 +1,134 @@
+//! Multicast fan-out accounting.
+//!
+//! §3.1.2: "The data service informs the render service of any changes,
+//! using network bandwidth-saving techniques such as multicasting." On a
+//! shared segment one transmission reaches every subscriber; unicast
+//! would cost one transmission per subscriber. This module computes both
+//! so the saving is measurable.
+
+use crate::topology::Network;
+use rave_sim::SimTime;
+use std::collections::BTreeSet;
+
+/// Result of a fan-out cost computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FanoutCost {
+    /// When each receiver gets the message (parallel per segment), as the
+    /// max across receivers.
+    pub completion: SimTime,
+    /// Wire transmissions actually performed.
+    pub transmissions: u32,
+    /// Transmissions unicast would have performed (= receiver count).
+    pub unicast_transmissions: u32,
+}
+
+impl FanoutCost {
+    /// Fraction of unicast transmissions saved.
+    pub fn saving(&self) -> f64 {
+        if self.unicast_transmissions == 0 {
+            return 0.0;
+        }
+        1.0 - self.transmissions as f64 / self.unicast_transmissions as f64
+    }
+}
+
+/// Cost of multicasting `bytes` from `sender` to `receivers`: one
+/// transmission per distinct receiving segment (plus one per receiver on
+/// the sender's own segment if bridging is needed — modelled as a single
+/// segment transmission too, since 2004 multicast rode the LAN broadcast
+/// domain).
+pub fn multicast_cost(
+    net: &Network,
+    sender: &str,
+    receivers: &[&str],
+    bytes: u64,
+) -> FanoutCost {
+    let mut segments = BTreeSet::new();
+    let mut slowest = SimTime::ZERO;
+    let mut count = 0u32;
+    for r in receivers {
+        if *r == sender {
+            continue; // local delivery is free
+        }
+        let seg = net.segment_of(r).unwrap_or_else(|| panic!("unknown host {r}")).to_string();
+        if segments.insert(seg) {
+            count += 1;
+        }
+        slowest = slowest.max(net.transfer_time(sender, r, bytes));
+    }
+    FanoutCost {
+        completion: slowest,
+        transmissions: count,
+        unicast_transmissions: receivers.iter().filter(|r| **r != sender).count() as u32,
+    }
+}
+
+/// Cost of the same fan-out done with unicast sends serialized on the
+/// sender's uplink (the comparison baseline).
+pub fn unicast_cost(net: &Network, sender: &str, receivers: &[&str], bytes: u64) -> SimTime {
+    let mut wire_free = SimTime::ZERO;
+    let mut last_arrival = SimTime::ZERO;
+    for r in receivers {
+        if *r == sender {
+            continue;
+        }
+        let link = net.link_between(sender, r);
+        let start = wire_free;
+        let done_tx = start + link.tx_time(bytes);
+        wire_free = done_tx;
+        last_arrival = last_arrival.max(done_tx + link.latency);
+    }
+    last_arrival
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multicast_charges_once_per_segment() {
+        let net = Network::paper_testbed(1.0);
+        let receivers = ["desktop", "tower", "onyx", "v880z"]; // all on "lan"
+        let cost = multicast_cost(&net, "laptop", &receivers, 10_000);
+        assert_eq!(cost.transmissions, 1);
+        assert_eq!(cost.unicast_transmissions, 4);
+        assert_eq!(cost.saving(), 0.75);
+    }
+
+    #[test]
+    fn cross_segment_adds_transmissions() {
+        let net = Network::paper_testbed(1.0);
+        let receivers = ["desktop", "zaurus"]; // lan + wlan
+        let cost = multicast_cost(&net, "laptop", &receivers, 10_000);
+        assert_eq!(cost.transmissions, 2);
+        // Completion bounded by the slow wireless hop.
+        let wireless = net.transfer_time("laptop", "zaurus", 10_000);
+        assert_eq!(cost.completion, wireless);
+    }
+
+    #[test]
+    fn sender_excluded_from_receivers() {
+        let net = Network::paper_testbed(1.0);
+        let cost = multicast_cost(&net, "laptop", &["laptop", "desktop"], 1000);
+        assert_eq!(cost.unicast_transmissions, 1);
+        assert_eq!(cost.transmissions, 1);
+    }
+
+    #[test]
+    fn multicast_faster_than_unicast_for_many_receivers() {
+        let net = Network::paper_testbed(1.0);
+        let receivers = ["desktop", "tower", "onyx", "v880z", "adrenochrome"];
+        let m = multicast_cost(&net, "laptop", &receivers, 1_000_000).completion;
+        let u = unicast_cost(&net, "laptop", &receivers, 1_000_000);
+        assert!(u.as_secs() > m.as_secs() * 3.0, "unicast {u} vs multicast {m}");
+    }
+
+    #[test]
+    fn empty_receiver_list_is_free() {
+        let net = Network::paper_testbed(1.0);
+        let cost = multicast_cost(&net, "laptop", &[], 1000);
+        assert_eq!(cost.transmissions, 0);
+        assert_eq!(cost.completion, SimTime::ZERO);
+        assert_eq!(cost.saving(), 0.0);
+    }
+}

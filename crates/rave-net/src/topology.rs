@@ -1,0 +1,182 @@
+//! Named hosts, segments and the links between them.
+
+use crate::link::LinkSpec;
+use rave_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// A network of hosts grouped into segments (LANs). Hosts on the same
+/// segment talk over the segment's intra-link; hosts on different segments
+/// use the link registered for that segment pair (or the default).
+#[derive(Debug, Clone)]
+pub struct Network {
+    hosts: BTreeMap<String, String>, // host -> segment
+    intra: BTreeMap<String, LinkSpec>, // segment -> link within it
+    inter: BTreeMap<(String, String), LinkSpec>, // sorted pair -> link
+    default_inter: LinkSpec,
+    loopback: LinkSpec,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Network {
+    pub fn new() -> Self {
+        Self {
+            hosts: BTreeMap::new(),
+            intra: BTreeMap::new(),
+            inter: BTreeMap::new(),
+            default_inter: LinkSpec::ethernet_100mb(),
+            loopback: LinkSpec::loopback(),
+        }
+    }
+
+    /// The paper's testbed topology: all servers on a 100 Mbit LAN, the
+    /// PDA on a wireless segment bridged to it.
+    pub fn paper_testbed(signal_quality: f64) -> Self {
+        let mut n = Self::new();
+        n.add_segment("lan", LinkSpec::ethernet_100mb());
+        n.add_segment("wlan", LinkSpec::wireless_11mb(signal_quality));
+        n.link_segments("lan", "wlan", LinkSpec::wireless_11mb(signal_quality));
+        for host in ["onyx", "v880z", "laptop", "desktop", "tower", "adrenochrome"] {
+            n.add_host(host, "lan");
+        }
+        n.add_host("zaurus", "wlan");
+        n
+    }
+
+    pub fn add_segment(&mut self, segment: &str, intra_link: LinkSpec) {
+        self.intra.insert(segment.to_string(), intra_link);
+    }
+
+    pub fn add_host(&mut self, host: &str, segment: &str) {
+        assert!(
+            self.intra.contains_key(segment),
+            "segment {segment} must be added before hosts join it"
+        );
+        self.hosts.insert(host.to_string(), segment.to_string());
+    }
+
+    pub fn link_segments(&mut self, a: &str, b: &str, link: LinkSpec) {
+        let key = Self::pair_key(a, b);
+        self.inter.insert(key, link);
+    }
+
+    pub fn set_default_inter_link(&mut self, link: LinkSpec) {
+        self.default_inter = link;
+    }
+
+    fn pair_key(a: &str, b: &str) -> (String, String) {
+        if a <= b {
+            (a.to_string(), b.to_string())
+        } else {
+            (b.to_string(), a.to_string())
+        }
+    }
+
+    pub fn segment_of(&self, host: &str) -> Option<&str> {
+        self.hosts.get(host).map(|s| s.as_str())
+    }
+
+    pub fn hosts(&self) -> impl Iterator<Item = &str> {
+        self.hosts.keys().map(|s| s.as_str())
+    }
+
+    /// The link used between two hosts. Panics on unknown hosts — a typo'd
+    /// host name is a harness bug, not a runtime condition.
+    pub fn link_between(&self, a: &str, b: &str) -> &LinkSpec {
+        if a == b {
+            return &self.loopback;
+        }
+        let sa = self.hosts.get(a).unwrap_or_else(|| panic!("unknown host {a}"));
+        let sb = self.hosts.get(b).unwrap_or_else(|| panic!("unknown host {b}"));
+        if sa == sb {
+            return &self.intra[sa];
+        }
+        self.inter.get(&Self::pair_key(sa, sb)).unwrap_or(&self.default_inter)
+    }
+
+    /// One-way transfer time of a single `bytes` message from `a` to `b`.
+    pub fn transfer_time(&self, a: &str, b: &str, bytes: u64) -> SimTime {
+        self.link_between(a, b).transfer_time(bytes)
+    }
+
+    /// Round-trip: request of `req_bytes` then reply of `resp_bytes`.
+    pub fn round_trip(&self, a: &str, b: &str, req_bytes: u64, resp_bytes: u64) -> SimTime {
+        self.transfer_time(a, b, req_bytes) + self.transfer_time(b, a, resp_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_has_all_hosts() {
+        let n = Network::paper_testbed(1.0);
+        let hosts: Vec<&str> = n.hosts().collect();
+        assert!(hosts.contains(&"zaurus"));
+        assert!(hosts.contains(&"laptop"));
+        assert_eq!(n.segment_of("zaurus"), Some("wlan"));
+        assert_eq!(n.segment_of("laptop"), Some("lan"));
+    }
+
+    #[test]
+    fn same_host_uses_loopback() {
+        let n = Network::paper_testbed(1.0);
+        let t = n.transfer_time("laptop", "laptop", 1_000_000);
+        assert!(t.as_secs() < 0.001);
+    }
+
+    #[test]
+    fn lan_hosts_use_ethernet() {
+        let n = Network::paper_testbed(1.0);
+        assert_eq!(n.link_between("laptop", "desktop").name, "ethernet-100");
+    }
+
+    #[test]
+    fn pda_uses_wireless_from_lan() {
+        let n = Network::paper_testbed(1.0);
+        assert_eq!(n.link_between("laptop", "zaurus").name, "wireless-11");
+        // Symmetric.
+        assert_eq!(n.link_between("zaurus", "laptop").name, "wireless-11");
+        let t = n.transfer_time("laptop", "zaurus", 120_000).as_secs();
+        assert!((t - 0.2).abs() < 0.02, "PDA frame transfer {t}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_host_panics() {
+        Network::paper_testbed(1.0).link_between("laptop", "nonexistent");
+    }
+
+    #[test]
+    fn unlinked_segments_fall_back_to_default() {
+        let mut n = Network::new();
+        n.add_segment("a", LinkSpec::ethernet_100mb());
+        n.add_segment("b", LinkSpec::ethernet_100mb());
+        n.add_host("h1", "a");
+        n.add_host("h2", "b");
+        assert_eq!(n.link_between("h1", "h2").name, "ethernet-100");
+        n.set_default_inter_link(LinkSpec::ethernet_1gb());
+        assert_eq!(n.link_between("h1", "h2").name, "ethernet-1000");
+    }
+
+    #[test]
+    fn round_trip_sums_both_directions() {
+        let n = Network::paper_testbed(1.0);
+        let rt = n.round_trip("zaurus", "laptop", 100, 120_000);
+        let one = n.transfer_time("zaurus", "laptop", 100);
+        let two = n.transfer_time("laptop", "zaurus", 120_000);
+        assert_eq!(rt, one + two);
+    }
+
+    #[test]
+    #[should_panic]
+    fn host_requires_existing_segment() {
+        let mut n = Network::new();
+        n.add_host("h", "ghost-segment");
+    }
+}

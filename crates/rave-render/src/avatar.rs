@@ -1,0 +1,100 @@
+//! Avatar geometry: "a simple avatar — in this case, a cone pointing in
+//! the direction of the user's view, and the name of the user or host"
+//! (§5.2, Fig 3).
+
+use rave_math::Vec3;
+use rave_scene::{AvatarInfo, MeshData};
+
+/// Build the avatar cone: apex forward (-Z in avatar-local space, matching
+/// the camera convention), circular base behind, plus a small name-tag
+/// quad above rendered in the avatar color (a stand-in for the text label
+/// the Java GUI drew — the *presence* and *placement* of the tag is what
+/// Fig 3 demonstrates).
+pub fn avatar_mesh(info: &AvatarInfo) -> MeshData {
+    const SEGMENTS: u32 = 12;
+    const LENGTH: f32 = 0.5;
+    const RADIUS: f32 = 0.18;
+
+    let mut positions = vec![Vec3::new(0.0, 0.0, -LENGTH * 0.5)]; // apex
+    let mut triangles = Vec::new();
+    for s in 0..SEGMENTS {
+        let a = s as f32 / SEGMENTS as f32 * std::f32::consts::TAU;
+        positions.push(Vec3::new(RADIUS * a.cos(), RADIUS * a.sin(), LENGTH * 0.5));
+    }
+    // Side fan + base fan.
+    let base_center = positions.len() as u32;
+    positions.push(Vec3::new(0.0, 0.0, LENGTH * 0.5));
+    for s in 0..SEGMENTS {
+        let i0 = 1 + s;
+        let i1 = 1 + (s + 1) % SEGMENTS;
+        triangles.push([0, i0, i1]);
+        triangles.push([base_center, i1, i0]);
+    }
+
+    // Name-tag quad floating above the cone, sized by label length.
+    let tag_w = 0.08 * info.label.len().max(3) as f32;
+    let tag_base = positions.len() as u32;
+    positions.push(Vec3::new(-tag_w * 0.5, RADIUS + 0.12, 0.0));
+    positions.push(Vec3::new(tag_w * 0.5, RADIUS + 0.12, 0.0));
+    positions.push(Vec3::new(tag_w * 0.5, RADIUS + 0.24, 0.0));
+    positions.push(Vec3::new(-tag_w * 0.5, RADIUS + 0.24, 0.0));
+    triangles.push([tag_base, tag_base + 1, tag_base + 2]);
+    triangles.push([tag_base, tag_base + 2, tag_base + 3]);
+
+    let mut mesh = MeshData::new(positions, triangles);
+    mesh.compute_normals();
+    // Cone in the avatar color; tag slightly brighter so it reads as a
+    // label.
+    let n = mesh.positions.len();
+    let mut colors = vec![info.color; n];
+    for c in colors.iter_mut().skip(tag_base as usize) {
+        *c = (info.color + Vec3::ONE) * 0.5;
+    }
+    mesh.colors = colors;
+    mesh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rave_scene::CameraParams;
+
+    fn info(label: &str) -> AvatarInfo {
+        AvatarInfo {
+            label: label.into(),
+            color: Vec3::new(0.9, 0.4, 0.1),
+            camera: CameraParams::default(),
+        }
+    }
+
+    #[test]
+    fn cone_is_valid_and_forward_pointing() {
+        let m = avatar_mesh(&info("Desktop"));
+        m.validate().unwrap();
+        // Apex is the front-most (-Z) vertex.
+        let min_z = m.positions.iter().map(|p| p.z).fold(f32::INFINITY, f32::min);
+        assert_eq!(m.positions[0].z, min_z);
+        assert!(m.triangle_count() > 20);
+    }
+
+    #[test]
+    fn tag_scales_with_label() {
+        let short = avatar_mesh(&info("pc"));
+        let long = avatar_mesh(&info("adrenochrome"));
+        let width = |m: &MeshData| {
+            m.positions.iter().map(|p| p.x).fold(f32::NEG_INFINITY, f32::max)
+                - m.positions.iter().map(|p| p.x).fold(f32::INFINITY, f32::min)
+        };
+        assert!(width(&long) > width(&short));
+    }
+
+    #[test]
+    fn colors_cover_all_vertices() {
+        let m = avatar_mesh(&info("x"));
+        assert_eq!(m.colors.len(), m.positions.len());
+        // Tag is brighter than the cone.
+        let cone_c = m.colors[0];
+        let tag_c = *m.colors.last().unwrap();
+        assert!(tag_c.x > cone_c.x);
+    }
+}

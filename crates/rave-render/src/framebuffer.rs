@@ -1,0 +1,317 @@
+//! Color + depth framebuffers.
+//!
+//! Sizing matches the paper's arithmetic: a 200×200 framebuffer at 24
+//! bits-per-pixel is exactly the "120kB for a 200x200 image" the Zaurus
+//! must import (§4.4).
+
+use rave_math::Viewport;
+use std::io::Write;
+
+/// An 8-bit RGB pixel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Rgb(pub u8, pub u8, pub u8);
+
+impl Rgb {
+    pub const BLACK: Rgb = Rgb(0, 0, 0);
+    pub const WHITE: Rgb = Rgb(255, 255, 255);
+
+    /// From float RGB in [0,1], clamped.
+    pub fn from_f32(r: f32, g: f32, b: f32) -> Self {
+        let q = |x: f32| (x.clamp(0.0, 1.0) * 255.0 + 0.5) as u8;
+        Rgb(q(r), q(g), q(b))
+    }
+
+    /// Euclidean distance in 8-bit RGB space (seam/tear metrics).
+    pub fn distance(self, o: Rgb) -> f32 {
+        let d0 = self.0 as f32 - o.0 as f32;
+        let d1 = self.1 as f32 - o.1 as f32;
+        let d2 = self.2 as f32 - o.2 as f32;
+        (d0 * d0 + d1 * d1 + d2 * d2).sqrt()
+    }
+}
+
+/// A color + depth render target. Depth follows the GL convention:
+/// cleared to `1.0` (far), smaller is closer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Framebuffer {
+    width: u32,
+    height: u32,
+    color: Vec<Rgb>,
+    depth: Vec<f32>,
+}
+
+impl Framebuffer {
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "zero-sized framebuffer");
+        let n = (width as usize) * (height as usize);
+        Self { width, height, color: vec![Rgb::BLACK; n], depth: vec![1.0; n] }
+    }
+
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    pub fn viewport(&self) -> Viewport {
+        Viewport::new(self.width, self.height)
+    }
+
+    pub fn pixel_count(&self) -> usize {
+        self.color.len()
+    }
+
+    /// Bytes of the raw 24-bpp image (what travels to a thin client).
+    pub fn color_bytes(&self) -> u64 {
+        self.pixel_count() as u64 * 3
+    }
+
+    /// Bytes of color + 32-bit depth (what travels between render services
+    /// for depth compositing).
+    pub fn color_depth_bytes(&self) -> u64 {
+        self.pixel_count() as u64 * 7
+    }
+
+    pub fn clear(&mut self, c: Rgb) {
+        self.color.fill(c);
+        self.depth.fill(1.0);
+    }
+
+    #[inline]
+    fn idx(&self, x: u32, y: u32) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        (y as usize) * (self.width as usize) + x as usize
+    }
+
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> Rgb {
+        self.color[self.idx(x, y)]
+    }
+
+    #[inline]
+    pub fn depth_at(&self, x: u32, y: u32) -> f32 {
+        self.depth[self.idx(x, y)]
+    }
+
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, c: Rgb, z: f32) {
+        let i = self.idx(x, y);
+        self.color[i] = c;
+        self.depth[i] = z;
+    }
+
+    /// Depth-tested write: stores the fragment only if it is closer.
+    /// Returns whether the write happened.
+    #[inline]
+    pub fn set_if_closer(&mut self, x: u32, y: u32, c: Rgb, z: f32) -> bool {
+        let i = self.idx(x, y);
+        if z < self.depth[i] {
+            self.color[i] = c;
+            self.depth[i] = z;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Copy `src` into this buffer with its top-left at `(dst_x, dst_y)`
+    /// (tile stitching). Color-only: tiles from remote services replace
+    /// whatever was there, including stale local pixels — exactly the
+    /// behaviour that produces Fig 5's tearing when the tile is old.
+    pub fn blit(&mut self, src: &Framebuffer, dst_x: u32, dst_y: u32) {
+        assert!(
+            dst_x + src.width <= self.width && dst_y + src.height <= self.height,
+            "blit out of bounds"
+        );
+        for row in 0..src.height {
+            let s0 = src.idx(0, row);
+            let d0 = self.idx(dst_x, dst_y + row);
+            let n = src.width as usize;
+            self.color[d0..d0 + n].copy_from_slice(&src.color[s0..s0 + n]);
+            self.depth[d0..d0 + n].copy_from_slice(&src.depth[s0..s0 + n]);
+        }
+    }
+
+    /// Extract a sub-rectangle as its own framebuffer.
+    pub fn crop(&self, vp: Viewport) -> Framebuffer {
+        assert!(vp.x + vp.width <= self.width && vp.y + vp.height <= self.height);
+        let mut out = Framebuffer::new(vp.width, vp.height);
+        for row in 0..vp.height {
+            let s0 = self.idx(vp.x, vp.y + row);
+            let d0 = out.idx(0, row);
+            let n = vp.width as usize;
+            out.color[d0..d0 + n].copy_from_slice(&self.color[s0..s0 + n]);
+            out.depth[d0..d0 + n].copy_from_slice(&self.depth[s0..s0 + n]);
+        }
+        out
+    }
+
+    /// Fraction of pixels that differ from `other` by more than `tol` in
+    /// RGB distance. Panics on size mismatch.
+    pub fn diff_fraction(&self, other: &Framebuffer, tol: f32) -> f64 {
+        assert_eq!((self.width, self.height), (other.width, other.height));
+        let differing = self
+            .color
+            .iter()
+            .zip(&other.color)
+            .filter(|(a, b)| a.distance(**b) > tol)
+            .count();
+        differing as f64 / self.pixel_count() as f64
+    }
+
+    /// Count of non-background (non-`bg`) pixels — coverage metric for
+    /// tests ("did anything render?").
+    pub fn coverage(&self, bg: Rgb) -> usize {
+        self.color.iter().filter(|&&c| c != bg).count()
+    }
+
+    /// Write as binary PPM (P6) — the figure-regeneration output format.
+    pub fn write_ppm<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        write!(w, "P6\n{} {}\n255\n", self.width, self.height)?;
+        let mut row = Vec::with_capacity(self.width as usize * 3);
+        for y in 0..self.height {
+            row.clear();
+            for x in 0..self.width {
+                let c = self.get(x, y);
+                row.extend_from_slice(&[c.0, c.1, c.2]);
+            }
+            w.write_all(&row)?;
+        }
+        Ok(())
+    }
+
+    /// Raw color bytes row-major RGB (the thin-client wire payload).
+    pub fn to_rgb_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.color.len() * 3);
+        for c in &self.color {
+            out.extend_from_slice(&[c.0, c.1, c.2]);
+        }
+        out
+    }
+
+    /// Rebuild from raw RGB bytes (depth unknown → far).
+    pub fn from_rgb_bytes(width: u32, height: u32, bytes: &[u8]) -> Option<Framebuffer> {
+        if bytes.len() != (width as usize) * (height as usize) * 3 {
+            return None;
+        }
+        let mut fb = Framebuffer::new(width, height);
+        for (i, px) in bytes.chunks_exact(3).enumerate() {
+            fb.color[i] = Rgb(px[0], px[1], px[2]);
+        }
+        Some(fb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizing_200x200_is_120kb() {
+        let fb = Framebuffer::new(200, 200);
+        assert_eq!(fb.color_bytes(), 120_000);
+    }
+
+    #[test]
+    fn sizing_640x480_is_920kb() {
+        // §5.1: "a 640x480 24 bits-per-pixel image (920Kb in size)".
+        let fb = Framebuffer::new(640, 480);
+        assert_eq!(fb.color_bytes(), 921_600);
+    }
+
+    #[test]
+    fn clear_resets_color_and_depth() {
+        let mut fb = Framebuffer::new(4, 4);
+        fb.set(1, 1, Rgb::WHITE, 0.5);
+        fb.clear(Rgb(10, 20, 30));
+        assert_eq!(fb.get(1, 1), Rgb(10, 20, 30));
+        assert_eq!(fb.depth_at(1, 1), 1.0);
+    }
+
+    #[test]
+    fn depth_test_keeps_closer_fragment() {
+        let mut fb = Framebuffer::new(2, 2);
+        assert!(fb.set_if_closer(0, 0, Rgb(1, 1, 1), 0.5));
+        assert!(!fb.set_if_closer(0, 0, Rgb(2, 2, 2), 0.7), "farther loses");
+        assert_eq!(fb.get(0, 0), Rgb(1, 1, 1));
+        assert!(fb.set_if_closer(0, 0, Rgb(3, 3, 3), 0.2), "closer wins");
+        assert_eq!(fb.get(0, 0), Rgb(3, 3, 3));
+    }
+
+    #[test]
+    fn blit_places_tile() {
+        let mut dst = Framebuffer::new(8, 8);
+        let mut src = Framebuffer::new(3, 2);
+        src.set(0, 0, Rgb::WHITE, 0.1);
+        src.set(2, 1, Rgb(9, 9, 9), 0.2);
+        dst.blit(&src, 4, 5);
+        assert_eq!(dst.get(4, 5), Rgb::WHITE);
+        assert_eq!(dst.get(6, 6), Rgb(9, 9, 9));
+        assert_eq!(dst.depth_at(4, 5), 0.1);
+        assert_eq!(dst.get(0, 0), Rgb::BLACK);
+    }
+
+    #[test]
+    #[should_panic]
+    fn blit_out_of_bounds_panics() {
+        let mut dst = Framebuffer::new(4, 4);
+        let src = Framebuffer::new(3, 3);
+        dst.blit(&src, 2, 2);
+    }
+
+    #[test]
+    fn crop_blit_roundtrip() {
+        let mut fb = Framebuffer::new(10, 10);
+        fb.set(5, 5, Rgb(100, 0, 0), 0.4);
+        let vp = Viewport::with_origin(4, 4, 3, 3);
+        let tile = fb.crop(vp);
+        assert_eq!(tile.get(1, 1), Rgb(100, 0, 0));
+        let mut dst = Framebuffer::new(10, 10);
+        dst.blit(&tile, 4, 4);
+        assert_eq!(dst.get(5, 5), Rgb(100, 0, 0));
+        assert_eq!(dst.depth_at(5, 5), 0.4);
+    }
+
+    #[test]
+    fn diff_fraction_detects_changes() {
+        let a = Framebuffer::new(10, 10);
+        let mut b = Framebuffer::new(10, 10);
+        assert_eq!(a.diff_fraction(&b, 0.0), 0.0);
+        for x in 0..10 {
+            b.set(x, 0, Rgb::WHITE, 0.1);
+        }
+        assert!((a.diff_fraction(&b, 0.0) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let fb = Framebuffer::new(3, 2);
+        let mut buf = Vec::new();
+        fb.write_ppm(&mut buf).unwrap();
+        assert!(buf.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(buf.len(), 11 + 3 * 2 * 3);
+    }
+
+    #[test]
+    fn rgb_bytes_roundtrip() {
+        let mut fb = Framebuffer::new(5, 4);
+        fb.set(2, 3, Rgb(7, 8, 9), 0.3);
+        let bytes = fb.to_rgb_bytes();
+        let back = Framebuffer::from_rgb_bytes(5, 4, &bytes).unwrap();
+        assert_eq!(back.get(2, 3), Rgb(7, 8, 9));
+        assert!(Framebuffer::from_rgb_bytes(5, 5, &bytes).is_none());
+    }
+
+    #[test]
+    fn rgb_from_f32_clamps() {
+        assert_eq!(Rgb::from_f32(2.0, -1.0, 0.5), Rgb(255, 0, 128));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_size_rejected() {
+        Framebuffer::new(0, 10);
+    }
+}

@@ -1,0 +1,380 @@
+//! Machine capability profiles and the render-time cost model.
+//!
+//! These stand in for the paper's testbed hardware (§4.4). Rates are
+//! calibrated against the paper's own measurements:
+//!
+//! - Table 2 fixes the Centrino/GeForce2-420Go polygon rate (0.83 M polys
+//!   render in ≈0.09 s, 2.8 M in ≈0.36 s ⇒ ~8–9 M polys/s).
+//! - Tables 3/4 fix the off-screen model: Java3D off-screen rendering
+//!   pays a fixed request/poll overhead plus a pixel-readback cost per
+//!   image; interleaving `n` in-flight images amortizes that overhead
+//!   (§5.4), and the XVR-4000 falls back to *software* rendering
+//!   off-screen ("possibly indicate off-screen rendering is carried out in
+//!   software rather than hardware").
+//!
+//! The virtual-time services in `rave-core` charge these costs to the
+//! simulation clock.
+
+use serde::{Deserialize, Serialize};
+
+/// How an off-screen render is executed and timed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OffscreenMode {
+    /// One request at a time: full poll overhead per image (Table 4 "seq").
+    Sequential,
+    /// `n` requests in flight, round-robin completion polling (Table 4
+    /// "int"); overhead amortizes across the in-flight set.
+    Interleaved { in_flight: u32 },
+}
+
+/// A machine's rendering capability model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineProfile {
+    pub name: &'static str,
+    pub cpu: &'static str,
+    pub gpu: &'static str,
+    /// On-screen triangle throughput (tris/s).
+    pub poly_rate: f64,
+    /// On-screen fill rate (pixels/s).
+    pub fill_rate: f64,
+    /// Fixed per-frame setup cost (s).
+    pub frame_overhead: f64,
+    /// Texture memory capacity (bytes) — the capacity metric the data
+    /// service interrogates (§3.2.5).
+    pub texture_memory: u64,
+    /// Hardware-assisted volume rendering available?
+    pub volume_hw: bool,
+    /// Off-screen render throughput; `None` = same silicon as on-screen,
+    /// `Some((poly_rate, fill_rate))` = software fallback rates (XVR-4000).
+    pub offscreen_software: Option<(f64, f64)>,
+    /// Fixed off-screen request/completion-poll overhead (s).
+    pub offscreen_poll: f64,
+    /// Off-screen buffer readback rate (pixels/s).
+    pub readback_rate: f64,
+}
+
+/// A render-time estimate, split into its components (seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenderCost {
+    pub render: f64,
+    pub overhead: f64,
+}
+
+impl RenderCost {
+    pub fn total(&self) -> f64 {
+        self.render + self.overhead
+    }
+}
+
+impl MachineProfile {
+    /// Time to render `polygons` into `pixels` on-screen.
+    pub fn onscreen_cost(&self, polygons: u64, pixels: u64) -> RenderCost {
+        RenderCost {
+            render: polygons as f64 / self.poly_rate + pixels as f64 / self.fill_rate,
+            overhead: self.frame_overhead,
+        }
+    }
+
+    /// Time to render off-screen under the given mode.
+    pub fn offscreen_cost(&self, polygons: u64, pixels: u64, mode: OffscreenMode) -> RenderCost {
+        let (pr, fr) = self.offscreen_software.unwrap_or((self.poly_rate, self.fill_rate));
+        let render = polygons as f64 / pr + pixels as f64 / fr + self.frame_overhead;
+        let per_image_overhead = self.offscreen_poll + pixels as f64 / self.readback_rate;
+        let overhead = match mode {
+            OffscreenMode::Sequential => per_image_overhead,
+            OffscreenMode::Interleaved { in_flight } => {
+                per_image_overhead / in_flight.max(1) as f64
+            }
+        };
+        RenderCost { render, overhead }
+    }
+
+    /// Off-screen speed as a percentage of on-screen speed — the quantity
+    /// Tables 3 and 4 report.
+    pub fn offscreen_percent(&self, polygons: u64, pixels: u64, mode: OffscreenMode) -> f64 {
+        100.0 * self.onscreen_cost(polygons, pixels).total()
+            / self.offscreen_cost(polygons, pixels, mode).total()
+    }
+
+    /// Sustained frame rate rendering `polygons` on-screen at `pixels`.
+    pub fn onscreen_fps(&self, polygons: u64, pixels: u64) -> f64 {
+        1.0 / self.onscreen_cost(polygons, pixels).total()
+    }
+
+    /// How many polygons fit per frame while sustaining `fps` on-screen —
+    /// the "available polygons per second" capacity the data service
+    /// interrogates when planning distribution (§3.2.5).
+    pub fn poly_budget_at_fps(&self, fps: f64, pixels: u64) -> u64 {
+        let frame_time = 1.0 / fps;
+        let fixed = self.frame_overhead + pixels as f64 / self.fill_rate;
+        if frame_time <= fixed {
+            return 0;
+        }
+        ((frame_time - fixed) * self.poly_rate) as u64
+    }
+
+    // ----- the paper's testbed (§4.4) --------------------------------
+
+    /// SGI Onyx 3000, 32 CPUs, three InfiniteReality pipes.
+    pub fn sgi_onyx() -> Self {
+        Self {
+            name: "onyx",
+            cpu: "32x MIPS R12000",
+            gpu: "3x InfiniteReality",
+            poly_rate: 30.0e6,
+            fill_rate: 2.0e9,
+            frame_overhead: 0.4e-3,
+            texture_memory: 256 << 20,
+            volume_hw: true,
+            offscreen_software: None,
+            offscreen_poll: 3.0e-3,
+            readback_rate: 60.0e6,
+        }
+    }
+
+    /// Sun Fire V880z, XVR-4000 — off-screen falls back to software
+    /// (§5.4's surprising result).
+    pub fn sun_v880z() -> Self {
+        Self {
+            name: "v880z",
+            cpu: "UltraSPARC III 900MHz",
+            gpu: "XVR-4000",
+            poly_rate: 18.0e6,
+            fill_rate: 600.0e6,
+            frame_overhead: 0.8e-3,
+            texture_memory: 256 << 20,
+            volume_hw: true,
+            // Software rates: ~3% of hardware on big models (Table 3/4).
+            offscreen_software: Some((0.55e6, 30.0e6)),
+            offscreen_poll: 2.0e-3,
+            readback_rate: 40.0e6,
+        }
+    }
+
+    /// Intel Centrino 1.6 GHz laptop, GeForce2 420 Go — the Table 2
+    /// render service.
+    pub fn centrino_laptop() -> Self {
+        Self {
+            name: "laptop",
+            cpu: "Centrino 1.6GHz",
+            gpu: "GeForce2 420 Go",
+            poly_rate: 8.8e6,
+            fill_rate: 180.0e6,
+            frame_overhead: 0.5e-3,
+            texture_memory: 32 << 20,
+            volume_hw: false,
+            offscreen_software: None,
+            offscreen_poll: 4.5e-3,
+            readback_rate: 18.0e6,
+        }
+    }
+
+    /// AMD Athlon 1.2 GHz desktop, GeForce2 GTS.
+    pub fn athlon_desktop() -> Self {
+        Self {
+            name: "desktop",
+            cpu: "Athlon 1.2GHz",
+            gpu: "GeForce2 GTS",
+            poly_rate: 10.0e6,
+            fill_rate: 220.0e6,
+            frame_overhead: 0.5e-3,
+            texture_memory: 32 << 20,
+            volume_hw: false,
+            offscreen_software: None,
+            offscreen_poll: 4.0e-3,
+            readback_rate: 20.0e6,
+        }
+    }
+
+    /// Dual 2.4 GHz Xeon, Quadro FX3000G.
+    pub fn xeon_tower() -> Self {
+        Self {
+            name: "tower",
+            cpu: "2x Xeon 2.4GHz",
+            gpu: "Quadro FX3000G",
+            poly_rate: 40.0e6,
+            fill_rate: 1.0e9,
+            frame_overhead: 0.3e-3,
+            texture_memory: 256 << 20,
+            volume_hw: true,
+            offscreen_software: None,
+            offscreen_poll: 2.5e-3,
+            readback_rate: 80.0e6,
+        }
+    }
+
+    /// Every render-capable testbed machine.
+    pub fn testbed() -> Vec<Self> {
+        vec![
+            Self::sgi_onyx(),
+            Self::sun_v880z(),
+            Self::centrino_laptop(),
+            Self::athlon_desktop(),
+            Self::xeon_tower(),
+        ]
+    }
+}
+
+/// The Sharp Zaurus thin client (§4.4/§5.1): no rendering, only image
+/// import and presentation. Costs model the J2ME-vs-C++ finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PdaProfile {
+    pub name: &'static str,
+    /// Display resolution (the Zaurus is 640×480).
+    pub display: (u32, u32),
+    /// Per-pixel cost of the J2ME "manual" byte-by-byte image conversion —
+    /// the path that took "over two minutes ... for a single frame" (§5.1).
+    pub j2me_per_pixel: f64,
+    /// Per-byte cost of the C/C++ pointer-cast import ("minimal
+    /// overhead").
+    pub cast_per_byte: f64,
+    /// Blit-to-screen cost per pixel.
+    pub blit_per_pixel: f64,
+    /// Fixed GUI/event-loop overhead per frame (Table 2's "Other
+    /// Overheads" ≈ 0.05 s).
+    pub frame_overhead: f64,
+}
+
+impl PdaProfile {
+    pub fn zaurus() -> Self {
+        Self {
+            name: "zaurus",
+            display: (640, 480),
+            // 120s+ for 40k pixels ⇒ 3 ms/pixel.
+            j2me_per_pixel: 3.0e-3,
+            cast_per_byte: 2.0e-9,
+            blit_per_pixel: 0.15e-6,
+            frame_overhead: 0.041,
+        }
+    }
+
+    /// Time to import a `bytes`-sized RGB image via the C/C++ cast path
+    /// and blit it.
+    pub fn import_cast(&self, bytes: u64) -> f64 {
+        let pixels = bytes as f64 / 3.0;
+        bytes as f64 * self.cast_per_byte + pixels * self.blit_per_pixel
+    }
+
+    /// Time to import the same image via J2ME per-pixel conversion.
+    pub fn import_j2me(&self, bytes: u64) -> f64 {
+        let pixels = bytes as f64 / 3.0;
+        pixels * self.j2me_per_pixel + pixels * self.blit_per_pixel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PX_200: u64 = 200 * 200;
+    const PX_400: u64 = 400 * 400;
+    const ELLE: u64 = 50_000;
+    const GALLEON: u64 = 5_500;
+
+    #[test]
+    fn table2_render_times_anchor() {
+        // Paper: Hand (0.83M) renders in 0.091s, Skeleton (2.8M) in 0.355s
+        // on the Centrino at 200x200. Within 20%.
+        let m = MachineProfile::centrino_laptop();
+        let hand = m.onscreen_cost(830_000, PX_200).total();
+        let skel = m.onscreen_cost(2_800_000, PX_200).total();
+        assert!((hand - 0.091).abs() / 0.091 < 0.20, "hand render {hand}");
+        assert!((skel - 0.355).abs() / 0.355 < 0.20, "skeleton render {skel}");
+    }
+
+    #[test]
+    fn offscreen_always_slower_than_onscreen() {
+        for m in MachineProfile::testbed() {
+            for &(p, px) in &[(ELLE, PX_400), (GALLEON, PX_200)] {
+                let pct = m.offscreen_percent(p, px, OffscreenMode::Sequential);
+                assert!(pct < 100.0, "{}: {pct}", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn interleaving_beats_sequential() {
+        // Table 4's core finding.
+        for m in MachineProfile::testbed() {
+            for &p in &[ELLE, GALLEON] {
+                let seq = m.offscreen_percent(p, PX_200, OffscreenMode::Sequential);
+                let int =
+                    m.offscreen_percent(p, PX_200, OffscreenMode::Interleaved { in_flight: 4 });
+                assert!(int > seq, "{}: seq {seq} int {int}", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn xvr4000_software_fallback_collapses_big_models() {
+        // Table 3/4: Elle off-screen on the V880z is ~3-4% of on-screen.
+        let v = MachineProfile::sun_v880z();
+        let pct = v.offscreen_percent(ELLE, PX_400, OffscreenMode::Sequential);
+        assert!(pct < 8.0, "Elle on XVR-4000: {pct}%");
+        // But the NV cards keep Elle above 25%.
+        let c = MachineProfile::centrino_laptop();
+        let pct_c = c.offscreen_percent(ELLE, PX_400, OffscreenMode::Sequential);
+        assert!(pct_c > 20.0, "Elle on 420Go: {pct_c}%");
+    }
+
+    #[test]
+    fn small_models_hurt_more_from_fixed_overhead_on_nv() {
+        // Table 3 row shape: Galleon % < Elle % on the NV machines.
+        for m in [MachineProfile::centrino_laptop(), MachineProfile::athlon_desktop()] {
+            let elle = m.offscreen_percent(ELLE, PX_400, OffscreenMode::Sequential);
+            let gall = m.offscreen_percent(GALLEON, PX_400, OffscreenMode::Sequential);
+            assert!(gall < elle, "{}: gall {gall} elle {elle}", m.name);
+        }
+        // ...but reversed on the V880z (software render dominates for the
+        // big model): Galleon % > Elle %.
+        let v = MachineProfile::sun_v880z();
+        let elle = v.offscreen_percent(ELLE, PX_400, OffscreenMode::Sequential);
+        let gall = v.offscreen_percent(GALLEON, PX_400, OffscreenMode::Sequential);
+        assert!(gall > elle, "v880z: gall {gall} elle {elle}");
+    }
+
+    #[test]
+    fn poly_budget_monotone_in_fps() {
+        let m = MachineProfile::centrino_laptop();
+        let b10 = m.poly_budget_at_fps(10.0, PX_200);
+        let b30 = m.poly_budget_at_fps(30.0, PX_200);
+        assert!(b10 > b30, "lower fps leaves more poly budget");
+        assert!(b10 > 0);
+    }
+
+    #[test]
+    fn poly_budget_zero_when_fill_bound() {
+        let m = MachineProfile::centrino_laptop();
+        // Absurd fps: no budget at all.
+        assert_eq!(m.poly_budget_at_fps(1e7, PX_400), 0);
+    }
+
+    #[test]
+    fn pda_j2me_vs_cast_matches_paper_magnitudes() {
+        // §5.1: J2ME "over two minutes" for one 200x200 frame; C++ cast
+        // path ~instant (receive+blit measured at ~0.2s was network-bound).
+        let pda = PdaProfile::zaurus();
+        let bytes = 120_000;
+        let j2me = pda.import_j2me(bytes);
+        let cast = pda.import_cast(bytes);
+        assert!(j2me > 120.0, "J2ME path: {j2me}s");
+        assert!(cast < 0.05, "cast path: {cast}s");
+        assert!(j2me / cast > 1000.0);
+    }
+
+    #[test]
+    fn interleave_zero_in_flight_saturates() {
+        let m = MachineProfile::centrino_laptop();
+        let c = m.offscreen_cost(1000, PX_200, OffscreenMode::Interleaved { in_flight: 0 });
+        assert!(c.total().is_finite());
+    }
+
+    #[test]
+    fn onyx_outclasses_laptop() {
+        let onyx = MachineProfile::sgi_onyx();
+        let laptop = MachineProfile::centrino_laptop();
+        assert!(
+            onyx.onscreen_fps(2_800_000, PX_400) > laptop.onscreen_fps(2_800_000, PX_400) * 2.0
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Point-cloud splatting.
+
+use crate::framebuffer::{Framebuffer, Rgb};
+use crate::raster::RasterStats;
+use rave_math::{Mat4, Vec3, Viewport};
+use rave_scene::PointCloudData;
+
+/// Render a point cloud as screen-space square splats whose size scales
+/// with the world-space `point_size` and perspective depth.
+#[allow(clippy::too_many_arguments)]
+pub fn draw_points(
+    fb: &mut Framebuffer,
+    full_viewport: &Viewport,
+    tile: &Viewport,
+    cloud: &PointCloudData,
+    model: &Mat4,
+    view_proj: &Mat4,
+    base_color: Vec3,
+    stats: &mut RasterStats,
+) {
+    let mvp = *view_proj * *model;
+    for (i, &p) in cloud.points.iter().enumerate() {
+        let clip = mvp.mul_vec4(p.extend(1.0));
+        if clip.w <= 1e-5 {
+            continue;
+        }
+        let ndc = clip.perspective_divide();
+        if ndc.x < -1.0 || ndc.x > 1.0 || ndc.y < -1.0 || ndc.y > 1.0 || ndc.z < -1.0 || ndc.z > 1.0
+        {
+            continue;
+        }
+        let px = full_viewport.ndc_to_pixel(ndc);
+        // Splat radius in pixels: world size projected through w.
+        let radius =
+            (cloud.point_size * full_viewport.height as f32 / clip.w).clamp(0.5, 16.0);
+        let color = if cloud.colors.is_empty() { base_color } else { cloud.colors[i] };
+        let rgb = Rgb::from_f32(color.x, color.y, color.z);
+        let r = radius.ceil() as i64;
+        let (cx, cy) = (px.x as i64, px.y as i64);
+        for y in cy - r..=cy + r {
+            for x in cx - r..=cx + r {
+                if x < tile.x as i64
+                    || y < tile.y as i64
+                    || x >= (tile.x + tile.width) as i64
+                    || y >= (tile.y + tile.height) as i64
+                {
+                    continue;
+                }
+                stats.fragments_shaded += 1;
+                if fb.set_if_closer((x as u32) - tile.x, (y as u32) - tile.y, rgb, ndc.z) {
+                    stats.fragments_written += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rave_scene::CameraParams;
+
+    fn setup() -> (Framebuffer, Viewport, CameraParams) {
+        (
+            Framebuffer::new(64, 64),
+            Viewport::new(64, 64),
+            CameraParams::look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, Vec3::Y),
+        )
+    }
+
+    #[test]
+    fn centered_point_hits_center_pixel() {
+        let (mut fb, vp, cam) = setup();
+        let cloud = PointCloudData::new(vec![Vec3::ZERO]);
+        let mut stats = RasterStats::default();
+        draw_points(
+            &mut fb,
+            &vp,
+            &vp.clone(),
+            &cloud,
+            &Mat4::IDENTITY,
+            &cam.view_proj(&vp),
+            Vec3::X,
+            &mut stats,
+        );
+        assert!(stats.fragments_written > 0);
+        assert!(fb.get(32, 32).0 > 0);
+    }
+
+    #[test]
+    fn point_behind_camera_skipped() {
+        let (mut fb, vp, cam) = setup();
+        let cloud = PointCloudData::new(vec![Vec3::new(0.0, 0.0, 10.0)]);
+        let mut stats = RasterStats::default();
+        draw_points(
+            &mut fb,
+            &vp,
+            &vp.clone(),
+            &cloud,
+            &Mat4::IDENTITY,
+            &cam.view_proj(&vp),
+            Vec3::X,
+            &mut stats,
+        );
+        assert_eq!(stats.fragments_written, 0);
+    }
+
+    #[test]
+    fn nearer_points_splat_larger() {
+        let (_, vp, cam) = setup();
+        let draw_one = |z: f32| {
+            let mut fb = Framebuffer::new(64, 64);
+            let mut cloud = PointCloudData::new(vec![Vec3::new(0.0, 0.0, z)]);
+            cloud.point_size = 0.2;
+            let mut stats = RasterStats::default();
+            draw_points(
+                &mut fb,
+                &vp,
+                &vp.clone(),
+                &cloud,
+                &Mat4::IDENTITY,
+                &cam.view_proj(&vp),
+                Vec3::X,
+                &mut stats,
+            );
+            stats.fragments_written
+        };
+        assert!(draw_one(3.0) > draw_one(-3.0), "closer point covers more pixels");
+    }
+
+    #[test]
+    fn per_point_colors_respected() {
+        let (mut fb, vp, cam) = setup();
+        let mut cloud =
+            PointCloudData::new(vec![Vec3::new(-1.0, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0)]);
+        cloud.colors = vec![Vec3::X, Vec3::Y];
+        let mut stats = RasterStats::default();
+        draw_points(
+            &mut fb,
+            &vp,
+            &vp.clone(),
+            &cloud,
+            &Mat4::IDENTITY,
+            &cam.view_proj(&vp),
+            Vec3::ONE,
+            &mut stats,
+        );
+        // Left half has a red pixel, right half a green one.
+        let mut left_red = false;
+        let mut right_green = false;
+        for y in 0..64 {
+            for x in 0..32 {
+                if fb.get(x, y).0 > 128 {
+                    left_red = true;
+                }
+            }
+            for x in 32..64 {
+                if fb.get(x, y).1 > 128 {
+                    right_green = true;
+                }
+            }
+        }
+        assert!(left_red && right_green);
+    }
+
+    #[test]
+    fn tile_clipping_respects_bounds() {
+        let (_, vp, cam) = setup();
+        // Only render the left half tile; a right-side point must not leak.
+        let tile = Viewport::with_origin(0, 0, 32, 64);
+        let mut fb = Framebuffer::new(32, 64);
+        let cloud = PointCloudData::new(vec![Vec3::new(2.0, 0.0, 0.0)]);
+        let mut stats = RasterStats::default();
+        draw_points(
+            &mut fb,
+            &vp,
+            &tile,
+            &cloud,
+            &Mat4::IDENTITY,
+            &cam.view_proj(&vp),
+            Vec3::X,
+            &mut stats,
+        );
+        assert_eq!(fb.coverage(Rgb::BLACK), stats.fragments_written as usize);
+    }
+}

@@ -1,0 +1,337 @@
+//! The scene renderer: walk a [`SceneTree`] with a camera and draw every
+//! visible node into a framebuffer (or one tile of it).
+
+use crate::avatar::avatar_mesh;
+use crate::composite::VolumeLayer;
+use crate::framebuffer::{Framebuffer, Rgb};
+use crate::points::draw_points;
+use crate::raster::{draw_mesh, Lighting, RasterStats};
+use crate::volume::{raycast_volume, TransferFunction};
+use rave_math::{frustum::Containment, Vec3, Viewport};
+use rave_scene::{CameraParams, NodeId, NodeKind, SceneTree};
+
+/// Statistics for one rendered frame.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RenderStats {
+    pub raster: RasterStats,
+    pub nodes_visited: u64,
+    pub nodes_culled: u64,
+    pub polygons_on_screen: u64,
+    pub points_on_screen: u64,
+    pub voxels_sampled_nodes: u64,
+}
+
+/// Frame renderer. Holds the style configuration (lighting, background,
+/// volume transfer function) and scratch state reused across frames.
+#[derive(Debug, Clone)]
+pub struct Renderer {
+    pub lighting: Lighting,
+    pub background: Rgb,
+    pub transfer: TransferFunction,
+    /// Ray-march steps per volume (quality/cost knob).
+    pub volume_steps: u32,
+    /// Fallback material for meshes without vertex colors.
+    pub default_material: Vec3,
+    /// When set, this node (and its subtree) is skipped — a render
+    /// service does not draw the avatar of the very client it renders for
+    /// (you don't see your own head).
+    pub skip_subtree: Option<NodeId>,
+}
+
+impl Default for Renderer {
+    fn default() -> Self {
+        Self {
+            lighting: Lighting::default(),
+            background: Rgb(24, 24, 32),
+            transfer: TransferFunction::default(),
+            volume_steps: 48,
+            default_material: Vec3::new(0.75, 0.75, 0.78),
+            skip_subtree: None,
+        }
+    }
+}
+
+impl Renderer {
+    /// Render the whole viewport.
+    pub fn render(
+        &self,
+        tree: &SceneTree,
+        camera: &CameraParams,
+        fb: &mut Framebuffer,
+    ) -> RenderStats {
+        let vp = fb.viewport();
+        self.render_tile(tree, camera, &vp, &vp.clone(), fb)
+    }
+
+    /// Render one `tile` of the image defined by `full_viewport` into a
+    /// tile-sized framebuffer. Rendering each tile of a split and
+    /// stitching reproduces the full render bit-exactly (tested in
+    /// `raster`): the property that makes framebuffer distribution
+    /// transparent.
+    pub fn render_tile(
+        &self,
+        tree: &SceneTree,
+        camera: &CameraParams,
+        full_viewport: &Viewport,
+        tile: &Viewport,
+        fb: &mut Framebuffer,
+    ) -> RenderStats {
+        assert_eq!((fb.width(), fb.height()), (tile.width, tile.height), "tile buffer size");
+        fb.clear(self.background);
+        let mut stats = RenderStats::default();
+        let view_proj = camera.view_proj(full_viewport);
+        let frustum = camera.frustum(full_viewport);
+
+        // Iterative pre-order walk with subtree culling.
+        let mut stack = vec![tree.root()];
+        while let Some(id) = stack.pop() {
+            if self.skip_subtree == Some(id) {
+                continue;
+            }
+            let Some(node) = tree.node(id) else { continue };
+            stats.nodes_visited += 1;
+
+            // Cull whole subtrees by world bounds.
+            let bounds = tree.world_bounds(id);
+            if !bounds.is_empty() && frustum.classify(&bounds) == Containment::Outside {
+                stats.nodes_culled += 1;
+                continue;
+            }
+            stack.extend(node.children.iter().rev().copied());
+
+            let model = tree.world_transform(id);
+            match &node.kind {
+                NodeKind::Group | NodeKind::Camera(_) => {}
+                NodeKind::Mesh(mesh) => {
+                    stats.polygons_on_screen += mesh.triangle_count();
+                    draw_mesh(
+                        fb,
+                        full_viewport,
+                        tile,
+                        mesh,
+                        &model,
+                        &view_proj,
+                        &self.lighting,
+                        self.default_material,
+                        &mut stats.raster,
+                    );
+                }
+                NodeKind::PointCloud(cloud) => {
+                    stats.points_on_screen += cloud.point_count();
+                    draw_points(
+                        fb,
+                        full_viewport,
+                        tile,
+                        cloud,
+                        &model,
+                        &view_proj,
+                        self.default_material,
+                        &mut stats.raster,
+                    );
+                }
+                NodeKind::Volume(vol) => {
+                    stats.voxels_sampled_nodes += 1;
+                    raycast_volume(
+                        fb,
+                        full_viewport,
+                        tile,
+                        vol,
+                        &model,
+                        &view_proj,
+                        camera.position,
+                        &self.transfer,
+                        self.volume_steps,
+                        &mut stats.raster,
+                    );
+                }
+                NodeKind::Avatar(info) => {
+                    let mesh = avatar_mesh(info);
+                    stats.polygons_on_screen += mesh.triangle_count();
+                    draw_mesh(
+                        fb,
+                        full_viewport,
+                        tile,
+                        &mesh,
+                        &model,
+                        &view_proj,
+                        &self.lighting,
+                        info.color,
+                        &mut stats.raster,
+                    );
+                }
+            }
+        }
+        stats
+    }
+
+    /// Render only the volume content into an RGBA layer for distributed
+    /// volume compositing (§6): returns the layer tagged with the volume
+    /// subtree's mean view distance.
+    pub fn render_volume_layer(
+        &self,
+        tree: &SceneTree,
+        volume_node: NodeId,
+        camera: &CameraParams,
+        viewport: &Viewport,
+    ) -> Option<VolumeLayer> {
+        let node = tree.node(volume_node)?;
+        let NodeKind::Volume(vol) = &node.kind else { return None };
+        let mut fb = Framebuffer::new(viewport.width, viewport.height);
+        fb.clear(Rgb::BLACK);
+        let mut stats = RasterStats::default();
+        let model = tree.world_transform(volume_node);
+        raycast_volume(
+            &mut fb,
+            viewport,
+            viewport,
+            vol,
+            &model,
+            &camera.view_proj(viewport),
+            camera.position,
+            &self.transfer,
+            self.volume_steps,
+            &mut stats,
+        );
+        // Approximate alpha: luminance of the layer (the raycaster wrote
+        // premultiplied color over black).
+        let color = (0..viewport.pixel_count())
+            .map(|i| {
+                let x = i as u32 % viewport.width;
+                let y = i as u32 / viewport.width;
+                let c = fb.get(x, y);
+                let a = if c == Rgb::BLACK { 0.0 } else { 1.0f32.min(fb_lum(c) * 2.0) };
+                [c.0 as f32 / 255.0, c.1 as f32 / 255.0, c.2 as f32 / 255.0, a]
+            })
+            .collect();
+        let dist = tree.world_bounds(volume_node).center().distance(camera.position);
+        Some(VolumeLayer {
+            color,
+            view_distance: dist,
+            width: viewport.width,
+            height: viewport.height,
+        })
+    }
+}
+
+fn fb_lum(c: Rgb) -> f32 {
+    (0.299 * c.0 as f32 + 0.587 * c.1 as f32 + 0.114 * c.2 as f32) / 255.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rave_scene::{AvatarInfo, MeshData, Transform};
+    use std::sync::Arc;
+
+    fn scene_with_triangle() -> (SceneTree, CameraParams) {
+        let mut tree = SceneTree::new();
+        let mesh = MeshData::new(
+            vec![Vec3::new(-1.0, -1.0, 0.0), Vec3::new(1.0, -1.0, 0.0), Vec3::new(0.0, 1.0, 0.0)],
+            vec![[0, 1, 2]],
+        );
+        tree.add_node(tree.root(), "tri", NodeKind::Mesh(Arc::new(mesh))).unwrap();
+        let cam = CameraParams::look_at(Vec3::new(0.0, 0.0, 3.0), Vec3::ZERO, Vec3::Y);
+        (tree, cam)
+    }
+
+    #[test]
+    fn renders_scene_content() {
+        let (tree, cam) = scene_with_triangle();
+        let mut fb = Framebuffer::new(64, 64);
+        let r = Renderer::default();
+        let stats = r.render(&tree, &cam, &mut fb);
+        assert!(stats.raster.fragments_written > 100);
+        assert_eq!(stats.polygons_on_screen, 1);
+        assert!(fb.coverage(r.background) > 100);
+    }
+
+    #[test]
+    fn culls_out_of_view_subtrees() {
+        let (mut tree, cam) = scene_with_triangle();
+        let far = tree
+            .add_node(
+                tree.root(),
+                "far",
+                NodeKind::Mesh(Arc::new(MeshData::new(
+                    vec![Vec3::ZERO, Vec3::X, Vec3::Y],
+                    vec![[0, 1, 2]],
+                ))),
+            )
+            .unwrap();
+        tree.set_transform(far, Transform::from_translation(Vec3::new(1e5, 0.0, 0.0)));
+        let mut fb = Framebuffer::new(32, 32);
+        let stats = Renderer::default().render(&tree, &cam, &mut fb);
+        assert!(stats.nodes_culled >= 1);
+        // Culled node's polygon not counted on-screen.
+        assert_eq!(stats.polygons_on_screen, 1);
+    }
+
+    #[test]
+    fn avatar_visible_to_other_user_but_not_self() {
+        let mut tree = SceneTree::new();
+        let avatar_cam = CameraParams::look_at(Vec3::new(0.0, 0.0, 1.0), Vec3::ZERO, Vec3::Y);
+        let av = tree
+            .add_node(
+                tree.root(),
+                "avatar-desktop",
+                NodeKind::Avatar(AvatarInfo {
+                    label: "Desktop".into(),
+                    color: Vec3::new(1.0, 0.2, 0.1),
+                    camera: avatar_cam,
+                }),
+            )
+            .unwrap();
+        let observer = CameraParams::look_at(Vec3::new(0.0, 0.0, 3.0), Vec3::ZERO, Vec3::Y);
+
+        let mut fb = Framebuffer::new(64, 64);
+        let mut r = Renderer::default();
+        let stats = r.render(&tree, &observer, &mut fb);
+        assert!(stats.raster.fragments_written > 0, "observer sees the avatar");
+
+        r.skip_subtree = Some(av);
+        let mut fb2 = Framebuffer::new(64, 64);
+        let stats2 = r.render(&tree, &observer, &mut fb2);
+        assert_eq!(stats2.raster.fragments_written, 0, "owner's own avatar skipped");
+    }
+
+    #[test]
+    fn transform_chain_moves_rendering() {
+        let (mut tree, cam) = scene_with_triangle();
+        let tri = tree.find_by_path("/tri").unwrap();
+        let mut fb_before = Framebuffer::new(64, 64);
+        let r = Renderer::default();
+        r.render(&tree, &cam, &mut fb_before);
+        tree.set_transform(tri, Transform::from_translation(Vec3::new(0.6, 0.0, 0.0)));
+        let mut fb_after = Framebuffer::new(64, 64);
+        r.render(&tree, &cam, &mut fb_after);
+        assert!(fb_before.diff_fraction(&fb_after, 0.0) > 0.05, "image changed");
+    }
+
+    #[test]
+    fn tile_render_matches_full_render() {
+        let (tree, cam) = scene_with_triangle();
+        let r = Renderer::default();
+        let mut full = Framebuffer::new(60, 60);
+        r.render(&tree, &cam, &mut full);
+
+        let vp = Viewport::new(60, 60);
+        let mut stitched = Framebuffer::new(60, 60);
+        for tile in vp.split_tiles(3, 2) {
+            let mut tf = Framebuffer::new(tile.width, tile.height);
+            r.render_tile(&tree, &cam, &vp, &tile, &mut tf);
+            stitched.blit(&tf, tile.x, tile.y);
+        }
+        assert_eq!(full.diff_fraction(&stitched, 0.0), 0.0);
+    }
+
+    #[test]
+    fn empty_scene_renders_background_only() {
+        let tree = SceneTree::new();
+        let cam = CameraParams::default();
+        let mut fb = Framebuffer::new(16, 16);
+        let r = Renderer::default();
+        let stats = r.render(&tree, &cam, &mut fb);
+        assert_eq!(stats.raster.fragments_written, 0);
+        assert_eq!(fb.coverage(r.background), 0);
+    }
+}

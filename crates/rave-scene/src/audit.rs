@@ -1,0 +1,226 @@
+//! The persistent audit trail.
+//!
+//! "The data are intermittently streamed to disk, recording any changes
+//! that are made in the form of an audit trail. A recorded session may be
+//! played back at a later date; this enables users to append to a recorded
+//! session, collaborating asynchronously with previous users" (§3.1.1).
+//!
+//! Entries are persisted as line-delimited JSON so a recorded session is
+//! human-inspectable and appendable with a text editor.
+
+use crate::tree::SceneTree;
+use crate::update::{StampedUpdate, UpdateError};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+/// One recorded change: when (virtual seconds since session start) and
+/// what.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditEntry {
+    pub at_secs: f64,
+    pub stamped: StampedUpdate,
+}
+
+/// An append-only record of a session's updates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditTrail {
+    entries: Vec<AuditEntry>,
+}
+
+impl AuditTrail {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an update. Sequence numbers must be strictly increasing —
+    /// the trail is the session's ground truth and an out-of-order append
+    /// means the data service is broken.
+    pub fn record(&mut self, at_secs: f64, stamped: StampedUpdate) {
+        if let Some(last) = self.entries.last() {
+            assert!(
+                stamped.seq > last.stamped.seq,
+                "audit trail must be appended in seq order ({} after {})",
+                stamped.seq,
+                last.stamped.seq
+            );
+        }
+        self.entries.push(AuditEntry { at_secs, stamped });
+    }
+
+    pub fn entries(&self) -> &[AuditEntry] {
+        &self.entries
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Highest sequence number recorded, or 0.
+    pub fn last_seq(&self) -> u64 {
+        self.entries.last().map_or(0, |e| e.stamped.seq)
+    }
+
+    /// Rebuild a scene by replaying every entry up to and including
+    /// `up_to_secs` into a fresh tree. This is session playback: a new
+    /// collaborator joins "a previously recorded session" at any point on
+    /// its timeline.
+    pub fn replay(&self, up_to_secs: f64) -> Result<SceneTree, UpdateError> {
+        let mut tree = SceneTree::new();
+        for e in &self.entries {
+            if e.at_secs > up_to_secs {
+                break;
+            }
+            e.stamped.update.apply(&mut tree)?;
+        }
+        Ok(tree)
+    }
+
+    /// Replay everything.
+    pub fn replay_all(&self) -> Result<SceneTree, UpdateError> {
+        self.replay(f64::INFINITY)
+    }
+
+    /// Serialize as JSON-lines.
+    pub fn save<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        for e in &self.entries {
+            let line = serde_json::to_string(e).map_err(std::io::Error::other)?;
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Load from JSON-lines. Blank lines are skipped (hand-edited files).
+    pub fn load<R: BufRead>(r: R) -> std::io::Result<Self> {
+        let mut trail = Self::new();
+        for line in r.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let e: AuditEntry = serde_json::from_str(&line).map_err(std::io::Error::other)?;
+            trail.entries.push(e);
+        }
+        Ok(trail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{NodeId, NodeKind, Transform};
+    use crate::update::SceneUpdate;
+    use rave_math::Vec3;
+
+    fn stamped(seq: u64, update: SceneUpdate) -> StampedUpdate {
+        StampedUpdate { seq, origin: "test".into(), update }
+    }
+
+    fn sample_trail() -> AuditTrail {
+        let mut t = AuditTrail::new();
+        t.record(
+            0.0,
+            stamped(
+                1,
+                SceneUpdate::AddNode {
+                    id: NodeId(1),
+                    parent: NodeId(0),
+                    name: "g".into(),
+                    kind: NodeKind::Group,
+                },
+            ),
+        );
+        t.record(
+            1.0,
+            stamped(
+                2,
+                SceneUpdate::SetTransform {
+                    id: NodeId(1),
+                    transform: Transform::from_translation(Vec3::new(1.0, 0.0, 0.0)),
+                },
+            ),
+        );
+        t.record(2.0, stamped(3, SceneUpdate::RemoveNode { id: NodeId(1) }));
+        t
+    }
+
+    #[test]
+    fn replay_reconstructs_intermediate_states() {
+        let trail = sample_trail();
+        // At t=0.5 the node exists at the origin.
+        let t0 = trail.replay(0.5).unwrap();
+        assert!(t0.contains(NodeId(1)));
+        assert_eq!(t0.node(NodeId(1)).unwrap().transform.translation, Vec3::ZERO);
+        // At t=1.5 it has moved.
+        let t1 = trail.replay(1.5).unwrap();
+        assert_eq!(
+            t1.node(NodeId(1)).unwrap().transform.translation,
+            Vec3::new(1.0, 0.0, 0.0)
+        );
+        // After t=2 it is gone.
+        let t2 = trail.replay_all().unwrap();
+        assert!(!t2.contains(NodeId(1)));
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let trail = sample_trail();
+        let mut buf = Vec::new();
+        trail.save(&mut buf).unwrap();
+        let loaded = AuditTrail::load(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(trail, loaded);
+    }
+
+    #[test]
+    fn load_skips_blank_lines() {
+        let trail = sample_trail();
+        let mut buf = Vec::new();
+        trail.save(&mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("\n\n");
+        let loaded = AuditTrail::load(std::io::Cursor::new(text.into_bytes())).unwrap();
+        assert_eq!(loaded.len(), 3);
+    }
+
+    #[test]
+    fn asynchronous_collaboration_appends_to_recording() {
+        // User A records a session, user B loads it later, replays, and
+        // appends new work — §3.1.1's asynchronous collaboration flow.
+        let mut buf = Vec::new();
+        sample_trail().save(&mut buf).unwrap();
+
+        let mut loaded = AuditTrail::load(std::io::Cursor::new(buf)).unwrap();
+        let seq = loaded.last_seq();
+        loaded.record(
+            10.0,
+            stamped(
+                seq + 1,
+                SceneUpdate::AddNode {
+                    id: NodeId(2),
+                    parent: NodeId(0),
+                    name: "appended".into(),
+                    kind: NodeKind::Group,
+                },
+            ),
+        );
+        let replayed = loaded.replay_all().unwrap();
+        assert!(replayed.contains(NodeId(2)));
+        assert!(!replayed.contains(NodeId(1)), "earlier removal still honoured");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_seq_panics() {
+        let mut t = AuditTrail::new();
+        t.record(0.0, stamped(5, SceneUpdate::RemoveNode { id: NodeId(9) }));
+        t.record(1.0, stamped(4, SceneUpdate::RemoveNode { id: NodeId(9) }));
+    }
+
+    #[test]
+    fn last_seq_of_empty_is_zero() {
+        assert_eq!(AuditTrail::new().last_seq(), 0);
+    }
+}

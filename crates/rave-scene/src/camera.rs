@@ -1,0 +1,217 @@
+//! Camera state shared between collaborating clients.
+//!
+//! "The collaborating render services share the same camera view point, so
+//! the framebuffer aligns exactly" (§3.1.2) — the camera is therefore a
+//! first-class, serializable value that travels in scene updates.
+
+use rave_math::{Frustum, Mat4, Quat, Vec3, Viewport};
+use serde::{Deserialize, Serialize};
+
+/// A perspective camera: position + orientation (the paper's "camera
+/// position and orientation"), plus lens parameters.
+///
+/// The camera looks down its local `-Z`, with local `+Y` up, matching the
+/// Java3D/OpenGL convention.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CameraParams {
+    pub position: Vec3,
+    pub orientation: Quat,
+    /// Vertical field of view, radians.
+    pub fov_y: f32,
+    pub near: f32,
+    pub far: f32,
+}
+
+impl Default for CameraParams {
+    fn default() -> Self {
+        Self {
+            position: Vec3::new(0.0, 0.0, 5.0),
+            orientation: Quat::IDENTITY,
+            fov_y: std::f32::consts::FRAC_PI_3,
+            near: 0.05,
+            far: 1000.0,
+        }
+    }
+}
+
+impl CameraParams {
+    /// Place the camera at `eye` looking at `target`.
+    pub fn look_at(eye: Vec3, target: Vec3, up: Vec3) -> Self {
+        let f = (target - eye).normalized();
+        let r = f.cross(up).normalized();
+        let u = r.cross(f);
+        // Build the rotation whose columns are (right, up, -forward) — the
+        // camera-to-world basis — then convert to a quaternion via the
+        // stable branch of the matrix-to-quaternion formula.
+        let m = [
+            [r.x, r.y, r.z],
+            [u.x, u.y, u.z],
+            [-f.x, -f.y, -f.z],
+        ];
+        let trace = m[0][0] + m[1][1] + m[2][2];
+        let q = if trace > 0.0 {
+            let s = (trace + 1.0).sqrt() * 2.0;
+            Quat::new(
+                (m[1][2] - m[2][1]) / s,
+                (m[2][0] - m[0][2]) / s,
+                (m[0][1] - m[1][0]) / s,
+                0.25 * s,
+            )
+        } else if m[0][0] > m[1][1] && m[0][0] > m[2][2] {
+            let s = (1.0 + m[0][0] - m[1][1] - m[2][2]).sqrt() * 2.0;
+            Quat::new(
+                0.25 * s,
+                (m[1][0] + m[0][1]) / s,
+                (m[2][0] + m[0][2]) / s,
+                (m[1][2] - m[2][1]) / s,
+            )
+        } else if m[1][1] > m[2][2] {
+            let s = (1.0 + m[1][1] - m[0][0] - m[2][2]).sqrt() * 2.0;
+            Quat::new(
+                (m[1][0] + m[0][1]) / s,
+                0.25 * s,
+                (m[2][1] + m[1][2]) / s,
+                (m[2][0] - m[0][2]) / s,
+            )
+        } else {
+            let s = (1.0 + m[2][2] - m[0][0] - m[1][1]).sqrt() * 2.0;
+            Quat::new(
+                (m[2][0] + m[0][2]) / s,
+                (m[2][1] + m[1][2]) / s,
+                0.25 * s,
+                (m[0][1] - m[1][0]) / s,
+            )
+        };
+        Self { position: eye, orientation: q.normalized(), ..Self::default() }
+    }
+
+    /// The camera's forward direction in world space.
+    pub fn forward(&self) -> Vec3 {
+        self.orientation.rotate(-Vec3::Z)
+    }
+
+    pub fn up(&self) -> Vec3 {
+        self.orientation.rotate(Vec3::Y)
+    }
+
+    pub fn right(&self) -> Vec3 {
+        self.orientation.rotate(Vec3::X)
+    }
+
+    /// World → view matrix.
+    pub fn view_matrix(&self) -> Mat4 {
+        Mat4::look_at(self.position, self.position + self.forward(), self.up())
+    }
+
+    pub fn projection_matrix(&self, aspect: f32) -> Mat4 {
+        Mat4::perspective(self.fov_y, aspect, self.near, self.far)
+    }
+
+    pub fn view_proj(&self, viewport: &Viewport) -> Mat4 {
+        self.projection_matrix(viewport.aspect()) * self.view_matrix()
+    }
+
+    pub fn frustum(&self, viewport: &Viewport) -> Frustum {
+        Frustum::from_view_proj(&self.view_proj(viewport))
+    }
+
+    /// Orbit around `center` by yaw/pitch deltas — the click-and-drag
+    /// interaction ("rotate the camera around a selected object", §5.2).
+    pub fn orbit(&mut self, center: Vec3, d_yaw: f32, d_pitch: f32) {
+        let offset = self.position - center;
+        let yaw = Quat::from_axis_angle(Vec3::Y, d_yaw);
+        let pitch = Quat::from_axis_angle(self.right(), d_pitch);
+        let rot = yaw * pitch;
+        self.position = center + rot.rotate(offset);
+        self.orientation = (rot * self.orientation).normalized();
+    }
+
+    /// Move along the view direction (mouse-wheel dolly).
+    pub fn dolly(&mut self, dist: f32) {
+        self.position += self.forward() * dist;
+    }
+
+    /// Translate in the view plane (middle-drag pan).
+    pub fn pan(&mut self, dx: f32, dy: f32) {
+        self.position += self.right() * dx + self.up() * dy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rave_math::approx_eq;
+
+    fn close(a: Vec3, b: Vec3) -> bool {
+        approx_eq(a.x, b.x, 1e-4) && approx_eq(a.y, b.y, 1e-4) && approx_eq(a.z, b.z, 1e-4)
+    }
+
+    #[test]
+    fn look_at_faces_target() {
+        let c = CameraParams::look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, Vec3::Y);
+        assert!(close(c.forward(), -Vec3::Z));
+        assert!(close(c.up(), Vec3::Y));
+    }
+
+    #[test]
+    fn look_at_oblique() {
+        let eye = Vec3::new(3.0, 4.0, 5.0);
+        let c = CameraParams::look_at(eye, Vec3::ZERO, Vec3::Y);
+        assert!(close(c.forward(), (-eye).normalized()));
+    }
+
+    #[test]
+    fn look_at_straight_down_does_not_degenerate() {
+        // trace <= 0 branch exercise: looking along -Y with Z up.
+        let c = CameraParams::look_at(Vec3::new(0.0, 5.0, 0.0), Vec3::ZERO, Vec3::Z);
+        assert!(close(c.forward(), -Vec3::Y));
+    }
+
+    #[test]
+    fn view_matrix_centers_target() {
+        let c = CameraParams::look_at(Vec3::new(1.0, 2.0, 3.0), Vec3::ZERO, Vec3::Y);
+        let p = c.view_matrix().transform_point(Vec3::ZERO);
+        assert!(approx_eq(p.x, 0.0, 1e-4));
+        assert!(approx_eq(p.y, 0.0, 1e-4));
+        assert!(p.z < 0.0, "target ahead of camera");
+    }
+
+    #[test]
+    fn orbit_preserves_distance() {
+        let mut c = CameraParams::look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, Vec3::Y);
+        c.orbit(Vec3::ZERO, 0.3, -0.2);
+        assert!(approx_eq(c.position.length(), 5.0, 1e-4));
+        // Still facing the center.
+        assert!(close(c.forward(), (-c.position).normalized()));
+    }
+
+    #[test]
+    fn dolly_moves_forward() {
+        let mut c = CameraParams::look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, Vec3::Y);
+        c.dolly(2.0);
+        assert!(close(c.position, Vec3::new(0.0, 0.0, 3.0)));
+    }
+
+    #[test]
+    fn pan_slides_in_view_plane() {
+        let mut c = CameraParams::look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, Vec3::Y);
+        c.pan(1.0, 2.0);
+        assert!(close(c.position, Vec3::new(1.0, 2.0, 5.0)));
+    }
+
+    #[test]
+    fn frustum_sees_origin() {
+        let c = CameraParams::look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, Vec3::Y);
+        let f = c.frustum(&Viewport::new(200, 200));
+        assert!(f.contains_point(Vec3::ZERO));
+        assert!(!f.contains_point(Vec3::new(0.0, 0.0, 20.0)));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = CameraParams::look_at(Vec3::new(1.0, 2.0, 3.0), Vec3::ZERO, Vec3::Y);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CameraParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,135 @@
+//! Per-node resource cost metrics.
+//!
+//! §3.2.7: "we will use metrics to define ... how much data are contained
+//! in a given set of nodes (in terms of texture memory and number of
+//! polygons/voxels/points)". `NodeCost` is that metric; the migration
+//! planner compares it against a service's remaining capacity.
+
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Resource demand of a node (or aggregated subtree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NodeCost {
+    pub polygons: u64,
+    pub points: u64,
+    pub voxels: u64,
+    pub texture_bytes: u64,
+    /// Total bytes the node's payload occupies on the wire (bootstrap and
+    /// interest-update transfer sizing).
+    pub data_bytes: u64,
+}
+
+impl NodeCost {
+    pub const ZERO: Self =
+        Self { polygons: 0, points: 0, voxels: 0, texture_bytes: 0, data_bytes: 0 };
+
+    pub fn polygons(n: u64) -> Self {
+        Self { polygons: n, ..Self::ZERO }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        *self == Self::ZERO
+    }
+
+    /// A scalar "render weight" commensurable across primitive kinds, used
+    /// when the planner must order mixed nodes. Weights reflect relative
+    /// per-primitive rasterization cost in the software renderer: points
+    /// are ~1/4 of a triangle, voxels amortize heavily under ray casting.
+    pub fn render_weight(&self) -> u64 {
+        self.polygons * 4 + self.points + self.voxels / 16
+    }
+
+    /// Does a service with `poly_budget` polys/frame, `texture_budget`
+    /// bytes of texture memory left fit this cost?
+    pub fn fits(&self, poly_budget: u64, texture_budget: u64) -> bool {
+        self.polygons <= poly_budget && self.texture_bytes <= texture_budget
+    }
+
+    /// Saturating subtraction on every axis.
+    pub fn saturating_sub(&self, o: &Self) -> Self {
+        Self {
+            polygons: self.polygons.saturating_sub(o.polygons),
+            points: self.points.saturating_sub(o.points),
+            voxels: self.voxels.saturating_sub(o.voxels),
+            texture_bytes: self.texture_bytes.saturating_sub(o.texture_bytes),
+            data_bytes: self.data_bytes.saturating_sub(o.data_bytes),
+        }
+    }
+}
+
+impl Add for NodeCost {
+    type Output = Self;
+    fn add(self, o: Self) -> Self {
+        Self {
+            polygons: self.polygons + o.polygons,
+            points: self.points + o.points,
+            voxels: self.voxels + o.voxels,
+            texture_bytes: self.texture_bytes + o.texture_bytes,
+            data_bytes: self.data_bytes + o.data_bytes,
+        }
+    }
+}
+
+impl AddAssign for NodeCost {
+    fn add_assign(&mut self, o: Self) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for NodeCost {
+    type Output = Self;
+    fn sub(self, o: Self) -> Self {
+        self.saturating_sub(&o)
+    }
+}
+
+impl Sum for NodeCost {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_all_axes() {
+        let a = NodeCost { polygons: 1, points: 2, voxels: 3, texture_bytes: 4, data_bytes: 5 };
+        let b = NodeCost { polygons: 10, points: 20, voxels: 30, texture_bytes: 40, data_bytes: 50 };
+        let c = a + b;
+        assert_eq!(c.polygons, 11);
+        assert_eq!(c.data_bytes, 55);
+    }
+
+    #[test]
+    fn saturating_sub_never_underflows() {
+        let a = NodeCost::polygons(5);
+        let b = NodeCost::polygons(10);
+        assert_eq!((a - b).polygons, 0);
+        assert_eq!((b - a).polygons, 5);
+    }
+
+    #[test]
+    fn fits_checks_both_budgets() {
+        let c = NodeCost { polygons: 100, texture_bytes: 1000, ..NodeCost::ZERO };
+        assert!(c.fits(100, 1000));
+        assert!(!c.fits(99, 1000));
+        assert!(!c.fits(100, 999));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: NodeCost = (1..=4u64).map(NodeCost::polygons).sum();
+        assert_eq!(total.polygons, 10);
+    }
+
+    #[test]
+    fn render_weight_ordering() {
+        // A polygon node outweighs the same count of points.
+        assert!(NodeCost::polygons(100).render_weight()
+            > NodeCost { points: 100, ..NodeCost::ZERO }.render_weight());
+    }
+}

@@ -1,0 +1,190 @@
+//! Interest sets.
+//!
+//! "To distribute the dataset, the data server requires sections of the
+//! dataset to be marked as being of interest to a render service — this
+//! render service must be updated if the data service receives any changes
+//! to this subset of the data" (§3.2.5).
+
+use crate::node::NodeId;
+use crate::tree::SceneTree;
+use crate::update::SceneUpdate;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The set of subtree roots a render service has subscribed to, plus the
+/// expanded node set (descendants + ancestor orientation chain) computed
+/// against a specific tree state.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterestSet {
+    /// Subtree roots of interest.
+    roots: BTreeSet<NodeId>,
+    /// Expanded closure (descendants of roots + ancestors); refreshed via
+    /// [`InterestSet::refresh`].
+    expanded: BTreeSet<NodeId>,
+    /// Whether this set subscribes to *everything* (a full replica, the
+    /// common case for a render service that holds the whole scene).
+    all: bool,
+}
+
+impl InterestSet {
+    /// Interest in the entire scene.
+    pub fn everything() -> Self {
+        Self { all: true, ..Self::default() }
+    }
+
+    /// Interest in the given subtree roots.
+    pub fn subtrees(roots: impl IntoIterator<Item = NodeId>) -> Self {
+        Self { roots: roots.into_iter().collect(), ..Self::default() }
+    }
+
+    pub fn is_everything(&self) -> bool {
+        self.all
+    }
+
+    pub fn roots(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.roots.iter().copied()
+    }
+
+    pub fn add_root(&mut self, id: NodeId) {
+        self.roots.insert(id);
+    }
+
+    pub fn remove_root(&mut self, id: NodeId) -> bool {
+        self.roots.remove(&id)
+    }
+
+    /// Recompute the expanded closure against the current tree. Must be
+    /// called after structural changes to stay accurate; `relevant` on a
+    /// stale set errs on the side of delivering.
+    pub fn refresh(&mut self, tree: &SceneTree) {
+        if self.all {
+            return;
+        }
+        let roots: Vec<NodeId> = self.roots.iter().copied().collect();
+        self.expanded = tree.subset_closure(&roots).into_iter().collect();
+    }
+
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.all || self.expanded.contains(&id)
+    }
+
+    /// Should `update` be delivered to the subscriber holding this set?
+    ///
+    /// `AddNode` is judged by its *parent* (a child added inside a
+    /// subscribed subtree matters; the new id cannot be in the closure
+    /// yet). Everything else is judged by its target. Two conservative
+    /// rules widen delivery:
+    /// - updates to unknown nodes are delivered (a stale closure must not
+    ///   cause a replica to silently diverge);
+    /// - *presence* nodes (avatars and cameras) are relevant to every
+    ///   subscriber — collaborators must be visible in every view, even a
+    ///   subset replica (§3.2.4).
+    pub fn relevant(&self, update: &SceneUpdate, tree: &SceneTree) -> bool {
+        if self.all {
+            return true;
+        }
+        let presence = |id: crate::node::NodeId| {
+            matches!(
+                tree.node(id).map(|n| &n.kind),
+                Some(crate::node::NodeKind::Avatar(_)) | Some(crate::node::NodeKind::Camera(_))
+            )
+        };
+        match update {
+            SceneUpdate::AddNode { parent, id, kind, .. } => {
+                matches!(
+                    kind,
+                    crate::node::NodeKind::Avatar(_) | crate::node::NodeKind::Camera(_)
+                ) || presence(*id)
+                    || self.contains(*parent)
+            }
+            other => {
+                let t = other.target();
+                if !tree.contains(t) {
+                    return true; // unknown target: deliver conservatively
+                }
+                presence(t) || self.contains(t)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{NodeKind, Transform};
+
+    fn build_tree() -> (SceneTree, NodeId, NodeId, NodeId) {
+        let mut t = SceneTree::new();
+        let left = t.add_node(t.root(), "left", NodeKind::Group).unwrap();
+        let leaf = t.add_node(left, "leaf", NodeKind::Group).unwrap();
+        let right = t.add_node(t.root(), "right", NodeKind::Group).unwrap();
+        (t, left, leaf, right)
+    }
+
+    #[test]
+    fn everything_is_relevant() {
+        let (tree, left, ..) = build_tree();
+        let set = InterestSet::everything();
+        let u = SceneUpdate::SetName { id: left, name: "x".into() };
+        assert!(set.relevant(&u, &tree));
+    }
+
+    #[test]
+    fn subtree_updates_relevant_descendant_and_ancestor() {
+        let (tree, left, leaf, right) = build_tree();
+        let mut set = InterestSet::subtrees([left]);
+        set.refresh(&tree);
+        // Descendant of interest root.
+        assert!(set.relevant(&SceneUpdate::SetName { id: leaf, name: "x".into() }, &tree));
+        // Ancestor (root) transform orients the subset — relevant.
+        assert!(set.relevant(
+            &SceneUpdate::SetTransform { id: tree.root(), transform: Transform::IDENTITY },
+            &tree
+        ));
+        // Unrelated sibling subtree — not relevant.
+        assert!(!set.relevant(&SceneUpdate::SetName { id: right, name: "x".into() }, &tree));
+    }
+
+    #[test]
+    fn add_node_judged_by_parent() {
+        let (tree, left, _, right) = build_tree();
+        let mut set = InterestSet::subtrees([left]);
+        set.refresh(&tree);
+        let inside = SceneUpdate::AddNode {
+            id: NodeId(99),
+            parent: left,
+            name: "n".into(),
+            kind: NodeKind::Group,
+        };
+        let outside = SceneUpdate::AddNode {
+            id: NodeId(100),
+            parent: right,
+            name: "n".into(),
+            kind: NodeKind::Group,
+        };
+        assert!(set.relevant(&inside, &tree));
+        assert!(!set.relevant(&outside, &tree));
+    }
+
+    #[test]
+    fn unknown_target_delivered_conservatively() {
+        let (tree, left, ..) = build_tree();
+        let mut set = InterestSet::subtrees([left]);
+        set.refresh(&tree);
+        let u = SceneUpdate::RemoveNode { id: NodeId(1234) };
+        assert!(set.relevant(&u, &tree));
+    }
+
+    #[test]
+    fn add_remove_roots() {
+        let (tree, left, _, right) = build_tree();
+        let mut set = InterestSet::subtrees([left]);
+        set.add_root(right);
+        set.refresh(&tree);
+        assert!(set.contains(right));
+        assert!(set.remove_root(right));
+        assert!(!set.remove_root(right));
+        set.refresh(&tree);
+        assert!(!set.contains(right));
+    }
+}

@@ -1,0 +1,589 @@
+//! The scene tree proper.
+
+use crate::cost::NodeCost;
+use crate::node::{Node, NodeId, NodeKind, Transform};
+use rave_math::{Aabb, Mat4};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A scene tree: a rooted hierarchy of typed nodes.
+///
+/// Storage is a `BTreeMap` keyed by [`NodeId`] so iteration order is
+/// deterministic (render services on different "machines" must walk the
+/// same scene in the same order for compositing to be reproducible).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SceneTree {
+    nodes: BTreeMap<NodeId, Node>,
+    root: NodeId,
+    next_id: u64,
+}
+
+impl Default for SceneTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SceneTree {
+    pub fn new() -> Self {
+        let root = NodeId(0);
+        let mut nodes = BTreeMap::new();
+        nodes.insert(root, Node::new(root, "root", NodeKind::Group));
+        Self { nodes, root, next_id: 1 }
+    }
+
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(&id)
+    }
+
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut Node> {
+        self.nodes.get_mut(&id)
+    }
+
+    /// Allocate the next id without inserting — the data service allocates
+    /// ids before broadcasting `AddNode` updates.
+    pub fn allocate_id(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Insert a new child of `parent`. Returns the id.
+    pub fn add_node(
+        &mut self,
+        parent: NodeId,
+        name: impl Into<String>,
+        kind: NodeKind,
+    ) -> Result<NodeId, TreeError> {
+        let id = self.allocate_id();
+        self.insert_with_id(id, parent, name, kind)?;
+        Ok(id)
+    }
+
+    /// Insert a node under a caller-supplied id (the replication path:
+    /// render services apply `AddNode` updates that carry the data
+    /// service's id). Fails if the id is taken or the parent is missing.
+    pub fn insert_with_id(
+        &mut self,
+        id: NodeId,
+        parent: NodeId,
+        name: impl Into<String>,
+        kind: NodeKind,
+    ) -> Result<(), TreeError> {
+        if self.nodes.contains_key(&id) {
+            return Err(TreeError::DuplicateId(id));
+        }
+        if !self.nodes.contains_key(&parent) {
+            return Err(TreeError::MissingNode(parent));
+        }
+        let mut node = Node::new(id, name, kind);
+        node.parent = Some(parent);
+        self.nodes.insert(id, node);
+        self.nodes.get_mut(&parent).expect("parent checked").children.push(id);
+        self.next_id = self.next_id.max(id.0 + 1);
+        Ok(())
+    }
+
+    /// Remove a node and its whole subtree. Removing the root is rejected.
+    pub fn remove(&mut self, id: NodeId) -> Result<Vec<NodeId>, TreeError> {
+        if id == self.root {
+            return Err(TreeError::CannotRemoveRoot);
+        }
+        let Some(parent) = self.nodes.get(&id).map(|n| n.parent) else {
+            return Err(TreeError::MissingNode(id));
+        };
+        let mut removed = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if let Some(node) = self.nodes.remove(&n) {
+                stack.extend(node.children.iter().copied());
+                removed.push(n);
+            }
+        }
+        // Unlink from the parent.
+        if let Some(p) = parent.and_then(|p| self.nodes.get_mut(&p)) {
+            p.children.retain(|&c| c != id);
+        }
+        Ok(removed)
+    }
+
+    /// Pre-order traversal from `start` (inclusive), children in insertion
+    /// order.
+    pub fn descendants(&self, start: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![start];
+        while let Some(id) = stack.pop() {
+            if let Some(node) = self.nodes.get(&id) {
+                out.push(id);
+                // Reverse so the first child is popped first.
+                stack.extend(node.children.iter().rev().copied());
+            }
+        }
+        out
+    }
+
+    /// Ancestors from the node's parent up to and including the root.
+    pub fn ancestors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.nodes.get(&id).and_then(|n| n.parent);
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.nodes.get(&p).and_then(|n| n.parent);
+        }
+        out
+    }
+
+    /// The composed local-to-world matrix for a node.
+    pub fn world_transform(&self, id: NodeId) -> Mat4 {
+        let mut chain = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let Some(node) = self.nodes.get(&c) else { break };
+            chain.push(node.transform.matrix());
+            cur = node.parent;
+        }
+        chain.into_iter().rev().fold(Mat4::IDENTITY, |acc, m| acc * m)
+    }
+
+    /// World-space bounds of a subtree.
+    pub fn world_bounds(&self, id: NodeId) -> Aabb {
+        let mut b = Aabb::EMPTY;
+        for n in self.descendants(id) {
+            let node = &self.nodes[&n];
+            let local = node.kind.local_bounds();
+            if !local.is_empty() {
+                b = b.union(&local.transformed(&self.world_transform(n)));
+            }
+        }
+        b
+    }
+
+    /// Aggregate cost of a subtree (§3.2.7's "how much data are contained
+    /// in a given set of nodes").
+    pub fn subtree_cost(&self, id: NodeId) -> NodeCost {
+        self.descendants(id)
+            .into_iter()
+            .filter_map(|n| self.nodes.get(&n))
+            .map(|n| n.kind.cost())
+            .sum()
+    }
+
+    /// Total cost of the whole scene.
+    pub fn total_cost(&self) -> NodeCost {
+        self.subtree_cost(self.root)
+    }
+
+    /// Slash-separated path from the root, e.g. `/galleon/hull`.
+    pub fn path_of(&self, id: NodeId) -> Option<String> {
+        if id == self.root {
+            return Some("/".into());
+        }
+        let mut parts = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            if c == self.root {
+                break;
+            }
+            let node = self.nodes.get(&c)?;
+            parts.push(node.name.clone());
+            cur = node.parent;
+        }
+        parts.reverse();
+        Some(format!("/{}", parts.join("/")))
+    }
+
+    /// Look a node up by slash path (first match wins among same-named
+    /// siblings).
+    pub fn find_by_path(&self, path: &str) -> Option<NodeId> {
+        let mut cur = self.root;
+        for part in path.split('/').filter(|p| !p.is_empty()) {
+            let node = self.nodes.get(&cur)?;
+            cur = *node
+                .children
+                .iter()
+                .find(|c| self.nodes.get(c).map(|n| n.name.as_str()) == Some(part))?;
+        }
+        Some(cur)
+    }
+
+    /// Every node id whose kind matches `pred`, in deterministic order.
+    pub fn find_all(&self, mut pred: impl FnMut(&Node) -> bool) -> Vec<NodeId> {
+        self.descendants(self.root)
+            .into_iter()
+            .filter(|id| pred(&self.nodes[id]))
+            .collect()
+    }
+
+    /// The *ancestor closure* of a node set: the nodes themselves, all
+    /// their descendants, plus every ancestor (as structure-only context).
+    /// This is exactly what a render service receives for dataset
+    /// distribution: "a subset of the scene tree, including the parent
+    /// nodes to orientate the scene subset in the world" (§3.2.5).
+    pub fn subset_closure(&self, roots: &[NodeId]) -> Vec<NodeId> {
+        let mut included = std::collections::BTreeSet::new();
+        for &r in roots {
+            for d in self.descendants(r) {
+                included.insert(d);
+            }
+            for a in self.ancestors(r) {
+                included.insert(a);
+            }
+        }
+        included.into_iter().collect()
+    }
+
+    /// Extract a standalone subtree containing exactly `closure` nodes
+    /// (typically from [`SceneTree::subset_closure`]). Ancestor nodes that
+    /// are included for orientation keep their transforms but drop any
+    /// content payload if they are not within a requested subtree
+    /// (`content_roots`).
+    pub fn extract_subset(&self, roots: &[NodeId]) -> SceneTree {
+        let closure = self.subset_closure(roots);
+        let in_subtree: std::collections::BTreeSet<NodeId> = roots
+            .iter()
+            .flat_map(|&r| self.descendants(r))
+            .collect();
+        let mut out = SceneTree::new();
+        out.next_id = self.next_id;
+        // The root's transform orients everything: copy it so world
+        // transforms in the subset match the source exactly.
+        let root_transform = self.nodes[&self.root].transform;
+        out.node_mut(out.root).expect("fresh root").transform = root_transform;
+        // Walk in pre-order from our root so parents are inserted first.
+        for id in self.descendants(self.root) {
+            if id == self.root || !closure.contains(&id) {
+                continue;
+            }
+            let src = &self.nodes[&id];
+            let parent = src.parent.expect("non-root has parent");
+            let parent_in_out = if parent == self.root { out.root } else { parent };
+            let kind = if in_subtree.contains(&id) {
+                src.kind.clone()
+            } else {
+                NodeKind::Group // ancestor kept for orientation only
+            };
+            out.insert_with_id(id, parent_in_out, src.name.clone(), kind)
+                .expect("closure preserves parent-before-child");
+            let n = out.node_mut(id).unwrap();
+            n.transform = src.transform;
+            n.version = src.version;
+        }
+        out
+    }
+
+    /// Merge another tree's nodes into this one, preserving ids: nodes
+    /// already present keep their local state; missing nodes are inserted
+    /// under their (id-mapped) parents, `subset`'s root mapping to this
+    /// root. This is how a replica integrates an arriving snapshot or a
+    /// migrated subtree without discarding content it already holds.
+    pub fn merge_subset(&mut self, subset: &SceneTree) {
+        for id in subset.descendants(subset.root()) {
+            if id == subset.root() || self.contains(id) {
+                continue;
+            }
+            let src = subset.node(id).expect("descendant exists");
+            let parent = src.parent.expect("non-root has parent");
+            let parent = if parent == subset.root() { self.root } else { parent };
+            if !self.contains(parent) {
+                continue; // orphaned branch: parent was never replicated
+            }
+            self.insert_with_id(id, parent, src.name.clone(), src.kind.clone())
+                .expect("id checked missing");
+            let n = self.node_mut(id).expect("just inserted");
+            n.transform = src.transform;
+            n.version = src.version;
+        }
+    }
+
+    /// Structural invariant check, used by property tests and debug
+    /// assertions: every child link has a matching parent link, the root
+    /// exists, and there are no orphans or cycles.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if !self.nodes.contains_key(&self.root) {
+            return Err("root missing".into());
+        }
+        let reachable = self.descendants(self.root);
+        if reachable.len() != self.nodes.len() {
+            return Err(format!(
+                "orphaned nodes: {} reachable of {}",
+                reachable.len(),
+                self.nodes.len()
+            ));
+        }
+        for node in self.nodes.values() {
+            for c in &node.children {
+                let child = self
+                    .nodes
+                    .get(c)
+                    .ok_or_else(|| format!("dangling child {c} of {}", node.id))?;
+                if child.parent != Some(node.id) {
+                    return Err(format!("child {c} parent link mismatch"));
+                }
+            }
+            if let Some(p) = node.parent {
+                let parent =
+                    self.nodes.get(&p).ok_or_else(|| format!("dangling parent of {}", node.id))?;
+                if !parent.children.contains(&node.id) {
+                    return Err(format!("parent {p} missing child link to {}", node.id));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience: set a node's transform, bumping its version. Returns
+    /// false if the node does not exist.
+    pub fn set_transform(&mut self, id: NodeId, t: Transform) -> bool {
+        match self.nodes.get_mut(&id) {
+            Some(n) => {
+                n.transform = t;
+                n.version += 1;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Errors from structural tree edits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    MissingNode(NodeId),
+    DuplicateId(NodeId),
+    CannotRemoveRoot,
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::MissingNode(id) => write!(f, "node {id} does not exist"),
+            TreeError::DuplicateId(id) => write!(f, "node {id} already exists"),
+            TreeError::CannotRemoveRoot => write!(f, "the root node cannot be removed"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::MeshData;
+    use rave_math::Vec3;
+    use std::sync::Arc;
+
+    fn tri_mesh() -> NodeKind {
+        NodeKind::Mesh(Arc::new(MeshData::new(
+            vec![Vec3::ZERO, Vec3::X, Vec3::Y],
+            vec![[0, 1, 2]],
+        )))
+    }
+
+    #[test]
+    fn new_tree_has_root_only() {
+        let t = SceneTree::new();
+        assert_eq!(t.len(), 1);
+        assert!(t.is_empty());
+        assert!(t.contains(t.root()));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn add_and_find_by_path() {
+        let mut t = SceneTree::new();
+        let g = t.add_node(t.root(), "galleon", NodeKind::Group).unwrap();
+        let h = t.add_node(g, "hull", tri_mesh()).unwrap();
+        assert_eq!(t.find_by_path("/galleon/hull"), Some(h));
+        assert_eq!(t.find_by_path("/galleon"), Some(g));
+        assert_eq!(t.find_by_path("/nope"), None);
+        assert_eq!(t.path_of(h).unwrap(), "/galleon/hull");
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_subtree_removes_descendants() {
+        let mut t = SceneTree::new();
+        let g = t.add_node(t.root(), "g", NodeKind::Group).unwrap();
+        let c1 = t.add_node(g, "c1", tri_mesh()).unwrap();
+        let c2 = t.add_node(g, "c2", tri_mesh()).unwrap();
+        let removed = t.remove(g).unwrap();
+        assert_eq!(removed.len(), 3);
+        assert!(!t.contains(g) && !t.contains(c1) && !t.contains(c2));
+        assert_eq!(t.len(), 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cannot_remove_root() {
+        let mut t = SceneTree::new();
+        assert_eq!(t.remove(t.root()), Err(TreeError::CannotRemoveRoot));
+    }
+
+    #[test]
+    fn remove_missing_errors() {
+        let mut t = SceneTree::new();
+        assert!(matches!(t.remove(NodeId(99)), Err(TreeError::MissingNode(_))));
+    }
+
+    #[test]
+    fn ids_never_reused_after_removal() {
+        let mut t = SceneTree::new();
+        let a = t.add_node(t.root(), "a", NodeKind::Group).unwrap();
+        t.remove(a).unwrap();
+        let b = t.add_node(t.root(), "b", NodeKind::Group).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn world_transform_composes_down_the_chain() {
+        let mut t = SceneTree::new();
+        let a = t.add_node(t.root(), "a", NodeKind::Group).unwrap();
+        let b = t.add_node(a, "b", NodeKind::Group).unwrap();
+        t.set_transform(a, Transform::from_translation(Vec3::new(1.0, 0.0, 0.0)));
+        t.set_transform(b, Transform::from_translation(Vec3::new(0.0, 2.0, 0.0)));
+        let p = t.world_transform(b).transform_point(Vec3::ZERO);
+        assert_eq!(p, Vec3::new(1.0, 2.0, 0.0));
+    }
+
+    #[test]
+    fn world_bounds_include_transforms() {
+        let mut t = SceneTree::new();
+        let a = t.add_node(t.root(), "a", tri_mesh()).unwrap();
+        t.set_transform(a, Transform::from_translation(Vec3::new(10.0, 0.0, 0.0)));
+        let b = t.world_bounds(t.root());
+        assert!(b.contains(Vec3::new(10.5, 0.5, 0.0)));
+        assert!(!b.contains(Vec3::ZERO));
+    }
+
+    #[test]
+    fn subtree_cost_aggregates() {
+        let mut t = SceneTree::new();
+        let g = t.add_node(t.root(), "g", NodeKind::Group).unwrap();
+        t.add_node(g, "m1", tri_mesh()).unwrap();
+        t.add_node(g, "m2", tri_mesh()).unwrap();
+        assert_eq!(t.subtree_cost(g).polygons, 2);
+        assert_eq!(t.total_cost().polygons, 2);
+    }
+
+    #[test]
+    fn descendants_preorder_deterministic() {
+        let mut t = SceneTree::new();
+        let a = t.add_node(t.root(), "a", NodeKind::Group).unwrap();
+        let b = t.add_node(t.root(), "b", NodeKind::Group).unwrap();
+        let a1 = t.add_node(a, "a1", NodeKind::Group).unwrap();
+        assert_eq!(t.descendants(t.root()), vec![t.root(), a, a1, b]);
+    }
+
+    #[test]
+    fn ancestors_to_root() {
+        let mut t = SceneTree::new();
+        let a = t.add_node(t.root(), "a", NodeKind::Group).unwrap();
+        let b = t.add_node(a, "b", NodeKind::Group).unwrap();
+        assert_eq!(t.ancestors(b), vec![a, t.root()]);
+        assert!(t.ancestors(t.root()).is_empty());
+    }
+
+    #[test]
+    fn subset_closure_includes_parents_and_descendants() {
+        let mut t = SceneTree::new();
+        let g = t.add_node(t.root(), "g", NodeKind::Group).unwrap();
+        let m = t.add_node(g, "m", tri_mesh()).unwrap();
+        let leaf = t.add_node(m, "leaf", NodeKind::Group).unwrap();
+        let other = t.add_node(t.root(), "other", tri_mesh()).unwrap();
+        let closure = t.subset_closure(&[m]);
+        assert!(closure.contains(&m));
+        assert!(closure.contains(&leaf), "descendants included");
+        assert!(closure.contains(&g), "ancestors included");
+        assert!(!closure.contains(&other), "siblings excluded");
+    }
+
+    #[test]
+    fn extract_subset_keeps_ids_transforms_and_strips_foreign_content() {
+        let mut t = SceneTree::new();
+        let g = t.add_node(t.root(), "g", tri_mesh()).unwrap(); // ancestor WITH content
+        t.set_transform(g, Transform::from_translation(Vec3::new(5.0, 0.0, 0.0)));
+        let m = t.add_node(g, "m", tri_mesh()).unwrap();
+        t.add_node(t.root(), "other", tri_mesh()).unwrap();
+        let sub = t.extract_subset(&[m]);
+        sub.check_invariants().unwrap();
+        assert!(sub.contains(m));
+        assert!(sub.contains(g));
+        // Ancestor content stripped — only orientation kept.
+        assert!(matches!(sub.node(g).unwrap().kind, NodeKind::Group));
+        assert_eq!(
+            sub.node(g).unwrap().transform.translation,
+            Vec3::new(5.0, 0.0, 0.0)
+        );
+        // The requested subtree keeps its payload.
+        assert!(matches!(sub.node(m).unwrap().kind, NodeKind::Mesh(_)));
+        // Cost of the subset is just the subtree's.
+        assert_eq!(sub.total_cost().polygons, 1);
+        // World transform identical in both trees.
+        let p0 = t.world_transform(m).transform_point(Vec3::ZERO);
+        let p1 = sub.world_transform(m).transform_point(Vec3::ZERO);
+        assert_eq!(p0, p1);
+    }
+
+    #[test]
+    fn merge_subset_adds_missing_keeps_existing() {
+        let mut master = SceneTree::new();
+        let a = master.add_node(master.root(), "a", tri_mesh()).unwrap();
+        let b = master.add_node(master.root(), "b", tri_mesh()).unwrap();
+        let subset_a = master.extract_subset(&[a]);
+        let subset_b = master.extract_subset(&[b]);
+
+        let mut replica = SceneTree::new();
+        replica.merge_subset(&subset_a);
+        assert!(replica.contains(a) && !replica.contains(b));
+        // Locally mutate a, then merge b: a's local state survives.
+        replica
+            .set_transform(a, Transform::from_translation(Vec3::new(9.0, 0.0, 0.0)));
+        replica.merge_subset(&subset_b);
+        assert!(replica.contains(b));
+        assert_eq!(
+            replica.node(a).unwrap().transform.translation,
+            Vec3::new(9.0, 0.0, 0.0),
+            "existing node untouched by merge"
+        );
+        replica.check_invariants().unwrap();
+        // Merging again is a no-op.
+        let before = replica.len();
+        replica.merge_subset(&subset_b);
+        assert_eq!(replica.len(), before);
+    }
+
+    #[test]
+    fn insert_with_duplicate_id_rejected() {
+        let mut t = SceneTree::new();
+        let a = t.add_node(t.root(), "a", NodeKind::Group).unwrap();
+        assert_eq!(
+            t.insert_with_id(a, t.root(), "dup", NodeKind::Group),
+            Err(TreeError::DuplicateId(a))
+        );
+    }
+
+    #[test]
+    fn find_all_filters() {
+        let mut t = SceneTree::new();
+        t.add_node(t.root(), "m", tri_mesh()).unwrap();
+        t.add_node(t.root(), "g", NodeKind::Group).unwrap();
+        let meshes = t.find_all(|n| matches!(n.kind, NodeKind::Mesh(_)));
+        assert_eq!(meshes.len(), 1);
+    }
+}

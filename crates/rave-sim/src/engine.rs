@@ -1,0 +1,254 @@
+//! The event loop.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Identifier of a scheduled event; can be used to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+type Handler<W> = Box<dyn FnOnce(&mut Simulation<W>)>;
+
+
+/// A discrete-event simulation over a user-supplied world `W`.
+///
+/// ```
+/// use rave_sim::{Simulation, SimTime};
+///
+/// let mut sim = Simulation::new(0u32);
+/// sim.schedule_in(SimTime::from_secs(1.0), |sim| {
+///     sim.world += 1;
+///     sim.schedule_in(SimTime::from_secs(1.0), |sim| sim.world += 10);
+/// });
+/// sim.run();
+/// assert_eq!(sim.world, 11);
+/// assert_eq!(sim.now().as_secs(), 2.0);
+/// ```
+pub struct Simulation<W> {
+    pub world: W,
+    now: SimTime,
+    next_id: u64,
+    // Two structures: an ordered heap of (time, id) keys and a map of the
+    // boxed handlers, so cancellation is O(1) removal without touching the
+    // heap (the stale heap key is skipped when popped).
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    handlers: HashMap<u64, Handler<W>>,
+    executed: u64,
+}
+
+impl<W> Simulation<W> {
+    pub fn new(world: W) -> Self {
+        Self {
+            world,
+            now: SimTime::ZERO,
+            next_id: 0,
+            heap: BinaryHeap::new(),
+            handlers: HashMap::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending (including cancelled tombstones not
+    /// yet drained).
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `handler` to run at absolute time `at`. Scheduling in the
+    /// past is a logic error and panics — silently reordering time would
+    /// invalidate every measurement downstream.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        handler: impl FnOnce(&mut Simulation<W>) + 'static,
+    ) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={} at={}",
+            self.now,
+            at
+        );
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.handlers.insert(id.0, Box::new(handler));
+        self.heap.push(Reverse((at, id.0)));
+        id
+    }
+
+    /// Schedule `handler` to run `delay` after now.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimTime,
+        handler: impl FnOnce(&mut Simulation<W>) + 'static,
+    ) -> EventId {
+        let at = self.now + delay;
+        self.schedule_at(at, handler)
+    }
+
+    /// Cancel a pending event. Returns `true` if the event existed and had
+    /// not yet fired.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.handlers.remove(&id.0).is_some()
+    }
+
+    /// Run the next event, if any. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        while let Some(Reverse((at, raw_id))) = self.heap.pop() {
+            let Some(handler) = self.handlers.remove(&raw_id) else {
+                continue; // cancelled: stale heap key
+            };
+            self.now = at;
+            self.executed += 1;
+            handler(self);
+            return true;
+        }
+        false
+    }
+
+    /// Run until the queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the queue is empty or virtual time would exceed `until`.
+    /// Events at exactly `until` still execute; later events stay queued.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(Reverse((at, _))) = self.heap.peek() {
+            if *at > until {
+                break;
+            }
+            if !self.step() {
+                break;
+            }
+        }
+        // Time advances to the horizon even if nothing fired exactly there,
+        // so periodic samplers observe a consistent clock.
+        self.now = self.now.max(until);
+    }
+
+    /// Run until `predicate` over the world becomes true or the queue
+    /// drains. Returns whether the predicate held on exit.
+    pub fn run_while(&mut self, mut keep_going: impl FnMut(&W) -> bool) -> bool {
+        while keep_going(&self.world) {
+            if !self.step() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulation::new(Vec::<u32>::new());
+        sim.schedule_in(SimTime::from_secs(3.0), |s| s.world.push(3));
+        sim.schedule_in(SimTime::from_secs(1.0), |s| s.world.push(1));
+        sim.schedule_in(SimTime::from_secs(2.0), |s| s.world.push(2));
+        sim.run();
+        assert_eq!(sim.world, vec![1, 2, 3]);
+        assert_eq!(sim.now().as_secs(), 3.0);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut sim = Simulation::new(Vec::<u32>::new());
+        let t = SimTime::from_secs(1.0);
+        for i in 0..10 {
+            sim.schedule_in(t, move |s| s.world.push(i));
+        }
+        sim.run();
+        assert_eq!(sim.world, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_more() {
+        let mut sim = Simulation::new(0u64);
+        fn tick(sim: &mut Simulation<u64>) {
+            sim.world += 1;
+            if sim.world < 5 {
+                sim.schedule_in(SimTime::from_secs(1.0), tick);
+            }
+        }
+        sim.schedule_in(SimTime::ZERO, tick);
+        sim.run();
+        assert_eq!(sim.world, 5);
+        assert_eq!(sim.now().as_secs(), 4.0);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim = Simulation::new(0u32);
+        let id = sim.schedule_in(SimTime::from_secs(1.0), |s| s.world = 99);
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double-cancel reports false");
+        sim.run();
+        assert_eq!(sim.world, 0);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = Simulation::new(Vec::<u32>::new());
+        sim.schedule_in(SimTime::from_secs(1.0), |s| s.world.push(1));
+        sim.schedule_in(SimTime::from_secs(5.0), |s| s.world.push(5));
+        sim.run_until(SimTime::from_secs(2.0));
+        assert_eq!(sim.world, vec![1]);
+        assert_eq!(sim.now().as_secs(), 2.0);
+        assert_eq!(sim.pending(), 1);
+        sim.run();
+        assert_eq!(sim.world, vec![1, 5]);
+    }
+
+    #[test]
+    fn run_until_inclusive_of_horizon_events() {
+        let mut sim = Simulation::new(0u32);
+        sim.schedule_in(SimTime::from_secs(2.0), |s| s.world = 1);
+        sim.run_until(SimTime::from_secs(2.0));
+        assert_eq!(sim.world, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulation::new(());
+        sim.schedule_in(SimTime::from_secs(1.0), |s| {
+            s.schedule_at(SimTime::from_secs(0.5), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn run_while_predicate() {
+        let mut sim = Simulation::new(0u32);
+        for _ in 0..10 {
+            sim.schedule_in(SimTime::from_secs(1.0), |s| s.world += 1);
+        }
+        let held = sim.run_while(|w| *w < 3);
+        assert!(held);
+        assert_eq!(sim.world, 3);
+    }
+
+    #[test]
+    fn executed_counts_only_fired() {
+        let mut sim = Simulation::new(());
+        let id = sim.schedule_in(SimTime::from_secs(1.0), |_| {});
+        sim.schedule_in(SimTime::from_secs(1.0), |_| {});
+        sim.cancel(id);
+        sim.run();
+        assert_eq!(sim.executed(), 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! A scientist in the field (§1's motivation): a PDA over degrading
+//! wireless views the skeleton, with the bandwidth-adaptive compression
+//! extension (§6 future work) keeping the frame rate usable as the
+//! signal weakens.
+//!
+//! Run with: `cargo run --release --example pda_field_visualization`
+
+use rave::compress::adaptive::{select, EndpointSpeed};
+use rave::core::thin_client::{connect, stream_frames};
+use rave::core::world::RaveWorld;
+use rave::core::RaveConfig;
+use rave::math::{Vec3, Viewport};
+use rave::models::{build_with_budget, PaperModel};
+use rave::net::LinkSpec;
+use rave::render::{Framebuffer, Renderer};
+use rave::scene::{CameraParams, NodeKind, SceneTree};
+use rave::sim::Simulation;
+use std::sync::Arc;
+
+fn main() {
+    // --- Baseline: uncompressed streaming at full signal --------------
+    let mut sim = Simulation::new(RaveWorld::paper_testbed(RaveConfig::default(), 5));
+    let rs = sim.world.spawn_render_service("laptop");
+    let skeleton = build_with_budget(PaperModel::Skeleton, 100_000);
+    {
+        let scene = &mut sim.world.render_mut(rs).scene;
+        let root = scene.root();
+        scene.add_node(root, "skeleton", NodeKind::Mesh(Arc::new(skeleton.clone()))).unwrap();
+    }
+    let pda = sim.world.spawn_thin_client("zaurus");
+    connect(&mut sim, pda, rs);
+    stream_frames(&mut sim, pda, 10);
+    sim.run();
+    println!(
+        "uncompressed 200x200 over full-strength wireless: {:.1} fps",
+        sim.world.client_mut(pda).stats.fps()
+    );
+
+    // --- The adaptive-codec extension ---------------------------------
+    // Render one real frame so codec selection sees actual content.
+    let mut scene = SceneTree::new();
+    let root = scene.root();
+    scene.add_node(root, "skeleton", NodeKind::Mesh(Arc::new(skeleton))).unwrap();
+    let bounds = scene.world_bounds(root);
+    let cam = CameraParams::look_at(
+        bounds.center() + Vec3::new(0.0, 0.0, bounds.radius() * 2.2),
+        bounds.center(),
+        Vec3::Y,
+    );
+    let viewport = Viewport::new(200, 200);
+    let renderer = Renderer::default();
+    let mut fb = Framebuffer::new(viewport.width, viewport.height);
+    renderer.render(&scene, &cam, &mut fb);
+    let frame = fb.to_rgb_bytes();
+    // A "previous frame" after a tiny camera move, for delta coding.
+    let mut cam2 = cam;
+    cam2.orbit(bounds.center(), 0.03, 0.0);
+    let mut fb2 = Framebuffer::new(viewport.width, viewport.height);
+    renderer.render(&scene, &cam2, &mut fb2);
+    let next = fb2.to_rgb_bytes();
+
+    println!("\nsignal quality sweep (codec chosen adaptively per frame):");
+    println!("{:<8} {:>10} {:>14} {:>12} {:>9}", "signal", "codec", "frame bytes", "frame time", "est fps");
+    for quality in [1.0, 0.6, 0.3, 0.15, 0.05] {
+        let link = LinkSpec::wireless_11mb(quality);
+        let choice = select(
+            &next,
+            Some(&frame),
+            &link,
+            EndpointSpeed::workstation(),
+            EndpointSpeed::pda(),
+            true,
+        );
+        println!(
+            "{:<8} {:>10} {:>14} {:>12} {:>9.1}",
+            format!("{:.0}%", quality * 100.0),
+            choice.codec.name(),
+            choice.encoded_bytes,
+            format!("{}", choice.total_time),
+            1.0 / choice.total_time.as_secs()
+        );
+    }
+    println!(
+        "\nraw 120000-byte frames at 5% signal would run at {:.2} fps — adaptation keeps the view interactive.",
+        1.0 / LinkSpec::wireless_11mb(0.05).transfer_time(120_000).as_secs()
+    );
+}

@@ -1,0 +1,98 @@
+//! Framebuffer (tile) distribution and the Fig 5 tearing artifact.
+//!
+//! Two render services split the galleon view into side-by-side tiles.
+//! When the assisting service is artificially stalled while the camera
+//! moves, its stale tile misaligns at the seam — the paper's Fig 5 tear,
+//! here quantified with a seam-discontinuity metric and saved as images.
+//!
+//! Run with: `cargo run --release --example tiled_rendering`
+
+use rave::core::tiles::{plan_tiles, render_tiled_frame};
+use rave::core::world::RaveWorld;
+use rave::core::{ClientId, RaveConfig};
+use rave::math::{Vec3, Viewport};
+use rave::models::{build_with_budget, PaperModel};
+use rave::render::composite::seam_discontinuity;
+use rave::render::OffscreenMode;
+use rave::scene::{CameraParams, InterestSet, NodeKind};
+use rave::sim::Simulation;
+use std::collections::BTreeSet;
+use std::fs::File;
+use std::sync::Arc;
+
+fn main() {
+    let config = RaveConfig { produce_images: true, ..RaveConfig::default() };
+    let mut sim = Simulation::new(RaveWorld::paper_testbed(config, 4));
+
+    let ds = sim.world.spawn_data_service("adrenochrome", "galleon");
+    let galleon = build_with_budget(PaperModel::Galleon, 5_500);
+    {
+        let scene = &mut sim.world.data_mut(ds).scene;
+        let root = scene.root();
+        scene.add_node(root, "galleon", NodeKind::Mesh(Arc::new(galleon))).unwrap();
+    }
+
+    // Owner on the laptop, assistant on the tower; both hold the scene.
+    let owner = sim.world.spawn_render_service("laptop");
+    let helper = sim.world.spawn_render_service("tower");
+    for rs in [owner, helper] {
+        rave::core::bootstrap::connect_render_service(&mut sim, rs, ds, InterestSet::everything());
+    }
+    sim.run();
+
+    let bounds = sim.world.render(owner).scene.world_bounds(rave::scene::NodeId(0));
+    let center = bounds.center();
+    let cam0 = CameraParams::look_at(
+        center + Vec3::new(0.0, bounds.radius() * 0.35, bounds.radius() * 1.9),
+        center,
+        Vec3::Y,
+    );
+    let viewport = Viewport::new(400, 300);
+    let client = ClientId(7);
+    sim.world
+        .render_mut(owner)
+        .open_session(client, viewport, cam0, OffscreenMode::Sequential);
+
+    let cfg = sim.world.config.clone();
+    let helper_report = sim.world.render(helper).capacity_report(&cfg);
+    let plan = plan_tiles(&viewport, owner, &[helper_report]);
+    println!("tile plan:");
+    for (vp, svc) in &plan.tiles {
+        println!("  {svc}: {}x{} at ({}, {})", vp.width, vp.height, vp.x, vp.y);
+    }
+    let seam_x = plan.tiles[1].0.x;
+
+    // Frame 1: synchronized — seamless.
+    let f1 = render_tiled_frame(&mut sim, owner, client, &plan, cam0, &BTreeSet::new());
+    let img1 = f1.image.unwrap();
+    std::fs::create_dir_all("out").unwrap();
+    img1.write_ppm(&mut File::create("out/tiled_clean.ppm").unwrap()).unwrap();
+    println!(
+        "\nclean frame: completed at {}, seam discontinuity {:.2}",
+        f1.completed_at,
+        seam_discontinuity(&img1, seam_x)
+    );
+
+    // Frame 2: camera dragged, helper stalled -> tear at the seam.
+    let mut cam1 = cam0;
+    cam1.orbit(center, 0.28, 0.0);
+    let stalled: BTreeSet<_> = [helper].into_iter().collect();
+    let f2 = render_tiled_frame(&mut sim, owner, client, &plan, cam1, &stalled);
+    let img2 = f2.image.unwrap();
+    img2.write_ppm(&mut File::create("out/tiled_torn.ppm").unwrap()).unwrap();
+    let tear = seam_discontinuity(&img2, seam_x);
+    println!(
+        "torn frame (helper stalled): stale tile used = {}, seam discontinuity {:.2}",
+        f2.used_stale_tile, tear
+    );
+
+    // Frame 3: helper catches up -> seam heals.
+    let f3 = render_tiled_frame(&mut sim, owner, client, &plan, cam1, &BTreeSet::new());
+    let img3 = f3.image.unwrap();
+    img3.write_ppm(&mut File::create("out/tiled_healed.ppm").unwrap()).unwrap();
+    println!(
+        "healed frame: seam discontinuity {:.2}",
+        seam_discontinuity(&img3, seam_x)
+    );
+    println!("\nwrote out/tiled_clean.ppm, out/tiled_torn.ppm, out/tiled_healed.ppm");
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate re-exporting the full RAVE public API.
+pub use rave_compress as compress;
+pub use rave_core as core;
+pub use rave_grid as grid;
+pub use rave_math as math;
+pub use rave_models as models;
+pub use rave_net as net;
+pub use rave_render as render;
+pub use rave_scene as scene;
+pub use rave_sim as sim;

@@ -1,0 +1,195 @@
+//! Property tests on the scene tree, the update protocol and the audit
+//! trail: the invariants replication correctness rests on.
+
+use proptest::prelude::*;
+use rave::math::{Quat, Vec3};
+use rave::scene::{
+    AuditTrail, NodeId, NodeKind, SceneTree, SceneUpdate, StampedUpdate, Transform,
+};
+
+/// A randomly generated (valid-by-construction) update against the ids a
+/// tree could plausibly hold.
+#[derive(Debug, Clone)]
+enum Op {
+    Add { parent_pick: usize, name: String },
+    Remove { pick: usize },
+    Move { pick: usize, t: [f32; 3] },
+    Rename { pick: usize, name: String },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<usize>(), "[a-z]{1,8}").prop_map(|(parent_pick, name)| Op::Add {
+            parent_pick,
+            name
+        }),
+        any::<usize>().prop_map(|pick| Op::Remove { pick }),
+        (any::<usize>(), [-10.0f32..10.0, -10.0..10.0, -10.0..10.0])
+            .prop_map(|(pick, t)| Op::Move { pick, t }),
+        (any::<usize>(), "[a-z]{1,8}").prop_map(|(pick, name)| Op::Rename { pick, name }),
+    ]
+}
+
+/// Turn abstract ops into concrete updates against the live tree,
+/// mirroring how a data service allocates ids.
+fn materialize(tree: &mut SceneTree, op: &Op) -> Option<SceneUpdate> {
+    let nodes: Vec<NodeId> = tree.descendants(tree.root());
+    match op {
+        Op::Add { parent_pick, name } => {
+            let parent = nodes[parent_pick % nodes.len()];
+            let id = tree.allocate_id();
+            Some(SceneUpdate::AddNode {
+                id,
+                parent,
+                name: name.clone(),
+                kind: NodeKind::Group,
+            })
+        }
+        Op::Remove { pick } => {
+            // Never remove the root.
+            let candidates: Vec<NodeId> =
+                nodes.iter().copied().filter(|&n| n != tree.root()).collect();
+            if candidates.is_empty() {
+                return None;
+            }
+            Some(SceneUpdate::RemoveNode { id: candidates[pick % candidates.len()] })
+        }
+        Op::Move { pick, t } => {
+            let id = nodes[pick % nodes.len()];
+            Some(SceneUpdate::SetTransform {
+                id,
+                transform: Transform {
+                    translation: Vec3::new(t[0], t[1], t[2]),
+                    rotation: Quat::IDENTITY,
+                    scale: Vec3::ONE,
+                },
+            })
+        }
+        Op::Rename { pick, name } => {
+            let id = nodes[pick % nodes.len()];
+            Some(SceneUpdate::SetName { id, name: name.clone() })
+        }
+    }
+}
+
+proptest! {
+    /// Any sequence of valid updates leaves the tree structurally sound.
+    #[test]
+    fn updates_preserve_tree_invariants(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut tree = SceneTree::new();
+        for op in &ops {
+            if let Some(update) = materialize(&mut tree, op) {
+                update.apply(&mut tree).expect("valid-by-construction update");
+                tree.check_invariants().expect("invariants after update");
+            }
+        }
+    }
+
+    /// Two replicas applying the same update stream converge exactly —
+    /// the multicast-replication guarantee.
+    #[test]
+    fn replicas_converge(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut master = SceneTree::new();
+        let mut replica_a = SceneTree::new();
+        let mut replica_b = SceneTree::new();
+        for op in &ops {
+            if let Some(update) = materialize(&mut master, op) {
+                update.apply(&mut master).unwrap();
+                update.apply(&mut replica_a).unwrap();
+                update.apply(&mut replica_b).unwrap();
+            }
+        }
+        prop_assert_eq!(format!("{replica_a:?}"), format!("{replica_b:?}"));
+        prop_assert_eq!(replica_a.len(), master.len());
+    }
+
+    /// The audit trail is a faithful record: replaying it reconstructs the
+    /// live tree, from any prefix boundary.
+    #[test]
+    fn audit_replay_equals_live_state(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        cut in 0.0f64..1.0,
+    ) {
+        let mut tree = SceneTree::new();
+        let mut trail = AuditTrail::new();
+        let mut seq = 0u64;
+        let mut applied = Vec::new();
+        for op in &ops {
+            if let Some(update) = materialize(&mut tree, op) {
+                update.apply(&mut tree).unwrap();
+                seq += 1;
+                // Timestamp = index among *materialized* updates, so the
+                // prefix cut below lines up with `applied`.
+                trail.record(
+                    applied.len() as f64,
+                    StampedUpdate { seq, origin: "p".into(), update: update.clone() },
+                );
+                applied.push(update);
+            }
+        }
+        // Full replay equals live state.
+        let replayed = trail.replay_all().unwrap();
+        prop_assert_eq!(replayed.len(), tree.len());
+
+        // Prefix replay equals applying the prefix.
+        let upto = (applied.len() as f64 * cut) as usize;
+        let mut prefix_tree = SceneTree::new();
+        for u in &applied[..upto] {
+            u.apply(&mut prefix_tree).unwrap();
+        }
+        let replay_prefix = trail.replay(upto as f64 - 0.5).unwrap();
+        prop_assert_eq!(replay_prefix.len(), prefix_tree.len());
+    }
+
+    /// Save/load of the audit trail is lossless for arbitrary sessions.
+    #[test]
+    fn audit_persistence_roundtrip(ops in prop::collection::vec(op_strategy(), 1..30)) {
+        let mut tree = SceneTree::new();
+        let mut trail = AuditTrail::new();
+        let mut seq = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            if let Some(update) = materialize(&mut tree, op) {
+                update.apply(&mut tree).unwrap();
+                seq += 1;
+                trail.record(i as f64, StampedUpdate { seq, origin: "p".into(), update });
+            }
+        }
+        let mut buf = Vec::new();
+        trail.save(&mut buf).unwrap();
+        let loaded = AuditTrail::load(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(&loaded, &trail);
+    }
+
+    /// `subset_closure` always contains the requested roots, their
+    /// descendants and ancestors; `extract_subset` preserves world
+    /// transforms for every included node.
+    #[test]
+    fn subset_extraction_sound(ops in prop::collection::vec(op_strategy(), 5..50), pick: usize) {
+        let mut tree = SceneTree::new();
+        for op in &ops {
+            if let Some(update) = materialize(&mut tree, op) {
+                update.apply(&mut tree).unwrap();
+            }
+        }
+        let nodes: Vec<NodeId> = tree
+            .descendants(tree.root())
+            .into_iter()
+            .filter(|&n| n != tree.root())
+            .collect();
+        prop_assume!(!nodes.is_empty());
+        let chosen = nodes[pick % nodes.len()];
+        let subset = tree.extract_subset(&[chosen]);
+        subset.check_invariants().unwrap();
+        prop_assert!(subset.contains(chosen));
+        for d in tree.descendants(chosen) {
+            prop_assert!(subset.contains(d), "descendant {d} present");
+        }
+        for a in tree.ancestors(chosen) {
+            prop_assert!(subset.contains(a), "ancestor {a} present");
+        }
+        // World transform identical through the extracted chain.
+        let p0 = tree.world_transform(chosen).transform_point(Vec3::ZERO);
+        let p1 = subset.world_transform(chosen).transform_point(Vec3::ZERO);
+        prop_assert!((p0 - p1).length() < 1e-4);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests on the discrete-event kernel and the network channel —
+//! the foundations every timing result stands on.
+
+use proptest::prelude::*;
+use rave::net::{Channel, LinkSpec};
+use rave::sim::{SimRng, SimTime, Simulation};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    /// Events always execute in non-decreasing time order, regardless of
+    /// the order they were scheduled in, with FIFO ties.
+    #[test]
+    fn events_execute_in_time_order(delays in prop::collection::vec(0u32..10_000, 1..80)) {
+        let log: Rc<RefCell<Vec<(f64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(());
+        for (i, &d) in delays.iter().enumerate() {
+            let log = Rc::clone(&log);
+            sim.schedule_in(SimTime::from_millis(d as f64), move |s| {
+                log.borrow_mut().push((s.now().as_secs(), i));
+            });
+        }
+        sim.run();
+        let log = log.borrow();
+        prop_assert_eq!(log.len(), delays.len());
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time ordering");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO among ties");
+            }
+        }
+    }
+
+    /// Cancellation removes exactly the cancelled events.
+    #[test]
+    fn cancellation_exact(
+        delays in prop::collection::vec(1u32..1000, 1..40),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..40),
+    ) {
+        let counter: Rc<RefCell<usize>> = Rc::new(RefCell::new(0));
+        let mut sim = Simulation::new(());
+        let mut ids = Vec::new();
+        for &d in &delays {
+            let c = Rc::clone(&counter);
+            ids.push(sim.schedule_in(SimTime::from_millis(d as f64), move |_| {
+                *c.borrow_mut() += 1;
+            }));
+        }
+        let mut cancelled = 0;
+        for (id, &cancel) in ids.iter().zip(cancel_mask.iter().chain(std::iter::repeat(&false))) {
+            if cancel && sim.cancel(*id) {
+                cancelled += 1;
+            }
+        }
+        sim.run();
+        prop_assert_eq!(*counter.borrow(), delays.len() - cancelled);
+    }
+
+    /// run_until never executes events beyond the horizon, and a
+    /// subsequent run() picks them all up.
+    #[test]
+    fn run_until_is_a_clean_partition(
+        delays in prop::collection::vec(1u32..2_000, 1..50),
+        horizon_ms in 1u32..2_000,
+    ) {
+        let log: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(());
+        for &d in &delays {
+            let log = Rc::clone(&log);
+            sim.schedule_in(SimTime::from_millis(d as f64), move |s| {
+                log.borrow_mut().push(s.now().as_millis());
+            });
+        }
+        let horizon = SimTime::from_millis(horizon_ms as f64);
+        sim.run_until(horizon);
+        let first_phase = log.borrow().len();
+        for &t in log.borrow().iter() {
+            prop_assert!(t <= horizon_ms as f64 + 1e-9);
+        }
+        prop_assert!(sim.now() >= horizon);
+        sim.run();
+        prop_assert_eq!(log.borrow().len(), delays.len());
+        // Second phase strictly after the horizon.
+        for &t in log.borrow()[first_phase..].iter() {
+            prop_assert!(t > horizon_ms as f64 - 1e-9);
+        }
+    }
+
+    /// The channel conserves wire time: for any message sequence, total
+    /// occupancy equals the sum of individual tx times, arrivals are
+    /// monotone per channel, and nothing arrives before its send.
+    #[test]
+    fn channel_conservation(
+        sends in prop::collection::vec((0u32..5_000, 1u64..200_000), 1..40),
+    ) {
+        let link = LinkSpec::wireless_11mb(1.0);
+        let mut chan = Channel::new(link.clone());
+        let mut last_arrival = SimTime::ZERO;
+        let mut expected_busy = SimTime::ZERO;
+        let mut sorted = sends.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        for &(t_ms, bytes) in &sorted {
+            let now = SimTime::from_millis(t_ms as f64);
+            let arrival = chan.send(now, bytes);
+            // Allow f64 association slack: (a+b)+c vs a+(b+c).
+            prop_assert!(
+                arrival.as_secs() >= (now + link.transfer_time(bytes)).as_secs() - 1e-9,
+                "no time travel"
+            );
+            prop_assert!(arrival >= last_arrival, "monotone arrivals");
+            last_arrival = arrival;
+            expected_busy = expected_busy.max(now) + link.tx_time(bytes);
+            prop_assert_eq!(chan.busy_until(), expected_busy);
+        }
+        let total: u64 = sorted.iter().map(|&(_, b)| b).sum();
+        prop_assert_eq!(chan.bytes_sent(), total);
+    }
+
+    /// Deterministic RNG: identical seeds give identical streams across
+    /// forks, and `below` is always in range.
+    #[test]
+    fn rng_determinism(seed in any::<u64>(), n in 1u64..1000) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..50 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut fa = a.fork(7);
+        let mut fb = b.fork(7);
+        for _ in 0..20 {
+            prop_assert_eq!(fa.next_u64(), fb.next_u64());
+            let v = fa.below(n);
+            prop_assert!(v < n);
+            fb.below(n);
+        }
+    }
+}
