@@ -10,9 +10,7 @@ use rave_scene::{NodeKind, SceneTree};
 use std::sync::Arc;
 
 fn synthetic_frame(px: usize) -> Vec<u8> {
-    (0..px * 3)
-        .map(|i| if (i / 600) % 2 == 0 { 40 } else { ((i * 7) % 251) as u8 })
-        .collect()
+    (0..px * 3).map(|i| if (i / 600) % 2 == 0 { 40 } else { ((i * 7) % 251) as u8 }).collect()
 }
 
 fn bench_image_codecs(c: &mut Criterion) {

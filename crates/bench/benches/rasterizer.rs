@@ -71,11 +71,7 @@ fn bench_compositors(c: &mut Criterion) {
     });
 
     let vp = Viewport::new(400, 400);
-    let tiles: Vec<_> = vp
-        .split_tiles(2, 2)
-        .into_iter()
-        .map(|t| (t, a.crop(t)))
-        .collect();
+    let tiles: Vec<_> = vp.split_tiles(2, 2).into_iter().map(|t| (t, a.crop(t))).collect();
     c.bench_function("stitch_tiles_400x400_x4", |b| {
         b.iter(|| {
             let mut dst = Framebuffer::new(400, 400);

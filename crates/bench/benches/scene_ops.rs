@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rave_math::Vec3;
 use rave_models::decimate::decimate_to;
 use rave_models::generators::sphere;
-use rave_scene::{
-    AuditTrail, NodeKind, SceneTree, SceneUpdate, StampedUpdate, Transform,
-};
+use rave_scene::{AuditTrail, NodeKind, SceneTree, SceneUpdate, StampedUpdate, Transform};
 
 fn wide_tree(children: usize) -> SceneTree {
     let mut tree = SceneTree::new();
@@ -69,7 +67,7 @@ fn bench_audit_replay(c: &mut Criterion) {
             kind: NodeKind::Group,
         };
         update.apply(&mut tree).unwrap();
-        trail.record(i as f64, StampedUpdate { seq: i + 1, origin: "b".into(), update });
+        trail.record(i as f64, StampedUpdate { seq: i + 1, origin: "b".into(), update }).unwrap();
     }
     c.bench_function("audit_replay_1000_updates", |b| {
         b.iter(|| std::hint::black_box(trail.replay_all().unwrap()));

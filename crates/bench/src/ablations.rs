@@ -33,8 +33,8 @@ pub fn soap_vs_binary(_opts: &RunOpts) -> Vec<SoapVsBinaryRow> {
             let env = SoapEnvelope::new("data", "put").arg("blob", SoapValue::Bytes(payload));
             let soap_bytes = codec.wire_size(&env);
             // marshal + wire + demarshal.
-            let soap_total = codec.marshal_time(&env).as_secs() * 2.0
-                + link.transfer_time(soap_bytes).as_secs();
+            let soap_total =
+                codec.marshal_time(&env).as_secs() * 2.0 + link.transfer_time(soap_bytes).as_secs();
             let binary_total = link.transfer_time(n + 7).as_secs();
             SoapVsBinaryRow {
                 payload_bytes: n,
@@ -143,15 +143,12 @@ pub fn tile_sweep(_opts: &RunOpts) -> Vec<TileSweepRow> {
             // (cheap) screen-bounds test before rasterization — modelled
             // as ~30% of full per-triangle cost for rejected triangles,
             // assuming roughly uniform screen distribution.
-            let tile_polys =
-                (polygons as f64 * (0.3 + 0.7 / tiles as f64)) as u64;
+            let tile_polys = (polygons as f64 * (0.3 + 0.7 / tiles as f64)) as u64;
             // Owner renders its tile on-screen; helpers render theirs
             // off-screen and ship them; frame completes at the max.
             let owner_t = owner.onscreen_cost(tile_polys, tile_px).total();
             let helper_t = if tiles > 1 {
-                helper
-                    .offscreen_cost(tile_polys, tile_px, OffscreenMode::Sequential)
-                    .total()
+                helper.offscreen_cost(tile_polys, tile_px, OffscreenMode::Sequential).total()
                     + link.transfer_time(tile_px * 3).as_secs()
                     + link.transfer_time(128).as_secs()
             } else {

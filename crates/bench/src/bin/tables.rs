@@ -9,24 +9,33 @@
 use bench::{ablations, extras, figures, table1, table2, table3, table4, table5, RunOpts};
 
 const EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "table3", "table4", "table5", "fig2", "fig3", "fig4", "fig5",
-    "pda_ablation", "tile_latency", "ablations",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "pda_ablation",
+    "tile_latency",
+    "ablations",
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let mut selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
+    let mut selected: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     if selected.is_empty() || selected.contains(&"all") {
         selected = EXPERIMENTS.to_vec();
     }
     let opts = RunOpts { quick, out_dir: "out" };
     if quick {
-        println!("(--quick: models scaled to 1/50 of paper sizes; timing-model tables are unaffected)");
+        println!(
+            "(--quick: models scaled to 1/50 of paper sizes; timing-model tables are unaffected)"
+        );
     }
 
     for exp in selected {

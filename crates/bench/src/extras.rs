@@ -49,11 +49,31 @@ pub fn render_pda(a: &PdaAblation) -> String {
         "§5.1: PDA image import + wireless bandwidth — measured (paper)",
         &["Quantity", "Measured", "Paper"],
         &[
-            vec!["J2ME per-pixel import, 200x200".into(), format!("{:.0} s", a.j2me_import_s), "over 2 minutes".into()],
-            vec!["C/C++ cast import, 200x200".into(), format!("{:.4} s", a.cast_import_s), "~0 (receive-bound)".into()],
-            vec!["wire-limited fps at 200x200".into(), format!("{:.1} fps", a.fps_200), "5 fps".into()],
-            vec!["wire-limited fps at 640x480".into(), format!("{:.2} fps", a.fps_640), "0.6 fps".into()],
-            vec!["wireless goodput".into(), format!("{:.0} kB/s", a.goodput_bytes_s / 1e3), "~580 kB/s".into()],
+            vec![
+                "J2ME per-pixel import, 200x200".into(),
+                format!("{:.0} s", a.j2me_import_s),
+                "over 2 minutes".into(),
+            ],
+            vec![
+                "C/C++ cast import, 200x200".into(),
+                format!("{:.4} s", a.cast_import_s),
+                "~0 (receive-bound)".into(),
+            ],
+            vec![
+                "wire-limited fps at 200x200".into(),
+                format!("{:.1} fps", a.fps_200),
+                "5 fps".into(),
+            ],
+            vec![
+                "wire-limited fps at 640x480".into(),
+                format!("{:.2} fps", a.fps_640),
+                "0.6 fps".into(),
+            ],
+            vec![
+                "wireless goodput".into(),
+                format!("{:.0} kB/s", a.goodput_bytes_s / 1e3),
+                "~580 kB/s".into(),
+            ],
         ],
     )
 }
@@ -96,9 +116,7 @@ pub fn tile_latency(_opts: &RunOpts) -> Vec<TileLatencyRow> {
         let viewport = Viewport::new(400, 300);
         let client = ClientId(1);
         let cam = CameraParams::default();
-        sim.world
-            .render_mut(owner)
-            .open_session(client, viewport, cam, OffscreenMode::Sequential);
+        sim.world.render_mut(owner).open_session(client, viewport, cam, OffscreenMode::Sequential);
         let cfg = sim.world.config.clone();
         let report = sim.world.render(helper).capacity_report(&cfg);
         let plan = plan_tiles(&viewport, owner, &[report]);
@@ -156,11 +174,7 @@ mod tests {
         // Galleon fast (~tens of ms), hand slower (~0.2-0.4 s), skeleton
         // slowest.
         assert!(rows[0].latency_s < 0.1, "galleon {}", rows[0].latency_s);
-        assert!(
-            (0.1..0.5).contains(&rows[1].latency_s),
-            "hand {}",
-            rows[1].latency_s
-        );
+        assert!((0.1..0.5).contains(&rows[1].latency_s), "hand {}", rows[1].latency_s);
         assert!(rows[2].latency_s > rows[1].latency_s);
     }
 }

@@ -55,10 +55,7 @@ pub fn fig2(opts: &RunOpts) -> Vec<(String, f64)> {
             let mut fb = Framebuffer::new(200, 200);
             renderer.render(&tree, &cam, &mut fb);
             let coverage = fb.coverage(renderer.background) as f64 / fb.pixel_count() as f64;
-            let name = format!(
-                "fig2_{}.ppm",
-                model.name().to_lowercase().replace(' ', "_")
-            );
+            let name = format!("fig2_{}.ppm", model.name().to_lowercase().replace(' ', "_"));
             (save(&fb, opts.out_dir, &name), coverage)
         })
         .collect()
@@ -180,9 +177,7 @@ pub fn fig5(opts: &RunOpts) -> Vec<(String, f32)> {
     );
     let viewport = Viewport::new(400, 300);
     let client = ClientId(1);
-    sim.world
-        .render_mut(owner)
-        .open_session(client, viewport, cam0, OffscreenMode::Sequential);
+    sim.world.render_mut(owner).open_session(client, viewport, cam0, OffscreenMode::Sequential);
     let cfg = sim.world.config.clone();
     let helper_report = sim.world.render(helper).capacity_report(&cfg);
     let plan = plan_tiles(&viewport, owner, &[helper_report]);
@@ -190,25 +185,24 @@ pub fn fig5(opts: &RunOpts) -> Vec<(String, f32)> {
 
     let mut results = Vec::new();
     // Clean.
-    let clean = render_tiled_frame(&mut sim, owner, client, &plan, cam0, &BTreeSet::new())
-        .image
-        .unwrap();
-    results.push((save(&clean, opts.out_dir, "fig5_clean.ppm"), seam_discontinuity(&clean, seam_x)));
+    let clean =
+        render_tiled_frame(&mut sim, owner, client, &plan, cam0, &BTreeSet::new()).image.unwrap();
+    results
+        .push((save(&clean, opts.out_dir, "fig5_clean.ppm"), seam_discontinuity(&clean, seam_x)));
     // Torn: camera dragged (the mid-mast seam of the paper's screenshot),
     // helper stalled.
     let mut cam1 = cam0;
     cam1.orbit(b.center(), 0.25, 0.0);
     let stalled: BTreeSet<_> = [helper].into_iter().collect();
-    let torn = render_tiled_frame(&mut sim, owner, client, &plan, cam1, &stalled)
-        .image
-        .unwrap();
+    let torn = render_tiled_frame(&mut sim, owner, client, &plan, cam1, &stalled).image.unwrap();
     results.push((save(&torn, opts.out_dir, "fig5_torn.ppm"), seam_discontinuity(&torn, seam_x)));
     // Healed.
-    let healed = render_tiled_frame(&mut sim, owner, client, &plan, cam1, &BTreeSet::new())
-        .image
-        .unwrap();
-    results
-        .push((save(&healed, opts.out_dir, "fig5_healed.ppm"), seam_discontinuity(&healed, seam_x)));
+    let healed =
+        render_tiled_frame(&mut sim, owner, client, &plan, cam1, &BTreeSet::new()).image.unwrap();
+    results.push((
+        save(&healed, opts.out_dir, "fig5_healed.ppm"),
+        seam_discontinuity(&healed, seam_x),
+    ));
     results
 }
 

@@ -76,10 +76,7 @@ pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> Strin
         let _ = writeln!(out, "{}", s.trim_end());
     };
     line(&mut out, &header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    line(
-        &mut out,
-        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
-    );
+    line(&mut out, &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(&mut out, row);
     }

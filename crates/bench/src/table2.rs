@@ -104,7 +104,15 @@ pub fn render(rows: &[Row]) -> String {
         .collect();
     crate::render_table(
         "Table 2: PDA visualization timings — measured (paper)",
-        &["Model", "Polygons", "fps", "Total latency", "Image receipt", "Render", "Other overheads"],
+        &[
+            "Model",
+            "Polygons",
+            "fps",
+            "Total latency",
+            "Image receipt",
+            "Render",
+            "Other overheads",
+        ],
         &table_rows,
     )
 }

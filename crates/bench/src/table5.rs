@@ -35,67 +35,61 @@ pub struct Row {
 }
 
 pub fn run(opts: &RunOpts) -> Vec<Row> {
-    [
-        (PaperModel::Galleon, 0.73, 4.8, 10.5),
-        (PaperModel::SkeletalHand, 0.70, 4.2, 68.2),
-    ]
-    .into_iter()
-    .map(|(model, paper_scan, paper_full, paper_boot)| {
-        // Use full polygon counts (the marshal bottleneck IS the point);
-        // --quick scales down for CI.
-        let budget = opts.budget(model);
-        let mesh = build_with_budget(model, budget);
+    [(PaperModel::Galleon, 0.73, 4.8, 10.5), (PaperModel::SkeletalHand, 0.70, 4.2, 68.2)]
+        .into_iter()
+        .map(|(model, paper_scan, paper_full, paper_boot)| {
+            // Use full polygon counts (the marshal bottleneck IS the point);
+            // --quick scales down for CI.
+            let budget = opts.budget(model);
+            let mesh = build_with_budget(model, budget);
 
-        let mut sim = Simulation::new(RaveWorld::paper_testbed(RaveConfig::default(), 55));
-        let ds = sim.world.spawn_data_service("adrenochrome", model.name());
-        let data_bytes = mesh.wire_size();
-        {
-            let scene = &mut sim.world.data_mut(ds).scene;
-            let root = scene.root();
-            scene.add_node(root, "model", NodeKind::Mesh(Arc::new(mesh))).unwrap();
-        }
-        // Publish a few render services so the scan has realistic result
-        // counts.
-        for host in ["tower", "desktop", "onyx"] {
-            sim.world.spawn_render_service(host);
-        }
+            let mut sim = Simulation::new(RaveWorld::paper_testbed(RaveConfig::default(), 55));
+            let ds = sim.world.spawn_data_service("adrenochrome", model.name());
+            let data_bytes = mesh.wire_size();
+            {
+                let scene = &mut sim.world.data_mut(ds).scene;
+                let root = scene.root();
+                scene.add_node(root, "model", NodeKind::Mesh(Arc::new(mesh))).unwrap();
+            }
+            // Publish a few render services so the scan has realistic result
+            // counts.
+            for host in ["tower", "desktop", "onyx"] {
+                sim.world.spawn_render_service(host);
+            }
 
-        // UDDI timings from the cost model + live registry.
-        let results = sim
-            .world
-            .registry
-            .scan_access_points("RAVE", TechnicalModel::RenderService)
-            .len();
-        let uddi_scan = sim.world.uddi_cost.scan_cost(results).as_secs();
-        let uddi_full = sim.world.uddi_cost.full_bootstrap_cost(results).as_secs();
+            // UDDI timings from the cost model + live registry.
+            let results =
+                sim.world.registry.scan_access_points("RAVE", TechnicalModel::RenderService).len();
+            let uddi_scan = sim.world.uddi_cost.scan_cost(results).as_secs();
+            let uddi_full = sim.world.uddi_cost.full_bootstrap_cost(results).as_secs();
 
-        // Service bootstrap: container instance creation + scene
-        // bootstrap (SOAP + introspective marshal + transfer).
-        let (_, create_cost) = sim
-            .world
-            .containers
-            .get_mut("tower")
-            .unwrap()
-            .create_instance("render-factory", "bench", "adrenochrome")
-            .unwrap();
-        let rs = sim.world.spawn_render_service("tower");
-        let t0 = sim.now();
-        let timing = connect_render_service(&mut sim, rs, ds, InterestSet::everything());
-        sim.run();
-        let bootstrap = create_cost.as_secs() + (timing.ready_at - t0).as_secs();
+            // Service bootstrap: container instance creation + scene
+            // bootstrap (SOAP + introspective marshal + transfer).
+            let (_, create_cost) = sim
+                .world
+                .containers
+                .get_mut("tower")
+                .unwrap()
+                .create_instance("render-factory", "bench", "adrenochrome")
+                .unwrap();
+            let rs = sim.world.spawn_render_service("tower");
+            let t0 = sim.now();
+            let timing = connect_render_service(&mut sim, rs, ds, InterestSet::everything());
+            sim.run();
+            let bootstrap = create_cost.as_secs() + (timing.ready_at - t0).as_secs();
 
-        Row {
-            model,
-            data_bytes,
-            uddi_scan_s: uddi_scan,
-            uddi_full_s: uddi_full,
-            bootstrap_s: bootstrap,
-            paper_scan_s: paper_scan,
-            paper_full_s: paper_full,
-            paper_bootstrap_s: paper_boot,
-        }
-    })
-    .collect()
+            Row {
+                model,
+                data_bytes,
+                uddi_scan_s: uddi_scan,
+                uddi_full_s: uddi_full,
+                bootstrap_s: bootstrap,
+                paper_scan_s: paper_scan,
+                paper_full_s: paper_full,
+                paper_bootstrap_s: paper_boot,
+            }
+        })
+        .collect()
 }
 
 pub fn render(rows: &[Row]) -> String {

@@ -51,16 +51,10 @@ pub fn estimate(
     receiver: EndpointSpeed,
 ) -> CodecEstimate {
     let encoded = codec.encode(frame, prev);
-    let encode_time = if codec == Codec::Raw {
-        0.0
-    } else {
-        frame.len() as f64 / sender.codec_bytes_per_sec
-    };
-    let decode_time = if codec == Codec::Raw {
-        0.0
-    } else {
-        frame.len() as f64 / receiver.codec_bytes_per_sec
-    };
+    let encode_time =
+        if codec == Codec::Raw { 0.0 } else { frame.len() as f64 / sender.codec_bytes_per_sec };
+    let decode_time =
+        if codec == Codec::Raw { 0.0 } else { frame.len() as f64 / receiver.codec_bytes_per_sec };
     let transfer = link.transfer_time(encoded.len() as u64);
     CodecEstimate {
         codec,

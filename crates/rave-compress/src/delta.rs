@@ -16,8 +16,7 @@ const DELTA: u8 = 1;
 pub fn encode(cur: &[u8], prev: Option<&[u8]>) -> Vec<u8> {
     match prev {
         Some(p) if p.len() == cur.len() => {
-            let diff: Vec<u8> =
-                cur.iter().zip(p).map(|(c, p)| c.wrapping_sub(*p)).collect();
+            let diff: Vec<u8> = cur.iter().zip(p).map(|(c, p)| c.wrapping_sub(*p)).collect();
             let mut out = vec![DELTA];
             out.extend(rle::encode(&diff));
             out

@@ -102,7 +102,8 @@ mod tests {
 
     #[test]
     fn incompressible_data_bounded_overhead() {
-        let data: Vec<u8> = (0..10_000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+        let data: Vec<u8> =
+            (0..10_000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
         let enc = encode(&data);
         assert!(enc.len() < data.len() + data.len() / 64 + 16, "overhead {}", enc.len());
         assert_eq!(decode(&enc).unwrap(), data);

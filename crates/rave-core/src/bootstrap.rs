@@ -7,6 +7,7 @@
 //! (the paper's measured bottleneck); [`marshal_time_direct`] prices the
 //! ablation alternative.
 
+use crate::data_service::DataService;
 use crate::ids::{DataServiceId, RenderServiceId};
 use crate::trace::TraceKind;
 use crate::world::RaveSim;
@@ -14,6 +15,8 @@ use rave_grid::{SoapCodec, SoapEnvelope, SoapValue};
 use rave_scene::introspect::{marshal_direct, marshal_introspective, MarshalStats};
 use rave_scene::{InterestSet, NodeId, SceneTree};
 use rave_sim::SimTime;
+use rave_store::StoreConfig;
+use std::path::Path;
 
 /// CPU time of introspective marshalling under the configured rates.
 pub fn marshal_time_introspective(stats: &MarshalStats, cfg: &crate::RaveConfig) -> SimTime {
@@ -61,12 +64,7 @@ pub fn connect_render_service(
         .arg("renderService", SoapValue::Str(rs_id.to_string()))
         .arg("interest", SoapValue::Str(format!("{} roots", interest.roots().count())));
     let soap_cpu = codec.marshal_time(&subscribe) * 2.0;
-    let rtt = sim.world.network.round_trip(
-        &rs_host,
-        &ds_host,
-        codec.wire_size(&subscribe),
-        256,
-    );
+    let rtt = sim.world.network.round_trip(&rs_host, &ds_host, codec.wire_size(&subscribe), 256);
     let subscribed_at = t0 + soap_cpu + rtt;
 
     // 2. Snapshot extraction + introspective marshal at the data service.
@@ -115,12 +113,54 @@ pub fn connect_render_service(
         );
     });
 
-    BootstrapTiming {
-        subscribed_at,
-        marshalled_at,
-        ready_at: arrival,
-        snapshot_bytes: stats.bytes,
+    BootstrapTiming { subscribed_at, marshalled_at, ready_at: arrival, snapshot_bytes: stats.bytes }
+}
+
+/// Replace a crashed data service with one recovered from its durable
+/// store (§3.1.1's persistence made crash-tolerant).
+///
+/// The failed instance is dropped from the world; a replacement on
+/// `host` rebuilds the session from the latest snapshot checkpoint plus
+/// the write-ahead-log tail, keeps the session name, and re-attaches the
+/// store so logging continues where it stopped. Every render service the
+/// failed instance was serving is re-bootstrapped against the
+/// replacement with its original interest set — the §5.5 overlap
+/// machinery makes the re-mirror safe against updates published while
+/// the snapshots are in flight.
+pub fn recover_data_service(
+    sim: &mut RaveSim,
+    failed: DataServiceId,
+    host: &str,
+    dir: impl AsRef<Path>,
+) -> std::io::Result<DataServiceId> {
+    let failed_ds = sim
+        .world
+        .data_services
+        .remove(&failed)
+        .unwrap_or_else(|| panic!("no data service {failed} to recover"));
+    let cfg =
+        StoreConfig { checkpoint_every: sim.world.config.checkpoint_every, ..Default::default() };
+    let new_id = sim.world.next_data_service_id();
+    let (ds, rec) = DataService::recover_from_store(new_id, host, &failed_ds.name, dir, cfg)?;
+    sim.world.install_data_service(ds);
+    let now = sim.now();
+    sim.world.trace.record(
+        now,
+        TraceKind::Recovery,
+        format!(
+            "{failed} -> {new_id} on {host}: recovered \"{}\" at seq {} \
+             (snapshot seq {}, {} WAL entries replayed), {} subscriber(s) re-mirroring",
+            failed_ds.name,
+            rec.last_seq,
+            rec.snapshot_seq,
+            rec.entries.len(),
+            failed_ds.subscribers.len(),
+        ),
+    );
+    for (rs_id, sub) in failed_ds.subscribers {
+        connect_render_service(sim, rs_id, new_id, sub.interest);
     }
+    Ok(new_id)
 }
 
 /// The snapshot a subscriber receives: the whole scene, or the interest
@@ -242,8 +282,7 @@ mod tests {
     fn bigger_scenes_bootstrap_slower() {
         let (mut sim_small, ds_s) = sim_with_scene(1_000);
         let rs_s = sim_small.world.spawn_render_service("tower");
-        let t_small =
-            connect_render_service(&mut sim_small, rs_s, ds_s, InterestSet::everything());
+        let t_small = connect_render_service(&mut sim_small, rs_s, ds_s, InterestSet::everything());
 
         let (mut sim_big, ds_b) = sim_with_scene(800_000);
         let rs_b = sim_big.world.spawn_render_service("tower");
@@ -256,8 +295,7 @@ mod tests {
     #[test]
     fn introspection_dominates_direct_marshalling() {
         let (sim, ds) = sim_with_scene(100_000);
-        let (intro, direct, _) =
-            marshal_comparison(&sim.world.data(ds).scene, &sim.world.config);
+        let (intro, direct, _) = marshal_comparison(&sim.world.data(ds).scene, &sim.world.config);
         assert!(
             intro.as_secs() > direct.as_secs() * 20.0,
             "introspective {intro} vs direct {direct}"

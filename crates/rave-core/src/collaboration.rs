@@ -8,8 +8,8 @@
 //! avatar in another user's view.
 
 use crate::ids::DataServiceId;
-use crate::world::{publish_update, RaveSim};
 use crate::trace::TraceKind;
+use crate::world::{publish_update, RaveSim};
 use rave_math::Vec3;
 use rave_scene::node::Interaction;
 use rave_scene::{
@@ -88,8 +88,18 @@ pub fn drag_object(
     node: NodeId,
     transform: Transform,
 ) -> Result<(), UpdateError> {
-    publish_update(sim, ds_id, label, SceneUpdate::SetTransform { id: node, transform })
-        .map(|_| ())
+    publish_update(sim, ds_id, label, SceneUpdate::SetTransform { id: node, transform }).map(|_| ())
+}
+
+/// After a data-service failover, a client re-finds its avatar in the
+/// recovered scene instead of re-joining (which would duplicate its
+/// presence): the avatar node survived in the snapshot/WAL, only the
+/// handle to it was lost with the crashed process.
+pub fn reattach_participant(scene: &SceneTree, label: &str) -> Option<Participant> {
+    scene.iter_nodes().find_map(|n| match &n.kind {
+        NodeKind::Avatar(a) if a.label == label => Some(Participant { avatar: n.id }),
+        _ => None,
+    })
 }
 
 /// The GUI's interaction interrogation (§5.2): "The GUI interrogates
@@ -248,8 +258,7 @@ mod tests {
     #[test]
     fn leave_removes_avatar_everywhere() {
         let (mut sim, ds, rs) = collaborative_world();
-        let who =
-            join_session(&mut sim, ds, "u", Vec3::X, CameraParams::default()).unwrap();
+        let who = join_session(&mut sim, ds, "u", Vec3::X, CameraParams::default()).unwrap();
         sim.run();
         leave_session(&mut sim, ds, who, "u").unwrap();
         sim.run();
@@ -261,8 +270,7 @@ mod tests {
     fn audit_trail_replays_collaboration() {
         // Asynchronous collaboration: a later user replays the session.
         let (mut sim, ds, _) = collaborative_world();
-        let who =
-            join_session(&mut sim, ds, "u", Vec3::X, CameraParams::default()).unwrap();
+        let who = join_session(&mut sim, ds, "u", Vec3::X, CameraParams::default()).unwrap();
         sim.run();
         let replayed = sim.world.data(ds).audit.replay_all().unwrap();
         assert!(replayed.contains(who.avatar));

@@ -34,6 +34,9 @@ pub struct RaveConfig {
     pub introspect_per_byte: f64,
     /// Direct marshalling per byte (the ablation comparator).
     pub direct_per_byte: f64,
+    /// Updates between durable snapshot checkpoints when a session store
+    /// is attached (§3.1.1's "intermittently streamed to disk" cadence).
+    pub checkpoint_every: u64,
 }
 
 impl Default for RaveConfig {
@@ -54,6 +57,7 @@ impl Default for RaveConfig {
             introspect_per_byte: 2.3e-6,
             // Direct serialization: bulk memcpy-ish, ~50 ns/byte.
             direct_per_byte: 50.0e-9,
+            checkpoint_every: 256,
         }
     }
 }

@@ -2,8 +2,13 @@
 //! for the data to be visualized".
 
 use crate::ids::{DataServiceId, RenderServiceId};
-use rave_scene::{AuditTrail, InterestSet, SceneTree, SceneUpdate, StampedUpdate, UpdateError};
+use crate::persist::{Persistence, StorePersistence};
+use rave_scene::{
+    AuditEntry, AuditTrail, InterestSet, SceneTree, SceneUpdate, StampedUpdate, UpdateError,
+};
+use rave_store::StoreConfig;
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 /// A subscriber's delivery state.
 #[derive(Debug, Clone)]
@@ -39,6 +44,14 @@ pub struct DataService {
     pub audit: AuditTrail,
     next_seq: u64,
     pub subscribers: BTreeMap<RenderServiceId, Subscription>,
+    /// Optional durable sink: every committed update is appended to it,
+    /// with periodic snapshot checkpoints. Shared behind an `Arc` so
+    /// clones of the service (mirrors) observe one log, not two
+    /// half-written ones.
+    persistence: Option<Arc<Mutex<dyn Persistence>>>,
+    /// Trace lines from checkpoints taken inside [`DataService::commit`],
+    /// drained by the world into the event trace.
+    checkpoint_notes: Vec<String>,
 }
 
 impl DataService {
@@ -51,7 +64,70 @@ impl DataService {
             audit: AuditTrail::new(),
             next_seq: 1,
             subscribers: BTreeMap::new(),
+            persistence: None,
+            checkpoint_notes: Vec::new(),
         }
+    }
+
+    /// Attach a durable persistence sink: every subsequent commit is
+    /// appended to it, and snapshot checkpoints are taken on its cadence.
+    pub fn attach_persistence(&mut self, sink: impl Persistence + 'static) {
+        self.persistence = Some(Arc::new(Mutex::new(sink)));
+    }
+
+    /// Open (or create) a [`rave_store::Store`] at `dir` and attach it.
+    pub fn attach_store(
+        &mut self,
+        dir: impl AsRef<std::path::Path>,
+        cfg: StoreConfig,
+    ) -> std::io::Result<()> {
+        self.attach_persistence(StorePersistence::open(dir, cfg)?);
+        Ok(())
+    }
+
+    pub fn has_persistence(&self) -> bool {
+        self.persistence.is_some()
+    }
+
+    /// Drain trace lines from checkpoints taken during recent commits.
+    pub fn take_checkpoint_notes(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.checkpoint_notes)
+    }
+
+    /// Flush the persistence sink (if any) to stable storage.
+    pub fn sync_persistence(&mut self) -> std::io::Result<()> {
+        if let Some(p) = &self.persistence {
+            let mut p = p.lock().map_err(|_| std::io::Error::other("persistence lock poisoned"))?;
+            p.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Rebuild a replacement data service from a durable store directory:
+    /// the latest snapshot plus the write-ahead-log tail past it. The
+    /// store is re-attached so the replacement keeps logging where the
+    /// failed instance stopped, and the audit trail is seeded with the
+    /// replayed tail entries. Returns the service and the recovery record
+    /// (for tracing: how far the store got, and from which snapshot).
+    pub fn recover_from_store(
+        id: DataServiceId,
+        host: &str,
+        name: &str,
+        dir: impl AsRef<std::path::Path>,
+        cfg: StoreConfig,
+    ) -> std::io::Result<(Self, rave_store::Recovery)> {
+        let dir = dir.as_ref();
+        let rec = StorePersistence::recover(dir)?;
+        let mut ds = Self::new(id, host, name);
+        ds.scene = rec.tree.clone();
+        ds.next_seq = rec.last_seq + 1;
+        for e in &rec.entries {
+            ds.audit.record(e.at_secs, e.stamped.clone()).map_err(|err| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, err.to_string())
+            })?;
+        }
+        ds.attach_store(dir, cfg)?;
+        Ok((ds, rec))
     }
 
     /// Assign the next global sequence number to an update.
@@ -67,8 +143,21 @@ impl DataService {
     /// stamping seamlessly after failover.
     pub fn commit(&mut self, at_secs: f64, stamped: &StampedUpdate) -> Result<(), UpdateError> {
         stamped.update.apply(&mut self.scene)?;
-        self.audit.record(at_secs, stamped.clone());
+        self.audit.record(at_secs, stamped.clone())?;
         self.next_seq = self.next_seq.max(stamped.seq + 1);
+        if let Some(p) = &self.persistence {
+            let mut p = p
+                .lock()
+                .map_err(|_| UpdateError::Persistence("persistence lock poisoned".into()))?;
+            p.append(&AuditEntry { at_secs, stamped: stamped.clone() })
+                .map_err(|e| UpdateError::Persistence(e.to_string()))?;
+            if p.checkpoint_due() {
+                let note = p
+                    .checkpoint(&self.scene, at_secs)
+                    .map_err(|e| UpdateError::Persistence(e.to_string()))?;
+                self.checkpoint_notes.push(note);
+            }
+        }
         Ok(())
     }
 
@@ -233,10 +322,7 @@ mod tests {
         let right = ds.scene.add_node(ds.scene.root(), "right", NodeKind::Group).unwrap();
         ds.subscribe_live(RenderServiceId(1), InterestSet::subtrees([left]));
         ds.subscribe_live(RenderServiceId(2), InterestSet::subtrees([right]));
-        let u = ds.stamp(
-            "t",
-            SceneUpdate::SetName { id: left, name: "renamed".into() },
-        );
+        let u = ds.stamp("t", SceneUpdate::SetName { id: left, name: "renamed".into() });
         ds.commit(0.0, &u).unwrap();
         assert_eq!(ds.route(&u), vec![RenderServiceId(1)]);
     }

@@ -53,22 +53,24 @@ pub enum PlanError {
         total_texture_headroom: u64,
     },
     /// A single indivisible node exceeds every service's capacity.
-    IndivisibleNode { node: NodeId, polygons: u64, largest_headroom: u64 },
+    IndivisibleNode {
+        node: NodeId,
+        polygons: u64,
+        largest_headroom: u64,
+    },
     NoCandidates,
 }
 
 impl std::fmt::Display for PlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PlanError::InsufficientResources {
-                required_polygons,
-                total_poly_headroom,
-                ..
-            } => write!(
+            PlanError::InsufficientResources { required_polygons, total_poly_headroom, .. } => {
+                write!(
                 f,
                 "insufficient render resources: scene needs {required_polygons} polygons/frame, \
                  connected services offer {total_poly_headroom}"
-            ),
+            )
+            }
             PlanError::IndivisibleNode { node, polygons, largest_headroom } => write!(
                 f,
                 "node {node} ({polygons} polygons) cannot be split further and exceeds the \
@@ -92,12 +94,8 @@ pub fn split_node(scene: &mut SceneTree, id: NodeId) -> Option<(NodeId, NodeId)>
             let ida = scene.allocate_id();
             let idb = scene.allocate_id();
             let name = scene.node(id)?.name.clone();
-            scene
-                .insert_with_id(ida, id, format!("{name}.a"), NodeKind::Mesh(Arc::new(a)))
-                .ok()?;
-            scene
-                .insert_with_id(idb, id, format!("{name}.b"), NodeKind::Mesh(Arc::new(b)))
-                .ok()?;
+            scene.insert_with_id(ida, id, format!("{name}.a"), NodeKind::Mesh(Arc::new(a))).ok()?;
+            scene.insert_with_id(idb, id, format!("{name}.b"), NodeKind::Mesh(Arc::new(b))).ok()?;
             let n = scene.node_mut(id)?;
             n.kind = NodeKind::Group;
             n.version += 1;
@@ -146,8 +144,7 @@ pub fn split_node(scene: &mut SceneTree, id: NodeId) -> Option<(NodeId, NodeId)>
 fn distributable_units(scene: &SceneTree) -> Vec<(NodeId, NodeCost)> {
     scene
         .find_all(|n| {
-            !n.kind.cost().is_zero()
-                && !matches!(n.kind, NodeKind::Avatar(_) | NodeKind::Camera(_))
+            !n.kind.cost().is_zero() && !matches!(n.kind, NodeKind::Avatar(_) | NodeKind::Camera(_))
         })
         .into_iter()
         .map(|id| (id, scene.node(id).expect("found").kind.cost()))
@@ -166,10 +163,8 @@ pub fn plan_distribution(
     }
     // Quick feasibility check up front for the explanatory refusal.
     let demand = scene.total_cost();
-    let total_polys =
-        candidates.iter().fold(0u64, |a, c| a.saturating_add(c.poly_headroom));
-    let total_tex =
-        candidates.iter().fold(0u64, |a, c| a.saturating_add(c.texture_headroom));
+    let total_polys = candidates.iter().fold(0u64, |a, c| a.saturating_add(c.poly_headroom));
+    let total_tex = candidates.iter().fold(0u64, |a, c| a.saturating_add(c.texture_headroom));
     if demand.polygons > total_polys || demand.texture_bytes > total_tex {
         return Err(PlanError::InsufficientResources {
             required_polygons: demand.polygons,
@@ -180,10 +175,8 @@ pub fn plan_distribution(
     }
 
     // Remaining headroom per candidate, ordered most-spacious first.
-    let mut remaining: Vec<(RenderServiceId, u64, u64)> = candidates
-        .iter()
-        .map(|c| (c.service, c.poly_headroom, c.texture_headroom))
-        .collect();
+    let mut remaining: Vec<(RenderServiceId, u64, u64)> =
+        candidates.iter().map(|c| (c.service, c.poly_headroom, c.texture_headroom)).collect();
     remaining.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
     // First-fit-decreasing over content units, splitting when nothing
@@ -302,9 +295,7 @@ mod tests {
         let mut scene = SceneTree::new();
         for (i, &s) in sizes.iter().enumerate() {
             let root = scene.root();
-            scene
-                .add_node(root, format!("m{i}"), NodeKind::Mesh(Arc::new(strip_mesh(s))))
-                .unwrap();
+            scene.add_node(root, format!("m{i}"), NodeKind::Mesh(Arc::new(strip_mesh(s)))).unwrap();
         }
         scene
     }
@@ -321,9 +312,8 @@ mod tests {
     #[test]
     fn load_spreads_across_services() {
         let mut scene = scene_with_meshes(&[400, 400, 400]);
-        let plan =
-            plan_distribution(&mut scene, &[report(1, 500), report(2, 500), report(3, 500)])
-                .unwrap();
+        let plan = plan_distribution(&mut scene, &[report(1, 500), report(2, 500), report(3, 500)])
+            .unwrap();
         assert_eq!(plan.assignments.len(), 3, "each service takes one mesh");
         for a in &plan.assignments {
             assert!(a.cost.polygons <= 500, "capacity respected: {:?}", a);
@@ -334,8 +324,7 @@ mod tests {
     #[test]
     fn oversized_mesh_is_split() {
         let mut scene = scene_with_meshes(&[1000]);
-        let plan =
-            plan_distribution(&mut scene, &[report(1, 600), report(2, 600)]).unwrap();
+        let plan = plan_distribution(&mut scene, &[report(1, 600), report(2, 600)]).unwrap();
         assert!(plan.splits_performed >= 1);
         assert_eq!(plan.total_cost().polygons, 1000, "no triangles lost");
         for a in &plan.assignments {
@@ -385,9 +374,7 @@ mod tests {
         let mut scene = SceneTree::new();
         let vol = rave_scene::VolumeData::new([8, 4, 4], Vec3::ONE, vec![1; 128]);
         let root = scene.root();
-        let id = scene
-            .add_node(root, "vol", NodeKind::Volume(Arc::new(vol)))
-            .unwrap();
+        let id = scene.add_node(root, "vol", NodeKind::Volume(Arc::new(vol))).unwrap();
         let (_, b) = split_node(&mut scene, id).unwrap();
         assert_eq!(scene.node(b).unwrap().transform.translation, Vec3::new(4.0, 0.0, 0.0));
     }
@@ -399,9 +386,7 @@ mod tests {
         let cloud = rave_scene::PointCloudData::new(
             (0..1000).map(|i| Vec3::new(i as f32, 0.0, 0.0)).collect(),
         );
-        scene
-            .add_node(root, "pc", NodeKind::PointCloud(Arc::new(cloud)))
-            .unwrap();
+        scene.add_node(root, "pc", NodeKind::PointCloud(Arc::new(cloud))).unwrap();
         // Point headroom is not modelled separately: a point-only scene
         // always "fits" by polygons, so exercise split_node directly.
         let id = scene.find_by_path("/pc").unwrap();
@@ -436,8 +421,7 @@ mod tests {
         // The §3.2.7 scenario: don't shove 100k onto a service with 5k
         // headroom.
         let mut scene = scene_with_meshes(&[100_000, 4_000]);
-        let plan =
-            plan_distribution(&mut scene, &[report(1, 5_000), report(2, 150_000)]).unwrap();
+        let plan = plan_distribution(&mut scene, &[report(1, 5_000), report(2, 150_000)]).unwrap();
         let small_svc = plan.assignment_for(RenderServiceId(1));
         if let Some(a) = small_svc {
             assert!(a.cost.polygons <= 5_000, "small service never overfilled");

@@ -42,14 +42,7 @@ impl GuiController {
         camera: CameraParams,
         viewport: Viewport,
     ) -> Self {
-        Self {
-            user: user.into(),
-            data_service: ds,
-            participant,
-            camera,
-            viewport,
-            selected: None,
-        }
+        Self { user: user.into(), data_service: ds, participant, camera, viewport, selected: None }
     }
 
     /// Click at a pixel: select what's under the cursor (deselect on
@@ -101,8 +94,7 @@ impl GuiController {
                 // like pixels.
                 let scale = 0.01;
                 let delta = self.camera.right() * (dx * scale) + self.camera.up() * (-dy * scale);
-                let current =
-                    sim.world.data(self.data_service).scene.node(id).map(|n| n.transform);
+                let current = sim.world.data(self.data_service).scene.node(id).map(|n| n.transform);
                 let mut t = current.unwrap_or(Transform::IDENTITY);
                 t.translation += delta;
                 publish_update(
@@ -229,14 +221,8 @@ mod tests {
         assert!(gui.camera.position.distance(pos0) > 0.01);
         sim.run();
         // Avatar on the replica moved with the camera.
-        let av = sim
-            .world
-            .render(rs)
-            .scene
-            .node(gui.participant.avatar)
-            .unwrap()
-            .transform
-            .translation;
+        let av =
+            sim.world.render(rs).scene.node(gui.participant.avatar).unwrap().transform.translation;
         assert_eq!(av, gui.camera.position);
     }
 

@@ -20,6 +20,7 @@
 //! | Distributed volume rendering (§6) | [`volume_dist`] |
 //! | Computational steering / remote bridge (§5.2) | [`steering`] |
 //! | Data-service mirroring & failover (§6) | [`mirror`] |
+//! | Durable session store & crash recovery (§3.1.1) | [`persist`] |
 //!
 //! Everything runs inside a `rave_sim::Simulation<RaveWorld>`: service
 //! logic executes immediately (it is ordinary Rust), while *durations* —
@@ -36,6 +37,7 @@ pub mod gui;
 pub mod ids;
 pub mod migration;
 pub mod mirror;
+pub mod persist;
 pub mod render_service;
 pub mod steering;
 pub mod thin_client;
@@ -47,4 +49,5 @@ pub mod world;
 pub use capacity::CapacityReport;
 pub use config::RaveConfig;
 pub use ids::{ClientId, DataServiceId, RenderServiceId};
+pub use persist::{Persistence, StorePersistence};
 pub use world::{RaveSim, RaveWorld};

@@ -71,10 +71,8 @@ pub fn check_and_migrate(sim: &mut RaveSim, ds_id: DataServiceId) -> MigrationOu
     // Interrogate every connected render service.
     let subscriber_ids: Vec<RenderServiceId> =
         sim.world.data(ds_id).subscribers.keys().copied().collect();
-    let reports: Vec<_> = subscriber_ids
-        .iter()
-        .map(|&rs| sim.world.render(rs).capacity_report(&cfg))
-        .collect();
+    let reports: Vec<_> =
+        subscriber_ids.iter().map(|&rs| sim.world.render(rs).capacity_report(&cfg)).collect();
 
     let overloaded: Vec<RenderServiceId> = reports
         .iter()
@@ -117,10 +115,7 @@ pub fn check_and_migrate(sim: &mut RaveSim, ds_id: DataServiceId) -> MigrationOu
                 .unwrap_or(160_000);
             let budget = rs.machine.poly_budget_at_fps(cfg.target_fps, pixels);
             let roots: Vec<NodeId> = if rs.interest.is_everything() {
-                rs.scene
-                    .node(rs.scene.root())
-                    .map(|root| root.children.clone())
-                    .unwrap_or_default()
+                rs.scene.node(rs.scene.root()).map(|root| root.children.clone()).unwrap_or_default()
             } else {
                 rs.interest.roots().collect()
             };
@@ -134,9 +129,8 @@ pub fn check_and_migrate(sim: &mut RaveSim, ds_id: DataServiceId) -> MigrationOu
 
         let mut unplaced: Vec<(NodeId, NodeCost)> = Vec::new();
         for (node, cost) in shed {
-            let slot = ledger
-                .iter_mut()
-                .find(|(_, p, t)| cost.polygons <= *p && cost.texture_bytes <= *t);
+            let slot =
+                ledger.iter_mut().find(|(_, p, t)| cost.polygons <= *p && cost.texture_bytes <= *t);
             match slot {
                 Some((to, p, t)) => {
                     let to = *to;
@@ -238,10 +232,7 @@ pub fn check_underload_rebalance(sim: &mut RaveSim, ds_id: DataServiceId) -> Mig
         let roots: Vec<NodeId> = {
             let rs = sim.world.render(donor);
             if rs.interest.is_everything() {
-                rs.scene
-                    .node(rs.scene.root())
-                    .map(|r| r.children.clone())
-                    .unwrap_or_default()
+                rs.scene.node(rs.scene.root()).map(|r| r.children.clone()).unwrap_or_default()
             } else {
                 rs.interest.roots().collect()
             }
@@ -347,11 +338,8 @@ fn recruit_unconnected(sim: &mut RaveSim, ds_id: DataServiceId) -> Option<Render
         .next()?;
 
     // Charge the UDDI inquiry (warm scan on the kept-alive proxy).
-    let results = sim
-        .world
-        .registry
-        .scan_access_points("RAVE", TechnicalModel::RenderService)
-        .len();
+    let results =
+        sim.world.registry.scan_access_points("RAVE", TechnicalModel::RenderService).len();
     let scan = sim.world.uddi_cost.scan_cost(results);
     sim.world.trace.record(
         now,
@@ -428,9 +416,8 @@ pub fn handle_service_failure(
     let mut unplaced = Vec::new();
     for node in orphaned {
         let cost = sim.world.data(ds_id).scene.subtree_cost(node);
-        let slot = ledger
-            .iter_mut()
-            .find(|(_, p, t)| cost.polygons <= *p && cost.texture_bytes <= *t);
+        let slot =
+            ledger.iter_mut().find(|(_, p, t)| cost.polygons <= *p && cost.texture_bytes <= *t);
         match slot {
             Some((to, p, t)) => {
                 let to = *to;
@@ -476,12 +463,12 @@ fn refuse(sim: &mut RaveSim, ds_id: DataServiceId, unplaced: &[(NodeId, NodeCost
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rave_sim::SimTime;
     use crate::world::RaveWorld;
     use crate::RaveConfig;
     use rave_math::{Vec3, Viewport};
     use rave_render::OffscreenMode;
     use rave_scene::{CameraParams, MeshData, NodeKind, SceneTree};
+    use rave_sim::SimTime;
     use rave_sim::Simulation;
     use std::sync::Arc;
 

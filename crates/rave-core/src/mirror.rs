@@ -107,11 +107,7 @@ impl MirrorPair {
         let now = sim.now();
         let subs: Vec<(RenderServiceId, rave_scene::InterestSet)> = {
             let p = sim.world.data_mut(self.primary);
-            let subs = p
-                .subscribers
-                .iter()
-                .map(|(rs, sub)| (*rs, sub.interest.clone()))
-                .collect();
+            let subs = p.subscribers.iter().map(|(rs, sub)| (*rs, sub.interest.clone())).collect();
             p.subscribers.clear();
             subs
         };
@@ -133,12 +129,7 @@ impl MirrorPair {
 
 /// Periodic replication driver: replicate every `interval` until the
 /// horizon (a convenience for experiments).
-pub fn run_replication(
-    sim: &mut RaveSim,
-    pair: MirrorPair,
-    interval: SimTime,
-    horizon: SimTime,
-) {
+pub fn run_replication(sim: &mut RaveSim, pair: MirrorPair, interval: SimTime, horizon: SimTime) {
     fn tick(sim: &mut RaveSim, pair: MirrorPair, interval: SimTime, horizon: SimTime) {
         pair.replicate_pending(sim);
         let next = sim.now() + interval;

@@ -79,14 +79,7 @@ impl RenderService {
     ) {
         self.sessions.insert(
             client,
-            RenderSession {
-                client,
-                viewport,
-                camera,
-                mode,
-                frames_rendered: 0,
-                last_frame: None,
-            },
+            RenderSession { client, viewport, camera, mode, frames_rendered: 0, last_frame: None },
         );
     }
 
@@ -122,10 +115,7 @@ impl RenderService {
     pub fn onscreen_render_cost(&self, client: ClientId) -> Option<RenderCost> {
         let session = self.sessions.get(&client)?;
         let cost = self.assigned_cost();
-        Some(
-            self.machine
-                .onscreen_cost(cost.polygons, session.viewport.pixel_count() as u64),
-        )
+        Some(self.machine.onscreen_cost(cost.polygons, session.viewport.pixel_count() as u64))
     }
 
     /// Actually rasterize a session's frame (figure generation). Separate
@@ -210,7 +200,8 @@ mod tests {
     use std::sync::Arc;
 
     fn service_with_polys(n: u64) -> RenderService {
-        let mut rs = RenderService::new(RenderServiceId(1), "laptop", MachineProfile::centrino_laptop());
+        let mut rs =
+            RenderService::new(RenderServiceId(1), "laptop", MachineProfile::centrino_laptop());
         let mesh = MeshData {
             positions: vec![Vec3::ZERO, Vec3::X, Vec3::Y],
             normals: vec![],
@@ -218,17 +209,25 @@ mod tests {
             triangles: vec![[0, 1, 2]; n as usize],
             texture_bytes: 0,
         };
-        rs.scene
-            .add_node(rs.scene.root(), "content", NodeKind::Mesh(Arc::new(mesh)))
-            .unwrap();
+        rs.scene.add_node(rs.scene.root(), "content", NodeKind::Mesh(Arc::new(mesh))).unwrap();
         rs
     }
 
     #[test]
     fn sessions_share_one_scene_copy() {
         let mut rs = service_with_polys(100);
-        rs.open_session(ClientId(1), Viewport::new(200, 200), CameraParams::default(), OffscreenMode::Sequential);
-        rs.open_session(ClientId(2), Viewport::new(100, 100), CameraParams::default(), OffscreenMode::Sequential);
+        rs.open_session(
+            ClientId(1),
+            Viewport::new(200, 200),
+            CameraParams::default(),
+            OffscreenMode::Sequential,
+        );
+        rs.open_session(
+            ClientId(2),
+            Viewport::new(100, 100),
+            CameraParams::default(),
+            OffscreenMode::Sequential,
+        );
         assert_eq!(rs.sessions.len(), 2);
         // One scene; cost counted once.
         assert_eq!(rs.assigned_cost().polygons, 100);
@@ -241,7 +240,12 @@ mod tests {
             "desktop",
             MachineProfile::athlon_desktop(),
         );
-        rs.open_session(ClientId(1), Viewport::new(200, 200), CameraParams::default(), OffscreenMode::Sequential);
+        rs.open_session(
+            ClientId(1),
+            Viewport::new(200, 200),
+            CameraParams::default(),
+            OffscreenMode::Sequential,
+        );
         assert!(rs.offscreen_render_cost(ClientId(1)).is_none());
         assert!(rs.onscreen_render_cost(ClientId(1)).is_some());
     }
@@ -266,7 +270,12 @@ mod tests {
     #[test]
     fn rolling_fps_reflects_frame_times() {
         let mut rs = service_with_polys(10);
-        rs.open_session(ClientId(1), Viewport::new(64, 64), CameraParams::default(), OffscreenMode::Sequential);
+        rs.open_session(
+            ClientId(1),
+            Viewport::new(64, 64),
+            CameraParams::default(),
+            OffscreenMode::Sequential,
+        );
         for i in 0..10 {
             rs.record_frame(SimTime::from_secs(i as f64 * 0.1), 10);
         }
@@ -315,7 +324,12 @@ mod tests {
     #[test]
     fn close_session() {
         let mut rs = service_with_polys(1);
-        rs.open_session(ClientId(1), Viewport::new(8, 8), CameraParams::default(), OffscreenMode::Sequential);
+        rs.open_session(
+            ClientId(1),
+            Viewport::new(8, 8),
+            CameraParams::default(),
+            OffscreenMode::Sequential,
+        );
         assert!(rs.close_session(ClientId(1)));
         assert!(!rs.close_session(ClientId(1)));
     }

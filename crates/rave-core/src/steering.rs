@@ -86,8 +86,7 @@ impl MoleculeSimulator {
                 forces[bond.b] -= f;
             }
             for (atom, spring) in self.atoms.iter_mut().zip(&forces) {
-                let total =
-                    *spring + atom.external_force - atom.velocity * self.damping;
+                let total = *spring + atom.external_force - atom.velocity * self.damping;
                 atom.velocity += total * (self.dt / atom.mass);
                 atom.position += atom.velocity * self.dt;
                 atom.external_force = Vec3::ZERO;
@@ -98,14 +97,12 @@ impl MoleculeSimulator {
 
     /// Total spring + kinetic energy (stability diagnostics for tests).
     pub fn energy(&self) -> f32 {
-        let kinetic: f32 =
-            self.atoms.iter().map(|a| 0.5 * a.mass * a.velocity.length_sq()).sum();
+        let kinetic: f32 = self.atoms.iter().map(|a| 0.5 * a.mass * a.velocity.length_sq()).sum();
         let spring: f32 = self
             .bonds
             .iter()
             .map(|b| {
-                let len =
-                    (self.atoms[b.b].position - self.atoms[b.a].position).length();
+                let len = (self.atoms[b.b].position - self.atoms[b.a].position).length();
                 0.5 * b.stiffness * (len - b.rest_length).powi(2)
             })
             .sum();
@@ -170,12 +167,7 @@ impl SteeringBridge {
             TraceKind::Collaboration,
             format!("steering bridge to {compute_host}: {} atoms", bindings.len()),
         );
-        Self {
-            data_service: ds_id,
-            compute_host: compute_host.into(),
-            simulator,
-            bindings,
-        }
+        Self { data_service: ds_id, compute_host: compute_host.into(), simulator, bindings }
     }
 
     /// A user drags a bridged atom: the force crosses the wire to the
@@ -203,7 +195,10 @@ impl SteeringBridge {
                 sim,
                 self.data_service,
                 "simulator",
-                SceneUpdate::SetTransform { id: *node, transform: Transform::from_translation(pos) },
+                SceneUpdate::SetTransform {
+                    id: *node,
+                    transform: Transform::from_translation(pos),
+                },
             )
             .expect("atom update");
         }
@@ -276,8 +271,7 @@ mod tests {
         }
         sim.run();
         let node0 = bridge.bindings[&0];
-        let replica_pos =
-            sim.world.render(rs).scene.node(node0).unwrap().transform.translation;
+        let replica_pos = sim.world.render(rs).scene.node(node0).unwrap().transform.translation;
         assert!(replica_pos.y > 0.01, "replica sees the steered motion: {replica_pos:?}");
         assert_eq!(replica_pos, bridge.simulator.atoms[0].position);
     }

@@ -94,9 +94,12 @@ pub fn connect(sim: &mut RaveSim, client_id: ClientId, rs_id: RenderServiceId) {
         c.render_service = Some(rs_id);
         (c.viewport, c.camera)
     };
-    sim.world
-        .render_mut(rs_id)
-        .open_session(client_id, viewport, camera, OffscreenMode::Sequential);
+    sim.world.render_mut(rs_id).open_session(
+        client_id,
+        viewport,
+        camera,
+        OffscreenMode::Sequential,
+    );
 }
 
 /// Stream `frames` frames to the client: the §5.1 measurement loop.

@@ -108,11 +108,11 @@ pub fn render_tiled_frame(
             let cost = sim.world.render(owner).machine.onscreen_cost(polys, pixels);
             let done = t0 + SimTime::from_secs(cost.total());
             tile_arrivals.push(done);
-            images.push(produce_images.then(|| {
-                sim.world
-                    .render(owner)
-                    .rasterize_tile(&camera, &full_viewport, tile_vp)
-            }));
+            images.push(
+                produce_images.then(|| {
+                    sim.world.render(owner).rasterize_tile(&camera, &full_viewport, tile_vp)
+                }),
+            );
             continue;
         }
         let helper_host = sim.world.render(*svc).host.clone();
@@ -121,52 +121,40 @@ pub fn render_tiled_frame(
             // helper's *old* camera arrives "immediately" (it was already
             // here from the previous frame).
             used_stale = true;
-            let stale_camera = sim
-                .world
-                .render(*svc)
-                .sessions
-                .get(&client)
-                .map(|s| s.camera)
-                .unwrap_or(camera);
+            let stale_camera =
+                sim.world.render(*svc).sessions.get(&client).map(|s| s.camera).unwrap_or(camera);
             tile_arrivals.push(t0);
             images.push(produce_images.then(|| {
-                sim.world
-                    .render(*svc)
-                    .rasterize_tile(&stale_camera, &full_viewport, tile_vp)
+                sim.world.render(*svc).rasterize_tile(&stale_camera, &full_viewport, tile_vp)
             }));
             continue;
         }
         // Fresh helper tile: request → off-screen render → tile transfer.
         {
             let rs = sim.world.render_mut(*svc);
-            let entry = rs.sessions.entry(client).or_insert_with(|| {
-                crate::render_service::RenderSession {
+            let entry =
+                rs.sessions.entry(client).or_insert_with(|| crate::render_service::RenderSession {
                     client,
                     viewport: *tile_vp,
                     camera,
                     mode: OffscreenMode::Sequential,
                     frames_rendered: 0,
                     last_frame: None,
-                }
-            });
+                });
             entry.camera = camera;
             entry.viewport = *tile_vp;
         }
         let req_arrives = sim.world.send_bytes(t0, &owner_host, &helper_host, 128);
         let polys = sim.world.render(*svc).assigned_cost().polygons;
-        let cost = sim.world.render(*svc).machine.offscreen_cost(
-            polys,
-            pixels,
-            OffscreenMode::Sequential,
-        );
+        let cost =
+            sim.world.render(*svc).machine.offscreen_cost(polys, pixels, OffscreenMode::Sequential);
         let rendered = req_arrives + SimTime::from_secs(cost.total());
         let arrival = sim.world.send_bytes(rendered, &helper_host, &owner_host, pixels * 3);
         tile_arrivals.push(arrival);
-        images.push(produce_images.then(|| {
-            sim.world
-                .render(*svc)
-                .rasterize_tile(&camera, &full_viewport, tile_vp)
-        }));
+        images.push(
+            produce_images
+                .then(|| sim.world.render(*svc).rasterize_tile(&camera, &full_viewport, tile_vp)),
+        );
         let _ = i;
     }
 
@@ -250,18 +238,19 @@ mod tests {
         let helper = sim.world.spawn_render_service("tower");
         // Both replicas hold the same small scene (a triangle strip).
         let mesh = MeshData::new(
-            vec![
-                Vec3::new(-1.5, -1.0, 0.0),
-                Vec3::new(1.5, -1.0, 0.0),
-                Vec3::new(0.0, 1.5, 0.0),
-            ],
+            vec![Vec3::new(-1.5, -1.0, 0.0), Vec3::new(1.5, -1.0, 0.0), Vec3::new(0.0, 1.5, 0.0)],
             vec![[0, 1, 2]],
         );
         for rs in [owner, helper] {
             let scene = &mut sim.world.render_mut(rs).scene;
             let root = scene.root();
             scene
-                .insert_with_id(rave_scene::NodeId(1), root, "tri", NodeKind::Mesh(Arc::new(mesh.clone())))
+                .insert_with_id(
+                    rave_scene::NodeId(1),
+                    root,
+                    "tri",
+                    NodeKind::Mesh(Arc::new(mesh.clone())),
+                )
                 .unwrap();
         }
         let client = sim.world.spawn_thin_client("zaurus");
@@ -280,8 +269,7 @@ mod tests {
         let (mut sim, owner, helper, client) = tiled_world();
         let cam = CameraParams::look_at(Vec3::new(0.0, 0.0, 4.0), Vec3::ZERO, Vec3::Y);
         let plan = plan_tiles(&Viewport::new(64, 64), owner, &[report(helper, 100)]);
-        let result =
-            render_tiled_frame(&mut sim, owner, client, &plan, cam, &BTreeSet::new());
+        let result = render_tiled_frame(&mut sim, owner, client, &plan, cam, &BTreeSet::new());
         let tiled = result.image.unwrap();
         // Monolithic reference.
         let mono = sim.world.render_mut(owner).rasterize(client).unwrap();
@@ -300,17 +288,15 @@ mod tests {
         let mut cam1 = cam0;
         cam1.orbit(Vec3::ZERO, 0.35, 0.0);
         let stalled: BTreeSet<_> = [helper].into_iter().collect();
-        let torn = render_tiled_frame(&mut sim, owner, client, &plan, cam1, &stalled)
-            .image
-            .unwrap();
+        let torn =
+            render_tiled_frame(&mut sim, owner, client, &plan, cam1, &stalled).image.unwrap();
         assert!(sim.world.trace.render().contains("stale=true"));
         // Reference run in a fresh world: helper not stalled.
         let (mut sim2, o2, h2, c2) = tiled_world();
         let plan2 = plan_tiles(&Viewport::new(64, 64), o2, &[report(h2, 100)]);
         render_tiled_frame(&mut sim2, o2, c2, &plan2, cam0, &BTreeSet::new());
-        let clean = render_tiled_frame(&mut sim2, o2, c2, &plan2, cam1, &BTreeSet::new())
-            .image
-            .unwrap();
+        let clean =
+            render_tiled_frame(&mut sim2, o2, c2, &plan2, cam1, &BTreeSet::new()).image.unwrap();
         assert!(
             torn.diff_fraction(&clean, 0.0) > 0.0,
             "stale tile produces a visibly different (torn) image"
@@ -323,8 +309,7 @@ mod tests {
         sim.world.config.produce_images = false;
         let cam = CameraParams::look_at(Vec3::new(0.0, 0.0, 4.0), Vec3::ZERO, Vec3::Y);
         let plan = plan_tiles(&Viewport::new(64, 64), owner, &[report(helper, 100)]);
-        let result =
-            render_tiled_frame(&mut sim, owner, client, &plan, cam, &BTreeSet::new());
+        let result = render_tiled_frame(&mut sim, owner, client, &plan, cam, &BTreeSet::new());
         assert!(result.image.is_none());
         // Helper tile arrives after the local one (network round trip).
         assert!(result.tile_arrivals[1] > result.tile_arrivals[0]);

@@ -17,6 +17,10 @@ pub enum TraceKind {
     Underload,
     Refusal,
     Collaboration,
+    /// A durable snapshot checkpoint of the session store was written.
+    Checkpoint,
+    /// A data service was rebuilt from its durable store after a crash.
+    Recovery,
 }
 
 /// One trace record.

@@ -124,12 +124,7 @@ pub fn render_distributed_volume(
         TraceKind::FrameDelivered,
         format!("distributed volume frame: {} bricks via {owner}", assignments.len()),
     );
-    VolumeFrameResult {
-        completed_at,
-        image,
-        layer_arrivals: arrivals,
-        bricks: assignments.len(),
-    }
+    VolumeFrameResult { completed_at, image, layer_arrivals: arrivals, bricks: assignments.len() }
 }
 
 /// Convenience: does a scene node hold volume content?
@@ -171,9 +166,7 @@ mod tests {
         let helper = sim.world.spawn_render_service("onyx");
         let mut master = SceneTree::new();
         let root = master.root();
-        let vol = master
-            .add_node(root, "ct", NodeKind::Volume(Arc::new(ball_volume())))
-            .unwrap();
+        let vol = master.add_node(root, "ct", NodeKind::Volume(Arc::new(ball_volume()))).unwrap();
         for rs in [owner, helper] {
             sim.world.render_mut(rs).scene = master.clone();
         }
@@ -184,9 +177,7 @@ mod tests {
     fn bricking_conserves_voxels() {
         let mut scene = SceneTree::new();
         let root = scene.root();
-        let vol = scene
-            .add_node(root, "v", NodeKind::Volume(Arc::new(ball_volume())))
-            .unwrap();
+        let vol = scene.add_node(root, "v", NodeKind::Volume(Arc::new(ball_volume()))).unwrap();
         let total = scene.total_cost().voxels;
         let bricks = brick_volume(&mut scene, vol, 2);
         assert_eq!(bricks.len(), 4);
@@ -204,8 +195,7 @@ mod tests {
         // Monolithic reference on the owner (single volume layer).
         let mono = {
             let rs = sim.world.render(owner);
-            let layer =
-                rs.renderer.render_volume_layer(&rs.scene, vol, &cam, &viewport).unwrap();
+            let layer = rs.renderer.render_volume_layer(&rs.scene, vol, &cam, &viewport).unwrap();
             let mut fb = Framebuffer::new(48, 48);
             blend_volume_layers(&mut fb, &mut [layer]);
             fb
@@ -222,14 +212,8 @@ mod tests {
         };
         assert_eq!(bricks.len(), 2);
         let assignments = vec![(owner, bricks[0]), (helper, bricks[1])];
-        let result = render_distributed_volume(
-            &mut sim,
-            owner,
-            &assignments,
-            cam,
-            viewport,
-            50.0e6,
-        );
+        let result =
+            render_distributed_volume(&mut sim, owner, &assignments, cam, viewport, 50.0e6);
         let distributed = result.image.unwrap();
         // Both show the ball; the split must not lose it.
         assert!(mono.coverage(rave_render::Rgb::BLACK) > 100);
@@ -277,8 +261,14 @@ mod tests {
         sim.world.config.produce_images = false;
         let cam = CameraParams::default();
         let slow_rate = 1.0e5; // firmly cast-bound: transfer << cast
-        let single =
-            render_distributed_volume(&mut sim, owner, &[(owner, vol)], cam, Viewport::new(100, 100), slow_rate);
+        let single = render_distributed_volume(
+            &mut sim,
+            owner,
+            &[(owner, vol)],
+            cam,
+            Viewport::new(100, 100),
+            slow_rate,
+        );
         let bricks = {
             let mut bricks = Vec::new();
             for rs in [owner, helper] {

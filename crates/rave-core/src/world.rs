@@ -7,9 +7,9 @@ use crate::ids::{ClientId, DataServiceId, RenderServiceId};
 use crate::render_service::RenderService;
 use crate::thin_client::ThinClient;
 use crate::trace::{EventTrace, TraceKind};
-use rave_grid::{ServiceContainer, TechnicalModel, UddiCostModel, UddiRegistry};
 use rave_grid::uddi::ServiceBinding;
 use rave_grid::wsdl::WsdlDocument;
+use rave_grid::{ServiceContainer, TechnicalModel, UddiCostModel, UddiRegistry};
 use rave_net::{Channel, Network};
 use rave_render::MachineProfile;
 use rave_scene::{SceneUpdate, UpdateError};
@@ -105,12 +105,29 @@ impl RaveWorld {
         id
     }
 
+    /// The id the next data service will be assigned (used by failover to
+    /// construct a recovered replacement before installing it).
+    pub fn next_data_service_id(&self) -> DataServiceId {
+        DataServiceId(self.next_ds)
+    }
+
+    /// Install an externally constructed data service — e.g. a
+    /// replacement recovered from a durable store — publishing it to the
+    /// registry like any other spawn.
+    pub fn install_data_service(&mut self, ds: DataService) -> DataServiceId {
+        let id = ds.id;
+        self.next_ds = self.next_ds.max(id.0 + 1);
+        let (host, name) = (ds.host.clone(), ds.name.clone());
+        self.data_services.insert(id, ds);
+        self.publish_to_registry(&host, &name, TechnicalModel::DataService);
+        id
+    }
+
     pub fn spawn_render_service(&mut self, host: &str) -> RenderServiceId {
         let id = RenderServiceId(self.next_rs);
         self.next_rs += 1;
         let name = format!("render-{id}");
-        self.render_services
-            .insert(id, RenderService::new(id, host, Self::machine_for(host)));
+        self.render_services.insert(id, RenderService::new(id, host, Self::machine_for(host)));
         self.publish_to_registry(host, &name, TechnicalModel::RenderService);
         id
     }
@@ -201,15 +218,19 @@ pub fn publish_update(
     update: SceneUpdate,
 ) -> Result<u64, UpdateError> {
     let now = sim.now();
-    let (stamped, targets) = {
+    let (stamped, targets, checkpoints) = {
         let ds = sim.world.data_mut(ds_id);
         let stamped = ds.stamp(origin, update);
         ds.commit(now.as_secs(), &stamped)?;
         ds.refresh_interests();
         let targets = ds.route(&stamped);
-        (stamped, targets)
+        let checkpoints = ds.take_checkpoint_notes();
+        (stamped, targets, checkpoints)
     };
     let seq = stamped.seq;
+    for note in checkpoints {
+        sim.world.trace.record(now, TraceKind::Checkpoint, format!("{ds_id}: {note}"));
+    }
     sim.world.trace.record(
         now,
         TraceKind::UpdatePublished,
@@ -224,11 +245,7 @@ pub fn publish_update(
         // transfer-time offset, not a serialized channel send — but
         // deliveries to any one subscriber stay FIFO in publish order.
         let wire = now + sim.world.network.transfer_time(&ds_host, &rs_host, size);
-        let hw = sim
-            .world
-            .delivery_high_water
-            .entry((ds_id, rs_id))
-            .or_insert(SimTime::ZERO);
+        let hw = sim.world.delivery_high_water.entry((ds_id, rs_id)).or_insert(SimTime::ZERO);
         let arrival = wire.max(*hw);
         *hw = arrival;
         let stamped = stamped.clone();

@@ -113,10 +113,8 @@ impl ServiceContainer {
         let request = SoapEnvelope::new(factory, "createInstance")
             .arg("name", crate::soap::SoapValue::Str(instance_name.into()))
             .arg("arg", crate::soap::SoapValue::Str(bootstrap_arg.into()));
-        let response = SoapEnvelope::new(factory, "createInstanceResponse").arg(
-            "accessPoint",
-            crate::soap::SoapValue::Str(instance.access_point.clone()),
-        );
+        let response = SoapEnvelope::new(factory, "createInstanceResponse")
+            .arg("accessPoint", crate::soap::SoapValue::Str(instance.access_point.clone()));
         let cost = self.codec.marshal_time(&request)
             + self.codec.marshal_time(&response)
             + self.instance_creation_time;
@@ -140,8 +138,7 @@ impl ServiceContainer {
 
     /// The WSDL document a live instance advertises.
     pub fn wsdl_for(&self, id: u64) -> Option<WsdlDocument> {
-        self.instance(id)
-            .map(|i| WsdlDocument::conforming(&i.name, i.tmodel, &i.access_point))
+        self.instance(id).map(|i| WsdlDocument::conforming(&i.name, i.tmodel, &i.access_point))
     }
 }
 

@@ -140,11 +140,7 @@ impl SoapCodec {
                 SoapValue::Bool(b) => b.to_string(),
                 SoapValue::Bytes(b) => base64_encode(b),
             };
-            let _ = writeln!(
-                x,
-                "<{name} xsi:type=\"{}\">{body}</{name}>",
-                value.type_name()
-            );
+            let _ = writeln!(x, "<{name} xsi:type=\"{}\">{body}</{name}>", value.type_name());
         }
         let _ = writeln!(x, "</m:{}>", env.operation);
         x.push_str("</soap:Body>\n</soap:Envelope>\n");
@@ -172,11 +168,8 @@ impl SoapCodec {
             // Backtrack to the element name.
             let abs = cursor + open;
             let tag_open = body[..abs].rfind('<').ok_or("orphan xsi:type")?;
-            let name_end = body[tag_open + 1..]
-                .find(' ')
-                .ok_or("malformed argument tag")?
-                + tag_open
-                + 1;
+            let name_end =
+                body[tag_open + 1..].find(' ').ok_or("malformed argument tag")? + tag_open + 1;
             let name = body[tag_open + 1..name_end].to_string();
             let ty_start = abs + "xsi:type=\"".len();
             let ty_end = body[ty_start..].find('"').ok_or("unterminated type")? + ty_start;
@@ -188,18 +181,14 @@ impl SoapCodec {
             let content = &body[content_start..content_end];
             let value = match ty {
                 "xsd:string" => SoapValue::Str(xml_unescape(content)),
-                "xsd:long" => {
-                    SoapValue::Int(content.parse().map_err(|e| format!("bad int: {e}"))?)
-                }
+                "xsd:long" => SoapValue::Int(content.parse().map_err(|e| format!("bad int: {e}"))?),
                 "xsd:double" => {
                     SoapValue::Float(content.parse().map_err(|e| format!("bad float: {e}"))?)
                 }
                 "xsd:boolean" => {
                     SoapValue::Bool(content.parse().map_err(|e| format!("bad bool: {e}"))?)
                 }
-                "xsd:base64Binary" => {
-                    SoapValue::Bytes(base64_decode(content).ok_or("bad base64")?)
-                }
+                "xsd:base64Binary" => SoapValue::Bytes(base64_decode(content).ok_or("bad base64")?),
                 other => return Err(format!("unknown xsi:type {other}")),
             };
             env.args.push((name, value));
@@ -256,8 +245,7 @@ mod tests {
     #[test]
     fn escaping_survives_roundtrip() {
         let codec = SoapCodec::default();
-        let env = SoapEnvelope::new("s", "op")
-            .arg("tricky", SoapValue::Str("a<b & c>d".into()));
+        let env = SoapEnvelope::new("s", "op").arg("tricky", SoapValue::Str("a<b & c>d".into()));
         let back = codec.decode(&codec.encode(&env)).unwrap();
         assert_eq!(back.args[0].1, SoapValue::Str("a<b & c>d".into()));
     }

@@ -75,9 +75,7 @@ impl UddiRegistry {
             .businesses
             .get_mut(&binding.business)
             .ok_or_else(|| UddiError::UnknownBusiness(binding.business.clone()))?;
-        if services
-            .iter()
-            .any(|s| s.service_name == binding.service_name && s.host == binding.host)
+        if services.iter().any(|s| s.service_name == binding.service_name && s.host == binding.host)
         {
             return Err(UddiError::DuplicateService(binding.service_name));
         }
@@ -94,7 +92,11 @@ impl UddiRegistry {
     }
 
     /// Inquiry: all services of a business matching a technical model.
-    pub fn find_services(&mut self, business: &str, tmodel: TechnicalModel) -> Vec<&ServiceBinding> {
+    pub fn find_services(
+        &mut self,
+        business: &str,
+        tmodel: TechnicalModel,
+    ) -> Vec<&ServiceBinding> {
         self.inquiries_served += 1;
         self.businesses
             .get(business)
@@ -193,9 +195,7 @@ impl UddiCostModel {
     /// Full bootstrap: proxy creation + scan business + scan services +
     /// scan access points (§5.5's enumeration).
     pub fn full_bootstrap_cost(&self, results: usize) -> SimTime {
-        self.proxy_creation
-            + self.per_inquiry * 3.0
-            + self.per_result * results as f64
+        self.proxy_creation + self.per_inquiry * 3.0 + self.per_result * results as f64
     }
 }
 
@@ -239,10 +239,7 @@ mod tests {
     #[test]
     fn publish_requires_business() {
         let mut r = UddiRegistry::new();
-        assert!(matches!(
-            r.publish(render_binding("h", "s")),
-            Err(UddiError::UnknownBusiness(_))
-        ));
+        assert!(matches!(r.publish(render_binding("h", "s")), Err(UddiError::UnknownBusiness(_))));
     }
 
     #[test]

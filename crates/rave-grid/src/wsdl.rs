@@ -90,10 +90,7 @@ impl WsdlDocument {
     /// (The compatibility check a client runs before connecting — the
     /// guarantee that lets a C++ PDA client talk to the Java services.)
     pub fn conforms(&self) -> bool {
-        self.tmodel
-            .operations()
-            .iter()
-            .all(|req| self.operations.iter().any(|op| op.name == *req))
+        self.tmodel.operations().iter().all(|req| self.operations.iter().any(|op| op.name == *req))
     }
 
     /// Render the document as WSDL-ish XML (registered as the technical
@@ -101,7 +98,12 @@ impl WsdlDocument {
     pub fn to_xml(&self) -> String {
         use std::fmt::Write;
         let mut x = String::new();
-        let _ = writeln!(x, "<definitions name=\"{}\" targetNamespace=\"{}\">", self.service_name, self.tmodel.urn());
+        let _ = writeln!(
+            x,
+            "<definitions name=\"{}\" targetNamespace=\"{}\">",
+            self.service_name,
+            self.tmodel.urn()
+        );
         for op in &self.operations {
             let _ = writeln!(x, "  <operation name=\"{}\">", op.name);
             for i in &op.inputs {
@@ -136,8 +138,7 @@ mod tests {
 
     #[test]
     fn missing_operation_breaks_conformance() {
-        let mut doc =
-            WsdlDocument::conforming("svc", TechnicalModel::RenderService, "host:9000");
+        let mut doc = WsdlDocument::conforming("svc", TechnicalModel::RenderService, "host:9000");
         doc.operations.retain(|op| op.name != "renderTile");
         assert!(!doc.conforms());
     }

@@ -62,8 +62,7 @@ pub fn split_budget(total: u64, weights: &[u32]) -> Vec<u64> {
     assert!(!weights.is_empty());
     let wsum: u64 = weights.iter().map(|&w| w as u64).sum();
     assert!(wsum > 0);
-    let mut shares: Vec<u64> =
-        weights.iter().map(|&w| total * w as u64 / wsum).collect();
+    let mut shares: Vec<u64> = weights.iter().map(|&w| total * w as u64 / wsum).collect();
     let mut assigned: u64 = shares.iter().sum();
     let n = shares.len();
     let mut i = 0;
@@ -101,11 +100,7 @@ pub fn build_with_budget(model: PaperModel, budget: u64) -> MeshData {
 
 /// Isosurface `field` within `bounds` at a resolution sized to the budget,
 /// then decimate (if over) or T-split pad (if under) to exactly `budget`.
-fn isosurface_budgeted(
-    field: &(impl ScalarField + ?Sized),
-    bounds: Aabb,
-    budget: u64,
-) -> MeshData {
+fn isosurface_budgeted(field: &(impl ScalarField + ?Sized), bounds: Aabb, budget: u64) -> MeshData {
     // Probe to estimate triangle yield per res² (marching-tet output grows
     // quadratically with res for a 2-D surface). The res cap scales with
     // the budget: tiny budgets must not escalate to huge grids only to be
@@ -178,10 +173,7 @@ fn skeletal_hand(budget: u64) -> MeshData {
                 radius: 0.13 - 0.02 * s as f32,
             });
         }
-        let b = Aabb::new(
-            Vec3::new(x - 0.3, 0.6, -0.3),
-            Vec3::new(x + 0.3, 1.1 + len + 0.3, 0.3),
-        );
+        let b = Aabb::new(Vec3::new(x - 0.3, 0.6, -0.3), Vec3::new(x + 0.3, 1.1 + len + 0.3, 0.3));
         parts.push(isosurface_budgeted(&finger, b, share));
     }
 
@@ -212,10 +204,7 @@ fn skeleton(budget: u64) -> MeshData {
     {
         let mut f = Blobby::new(0.05);
         f.push(Ellipsoid { center: Vec3::new(0.0, 3.4, 0.0), radii: Vec3::new(0.32, 0.4, 0.36) });
-        f.push(Ellipsoid {
-            center: Vec3::new(0.0, 3.05, 0.12),
-            radii: Vec3::new(0.2, 0.16, 0.2),
-        }); // jaw
+        f.push(Ellipsoid { center: Vec3::new(0.0, 3.05, 0.12), radii: Vec3::new(0.2, 0.16, 0.2) }); // jaw
         bones.push(BonePart {
             field: f,
             bounds: Aabb::new(Vec3::new(-0.6, 2.6, -0.6), Vec3::new(0.6, 4.0, 0.6)),
@@ -252,10 +241,7 @@ fn skeleton(budget: u64) -> MeshData {
     // Pelvis.
     {
         let mut f = Blobby::new(0.04);
-        f.push(Ellipsoid {
-            center: Vec3::new(0.0, 1.25, 0.0),
-            radii: Vec3::new(0.4, 0.22, 0.26),
-        });
+        f.push(Ellipsoid { center: Vec3::new(0.0, 1.25, 0.0), radii: Vec3::new(0.4, 0.22, 0.26) });
         bones.push(BonePart {
             field: f,
             bounds: Aabb::new(Vec3::new(-0.7, 0.9, -0.5), Vec3::new(0.7, 1.6, 0.5)),
@@ -416,12 +402,7 @@ fn galleon(budget: u64) -> MeshData {
         parts.push(s);
     }
     // Bowsprit.
-    let mut b = tube(
-        Vec3::new(1.9, 0.15, 0.0),
-        Vec3::new(1.0, 0.35, 0.0),
-        0.03,
-        shares[8],
-    );
+    let mut b = tube(Vec3::new(1.9, 0.15, 0.0), Vec3::new(1.0, 0.35, 0.0), 0.03, shares[8]);
     paint(&mut b, Vec3::new(0.4, 0.3, 0.2));
     parts.push(b);
 

@@ -46,8 +46,7 @@ fn collapse_round(mesh: &mut MeshData, target: u64) {
             let (a, b) = (t[k], t[(k + 1) % 3]);
             let key = (a.min(b), a.max(b));
             if seen.insert(key) {
-                let len = mesh.positions[key.0 as usize]
-                    .distance(mesh.positions[key.1 as usize]);
+                let len = mesh.positions[key.0 as usize].distance(mesh.positions[key.1 as usize]);
                 edges.push((len, key.0, key.1));
             }
         }
@@ -75,8 +74,7 @@ fn collapse_round(mesh: &mut MeshData, target: u64) {
                 (mesh.normals[a as usize] + mesh.normals[b as usize]).normalized();
         }
         if !mesh.colors.is_empty() {
-            mesh.colors[a as usize] =
-                (mesh.colors[a as usize] + mesh.colors[b as usize]) * 0.5;
+            mesh.colors[a as usize] = (mesh.colors[a as usize] + mesh.colors[b as usize]) * 0.5;
         }
         remap[b as usize] = a;
         collapsed += 1;

@@ -6,11 +6,7 @@ use rave_scene::MeshData;
 /// Generate a grid-parameterized surface: `f(u, v) -> position` evaluated
 /// on a `(rows+1) × (cols+1)` lattice with `u, v ∈ [0, 1]`, triangulated
 /// into exactly `2 * rows * cols` triangles.
-pub fn parametric_grid(
-    rows: u32,
-    cols: u32,
-    f: impl Fn(f32, f32) -> Vec3,
-) -> MeshData {
+pub fn parametric_grid(rows: u32, cols: u32, f: impl Fn(f32, f32) -> Vec3) -> MeshData {
     assert!(rows > 0 && cols > 0);
     let mut positions = Vec::with_capacity(((rows + 1) * (cols + 1)) as usize);
     for r in 0..=rows {
@@ -145,12 +141,7 @@ pub fn sail(center: Vec3, width: f32, height: f32, target: u64) -> MeshData {
     let (r, c) = grid_dims_for(target);
     let mut mesh = parametric_grid(r.max(1), c.max(1), |u, v| {
         let billow = (u * std::f32::consts::PI).sin() * (v * std::f32::consts::PI).sin();
-        center
-            + Vec3::new(
-                (v - 0.5) * width,
-                (u - 0.5) * height,
-                0.25 * width * billow,
-            )
+        center + Vec3::new((v - 0.5) * width, (u - 0.5) * height, 0.25 * width * billow)
     });
     clamp_or_pad(&mut mesh, target);
     mesh
@@ -181,8 +172,7 @@ pub fn merge(parts: &[MeshData]) -> MeshData {
         if all_colors {
             out.colors.extend_from_slice(&p.colors);
         }
-        out.triangles
-            .extend(p.triangles.iter().map(|t| [t[0] + base, t[1] + base, t[2] + base]));
+        out.triangles.extend(p.triangles.iter().map(|t| [t[0] + base, t[1] + base, t[2] + base]));
         out.texture_bytes += p.texture_bytes;
     }
     out

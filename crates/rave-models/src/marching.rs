@@ -14,14 +14,8 @@ use rayon::prelude::*;
 
 /// The 6-tetrahedron decomposition of a unit cell, as corner indices into
 /// the cell's 8 corners (standard Kuhn split).
-const TETS: [[usize; 4]; 6] = [
-    [0, 5, 1, 6],
-    [0, 1, 2, 6],
-    [0, 2, 3, 6],
-    [0, 3, 7, 6],
-    [0, 7, 4, 6],
-    [0, 4, 5, 6],
-];
+const TETS: [[usize; 4]; 6] =
+    [[0, 5, 1, 6], [0, 1, 2, 6], [0, 2, 3, 6], [0, 3, 7, 6], [0, 7, 4, 6], [0, 4, 5, 6]];
 
 /// Corner offsets of a cell, in (x, y, z) order matching `TETS`.
 const CORNERS: [(f32, f32, f32); 8] = [
@@ -41,13 +35,8 @@ fn interp(p0: Vec3, v0: f32, p1: Vec3, v1: f32) -> Vec3 {
     p0.lerp(p1, t)
 }
 
-fn emit_tet(
-    corners: &[(Vec3, f32); 8],
-    tet: &[usize; 4],
-    tris: &mut Vec<[Vec3; 3]>,
-) {
-    let (p, v): (Vec<Vec3>, Vec<f32>) =
-        tet.iter().map(|&i| corners[i]).unzip();
+fn emit_tet(corners: &[(Vec3, f32); 8], tet: &[usize; 4], tris: &mut Vec<[Vec3; 3]>) {
+    let (p, v): (Vec<Vec3>, Vec<f32>) = tet.iter().map(|&i| corners[i]).unzip();
     let mut inside = [false; 4];
     let mut n_inside = 0;
     for i in 0..4 {
@@ -102,8 +91,7 @@ pub fn polygonize(field: &(impl ScalarField + ?Sized), bounds: Aabb, res: u32) -
     // Sample the lattice once: (n+1)^3 values.
     let lat = n + 1;
     let sample_at = |x: usize, y: usize, z: usize| {
-        bounds.min
-            + Vec3::new(x as f32 * cell.x, y as f32 * cell.y, z as f32 * cell.z)
+        bounds.min + Vec3::new(x as f32 * cell.x, y as f32 * cell.y, z as f32 * cell.z)
     };
     let samples: Vec<f32> = (0..lat * lat * lat)
         .into_par_iter()
@@ -153,7 +141,8 @@ pub fn polygonize(field: &(impl ScalarField + ?Sized), bounds: Aabb, res: u32) -
         let s = 1.0 / (cell.x.min(cell.y).min(cell.z) * 1e-3).max(1e-9);
         ((p.x * s).round() as i64, (p.y * s).round() as i64, (p.z * s).round() as i64)
     };
-    let mut index: std::collections::HashMap<(i64, i64, i64), u32> = std::collections::HashMap::new();
+    let mut index: std::collections::HashMap<(i64, i64, i64), u32> =
+        std::collections::HashMap::new();
     for tri in slabs.iter().flatten() {
         let mut idx = [0u32; 3];
         for (k, &p) in tri.iter().enumerate() {
@@ -216,10 +205,7 @@ mod tests {
             area += (b - a).cross(c - a).length() as f64 * 0.5;
         }
         let expect = 4.0 * std::f64::consts::PI;
-        assert!(
-            (area - expect).abs() / expect < 0.05,
-            "area {area} vs sphere {expect}"
-        );
+        assert!((area - expect).abs() / expect < 0.05, "area {area} vs sphere {expect}");
     }
 
     #[test]

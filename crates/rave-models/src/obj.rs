@@ -129,8 +129,7 @@ pub fn read<R: BufRead>(r: R) -> std::io::Result<MeshData> {
     if normals.len() == mesh.positions.len() && !normals.is_empty() {
         mesh.normals = normals;
     }
-    mesh.validate()
-        .map_err(|e| bad(format!("invalid mesh: {e}")))?;
+    mesh.validate().map_err(|e| bad(format!("invalid mesh: {e}")))?;
     Ok(mesh)
 }
 
@@ -207,7 +206,8 @@ mod tests {
 
     #[test]
     fn skips_comments_and_unknown_records() {
-        let text = "# comment\nmtllib foo.mtl\ng group\nv 0 0 0\nv 1 0 0\nv 0 1 0\ns off\nf 1 2 3\n";
+        let text =
+            "# comment\nmtllib foo.mtl\ng group\nv 0 0 0\nv 1 0 0\nv 0 1 0\ns off\nf 1 2 3\n";
         let m = read(std::io::Cursor::new(text)).unwrap();
         assert_eq!(m.triangle_count(), 1);
     }

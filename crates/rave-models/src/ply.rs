@@ -6,9 +6,9 @@
 
 use rave_math::Vec3;
 use rave_scene::MeshData;
-use std::io::{BufRead, Write};
 #[allow(unused_imports)]
 use std::io::Read;
+use std::io::{BufRead, Write};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlyFormat {
@@ -16,11 +16,7 @@ pub enum PlyFormat {
     BinaryLittleEndian,
 }
 
-fn write_header<W: Write>(
-    mesh: &MeshData,
-    format: PlyFormat,
-    w: &mut W,
-) -> std::io::Result<()> {
+fn write_header<W: Write>(mesh: &MeshData, format: PlyFormat, w: &mut W) -> std::io::Result<()> {
     let fmt = match format {
         PlyFormat::Ascii => "ascii",
         PlyFormat::BinaryLittleEndian => "binary_little_endian",
@@ -211,7 +207,12 @@ pub fn read<R: BufRead>(mut r: R) -> std::io::Result<MeshData> {
             for _ in 0..vertex_count {
                 r.read_exact(&mut vbuf)?;
                 let at = |i: usize| {
-                    f32::from_le_bytes([vbuf[4 * i], vbuf[4 * i + 1], vbuf[4 * i + 2], vbuf[4 * i + 3]])
+                    f32::from_le_bytes([
+                        vbuf[4 * i],
+                        vbuf[4 * i + 1],
+                        vbuf[4 * i + 2],
+                        vbuf[4 * i + 3],
+                    ])
                 };
                 positions.push(Vec3::new(at(ix), at(iy), at(iz)));
                 if let Some((a, b, c)) = normal_idx {
@@ -243,8 +244,7 @@ pub fn read<R: BufRead>(mut r: R) -> std::io::Result<MeshData> {
     }
     let mut mesh = MeshData::new(positions, triangles);
     mesh.normals = normals;
-    mesh.validate()
-        .map_err(|e| bad(&format!("invalid mesh: {e}")))?;
+    mesh.validate().map_err(|e| bad(&format!("invalid mesh: {e}")))?;
     Ok(mesh)
 }
 
@@ -252,12 +252,9 @@ pub fn read<R: BufRead>(mut r: R) -> std::io::Result<MeshData> {
 /// column) without materializing it: header + vertices + faces.
 pub fn binary_file_size(mesh: &MeshData) -> u64 {
     let mut header = Vec::new();
-    write_header(mesh, PlyFormat::BinaryLittleEndian, &mut header)
-        .expect("vec write cannot fail");
+    write_header(mesh, PlyFormat::BinaryLittleEndian, &mut header).expect("vec write cannot fail");
     let vstride = if mesh.normals.is_empty() { 12 } else { 24 };
-    header.len() as u64
-        + mesh.positions.len() as u64 * vstride
-        + mesh.triangles.len() as u64 * 13
+    header.len() as u64 + mesh.positions.len() as u64 * vstride + mesh.triangles.len() as u64 * 13
 }
 
 #[cfg(test)]

@@ -37,12 +37,7 @@ impl FanoutCost {
 /// the sender's own segment if bridging is needed — modelled as a single
 /// segment transmission too, since 2004 multicast rode the LAN broadcast
 /// domain).
-pub fn multicast_cost(
-    net: &Network,
-    sender: &str,
-    receivers: &[&str],
-    bytes: u64,
-) -> FanoutCost {
+pub fn multicast_cost(net: &Network, sender: &str, receivers: &[&str], bytes: u64) -> FanoutCost {
     let mut segments = BTreeSet::new();
     let mut slowest = SimTime::ZERO;
     let mut count = 0u32;

@@ -9,8 +9,8 @@ use std::collections::BTreeMap;
 /// use the link registered for that segment pair (or the default).
 #[derive(Debug, Clone)]
 pub struct Network {
-    hosts: BTreeMap<String, String>, // host -> segment
-    intra: BTreeMap<String, LinkSpec>, // segment -> link within it
+    hosts: BTreeMap<String, String>,             // host -> segment
+    intra: BTreeMap<String, LinkSpec>,           // segment -> link within it
     inter: BTreeMap<(String, String), LinkSpec>, // sorted pair -> link
     default_inter: LinkSpec,
     loopback: LinkSpec,

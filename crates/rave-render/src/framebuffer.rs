@@ -152,12 +152,8 @@ impl Framebuffer {
     /// RGB distance. Panics on size mismatch.
     pub fn diff_fraction(&self, other: &Framebuffer, tol: f32) -> f64 {
         assert_eq!((self.width, self.height), (other.width, other.height));
-        let differing = self
-            .color
-            .iter()
-            .zip(&other.color)
-            .filter(|(a, b)| a.distance(**b) > tol)
-            .count();
+        let differing =
+            self.color.iter().zip(&other.color).filter(|(a, b)| a.distance(**b) > tol).count();
         differing as f64 / self.pixel_count() as f64
     }
 

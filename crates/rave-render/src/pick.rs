@@ -49,9 +49,8 @@ pub fn render_id_buffer(
     // Flat "lighting": full ambient so the encoded color is untouched.
     let flat = Lighting { light_dir: Vec3::Y, ambient: 1.0 };
     let mut stats = RasterStats::default();
-    let skipped: std::collections::BTreeSet<NodeId> = skip_subtree
-        .map(|s| tree.descendants(s).into_iter().collect())
-        .unwrap_or_default();
+    let skipped: std::collections::BTreeSet<NodeId> =
+        skip_subtree.map(|s| tree.descendants(s).into_iter().collect()).unwrap_or_default();
     for id in tree.descendants(tree.root()) {
         if skipped.contains(&id) {
             continue;
@@ -65,14 +64,7 @@ pub fn render_id_buffer(
                 let mut flat_mesh = (**mesh).clone();
                 flat_mesh.colors.clear();
                 draw_mesh(
-                    &mut fb,
-                    viewport,
-                    viewport,
-                    &flat_mesh,
-                    &model,
-                    &view_proj,
-                    &flat,
-                    color,
+                    &mut fb, viewport, viewport, &flat_mesh, &model, &view_proj, &flat, color,
                     &mut stats,
                 );
             }
@@ -94,14 +86,7 @@ pub fn render_id_buffer(
                 let mut cone = crate::avatar::avatar_mesh(info);
                 cone.colors.clear();
                 draw_mesh(
-                    &mut fb,
-                    viewport,
-                    viewport,
-                    &cone,
-                    &model,
-                    &view_proj,
-                    &flat,
-                    color,
+                    &mut fb, viewport, viewport, &cone, &model, &view_proj, &flat, color,
                     &mut stats,
                 );
             }

@@ -31,8 +31,7 @@ pub fn draw_points(
         }
         let px = full_viewport.ndc_to_pixel(ndc);
         // Splat radius in pixels: world size projected through w.
-        let radius =
-            (cloud.point_size * full_viewport.height as f32 / clip.w).clamp(0.5, 16.0);
+        let radius = (cloud.point_size * full_viewport.height as f32 / clip.w).clamp(0.5, 16.0);
         let color = if cloud.colors.is_empty() { base_color } else { cloud.colors[i] };
         let rgb = Rgb::from_f32(color.x, color.y, color.z);
         let r = radius.ceil() as i64;

@@ -128,14 +128,7 @@ pub fn rasterize_triangle(
         .collect();
 
     for k in 1..projected.len() - 1 {
-        raster_screen_tri(
-            fb,
-            tile,
-            projected[0],
-            projected[k],
-            projected[k + 1],
-            stats,
-        );
+        raster_screen_tri(fb, tile, projected[0], projected[k], projected[k + 1], stats);
     }
 }
 
@@ -186,12 +179,7 @@ fn raster_screen_tri(
             let col = c0 * w0 + c1 * w1 + c2 * w2;
             let x_local = (px as u32) - tile.x;
             let y_local = (py as u32) - tile.y;
-            if fb.set_if_closer(
-                x_local,
-                y_local,
-                Rgb::from_f32(col.x, col.y, col.z),
-                z,
-            ) {
+            if fb.set_if_closer(x_local, y_local, Rgb::from_f32(col.x, col.y, col.z), z) {
                 stats.fragments_written += 1;
             }
         }
@@ -295,7 +283,8 @@ mod tests {
     #[test]
     fn triangle_behind_camera_clipped() {
         let (mut fb, vp, _, mesh) = fullscreen_tri(32);
-        let cam = CameraParams::look_at(Vec3::new(0.0, 0.0, -3.0), Vec3::new(0.0, 0.0, -9.0), Vec3::Y);
+        let cam =
+            CameraParams::look_at(Vec3::new(0.0, 0.0, -3.0), Vec3::new(0.0, 0.0, -9.0), Vec3::Y);
         let stats = draw(&mut fb, &vp, &vp.clone(), &cam, &mesh, Vec3::X);
         assert_eq!(stats.fragments_written, 0);
         assert_eq!(fb.coverage(Rgb::BLACK), 0);
@@ -325,7 +314,11 @@ mod tests {
         let vp = Viewport::new(32, 32);
         let cam = CameraParams::look_at(Vec3::new(0.0, 0.0, 4.0), Vec3::ZERO, Vec3::Y);
         let far_tri = MeshData::new(
-            vec![Vec3::new(-2.0, -2.0, -1.0), Vec3::new(2.0, -2.0, -1.0), Vec3::new(0.0, 2.0, -1.0)],
+            vec![
+                Vec3::new(-2.0, -2.0, -1.0),
+                Vec3::new(2.0, -2.0, -1.0),
+                Vec3::new(0.0, 2.0, -1.0),
+            ],
             vec![[0, 1, 2]],
         );
         let near_tri = MeshData::new(

@@ -65,8 +65,8 @@ pub fn raycast_volume(
     for py in tile.y..tile.y + tile.height {
         for px in tile.x..tile.x + tile.width {
             // Un-project the pixel to a world-space ray.
-            let ndc = full_viewport
-                .pixel_to_ndc(rave_math::Vec2::new(px as f32 + 0.5, py as f32 + 0.5));
+            let ndc =
+                full_viewport.pixel_to_ndc(rave_math::Vec2::new(px as f32 + 0.5, py as f32 + 0.5));
             let far = inv_vp.mul_vec4(rave_math::Vec4::new(ndc.x, ndc.y, 1.0, 1.0));
             let far = far.perspective_divide();
             let dir_world = (far - camera_pos).normalized();
@@ -119,11 +119,7 @@ pub fn raycast_volume(
             // existing color), respecting opaque depth.
             if z < fb.depth_at(x_local, y_local) {
                 let bg = fb.get(x_local, y_local);
-                let bgv = Vec3::new(
-                    bg.0 as f32 / 255.0,
-                    bg.1 as f32 / 255.0,
-                    bg.2 as f32 / 255.0,
-                );
+                let bgv = Vec3::new(bg.0 as f32 / 255.0, bg.1 as f32 / 255.0, bg.2 as f32 / 255.0);
                 let out = color + bgv * (1.0 - alpha);
                 fb.set(x_local, y_local, Rgb::from_f32(out.x, out.y, out.z), z);
                 stats.fragments_written += 1;

@@ -33,18 +33,20 @@ impl AuditTrail {
     }
 
     /// Record an update. Sequence numbers must be strictly increasing —
-    /// the trail is the session's ground truth and an out-of-order append
-    /// means the data service is broken.
-    pub fn record(&mut self, at_secs: f64, stamped: StampedUpdate) {
+    /// the trail is the session's ground truth, so an out-of-order append
+    /// is rejected (and surfaced to the data service) rather than
+    /// silently corrupting the recording.
+    pub fn record(&mut self, at_secs: f64, stamped: StampedUpdate) -> Result<(), UpdateError> {
         if let Some(last) = self.entries.last() {
-            assert!(
-                stamped.seq > last.stamped.seq,
-                "audit trail must be appended in seq order ({} after {})",
-                stamped.seq,
-                last.stamped.seq
-            );
+            if stamped.seq <= last.stamped.seq {
+                return Err(UpdateError::NonMonotonicSeq {
+                    last: last.stamped.seq,
+                    got: stamped.seq,
+                });
+            }
         }
         self.entries.push(AuditEntry { at_secs, stamped });
+        Ok(())
     }
 
     pub fn entries(&self) -> &[AuditEntry] {
@@ -132,7 +134,8 @@ mod tests {
                     kind: NodeKind::Group,
                 },
             ),
-        );
+        )
+        .unwrap();
         t.record(
             1.0,
             stamped(
@@ -142,8 +145,9 @@ mod tests {
                     transform: Transform::from_translation(Vec3::new(1.0, 0.0, 0.0)),
                 },
             ),
-        );
-        t.record(2.0, stamped(3, SceneUpdate::RemoveNode { id: NodeId(1) }));
+        )
+        .unwrap();
+        t.record(2.0, stamped(3, SceneUpdate::RemoveNode { id: NodeId(1) })).unwrap();
         t
     }
 
@@ -156,10 +160,7 @@ mod tests {
         assert_eq!(t0.node(NodeId(1)).unwrap().transform.translation, Vec3::ZERO);
         // At t=1.5 it has moved.
         let t1 = trail.replay(1.5).unwrap();
-        assert_eq!(
-            t1.node(NodeId(1)).unwrap().transform.translation,
-            Vec3::new(1.0, 0.0, 0.0)
-        );
+        assert_eq!(t1.node(NodeId(1)).unwrap().transform.translation, Vec3::new(1.0, 0.0, 0.0));
         // After t=2 it is gone.
         let t2 = trail.replay_all().unwrap();
         assert!(!t2.contains(NodeId(1)));
@@ -194,29 +195,35 @@ mod tests {
 
         let mut loaded = AuditTrail::load(std::io::Cursor::new(buf)).unwrap();
         let seq = loaded.last_seq();
-        loaded.record(
-            10.0,
-            stamped(
-                seq + 1,
-                SceneUpdate::AddNode {
-                    id: NodeId(2),
-                    parent: NodeId(0),
-                    name: "appended".into(),
-                    kind: NodeKind::Group,
-                },
-            ),
-        );
+        loaded
+            .record(
+                10.0,
+                stamped(
+                    seq + 1,
+                    SceneUpdate::AddNode {
+                        id: NodeId(2),
+                        parent: NodeId(0),
+                        name: "appended".into(),
+                        kind: NodeKind::Group,
+                    },
+                ),
+            )
+            .unwrap();
         let replayed = loaded.replay_all().unwrap();
         assert!(replayed.contains(NodeId(2)));
         assert!(!replayed.contains(NodeId(1)), "earlier removal still honoured");
     }
 
     #[test]
-    #[should_panic]
-    fn out_of_order_seq_panics() {
+    fn out_of_order_seq_rejected() {
         let mut t = AuditTrail::new();
-        t.record(0.0, stamped(5, SceneUpdate::RemoveNode { id: NodeId(9) }));
-        t.record(1.0, stamped(4, SceneUpdate::RemoveNode { id: NodeId(9) }));
+        t.record(0.0, stamped(5, SceneUpdate::RemoveNode { id: NodeId(9) })).unwrap();
+        let err = t.record(1.0, stamped(4, SceneUpdate::RemoveNode { id: NodeId(9) }));
+        assert_eq!(err, Err(UpdateError::NonMonotonicSeq { last: 5, got: 4 }));
+        // Equal sequence numbers are rejected too, and the trail is intact.
+        let dup = t.record(2.0, stamped(5, SceneUpdate::RemoveNode { id: NodeId(9) }));
+        assert!(matches!(dup, Err(UpdateError::NonMonotonicSeq { last: 5, got: 5 })));
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

@@ -43,11 +43,7 @@ impl CameraParams {
         // Build the rotation whose columns are (right, up, -forward) — the
         // camera-to-world basis — then convert to a quaternion via the
         // stable branch of the matrix-to-quaternion formula.
-        let m = [
-            [r.x, r.y, r.z],
-            [u.x, u.y, u.z],
-            [-f.x, -f.y, -f.z],
-        ];
+        let m = [[r.x, r.y, r.z], [u.x, u.y, u.z], [-f.x, -f.y, -f.z]];
         let trace = m[0][0] + m[1][1] + m[2][2];
         let q = if trace > 0.0 {
             let s = (trace + 1.0).sqrt() * 2.0;

@@ -98,7 +98,8 @@ mod tests {
     #[test]
     fn add_accumulates_all_axes() {
         let a = NodeCost { polygons: 1, points: 2, voxels: 3, texture_bytes: 4, data_bytes: 5 };
-        let b = NodeCost { polygons: 10, points: 20, voxels: 30, texture_bytes: 40, data_bytes: 50 };
+        let b =
+            NodeCost { polygons: 10, points: 20, voxels: 30, texture_bytes: 40, data_bytes: 50 };
         let c = a + b;
         assert_eq!(c.polygons, 11);
         assert_eq!(c.data_bytes, 55);
@@ -129,7 +130,9 @@ mod tests {
     #[test]
     fn render_weight_ordering() {
         // A polygon node outweighs the same count of points.
-        assert!(NodeCost::polygons(100).render_weight()
-            > NodeCost { points: 100, ..NodeCost::ZERO }.render_weight());
+        assert!(
+            NodeCost::polygons(100).render_weight()
+                > NodeCost { points: 100, ..NodeCost::ZERO }.render_weight()
+        );
     }
 }

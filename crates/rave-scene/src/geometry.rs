@@ -208,7 +208,8 @@ impl PointCloudData {
         let mid = keys.len() / 2;
         keys.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
         let pivot = keys[mid];
-        let mut a = PointCloudData { points: Vec::new(), colors: Vec::new(), point_size: self.point_size };
+        let mut a =
+            PointCloudData { points: Vec::new(), colors: Vec::new(), point_size: self.point_size };
         let mut b2 = a.clone();
         for (i, p) in self.points.iter().enumerate() {
             let (side_pts, side_cols) = if key(p) < pivot {
@@ -323,14 +324,13 @@ impl VolumeData {
     /// §6 "Subset blocks of the volume can be blended ... by considering
     /// their relative distance from the view").
     pub fn split_bricks(&self) -> Option<(VolumeData, VolumeData, Vec3)> {
-        let axis =
-            if self.dims[0] >= self.dims[1] && self.dims[0] >= self.dims[2] {
-                0
-            } else if self.dims[1] >= self.dims[2] {
-                1
-            } else {
-                2
-            };
+        let axis = if self.dims[0] >= self.dims[1] && self.dims[0] >= self.dims[2] {
+            0
+        } else if self.dims[1] >= self.dims[2] {
+            1
+        } else {
+            2
+        };
         if self.dims[axis] < 2 {
             return None;
         }
@@ -366,11 +366,7 @@ impl VolumeData {
             1 => offset.y = off,
             _ => offset.z = off,
         }
-        Some((
-            VolumeData::new(d1, self.spacing, v1),
-            VolumeData::new(d2, self.spacing, v2),
-            offset,
-        ))
+        Some((VolumeData::new(d1, self.spacing, v1), VolumeData::new(d2, self.spacing, v2), offset))
     }
 }
 
@@ -464,10 +460,7 @@ mod tests {
 
     #[test]
     fn split_refuses_single_triangle() {
-        let m = MeshData::new(
-            vec![Vec3::ZERO, Vec3::X, Vec3::Y],
-            vec![[0, 1, 2]],
-        );
+        let m = MeshData::new(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 2]]);
         assert!(m.split_spatial().is_none());
     }
 

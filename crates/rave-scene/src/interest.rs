@@ -91,10 +91,8 @@ impl InterestSet {
         };
         match update {
             SceneUpdate::AddNode { parent, id, kind, .. } => {
-                matches!(
-                    kind,
-                    crate::node::NodeKind::Avatar(_) | crate::node::NodeKind::Camera(_)
-                ) || presence(*id)
+                matches!(kind, crate::node::NodeKind::Avatar(_) | crate::node::NodeKind::Camera(_))
+                    || presence(*id)
                     || self.contains(*parent)
             }
             other => {

@@ -239,10 +239,8 @@ mod tests {
 
     fn tree_with_mesh() -> SceneTree {
         let mut t = SceneTree::new();
-        let mut mesh = MeshData::new(
-            vec![Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::Z],
-            vec![[0, 1, 2], [0, 2, 3]],
-        );
+        let mut mesh =
+            MeshData::new(vec![Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::Z], vec![[0, 1, 2], [0, 2, 3]]);
         mesh.compute_normals();
         t.add_node(t.root(), "mesh", NodeKind::Mesh(Arc::new(mesh))).unwrap();
         t

@@ -14,7 +14,10 @@
 //!   subsets a render service must be kept up to date on (§3.2.5);
 //! - an **introspection marshaller** ([`introspect`]) reproducing the
 //!   paper's Java-introspection network bottleneck (§5.5) alongside the
-//!   direct marshaller it is benchmarked against.
+//!   direct marshaller it is benchmarked against;
+//! - a compact **binary wire codec** ([`wire`]) for updates, audit
+//!   entries and whole-tree snapshots — the payload format of the
+//!   `rave-store` write-ahead log and checkpoint files.
 
 pub mod audit;
 pub mod camera;
@@ -25,7 +28,9 @@ pub mod introspect;
 pub mod node;
 pub mod tree;
 pub mod update;
+pub mod wire;
 
+pub use audit::AuditEntry;
 pub use audit::AuditTrail;
 pub use camera::CameraParams;
 pub use cost::NodeCost;
@@ -34,3 +39,4 @@ pub use interest::InterestSet;
 pub use node::{AvatarInfo, Node, NodeId, NodeKind, Transform};
 pub use tree::SceneTree;
 pub use update::{SceneUpdate, StampedUpdate, UpdateError};
+pub use wire::WireError;

@@ -12,9 +12,7 @@ use std::sync::Arc;
 /// Ids are allocated by the data service and never reused, so updates that
 /// race with removals can be detected (an update to a dead id is rejected,
 /// not misapplied).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub u64);
 
 impl std::fmt::Display for NodeId {
@@ -124,16 +122,12 @@ impl NodeKind {
                 data_bytes: m.wire_size(),
                 ..NodeCost::ZERO
             },
-            NodeKind::PointCloud(p) => NodeCost {
-                points: p.point_count(),
-                data_bytes: p.wire_size(),
-                ..NodeCost::ZERO
-            },
-            NodeKind::Volume(v) => NodeCost {
-                voxels: v.voxel_count(),
-                data_bytes: v.wire_size(),
-                ..NodeCost::ZERO
-            },
+            NodeKind::PointCloud(p) => {
+                NodeCost { points: p.point_count(), data_bytes: p.wire_size(), ..NodeCost::ZERO }
+            }
+            NodeKind::Volume(v) => {
+                NodeCost { voxels: v.voxel_count(), data_bytes: v.wire_size(), ..NodeCost::ZERO }
+            }
             // The avatar cone is a handful of polygons.
             NodeKind::Avatar(_) => NodeCost { polygons: 8, data_bytes: 256, ..NodeCost::ZERO },
         }
@@ -252,11 +246,8 @@ mod tests {
 
     #[test]
     fn interactions_differ_by_kind() {
-        let mesh_node = Node::new(
-            NodeId(1),
-            "m",
-            NodeKind::Mesh(Arc::new(MeshData::new(vec![], vec![]))),
-        );
+        let mesh_node =
+            Node::new(NodeId(1), "m", NodeKind::Mesh(Arc::new(MeshData::new(vec![], vec![]))));
         let avatar_node = Node::new(
             NodeId(2),
             "a",
@@ -272,11 +263,7 @@ mod tests {
 
     #[test]
     fn node_serde_roundtrip() {
-        let n = Node::new(
-            NodeId(7),
-            "test",
-            NodeKind::Camera(CameraParams::default()),
-        );
+        let n = Node::new(NodeId(7), "test", NodeKind::Camera(CameraParams::default()));
         let json = serde_json::to_string(&n).unwrap();
         let back: Node = serde_json::from_str(&json).unwrap();
         assert_eq!(n, back);

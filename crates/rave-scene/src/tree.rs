@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 /// Storage is a `BTreeMap` keyed by [`NodeId`] so iteration order is
 /// deterministic (render services on different "machines" must walk the
 /// same scene in the same order for compositing to be reproducible).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SceneTree {
     nodes: BTreeMap<NodeId, Node>,
     root: NodeId,
@@ -54,6 +54,24 @@ impl SceneTree {
 
     pub fn node_mut(&mut self, id: NodeId) -> Option<&mut Node> {
         self.nodes.get_mut(&id)
+    }
+
+    /// Every node in id order (the map's deterministic iteration order).
+    pub fn iter_nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.values()
+    }
+
+    /// The id the allocator would hand out next. Snapshots persist this so
+    /// a recovered tree never re-issues an id burned by a removed node.
+    pub fn id_allocator_state(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Reassemble a tree from its raw parts — the snapshot decode path.
+    /// The caller guarantees structural validity (wire decode checks the
+    /// root exists; `check_invariants` covers the rest in tests).
+    pub(crate) fn from_parts(nodes: BTreeMap<NodeId, Node>, root: NodeId, next_id: u64) -> Self {
+        Self { nodes, root, next_id }
     }
 
     /// Allocate the next id without inserting — the data service allocates
@@ -224,10 +242,7 @@ impl SceneTree {
 
     /// Every node id whose kind matches `pred`, in deterministic order.
     pub fn find_all(&self, mut pred: impl FnMut(&Node) -> bool) -> Vec<NodeId> {
-        self.descendants(self.root)
-            .into_iter()
-            .filter(|id| pred(&self.nodes[id]))
-            .collect()
+        self.descendants(self.root).into_iter().filter(|id| pred(&self.nodes[id])).collect()
     }
 
     /// The *ancestor closure* of a node set: the nodes themselves, all
@@ -255,10 +270,8 @@ impl SceneTree {
     /// (`content_roots`).
     pub fn extract_subset(&self, roots: &[NodeId]) -> SceneTree {
         let closure = self.subset_closure(roots);
-        let in_subtree: std::collections::BTreeSet<NodeId> = roots
-            .iter()
-            .flat_map(|&r| self.descendants(r))
-            .collect();
+        let in_subtree: std::collections::BTreeSet<NodeId> =
+            roots.iter().flat_map(|&r| self.descendants(r)).collect();
         let mut out = SceneTree::new();
         out.next_id = self.next_id;
         // The root's transform orients everything: copy it so world
@@ -389,10 +402,7 @@ mod tests {
     use std::sync::Arc;
 
     fn tri_mesh() -> NodeKind {
-        NodeKind::Mesh(Arc::new(MeshData::new(
-            vec![Vec3::ZERO, Vec3::X, Vec3::Y],
-            vec![[0, 1, 2]],
-        )))
+        NodeKind::Mesh(Arc::new(MeshData::new(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 2]])))
     }
 
     #[test]
@@ -526,10 +536,7 @@ mod tests {
         assert!(sub.contains(g));
         // Ancestor content stripped — only orientation kept.
         assert!(matches!(sub.node(g).unwrap().kind, NodeKind::Group));
-        assert_eq!(
-            sub.node(g).unwrap().transform.translation,
-            Vec3::new(5.0, 0.0, 0.0)
-        );
+        assert_eq!(sub.node(g).unwrap().transform.translation, Vec3::new(5.0, 0.0, 0.0));
         // The requested subtree keeps its payload.
         assert!(matches!(sub.node(m).unwrap().kind, NodeKind::Mesh(_)));
         // Cost of the subset is just the subtree's.
@@ -552,8 +559,7 @@ mod tests {
         replica.merge_subset(&subset_a);
         assert!(replica.contains(a) && !replica.contains(b));
         // Locally mutate a, then merge b: a's local state survives.
-        replica
-            .set_transform(a, Transform::from_translation(Vec3::new(9.0, 0.0, 0.0)));
+        replica.set_transform(a, Transform::from_translation(Vec3::new(9.0, 0.0, 0.0)));
         replica.merge_subset(&subset_b);
         assert!(replica.contains(b));
         assert_eq!(

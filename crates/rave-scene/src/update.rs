@@ -165,7 +165,21 @@ impl StampedUpdate {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UpdateError {
     Tree(TreeError),
-    KindMismatch { id: NodeId, expected: &'static str, found: &'static str },
+    KindMismatch {
+        id: NodeId,
+        expected: &'static str,
+        found: &'static str,
+    },
+    /// An audit append whose sequence number does not advance the trail —
+    /// the data service's stamping invariant is broken.
+    NonMonotonicSeq {
+        last: u64,
+        got: u64,
+    },
+    /// The durable persistence sink failed to log the update. Carries the
+    /// underlying I/O error rendered to text so `UpdateError` stays
+    /// `Clone + PartialEq`.
+    Persistence(String),
 }
 
 impl From<TreeError> for UpdateError {
@@ -181,6 +195,12 @@ impl std::fmt::Display for UpdateError {
             UpdateError::KindMismatch { id, expected, found } => {
                 write!(f, "update to {id} expected {expected}, found {found}")
             }
+            UpdateError::NonMonotonicSeq { last, got } => {
+                write!(f, "audit append out of order: seq {got} after {last}")
+            }
+            UpdateError::Persistence(msg) => {
+                write!(f, "persistence sink failed: {msg}")
+            }
         }
     }
 }
@@ -195,22 +215,15 @@ mod tests {
     use std::sync::Arc;
 
     fn mesh_kind() -> NodeKind {
-        NodeKind::Mesh(Arc::new(MeshData::new(
-            vec![Vec3::ZERO, Vec3::X, Vec3::Y],
-            vec![[0, 1, 2]],
-        )))
+        NodeKind::Mesh(Arc::new(MeshData::new(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 2]])))
     }
 
     #[test]
     fn add_then_remove_roundtrip() {
         let mut tree = SceneTree::new();
         let id = tree.allocate_id();
-        let add = SceneUpdate::AddNode {
-            id,
-            parent: tree.root(),
-            name: "m".into(),
-            kind: mesh_kind(),
-        };
+        let add =
+            SceneUpdate::AddNode { id, parent: tree.root(), name: "m".into(), kind: mesh_kind() };
         add.apply(&mut tree).unwrap();
         assert!(tree.contains(id));
         SceneUpdate::RemoveNode { id }.apply(&mut tree).unwrap();
@@ -226,7 +239,12 @@ mod tests {
         let id1 = NodeId(1);
         let id2 = NodeId(2);
         let updates = vec![
-            SceneUpdate::AddNode { id: id1, parent: NodeId(0), name: "g".into(), kind: NodeKind::Group },
+            SceneUpdate::AddNode {
+                id: id1,
+                parent: NodeId(0),
+                name: "g".into(),
+                kind: NodeKind::Group,
+            },
             SceneUpdate::AddNode { id: id2, parent: id1, name: "m".into(), kind: mesh_kind() },
             SceneUpdate::SetTransform {
                 id: id1,
@@ -245,20 +263,17 @@ mod tests {
     #[test]
     fn update_to_missing_node_errors() {
         let mut tree = SceneTree::new();
-        let err = SceneUpdate::SetName { id: NodeId(42), name: "x".into() }
-            .apply(&mut tree)
-            .unwrap_err();
+        let err =
+            SceneUpdate::SetName { id: NodeId(42), name: "x".into() }.apply(&mut tree).unwrap_err();
         assert!(matches!(err, UpdateError::Tree(TreeError::MissingNode(_))));
     }
 
     #[test]
     fn camera_moved_updates_camera_node_and_pose() {
         let mut tree = SceneTree::new();
-        let cam = tree
-            .add_node(tree.root(), "cam", NodeKind::Camera(CameraParams::default()))
-            .unwrap();
-        let new_cam =
-            CameraParams::look_at(Vec3::new(9.0, 0.0, 0.0), Vec3::ZERO, Vec3::Y);
+        let cam =
+            tree.add_node(tree.root(), "cam", NodeKind::Camera(CameraParams::default())).unwrap();
+        let new_cam = CameraParams::look_at(Vec3::new(9.0, 0.0, 0.0), Vec3::ZERO, Vec3::Y);
         SceneUpdate::CameraMoved { id: cam, camera: new_cam }.apply(&mut tree).unwrap();
         let node = tree.node(cam).unwrap();
         assert_eq!(node.transform.translation, Vec3::new(9.0, 0.0, 0.0));
@@ -330,9 +345,7 @@ mod tests {
         let id = tree.add_node(tree.root(), "n", NodeKind::Group).unwrap();
         let v0 = tree.node(id).unwrap().version;
         SceneUpdate::SetName { id, name: "renamed".into() }.apply(&mut tree).unwrap();
-        SceneUpdate::SetTransform { id, transform: Transform::IDENTITY }
-            .apply(&mut tree)
-            .unwrap();
+        SceneUpdate::SetTransform { id, transform: Transform::IDENTITY }.apply(&mut tree).unwrap();
         assert_eq!(tree.node(id).unwrap().version, v0 + 2);
     }
 }

@@ -10,7 +10,6 @@ pub struct EventId(u64);
 
 type Handler<W> = Box<dyn FnOnce(&mut Simulation<W>)>;
 
-
 /// A discrete-event simulation over a user-supplied world `W`.
 ///
 /// ```
@@ -73,12 +72,7 @@ impl<W> Simulation<W> {
         at: SimTime,
         handler: impl FnOnce(&mut Simulation<W>) + 'static,
     ) -> EventId {
-        assert!(
-            at >= self.now,
-            "cannot schedule into the past: now={} at={}",
-            self.now,
-            at
-        );
+        assert!(at >= self.now, "cannot schedule into the past: now={} at={}", self.now, at);
         let id = EventId(self.next_id);
         self.next_id += 1;
         self.handlers.insert(id.0, Box::new(handler));

@@ -161,8 +161,8 @@ impl Histogram {
             return 0.0;
         }
         self.ensure_sorted();
-        let idx = ((q * (self.samples.len() - 1) as f64).round() as usize)
-            .min(self.samples.len() - 1);
+        let idx =
+            ((q * (self.samples.len() - 1) as f64).round() as usize).min(self.samples.len() - 1);
         self.samples[idx]
     }
 
@@ -200,7 +200,7 @@ mod tests {
         ts.record(SimTime::from_secs(0.0), 10.0);
         ts.record(SimTime::from_secs(1.0), 20.0); // 10 held for 1s
         ts.record(SimTime::from_secs(3.0), 0.0); // 20 held for 2s
-        // (10*1 + 20*2) / 3 = 50/3
+                                                 // (10*1 + 20*2) / 3 = 50/3
         assert!((ts.time_weighted_mean() - 50.0 / 3.0).abs() < 1e-9);
     }
 

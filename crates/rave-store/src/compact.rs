@@ -1,0 +1,149 @@
+//! Log compaction: once a snapshot covers a sealed segment entirely, the
+//! segment (and any older snapshot) is dead weight and is deleted. This
+//! bounds the store's disk footprint to roughly one snapshot plus the
+//! active segment, regardless of session length.
+
+use crate::segment::list_segments;
+use crate::snapshot::list_snapshots;
+use std::io;
+use std::path::Path;
+
+/// What a compaction pass removed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Indices of WAL segments deleted.
+    pub segments_deleted: Vec<u64>,
+    /// Snapshot files older than the covering one deleted.
+    pub snapshots_deleted: usize,
+    /// Disk bytes reclaimed.
+    pub bytes_freed: u64,
+}
+
+/// Delete every sealed segment fully covered by a snapshot at
+/// `snapshot_seq`, and every snapshot older than it.
+///
+/// Coverage is decided from segment headers alone: a segment's entries
+/// all precede its successor's `base_seq`, so if the *next* segment
+/// starts at or below `snapshot_seq + 1`, this one holds nothing newer
+/// than the snapshot. The highest-index segment is the active one and is
+/// never deleted — the log must always have an append head.
+pub fn compact(dir: &Path, snapshot_seq: u64) -> io::Result<CompactionReport> {
+    let mut report = CompactionReport::default();
+    let segments = list_segments(dir)?;
+    for pair in segments.windows(2) {
+        let (idx, path) = &pair[0];
+        let (_, next_path) = &pair[1];
+        let next_base = crate::segment::read_segment_header(next_path)?.base_seq;
+        if next_base <= snapshot_seq + 1 {
+            report.bytes_freed += std::fs::metadata(path)?.len();
+            std::fs::remove_file(path)?;
+            report.segments_deleted.push(*idx);
+        }
+    }
+    for (seq, path) in list_snapshots(dir)? {
+        if seq < snapshot_seq {
+            report.bytes_freed += std::fs::metadata(&path)?.len();
+            std::fs::remove_file(&path)?;
+            report.snapshots_deleted += 1;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::write_snapshot;
+    use crate::wal::Wal;
+    use rave_scene::{AuditEntry, NodeId, SceneTree, SceneUpdate, StampedUpdate};
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rave-store-compact-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn entry(seq: u64) -> AuditEntry {
+        AuditEntry {
+            at_secs: seq as f64,
+            stamped: StampedUpdate {
+                seq,
+                origin: "compact-test".into(),
+                update: SceneUpdate::SetName { id: NodeId(0), name: format!("n{seq}") },
+            },
+        }
+    }
+
+    #[test]
+    fn covered_segments_and_stale_snapshots_deleted() {
+        let dir = tmp_dir("covered");
+        let (mut wal, _) = Wal::open(&dir, 200, false).unwrap();
+        for seq in 1..=40 {
+            wal.append(&entry(seq)).unwrap();
+        }
+        wal.sync().unwrap();
+        let n_before = list_segments(&dir).unwrap().len();
+        assert!(n_before > 2);
+
+        write_snapshot(&dir, &SceneTree::new(), 10, 1.0).unwrap();
+        write_snapshot(&dir, &SceneTree::new(), 40, 4.0).unwrap();
+        let report = compact(&dir, 40).unwrap();
+        assert!(!report.segments_deleted.is_empty());
+        assert_eq!(report.snapshots_deleted, 1, "seq-10 snapshot removed");
+        assert!(report.bytes_freed > 0);
+
+        // Only the active segment and the covering snapshot remain.
+        let segs = list_segments(&dir).unwrap();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(list_snapshots(&dir).unwrap().len(), 1);
+
+        // The log still appends and replays past the snapshot.
+        drop(wal);
+        let (mut wal, report2) = Wal::open(&dir, 200, false).unwrap();
+        wal.append(&entry(41)).unwrap();
+        wal.sync().unwrap();
+        assert!(report2.repaired_torn_tail.is_none());
+        let tail = Wal::replay_after(&dir, 40).unwrap();
+        assert_eq!(tail.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_coverage_keeps_uncovered_segments() {
+        let dir = tmp_dir("partial");
+        let (mut wal, _) = Wal::open(&dir, 200, false).unwrap();
+        for seq in 1..=40 {
+            wal.append(&entry(seq)).unwrap();
+        }
+        wal.sync().unwrap();
+        let all = list_segments(&dir).unwrap();
+        // Snapshot only covers up to 15: segments whose successor starts
+        // later must survive.
+        write_snapshot(&dir, &SceneTree::new(), 15, 1.5).unwrap();
+        compact(&dir, 15).unwrap();
+        let remaining = list_segments(&dir).unwrap();
+        assert!(!remaining.is_empty() && remaining.len() < all.len() || all.len() == 1);
+        // Everything after seq 15 still replays.
+        let tail = Wal::replay_after(&dir, 15).unwrap();
+        assert_eq!(tail.len(), 25);
+        assert_eq!(tail[0].stamped.seq, 16);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn active_segment_never_deleted() {
+        let dir = tmp_dir("active");
+        let (mut wal, _) = Wal::open(&dir, 1 << 20, false).unwrap();
+        for seq in 1..=5 {
+            wal.append(&entry(seq)).unwrap();
+        }
+        wal.sync().unwrap();
+        write_snapshot(&dir, &SceneTree::new(), 5, 0.5).unwrap();
+        let report = compact(&dir, 5).unwrap();
+        assert!(report.segments_deleted.is_empty(), "single active segment kept");
+        assert_eq!(list_segments(&dir).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --release --example collaboration`
 
-use rave::core::collaboration::{
-    drag_object, interaction_menu, join_session, move_camera,
-};
+use rave::core::collaboration::{drag_object, interaction_menu, join_session, move_camera};
 use rave::core::world::RaveWorld;
 use rave::core::RaveConfig;
 use rave::math::Vec3;
@@ -59,7 +57,8 @@ fn main() {
     let center = hand_bounds.center();
     let r = hand_bounds.radius();
     let cam_a = CameraParams::look_at(center + Vec3::new(0.0, 0.0, 2.5 * r), center, Vec3::Y);
-    let cam_b = CameraParams::look_at(center + Vec3::new(2.0 * r, 0.8 * r, 0.8 * r), center, Vec3::Y);
+    let cam_b =
+        CameraParams::look_at(center + Vec3::new(2.0 * r, 0.8 * r, 0.8 * r), center, Vec3::Y);
     let alice = join_session(&mut sim, ds, "laptop", Vec3::new(0.2, 0.9, 0.3), cam_a).unwrap();
     let bob = join_session(&mut sim, ds, "Desktop", Vec3::new(0.95, 0.5, 0.1), cam_b).unwrap();
     sim.run();
@@ -126,5 +125,8 @@ fn main() {
         replayed.len(),
         sim.world.data(ds).scene.len()
     );
-    println!("\ntrace excerpt:\n{}", &sim.world.trace.render()[..600.min(sim.world.trace.render().len())]);
+    println!(
+        "\ntrace excerpt:\n{}",
+        &sim.world.trace.render()[..600.min(sim.world.trace.render().len())]
+    );
 }

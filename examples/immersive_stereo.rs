@@ -25,14 +25,10 @@ fn main() {
     );
     // Human-scale rig relative to the model: eyes ~3% of the model radius
     // apart, converged on the model center.
-    let rig = StereoRig {
-        eye_separation: 0.06 * b.radius(),
-        convergence: 2.0 * b.radius(),
-    };
+    let rig = StereoRig { eye_separation: 0.06 * b.radius(), convergence: 2.0 * b.radius() };
 
     let renderer = Renderer::default();
-    let (sbs, stats) =
-        rig.render_side_by_side(&renderer, &tree, &center, Viewport::new(320, 400));
+    let (sbs, stats) = rig.render_side_by_side(&renderer, &tree, &center, Viewport::new(320, 400));
     std::fs::create_dir_all("out").unwrap();
     sbs.write_ppm(&mut File::create("out/stereo_side_by_side.ppm").unwrap()).unwrap();
     println!(

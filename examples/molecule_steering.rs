@@ -55,10 +55,7 @@ fn main() {
 
     // Asynchronous collaboration: the recorded session replays bit-exact.
     let replayed = sim.world.data(ds).audit.replay_all().unwrap();
-    assert_eq!(
-        replayed.node(node7).unwrap().transform.translation,
-        replica_pos
-    );
+    assert_eq!(replayed.node(node7).unwrap().transform.translation, replica_pos);
     println!(
         "audit trail: {} updates; replay reproduces the final pose exactly.",
         sim.world.data(ds).audit.len()

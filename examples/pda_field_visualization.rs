@@ -60,7 +60,10 @@ fn main() {
     let next = fb2.to_rgb_bytes();
 
     println!("\nsignal quality sweep (codec chosen adaptively per frame):");
-    println!("{:<8} {:>10} {:>14} {:>12} {:>9}", "signal", "codec", "frame bytes", "frame time", "est fps");
+    println!(
+        "{:<8} {:>10} {:>14} {:>12} {:>9}",
+        "signal", "codec", "frame bytes", "frame time", "est fps"
+    );
     for quality in [1.0, 0.6, 0.3, 0.15, 0.05] {
         let link = LinkSpec::wireless_11mb(quality);
         let choice = select(

@@ -22,11 +22,7 @@ fn main() {
     // 2. A data service hosting a session, with the galleon model.
     let ds = sim.world.spawn_data_service("adrenochrome", "galleon-session");
     let galleon = build_with_budget(PaperModel::Galleon, 5_500);
-    println!(
-        "built {}: {} polygons",
-        PaperModel::Galleon.name(),
-        galleon.triangle_count()
-    );
+    println!("built {}: {} polygons", PaperModel::Galleon.name(), galleon.triangle_count());
     {
         let scene = &mut sim.world.data_mut(ds).scene;
         let root = scene.root();
@@ -36,12 +32,8 @@ fn main() {
     // 3. A render service on the laptop, bootstrapped from the data
     //    service (snapshot + live-update overlap).
     let rs = sim.world.spawn_render_service("laptop");
-    let timing = rave::core::bootstrap::connect_render_service(
-        &mut sim,
-        rs,
-        ds,
-        InterestSet::everything(),
-    );
+    let timing =
+        rave::core::bootstrap::connect_render_service(&mut sim, rs, ds, InterestSet::everything());
     println!(
         "render service bootstrap: {} bytes, ready at {}",
         timing.snapshot_bytes, timing.ready_at
@@ -55,8 +47,7 @@ fn main() {
         let bounds = sim.world.render(rs).scene.world_bounds(rave::scene::NodeId(0));
         let c = bounds.center();
         let eye = c + Vec3::new(0.0, bounds.radius() * 0.6, bounds.radius() * 2.0);
-        sim.world.client_mut(pda).camera =
-            rave::scene::CameraParams::look_at(eye, c, Vec3::Y);
+        sim.world.client_mut(pda).camera = rave::scene::CameraParams::look_at(eye, c, Vec3::Y);
     }
     connect(&mut sim, pda, rs);
     stream_frames(&mut sim, pda, 10);
@@ -93,5 +84,8 @@ fn main() {
     let mut f = File::create("out/quickstart.ppm").unwrap();
     fb.write_ppm(&mut f).unwrap();
     println!("wrote out/quickstart.ppm ({}x{})", fb.width(), fb.height());
-    println!("\nsession audit trail has {} entries; replayable any time.", sim.world.data(ds).audit.len());
+    println!(
+        "\nsession audit trail has {} entries; replayable any time.",
+        sim.world.data(ds).audit.len()
+    );
 }

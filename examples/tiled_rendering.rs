@@ -49,9 +49,7 @@ fn main() {
     );
     let viewport = Viewport::new(400, 300);
     let client = ClientId(7);
-    sim.world
-        .render_mut(owner)
-        .open_session(client, viewport, cam0, OffscreenMode::Sequential);
+    sim.world.render_mut(owner).open_session(client, viewport, cam0, OffscreenMode::Sequential);
 
     let cfg = sim.world.config.clone();
     let helper_report = sim.world.render(helper).capacity_report(&cfg);
@@ -90,9 +88,6 @@ fn main() {
     let f3 = render_tiled_frame(&mut sim, owner, client, &plan, cam1, &BTreeSet::new());
     let img3 = f3.image.unwrap();
     img3.write_ppm(&mut File::create("out/tiled_healed.ppm").unwrap()).unwrap();
-    println!(
-        "healed frame: seam discontinuity {:.2}",
-        seam_discontinuity(&img3, seam_x)
-    );
+    println!("healed frame: seam discontinuity {:.2}", seam_discontinuity(&img3, seam_x));
     println!("\nwrote out/tiled_clean.ppm, out/tiled_torn.ppm, out/tiled_healed.ppm");
 }

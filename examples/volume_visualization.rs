@@ -55,9 +55,8 @@ fn main() {
     let mut master = SceneTree::new();
     let n = 48;
     let root = master.root();
-    let vol = master
-        .add_node(root, "ct-head", NodeKind::Volume(Arc::new(synthetic_ct(n))))
-        .unwrap();
+    let vol =
+        master.add_node(root, "ct-head", NodeKind::Volume(Arc::new(synthetic_ct(n)))).unwrap();
     println!("volume: {0}x{0}x{0} = {1} voxels", n, master.total_cost().voxels);
 
     let owner = sim.world.spawn_render_service("v880z"); // volume hardware
@@ -87,10 +86,8 @@ fn main() {
         Vec3::Y,
     );
     let viewport = Viewport::new(300, 300);
-    let assignments: Vec<_> = std::iter::once(owner)
-        .chain(helpers)
-        .zip(bricks.iter().copied())
-        .collect();
+    let assignments: Vec<_> =
+        std::iter::once(owner).chain(helpers).zip(bricks.iter().copied()).collect();
     let result = render_distributed_volume(
         &mut sim,
         owner,
@@ -115,7 +112,9 @@ fn main() {
     // precondition). Sweep the cast rate from hardware-assisted to
     // software fallback.
     println!("\ncast rate      single     distributed  speedup");
-    for (label, rate) in [("40 Mvox/s (hw)", 40.0e6), ("4 Mvox/s", 4.0e6), ("0.5 Mvox/s (sw)", 0.5e6)] {
+    for (label, rate) in
+        [("40 Mvox/s (hw)", 40.0e6), ("4 Mvox/s", 4.0e6), ("0.5 Mvox/s (sw)", 0.5e6)]
+    {
         let run = |n_services: usize, seed| {
             let mut s = Simulation::new(RaveWorld::paper_testbed(RaveConfig::default(), seed));
             let ids: Vec<_> = ["v880z", "onyx", "tower", "desktop"]
@@ -139,10 +138,7 @@ fn main() {
         };
         let single = run(1, 10);
         let quad = run(4, 11);
-        println!(
-            "{label:<14} {single:>9} {quad:>12}  {:.2}x",
-            single.as_secs() / quad.as_secs()
-        );
+        println!("{label:<14} {single:>9} {quad:>12}  {:.2}x", single.as_secs() / quad.as_secs());
     }
     println!("\n(distribution wins once per-brick cast time exceeds the layer transfer —");
     println!(" exactly the 'dataset would overwhelm an individual service' regime.)");

@@ -36,12 +36,7 @@ fn main() {
     let rs_laptop = sim.world.spawn_render_service("laptop");
     let rs_desktop = sim.world.spawn_render_service("desktop");
     for rs in [rs_laptop, rs_desktop] {
-        rave::core::bootstrap::connect_render_service(
-            &mut sim,
-            rs,
-            ds,
-            InterestSet::subtrees([]),
-        );
+        rave::core::bootstrap::connect_render_service(&mut sim, rs, ds, InterestSet::subtrees([]));
     }
     sim.run();
 
@@ -66,10 +61,7 @@ fn main() {
         sim.world.data_mut(ds).scene = master;
         plan
     };
-    println!(
-        "\ndistribution plan ({} splits performed):",
-        plan.splits_performed
-    );
+    println!("\ndistribution plan ({} splits performed):", plan.splits_performed);
     for a in &plan.assignments {
         println!("  {} takes {} nodes, {} polygons", a.service, a.nodes.len(), a.cost.polygons);
     }
@@ -115,14 +107,8 @@ fn main() {
     sim.run();
     let rebalance = check_underload_rebalance(&mut sim, ds);
     sim.run();
-    println!(
-        "\nunderload rebalance onto the Onyx: {} nodes attracted",
-        rebalance.moved.len()
-    );
-    println!(
-        "onyx now holds {} polygons",
-        sim.world.render(rs_onyx).assigned_cost().polygons
-    );
+    println!("\nunderload rebalance onto the Onyx: {} nodes attracted", rebalance.moved.len());
+    println!("onyx now holds {} polygons", sim.world.render(rs_onyx).assigned_cost().polygons);
 
     println!("\nfull event trace:\n{}", sim.world.trace.render());
 }

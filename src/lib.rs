@@ -8,3 +8,4 @@ pub use rave_net as net;
 pub use rave_render as render;
 pub use rave_scene as scene;
 pub use rave_sim as sim;
+pub use rave_store as store;

@@ -85,10 +85,7 @@ fn distributed_collaborative_session_converges() {
                 id,
                 parent: root,
                 name: name.into(),
-                kind: NodeKind::Mesh(Arc::new(build_with_budget(
-                    PaperModel::Elle,
-                    tris,
-                ))),
+                kind: NodeKind::Mesh(Arc::new(build_with_budget(PaperModel::Elle, tris))),
             },
         )
         .unwrap();
@@ -248,16 +245,11 @@ fn adaptive_compression_under_degrading_signal() {
             "codec never loses to raw at {signal}: {} vs {raw_time}",
             choice.total_time.as_secs()
         );
-        assert!(
-            choice.total_time.as_secs() >= last_time,
-            "weaker signal cannot be faster"
-        );
+        assert!(choice.total_time.as_secs() >= last_time, "weaker signal cannot be faster");
         last_time = choice.total_time.as_secs();
         // End-to-end decode correctness on the real frame.
-        let decoded = choice
-            .codec
-            .decode(&choice.codec.encode(&cur, Some(&prev)), Some(&prev))
-            .unwrap();
+        let decoded =
+            choice.codec.decode(&choice.codec.encode(&cur, Some(&prev)), Some(&prev)).unwrap();
         assert_eq!(decoded, cur, "lossless roundtrip at signal {signal}");
     }
 }
@@ -307,8 +299,8 @@ fn service_failure_recovery() {
     assert_eq!(sim.world.render(rs_b).assigned_cost().polygons, 2_000);
 
     // Collaboration continues against the survivor.
-    let who = join_session(&mut sim, ds, "survivor-user", Vec3::X, CameraParams::default())
-        .unwrap();
+    let who =
+        join_session(&mut sim, ds, "survivor-user", Vec3::X, CameraParams::default()).unwrap();
     sim.run();
     assert!(sim.world.render(rs_b).scene.contains(who.avatar));
 }
@@ -322,15 +314,10 @@ fn discovery_through_uddi_registry() {
     sim.world.spawn_data_service("adrenochrome", "Skull");
     sim.world.spawn_render_service("tower");
     sim.world.spawn_render_service("laptop");
-    let renders = sim
-        .world
-        .registry
-        .scan_access_points("RAVE", rave::grid::TechnicalModel::RenderService);
+    let renders =
+        sim.world.registry.scan_access_points("RAVE", rave::grid::TechnicalModel::RenderService);
     assert_eq!(renders.len(), 2);
-    let datas = sim
-        .world
-        .registry
-        .find_services("RAVE", rave::grid::TechnicalModel::DataService);
+    let datas = sim.world.registry.find_services("RAVE", rave::grid::TechnicalModel::DataService);
     assert_eq!(datas.len(), 1);
     assert!(datas[0].wsdl.conforms());
     // The Fig 4 tree renders with both machines.

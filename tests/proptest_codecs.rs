@@ -21,9 +21,9 @@ fn rgb_frame() -> impl Strategy<Value = Vec<u8>> {
         };
         (0..px * 3)
             .map(|i| match mode {
-                0 => 37,                        // flat
-                1 => ((i / 30) % 251) as u8,    // gradient bands
-                _ => (next() >> 32) as u8,      // noise
+                0 => 37,                     // flat
+                1 => ((i / 30) % 251) as u8, // gradient bands
+                _ => (next() >> 32) as u8,   // noise
             })
             .collect()
     })

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 use rave::math::{Quat, Vec3};
-use rave::scene::{
-    AuditTrail, NodeId, NodeKind, SceneTree, SceneUpdate, StampedUpdate, Transform,
-};
+use rave::scene::{AuditTrail, NodeId, NodeKind, SceneTree, SceneUpdate, StampedUpdate, Transform};
 
 /// A randomly generated (valid-by-construction) update against the ids a
 /// tree could plausibly hold.
@@ -19,10 +17,8 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<usize>(), "[a-z]{1,8}").prop_map(|(parent_pick, name)| Op::Add {
-            parent_pick,
-            name
-        }),
+        (any::<usize>(), "[a-z]{1,8}")
+            .prop_map(|(parent_pick, name)| Op::Add { parent_pick, name }),
         any::<usize>().prop_map(|pick| Op::Remove { pick }),
         (any::<usize>(), [-10.0f32..10.0, -10.0..10.0, -10.0..10.0])
             .prop_map(|(pick, t)| Op::Move { pick, t }),
@@ -38,12 +34,7 @@ fn materialize(tree: &mut SceneTree, op: &Op) -> Option<SceneUpdate> {
         Op::Add { parent_pick, name } => {
             let parent = nodes[parent_pick % nodes.len()];
             let id = tree.allocate_id();
-            Some(SceneUpdate::AddNode {
-                id,
-                parent,
-                name: name.clone(),
-                kind: NodeKind::Group,
-            })
+            Some(SceneUpdate::AddNode { id, parent, name: name.clone(), kind: NodeKind::Group })
         }
         Op::Remove { pick } => {
             // Never remove the root.
@@ -123,7 +114,7 @@ proptest! {
                 trail.record(
                     applied.len() as f64,
                     StampedUpdate { seq, origin: "p".into(), update: update.clone() },
-                );
+                ).unwrap();
                 applied.push(update);
             }
         }
@@ -151,7 +142,7 @@ proptest! {
             if let Some(update) = materialize(&mut tree, op) {
                 update.apply(&mut tree).unwrap();
                 seq += 1;
-                trail.record(i as f64, StampedUpdate { seq, origin: "p".into(), update });
+                trail.record(i as f64, StampedUpdate { seq, origin: "p".into(), update }).unwrap();
             }
         }
         let mut buf = Vec::new();

@@ -1,0 +1,247 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro and builder surface the workspace's benches use,
+//! backed by a plain wall-clock timing loop: each benchmark warms up
+//! once, then runs up to `sample_size` samples (time-boxed so `cargo
+//! bench` stays fast) and reports the mean per-iteration time. No
+//! statistical analysis, HTML reports, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark time box so a full bench binary finishes in seconds.
+const SAMPLE_TIME_BOX: Duration = Duration::from_millis(250);
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+}
+
+/// A benchmark label with an attached parameter, e.g. `encode/rle`.
+pub struct BenchmarkId {
+    param: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        Self { param: p.to_string() }
+    }
+
+    pub fn new(name: impl std::fmt::Display, p: impl std::fmt::Display) -> Self {
+        Self { param: format!("{name}/{p}") }
+    }
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Real criterion finalizes reports here; nothing to do.
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        run_bench(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.param);
+        run_bench(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; records how long the measured routine
+/// ran and for how many iterations.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(out);
+    }
+
+    pub fn iter_batched<I, T, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> T,
+    {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(out);
+    }
+
+    pub fn iter_batched_ref<I, T, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> T,
+    {
+        let mut input = setup();
+        let start = Instant::now();
+        let out = routine(&mut input);
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(out);
+    }
+}
+
+fn run_bench<F>(label: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up / first sample (also primes caches and lazy statics).
+    let box_start = Instant::now();
+    let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    for _ in 1..sample_size.max(2) {
+        if box_start.elapsed() > SAMPLE_TIME_BOX {
+            break;
+        }
+        f(&mut b);
+    }
+    let iters = b.iters.max(1);
+    let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!("  {:>10.1} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  {:>10.1} elem/s", n as f64 / per_iter)
+        }
+        _ => String::new(),
+    };
+    println!("bench {label:<48} {:>12.0} ns/iter ({} samples){rate}", per_iter * 1e9, iters);
+}
+
+/// `criterion_group! { name = benches; config = ...; targets = a, b }`
+/// declares a function running every target against the shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                {
+                    let mut c: $crate::Criterion = $config;
+                    $target(&mut c);
+                    c.final_summary();
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+            });
+        });
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn group_with_input_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(64));
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &41u32, |b, &x| {
+            b.iter(|| x + 1);
+        });
+        g.finish();
+    }
+}

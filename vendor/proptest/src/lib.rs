@@ -1,0 +1,575 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the `proptest!` macro surface and the strategy combinators
+//! this workspace's property tests use, backed by a deterministic
+//! SplitMix64 generator. Differences from the real crate: no shrinking
+//! (a failing case panics with the assertion message directly) and no
+//! persisted failure seeds — every run replays the same fixed seed
+//! sequence, so failures are reproducible by construction.
+
+use std::ops::Range;
+
+// ---- deterministic RNG -------------------------------------------------
+
+/// SplitMix64: tiny, fast, and plenty uniform for test-input generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn seeded(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---- test runner -------------------------------------------------------
+
+/// Mirror of proptest's config; only `cases` matters here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A rejected/failed case. With no shrinking, assertions panic directly;
+/// this type exists so `prop_assume!`-style early returns type-check.
+#[derive(Debug)]
+pub struct TestCaseError {
+    pub msg: String,
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Run `cases` iterations of `f` with a deterministic seed sequence.
+pub fn run_cases<F>(config: ProptestConfig, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    for case in 0..config.cases {
+        let mut rng = TestRng::seeded(
+            0xC0FF_EE00_D15E_A5E5 ^ (case as u64).wrapping_mul(0x1234_5678_9ABC_DEF1),
+        );
+        if let Err(e) = f(&mut rng) {
+            panic!("property failed on case {case}: {e}");
+        }
+    }
+}
+
+// ---- strategies --------------------------------------------------------
+
+/// A generator of values of type `Value`. Object-safe so `prop_oneof!`
+/// can mix differently-typed strategy arms behind `Box<dyn Strategy>`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f, reason }
+    }
+
+    fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// `.prop_map` combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `.prop_filter` combinator: rejection-samples, panicking if the
+/// predicate is too restrictive (real proptest gives up similarly).
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates: {}", self.reason);
+    }
+}
+
+/// Always yields a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed arms (the `prop_oneof!` backend).
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+// Integer ranges.
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// Float ranges.
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as f64;
+                (self.start as f64 + rng.unit_f64() * span) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+// Tuples of strategies.
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident : $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+// Arrays of strategies → arrays of values.
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|i| self[i].generate(rng))
+    }
+}
+
+/// String strategies from a regex-like pattern. Supports the subset the
+/// tests use: literal characters, `[a-z]`-style classes (with ranges and
+/// plain members), and `{m}`/`{m,n}` repetition.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom: a character class or a literal.
+        let atom: Vec<char> = if chars[i] == '[' {
+            let close =
+                chars[i..].iter().position(|&c| c == ']').expect("unclosed [ in pattern") + i;
+            let mut members = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                    members.extend((lo..=hi).filter_map(char::from_u32));
+                    j += 3;
+                } else {
+                    members.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            members
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        // Parse an optional {m} / {m,n} quantifier.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close =
+                chars[i..].iter().position(|&c| c == '}').expect("unclosed { in pattern") + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().expect("bad {m,n}"),
+                    n.trim().parse::<usize>().expect("bad {m,n}"),
+                ),
+                None => {
+                    let m = body.trim().parse::<usize>().expect("bad {m}");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..count {
+            let pick = atom[rng.below(atom.len() as u64) as usize];
+            out.push(pick);
+        }
+    }
+    out
+}
+
+// ---- any / Arbitrary ---------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+// ---- collections -------------------------------------------------------
+
+/// Element-count specification for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { lo: r.start, hi: r.end }
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy for a `Vec` of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---- macros ------------------------------------------------------------
+
+/// The `proptest!` block: each contained `fn` becomes a `#[test]` (the
+/// attribute is written at the call site and passed through) that runs
+/// its body over `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases($cfg, |__proptest_rng| {
+                $crate::__proptest_bind!(__proptest_rng; $($params)*);
+                let __body_result: $crate::TestCaseResult = (|| -> $crate::TestCaseResult {
+                    $body
+                    Ok(())
+                })();
+                __body_result
+            });
+        }
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $pat:pat_param in $strat:expr) => {
+        let $pat = $crate::Strategy::generate(&($strat), $rng);
+    };
+    ($rng:ident; $pat:pat_param in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary($rng);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary($rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// With no shrinking, a failed property assertion just panics — the
+/// deterministic seed makes the failure reproducible.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+/// Uniform choice among strategy arms yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let __arms: Vec<Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(Box::new($strat)),+];
+        $crate::Union::new(__arms)
+    }};
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+
+    /// Alias module so `prop::collection::vec(...)` resolves as it does
+    /// with the real crate's prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::seeded(7);
+        for _ in 0..1000 {
+            let v = crate::Strategy::generate(&(10u32..20), &mut rng);
+            assert!((10..20).contains(&v));
+            let f = crate::Strategy::generate(&(-2.0f32..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn pattern_strategy_matches_class() {
+        let mut rng = crate::TestRng::seeded(42);
+        for _ in 0..100 {
+            let s = crate::Strategy::generate(&"[a-z]{1,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_binds_mixed_params(
+            xs in prop::collection::vec(0u32..10, 1..5),
+            flag in any::<bool>(),
+            pick: usize,
+        ) {
+            prop_assert!(xs.len() < 5);
+            prop_assume!(flag || !flag);
+            let _ = pick;
+            prop_assert_eq!(xs.len(), xs.iter().count());
+        }
+    }
+}

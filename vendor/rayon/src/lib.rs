@@ -1,0 +1,32 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Exposes `into_par_iter()` with rayon's API shape but sequential
+//! execution: the workspace's parallel call sites compile and produce
+//! identical results, just without the thread pool. Determinism is a
+//! feature here — simulation tests stay reproducible.
+
+pub mod prelude {
+    pub use super::IntoParallelIterator;
+}
+
+/// Blanket "parallel" conversion: any `IntoIterator` gains
+/// `into_par_iter()`, returning its ordinary sequential iterator (which
+/// already has `map`/`filter`/`collect`/...).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_sequential() {
+        let squares: Vec<usize> = (0..10usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (0..10usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+}

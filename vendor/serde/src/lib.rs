@@ -1,0 +1,488 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serde stack. Instead of real serde's
+//! `Serializer`/`Deserializer` visitor machinery, this crate uses a small
+//! self-describing [`Value`] model: `Serialize` converts into a `Value`,
+//! `Deserialize` converts back out of one. `serde_json` (also vendored)
+//! prints and parses that model as JSON with the same external shape real
+//! serde_json produces for the derives this workspace uses.
+//!
+//! The public surface is intentionally tiny: the two traits, the derive
+//! re-exports, and a few helpers the derive macro expands against.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// The self-describing data model every serializable type round-trips
+/// through. Numbers keep their integer/float distinction so `u64`
+/// sequence numbers survive exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Ordered key/value pairs (insertion order preserved — maps to a JSON
+    /// object).
+    Map(Vec<(String, Value)>),
+}
+
+/// Convert into the [`Value`] model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Convert out of the [`Value`] model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// A deserialization failure: which type rejected which shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    pub fn type_mismatch(expected: &str, found: &Value) -> Self {
+        Self::new(format!("expected {expected}, found {}", value_kind(found)))
+    }
+
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        Self::new(format!("unknown variant `{variant}` for {ty}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+fn value_kind(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::I64(_) | Value::U64(_) => "integer",
+        Value::F64(_) => "float",
+        Value::Str(_) => "string",
+        Value::Seq(_) => "sequence",
+        Value::Map(_) => "map",
+    }
+}
+
+// ---- helpers the derive macro expands against --------------------------
+
+/// Expect a map value (derived named-field structs).
+pub fn expect_map<'v>(v: &'v Value, ty: &str) -> Result<&'v [(String, Value)], DeError> {
+    match v {
+        Value::Map(m) => Ok(m),
+        other => Err(DeError::type_mismatch(ty, other)),
+    }
+}
+
+/// Expect a sequence of exactly `len` values (derived tuple shapes).
+pub fn expect_seq<'v>(v: &'v Value, len: usize, ty: &str) -> Result<&'v [Value], DeError> {
+    match v {
+        Value::Seq(s) if s.len() == len => Ok(s),
+        Value::Seq(s) => {
+            Err(DeError::new(format!("expected {len} elements for {ty}, found {}", s.len())))
+        }
+        other => Err(DeError::type_mismatch(ty, other)),
+    }
+}
+
+/// Pull a named field out of a map. A missing field deserializes from
+/// `Null`, so `Option` fields tolerate omission.
+pub fn de_field<T: Deserialize>(
+    m: &[(String, Value)],
+    field: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    let v = m.iter().find(|(k, _)| k == field).map(|(_, v)| v).unwrap_or(&Value::Null);
+    T::from_value(v).map_err(|e| DeError::new(format!("{ty}.{field}: {e}")))
+}
+
+// ---- primitive impls ---------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::type_mismatch("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    other => return Err(DeError::type_mismatch(stringify!($t), other)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::new(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| DeError::new(format!("{n} out of range")))?,
+                    Value::F64(f) if f.fract() == 0.0 => *f as i64,
+                    other => return Err(DeError::type_mismatch(stringify!($t), other)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::new(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::F64(f) => Ok(*f as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    // Real serde_json prints non-finite floats as null;
+                    // accept that back as NaN.
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::type_mismatch(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::type_mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+/// `&'static str` fields (machine profile names and the like) round-trip
+/// by leaking the deserialized string — acceptable for the small,
+/// rarely-deserialized config structs that use them.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::type_mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::type_mismatch("char", other)),
+        }
+    }
+}
+
+// ---- container impls ---------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(s) => s.iter().map(T::from_value).collect(),
+            other => Err(DeError::type_mismatch("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::new(format!("expected {N} elements, found {n}")))
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(s) => s.iter().map(T::from_value).collect(),
+            other => Err(DeError::type_mismatch("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize + Eq + std::hash::Hash> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(s) => s.iter().map(T::from_value).collect(),
+            other => Err(DeError::type_mismatch("sequence", other)),
+        }
+    }
+}
+
+/// Maps serialize as a sequence of `[key, value]` pairs: lossless for any
+/// key type (real serde_json restricts object keys to strings; nothing in
+/// this workspace depends on that shape).
+macro_rules! impl_map {
+    ($name:ident, $($bound:tt)*) => {
+        impl<K: Serialize + $($bound)*, V: Serialize> Serialize for $name<K, V> {
+            fn to_value(&self) -> Value {
+                Value::Seq(
+                    self.iter()
+                        .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                        .collect(),
+                )
+            }
+        }
+        impl<K: Deserialize + $($bound)*, V: Deserialize> Deserialize for $name<K, V> {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Seq(s) => s
+                        .iter()
+                        .map(|pair| match pair {
+                            Value::Seq(kv) if kv.len() == 2 => {
+                                Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+                            }
+                            other => Err(DeError::type_mismatch("[key, value] pair", other)),
+                        })
+                        .collect(),
+                    other => Err(DeError::type_mismatch("map", other)),
+                }
+            }
+        }
+    };
+}
+
+impl_map!(BTreeMap, Ord);
+impl_map!(HashMap, Eq + std::hash::Hash);
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $i; 1 })+;
+                let s = expect_seq(v, LEN, "tuple")?;
+                Ok(($($t::from_value(&s[$i])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+macro_rules! impl_smart_ptr {
+    ($($ptr:ident :: $ctor:ident),*) => {$(
+        impl<T: Serialize + ?Sized> Serialize for $ptr<T> {
+            fn to_value(&self) -> Value {
+                (**self).to_value()
+            }
+        }
+        impl<T: Deserialize> Deserialize for $ptr<T> {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                Ok($ptr::$ctor(T::from_value(v)?))
+            }
+        }
+    )*};
+}
+
+impl_smart_ptr!(Arc::new, Rc::new, Box::new);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(DeError::type_mismatch("null", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn option_and_containers_roundtrip() {
+        let v: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&v.to_value()).unwrap(), None);
+        let xs = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&xs.to_value()).unwrap(), xs);
+        let mut m = BTreeMap::new();
+        m.insert(1u64, "a".to_string());
+        assert_eq!(BTreeMap::<u64, String>::from_value(&m.to_value()).unwrap(), m);
+        let arr = [1.0f32, 2.0, 3.0];
+        assert_eq!(<[f32; 3]>::from_value(&arr.to_value()).unwrap(), arr);
+    }
+
+    #[test]
+    fn out_of_range_integers_rejected() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+    }
+}

@@ -1,0 +1,388 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is unavailable in this build environment,
+//! so the workspace vendors a minimal serde stack (see `vendor/serde`).
+//! This proc-macro crate implements `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` against that stack's value model: derived
+//! impls convert to/from `serde::Value`, mirroring real serde's external
+//! JSON shape (structs → objects, unit variants → strings, data variants
+//! → single-key objects, newtype structs → transparent).
+//!
+//! Supported shapes are exactly what this workspace uses: non-generic
+//! structs (named, tuple, unit) and enums (unit, tuple, struct variants).
+//! Anything else produces a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `struct`/`enum` item, just deep enough to generate impls.
+struct Item {
+    name: String,
+    body: ItemBody,
+}
+
+enum ItemBody {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("compile_error tokens")
+}
+
+/// Skip a run of outer attributes (`#[...]`), e.g. doc comments.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Split a token slice on top-level commas. Angle brackets are plain
+/// punctuation in a token stream (only `()`/`[]`/`{}` nest as groups), so
+/// generic arguments like `BTreeMap<NodeId, Node>` need explicit `<`/`>`
+/// depth tracking to keep their commas from splitting a field.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Field names of a named-field group: each comma-separated chunk is
+/// `attrs vis name : type...`.
+fn named_field_names(group: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for chunk in split_commas(group) {
+        let mut i = skip_attrs(&chunk, 0);
+        i = skip_vis(&chunk, i);
+        match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("vendored serde_derive does not support generic type `{name}`"));
+        }
+    }
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                ItemBody::NamedStruct(named_field_names(&inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                ItemBody::TupleStruct(split_commas(&inner).len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemBody::UnitStruct,
+            other => return Err(format!("unsupported struct body {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut variants = Vec::new();
+                for chunk in split_commas(&inner) {
+                    let mut j = skip_attrs(&chunk, 0);
+                    let vname = match chunk.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => return Err(format!("expected variant name, found {other:?}")),
+                    };
+                    j += 1;
+                    let fields = match chunk.get(j) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            VariantFields::Named(named_field_names(&inner)?)
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            VariantFields::Tuple(split_commas(&inner).len())
+                        }
+                        // Unit variant, possibly with a `= discriminant`.
+                        _ => VariantFields::Unit,
+                    };
+                    variants.push(Variant { name: vname, fields });
+                }
+                ItemBody::Enum(variants)
+            }
+            other => return Err(format!("unsupported enum body {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Item { name, body })
+}
+
+// ---- Serialize ---------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        ItemBody::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        ItemBody::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemBody::TupleStruct(n) => {
+            let entries: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Serialize::to_value(&self.{k})")).collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        ItemBody::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemBody::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from({vn:?}))"
+                        ),
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from({vn:?}), \
+                             ::serde::Serialize::to_value(f0))])"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Serialize::to_value(f{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from({vn:?}), \
+                                 ::serde::Value::Seq(::std::vec![{}]))])",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => \
+                                 ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from({vn:?}), \
+                                 ::serde::Value::Map(::std::vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+// ---- Deserialize -------------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        ItemBody::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(__m, {f:?}, {name:?})?"))
+                .collect();
+            format!(
+                "let __m = ::serde::expect_map(__v, {name:?})?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        ItemBody::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        ItemBody::TupleStruct(n) => {
+            let inits: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?")).collect();
+            format!(
+                "let __s = ::serde::expect_seq(__v, {n}, {name:?})?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        ItemBody::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        ItemBody::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(1) => Some(format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__payload)?)),"
+                        )),
+                        VariantFields::Tuple(n) => Some(format!(
+                            "{vn:?} => {{\n\
+                             let __s = ::serde::expect_seq(__payload, {n}, {name:?})?;\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n\
+                             }},",
+                            (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )),
+                        VariantFields::Named(fields) => Some(format!(
+                            "{vn:?} => {{\n\
+                             let __m = ::serde::expect_map(__payload, {name:?})?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                             }},",
+                            fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::de_field(__m, {f:?}, {name:?})?"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit}\n\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(__other, {name:?})),\n\
+                 }},\n\
+                 ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __payload) = &__m[0];\n\
+                 let _ = __payload;\n\
+                 match __k.as_str() {{\n\
+                 {data}\n\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(__other, {name:?})),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::type_mismatch({name:?}, __other)),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated Serialize impl"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().expect("generated Deserialize impl"),
+        Err(e) => compile_error(&e),
+    }
+}
