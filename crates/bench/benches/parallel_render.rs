@@ -1,0 +1,186 @@
+//! Parallel renderer head to head: the binned rayon engine versus the
+//! serial immediate-mode reference, on full 200x200 frames of the 5.5k-
+//! and 50k-triangle Galleon, at 1/2/4/8 rayon threads, plus the two
+//! band-parallel compositors. Emits `BENCH_render_parallel.json` at the
+//! repo root with the measured times, alongside the usual criterion
+//! lines. The headline claim — checked with an assert at the bottom —
+//! is a >= 2x full-frame speedup at 4 threads on the 50k scene versus
+//! the 1-thread serial baseline.
+
+use criterion::Criterion;
+use rave_math::Vec3;
+use rave_models::{build_with_budget, PaperModel};
+use rave_render::composite::{blend_volume_layers, depth_composite, VolumeLayer};
+use rave_render::{Framebuffer, Renderer};
+use rave_scene::{CameraParams, NodeKind, SceneTree};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+const FRAME: (u32, u32) = (200, 200);
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn staged(model: PaperModel, budget: u64) -> (SceneTree, CameraParams) {
+    let mesh = build_with_budget(model, budget);
+    let mut tree = SceneTree::new();
+    let root = tree.root();
+    tree.add_node(root, "m", NodeKind::Mesh(Arc::new(mesh))).unwrap();
+    let b = tree.world_bounds(root);
+    let cam = CameraParams::look_at(
+        b.center() + Vec3::new(0.0, 0.2 * b.radius(), 2.0 * b.radius()),
+        b.center(),
+        Vec3::Y,
+    );
+    (tree, cam)
+}
+
+/// Best-of-`n` wall time of `f`, in seconds.
+fn time_best<R>(n: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap()
+}
+
+/// `{"1": a, "2": b, ...}` from per-thread-count timings.
+fn json_by_threads(times: &[(usize, f64)]) -> String {
+    let fields: Vec<String> = times.iter().map(|(t, s)| format!("\"{t}\": {s:.6}")).collect();
+    format!("{{ {} }}", fields.join(", "))
+}
+
+fn synthetic_layers(width: u32, height: u32, n: usize) -> Vec<VolumeLayer> {
+    (0..n)
+        .map(|i| {
+            let color = (0..(width * height) as usize)
+                .map(|p| {
+                    let t = (p % 97) as f32 / 97.0;
+                    [t, 1.0 - t, 0.5, 0.25 + 0.1 * i as f32]
+                })
+                .collect();
+            VolumeLayer { color, view_distance: 10.0 - i as f32, width, height }
+        })
+        .collect()
+}
+
+fn main() {
+    let renderer = Renderer::default();
+    let (w, h) = FRAME;
+
+    // Criterion lines for the usual `cargo bench` readout (5.5k scene
+    // only; the JSON pass below covers both budgets).
+    let mut c = Criterion::default().sample_size(10);
+    {
+        let (tree, cam) = staged(PaperModel::Galleon, 5_500);
+        let mut fb = Framebuffer::new(w, h);
+        c.bench_function("render_reference_5500", |b| {
+            b.iter(|| {
+                renderer.render_reference(&tree, &cam, &mut fb);
+                std::hint::black_box(fb.get(100, 100));
+            })
+        });
+        for t in THREADS {
+            let p = pool(t);
+            c.bench_function(&format!("render_binned_5500_{t}t"), |b| {
+                b.iter(|| {
+                    p.install(|| renderer.render(&tree, &cam, &mut fb));
+                    std::hint::black_box(fb.get(100, 100));
+                })
+            });
+        }
+    }
+
+    // Headline numbers for BENCH_render_parallel.json: the binned image
+    // is checked bit-identical to the serial reference before any timing
+    // is trusted, then baseline and parallel runs are timed in
+    // *interleaved* rounds (min over 9) so background-load noise hits
+    // every configuration equally instead of whichever ran last.
+    let mut scene_json = Vec::new();
+    let mut speedup_4t_50k = 0.0;
+    for budget in [5_500u64, 50_000] {
+        let (tree, cam) = staged(PaperModel::Galleon, budget);
+        let mut reference = Framebuffer::new(w, h);
+        renderer.render_reference(&tree, &cam, &mut reference);
+        let pools: Vec<(usize, rayon::ThreadPool)> =
+            THREADS.iter().map(|&t| (t, pool(t))).collect();
+        let mut fb = Framebuffer::new(w, h);
+        for (t, p) in &pools {
+            p.install(|| renderer.render(&tree, &cam, &mut fb));
+            assert_eq!(
+                reference.diff_fraction(&fb, 0.0),
+                0.0,
+                "binned output differs from serial reference ({budget} tris, {t} threads)"
+            );
+        }
+        let mut baseline = f64::INFINITY;
+        let mut par: Vec<(usize, f64)> = THREADS.iter().map(|&t| (t, f64::INFINITY)).collect();
+        for _ in 0..9 {
+            let t0 = Instant::now();
+            std::hint::black_box(renderer.render_reference(&tree, &cam, &mut reference));
+            baseline = baseline.min(t0.elapsed().as_secs_f64());
+            for (i, (_, p)) in pools.iter().enumerate() {
+                let t0 = Instant::now();
+                std::hint::black_box(p.install(|| renderer.render(&tree, &cam, &mut fb)));
+                par[i].1 = par[i].1.min(t0.elapsed().as_secs_f64());
+            }
+        }
+        if budget == 50_000 {
+            let par4 = par.iter().find(|(t, _)| *t == 4).unwrap().1;
+            speedup_4t_50k = baseline / par4;
+        }
+        scene_json.push(format!(
+            "    {{ \"budget\": {budget}, \"baseline_serial_secs\": {baseline:.6}, \"parallel_secs\": {} }}",
+            json_by_threads(&par)
+        ));
+    }
+
+    // Band-parallel compositors, same thread sweep on 400x400 inputs.
+    let (tree, cam) = staged(PaperModel::Galleon, 5_500);
+    let mut a = Framebuffer::new(400, 400);
+    renderer.render(&tree, &cam, &mut a);
+    let b_buf = a.clone();
+    let mut depth = Vec::new();
+    let mut blend = Vec::new();
+    for t in THREADS {
+        let p = pool(t);
+        depth.push((
+            t,
+            time_best(5, || {
+                let mut dst = Framebuffer::new(400, 400);
+                p.install(|| depth_composite(&mut dst, &[&a, &b_buf]));
+                dst.get(0, 0)
+            }),
+        ));
+        let mut layers = synthetic_layers(400, 400, 4);
+        blend.push((
+            t,
+            time_best(5, || {
+                let mut dst = Framebuffer::new(400, 400);
+                p.install(|| blend_volume_layers(&mut dst, &mut layers));
+                dst.get(0, 0)
+            }),
+        ));
+    }
+
+    let out = format!(
+        "{{\n  \"bench\": \"parallel_render\",\n  \"frame\": \"{w}x{h}\",\n  \"threads\": [1, 2, 4, 8],\n  \"scenes\": [\n{}\n  ],\n  \"compositors\": {{\n    \"depth_composite_400x400_x2\": {},\n    \"blend_volume_layers_400x400_x4\": {}\n  }},\n  \"speedup_4t_50k\": {speedup_4t_50k:.2}\n}}\n",
+        scene_json.join(",\n"),
+        json_by_threads(&depth),
+        json_by_threads(&blend),
+    );
+    let dest = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_render_parallel.json");
+    std::fs::write(&dest, &out).unwrap();
+    println!("{out}");
+    println!("wrote {}", dest.display());
+    assert!(
+        speedup_4t_50k >= 2.0,
+        "binned engine at 4 threads should be >= 2x the serial reference \
+         on the 50k-triangle frame (got {speedup_4t_50k:.2}x)"
+    );
+}

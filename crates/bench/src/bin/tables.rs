@@ -20,6 +20,7 @@ const EXPERIMENTS: &[&str] = &[
     "fig5",
     "pda_ablation",
     "tile_latency",
+    "parallel_render",
     "ablations",
 ];
 
@@ -74,6 +75,9 @@ fn main() {
             "pda_ablation" => print!("{}", extras::render_pda(&extras::pda_ablation(&opts))),
             "tile_latency" => {
                 print!("{}", extras::render_tile_latency(&extras::tile_latency(&opts)))
+            }
+            "parallel_render" => {
+                print!("{}", extras::render_parallel_render(&extras::parallel_render(&opts)))
             }
             "ablations" => {
                 print!("{}", ablations::render_soap(&ablations::soap_vs_binary(&opts)));

@@ -17,6 +17,7 @@
 //! | Fig 5 (tile tearing) | [`figures::fig5`] |
 //! | §5.1 PDA import + bandwidth | [`extras::pda_ablation`] |
 //! | §5.5 tile-update latency | [`extras::tile_latency`] |
+//! | Parallel pipeline readout | [`extras::parallel_render`] |
 //! | Design-choice ablations | [`ablations`] |
 
 pub mod ablations;

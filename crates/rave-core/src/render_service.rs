@@ -137,9 +137,21 @@ impl RenderService {
         full_viewport: &Viewport,
         tile: &Viewport,
     ) -> Framebuffer {
+        self.rasterize_tile_with_stats(camera, full_viewport, tile).0
+    }
+
+    /// Like [`RenderService::rasterize_tile`] but also returns the render
+    /// statistics, whose [`rave_render::raster::RasterStats::cost_units`] is the
+    /// measured-cost signal for feedback tile planning.
+    pub fn rasterize_tile_with_stats(
+        &self,
+        camera: &CameraParams,
+        full_viewport: &Viewport,
+        tile: &Viewport,
+    ) -> (Framebuffer, rave_render::RenderStats) {
         let mut fb = Framebuffer::new(tile.width, tile.height);
-        self.renderer.render_tile(&self.scene, camera, full_viewport, tile, &mut fb);
-        fb
+        let stats = self.renderer.render_tile(&self.scene, camera, full_viewport, tile, &mut fb);
+        (fb, stats)
     }
 
     /// Record a frame completion for load tracking.

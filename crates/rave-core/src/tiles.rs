@@ -16,7 +16,7 @@ use rave_render::composite::stitch_tiles;
 use rave_render::{Framebuffer, OffscreenMode};
 use rave_scene::CameraParams;
 use rave_sim::SimTime;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A tile assignment: who renders which rectangle of the target image.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,26 +30,139 @@ impl TilePlan {
     }
 }
 
+/// Order helpers strongest-first, dropping those that can contribute
+/// nothing: zero advertised headroom, or beyond what the viewport can
+/// give a ≥1px strip (one column per participant is the floor).
+fn usable_helpers<'a>(
+    viewport: &Viewport,
+    helpers: &'a [CapacityReport],
+) -> Vec<&'a CapacityReport> {
+    let mut ordered: Vec<&CapacityReport> =
+        helpers.iter().filter(|r| r.headroom_weight() > 0).collect();
+    ordered.sort_by_key(|r| std::cmp::Reverse(r.headroom_weight()));
+    // The owner always keeps a strip, so at most `width - 1` helpers fit.
+    ordered.truncate(viewport.width.saturating_sub(1) as usize);
+    ordered
+}
+
 /// Split `viewport` into one tile per participant. The owner takes the
 /// first tile; helpers are ordered most-capacity-first so the largest
 /// remainder tiles go to the strongest assistants.
+///
+/// Degenerate inputs degrade to fewer (never zero-width) tiles: helpers
+/// advertising zero capacity are dropped, and a viewport narrower than
+/// the participant count keeps only the strongest helpers that can still
+/// get a ≥1px strip.
 pub fn plan_tiles(
     viewport: &Viewport,
     owner: RenderServiceId,
     helpers: &[CapacityReport],
 ) -> TilePlan {
-    let n = helpers.len() as u32 + 1;
+    let ordered = usable_helpers(viewport, helpers);
+    let n = ordered.len() as u32 + 1;
     // Vertical strips: exactly one tile per participant, covering every
     // pixel exactly once (Fig 5 shows precisely this side-by-side split).
     let cells = viewport.split_tiles(n, 1);
-    let mut ordered: Vec<&CapacityReport> = helpers.iter().collect();
-    ordered.sort_by_key(|r| std::cmp::Reverse(r.headroom_weight()));
     let mut tiles = Vec::with_capacity(n as usize);
     for (i, cell) in cells.into_iter().enumerate() {
         let svc = if i == 0 { owner } else { ordered[i - 1].service };
         tiles.push((cell, svc));
     }
     TilePlan { tiles }
+}
+
+/// Exponentially-weighted per-service render throughput, measured in
+/// [`rave_render::raster::RasterStats::cost_units`] per second. This is
+/// the §3.2.5 feedback loop closed: advertised capacity seeds the plan,
+/// but the split converges on what each service *actually* delivers.
+#[derive(Debug, Clone, Default)]
+pub struct TileCostTracker {
+    observed: BTreeMap<RenderServiceId, f64>,
+}
+
+impl TileCostTracker {
+    /// EWMA smoothing factor: new observations get this share.
+    pub const ALPHA: f64 = 0.3;
+
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one tile render: `cost_units` of work finished in
+    /// `seconds`. Non-positive durations are ignored (stale tiles cost
+    /// nothing and measure nothing).
+    pub fn record(&mut self, service: RenderServiceId, cost_units: u64, seconds: f64) {
+        if seconds <= 0.0 {
+            return;
+        }
+        let rate = cost_units as f64 / seconds;
+        match self.observed.entry(service) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(rate);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let v = e.get_mut();
+                *v = (1.0 - Self::ALPHA) * *v + Self::ALPHA * rate;
+            }
+        }
+    }
+
+    /// Smoothed throughput for a service, if it has ever been observed.
+    pub fn throughput(&self, service: RenderServiceId) -> Option<f64> {
+        self.observed.get(&service).copied()
+    }
+
+    pub fn observed_services(&self) -> usize {
+        self.observed.len()
+    }
+}
+
+/// Like [`plan_tiles`], but strip widths follow *measured* throughput
+/// from `tracker` where available: a helper that advertised a big GPU but
+/// delivers tiles slowly shrinks, a quietly fast one grows. Services
+/// never observed get the mean observed throughput (neutral weight);
+/// with no observations at all this is exactly [`plan_tiles`].
+pub fn plan_tiles_with_feedback(
+    viewport: &Viewport,
+    owner: RenderServiceId,
+    helpers: &[CapacityReport],
+    tracker: &TileCostTracker,
+) -> TilePlan {
+    let ordered = usable_helpers(viewport, helpers);
+    if tracker.observed_services() == 0 || viewport.width == 0 {
+        return plan_tiles(viewport, owner, helpers);
+    }
+    let participants: Vec<RenderServiceId> =
+        std::iter::once(owner).chain(ordered.iter().map(|r| r.service)).collect();
+    let known: Vec<f64> = participants.iter().filter_map(|&svc| tracker.throughput(svc)).collect();
+    let mean = known.iter().sum::<f64>() / known.len().max(1) as f64;
+    let max = known.iter().cloned().fold(mean, f64::max).max(1e-12);
+    // Integer weights normalized to the fastest observed service; the
+    // 1-unit floor keeps never-observed stragglers in the plan.
+    let weights: Vec<u64> = participants
+        .iter()
+        .map(|&svc| {
+            let rate = tracker.throughput(svc).unwrap_or(mean);
+            ((rate / max * 1000.0).round() as u64).max(1)
+        })
+        .collect();
+    let cells = viewport.split_columns_weighted(&weights);
+    TilePlan { tiles: cells.into_iter().zip(participants).collect() }
+}
+
+/// Measured cost of one tile in a distributed frame.
+#[derive(Debug, Clone, Copy)]
+pub struct TileCost {
+    pub service: RenderServiceId,
+    /// Work performed, in `RasterStats::cost_units` (measured from real
+    /// rasterization when images are produced, else the machine-model
+    /// proxy `pixels + 8·polygons`).
+    pub cost_units: u64,
+    /// Machine-model render seconds for the tile (excludes network).
+    pub render_seconds: f64,
+    /// False for stale tiles reused from a previous frame — they carry
+    /// no fresh measurement.
+    pub fresh: bool,
 }
 
 /// Result of one distributed tiled frame.
@@ -63,6 +176,32 @@ pub struct TiledFrameResult {
     pub image: Option<Framebuffer>,
     /// Whether any stale tile was used (tearing possible).
     pub used_stale_tile: bool,
+    /// Per-tile measured cost, parallel to the plan — the feedback signal
+    /// for [`TileCostTracker`].
+    pub tile_costs: Vec<TileCost>,
+}
+
+/// Feed one frame's measured tile costs into `tracker` and trace the
+/// updated picture. Stale tiles are skipped (nothing was rendered).
+pub fn record_tile_costs(
+    sim: &mut RaveSim,
+    result: &TiledFrameResult,
+    tracker: &mut TileCostTracker,
+) {
+    let mut detail = String::from("tile throughput:");
+    let mut any = false;
+    for tc in &result.tile_costs {
+        if !tc.fresh {
+            continue;
+        }
+        tracker.record(tc.service, tc.cost_units, tc.render_seconds);
+        any = true;
+        let rate = tracker.throughput(tc.service).unwrap_or(0.0);
+        detail.push_str(&format!(" {}={rate:.0}u/s", tc.service));
+    }
+    if any {
+        sim.world.trace.record(result.completed_at, TraceKind::TileCostFeedback, detail);
+    }
 }
 
 /// Render one frame of `client`'s session on `owner` under `plan`,
@@ -98,6 +237,7 @@ pub fn render_tiled_frame(
 
     let mut tile_arrivals = Vec::with_capacity(plan.tiles.len());
     let mut images: Vec<Option<Framebuffer>> = Vec::with_capacity(plan.tiles.len());
+    let mut tile_costs = Vec::with_capacity(plan.tiles.len());
     let mut used_stale = false;
 
     for (i, (tile_vp, svc)) in plan.tiles.iter().enumerate() {
@@ -108,11 +248,24 @@ pub fn render_tiled_frame(
             let cost = sim.world.render(owner).machine.onscreen_cost(polys, pixels);
             let done = t0 + SimTime::from_secs(cost.total());
             tile_arrivals.push(done);
-            images.push(
-                produce_images.then(|| {
-                    sim.world.render(owner).rasterize_tile(&camera, &full_viewport, tile_vp)
-                }),
-            );
+            let (img, units) = if produce_images {
+                let (img, stats) = sim.world.render(owner).rasterize_tile_with_stats(
+                    &camera,
+                    &full_viewport,
+                    tile_vp,
+                );
+                (Some(img), stats.raster.cost_units())
+            } else {
+                // Machine-model proxy when pixel work is skipped.
+                (None, pixels + 8 * polys)
+            };
+            images.push(img);
+            tile_costs.push(TileCost {
+                service: owner,
+                cost_units: units,
+                render_seconds: cost.total(),
+                fresh: true,
+            });
             continue;
         }
         let helper_host = sim.world.render(*svc).host.clone();
@@ -127,6 +280,12 @@ pub fn render_tiled_frame(
             images.push(produce_images.then(|| {
                 sim.world.render(*svc).rasterize_tile(&stale_camera, &full_viewport, tile_vp)
             }));
+            tile_costs.push(TileCost {
+                service: *svc,
+                cost_units: 0,
+                render_seconds: 0.0,
+                fresh: false,
+            });
             continue;
         }
         // Fresh helper tile: request → off-screen render → tile transfer.
@@ -151,10 +310,20 @@ pub fn render_tiled_frame(
         let rendered = req_arrives + SimTime::from_secs(cost.total());
         let arrival = sim.world.send_bytes(rendered, &helper_host, &owner_host, pixels * 3);
         tile_arrivals.push(arrival);
-        images.push(
-            produce_images
-                .then(|| sim.world.render(*svc).rasterize_tile(&camera, &full_viewport, tile_vp)),
-        );
+        let (img, units) = if produce_images {
+            let (img, stats) =
+                sim.world.render(*svc).rasterize_tile_with_stats(&camera, &full_viewport, tile_vp);
+            (Some(img), stats.raster.cost_units())
+        } else {
+            (None, pixels + 8 * polys)
+        };
+        images.push(img);
+        tile_costs.push(TileCost {
+            service: *svc,
+            cost_units: units,
+            render_seconds: cost.total(),
+            fresh: true,
+        });
         let _ = i;
     }
 
@@ -180,7 +349,7 @@ pub fn render_tiled_frame(
             plan.tiles.len()
         ),
     );
-    TiledFrameResult { completed_at, tile_arrivals, image, used_stale_tile: used_stale }
+    TiledFrameResult { completed_at, tile_arrivals, image, used_stale_tile: used_stale, tile_costs }
 }
 
 #[cfg(test)]
@@ -229,6 +398,88 @@ mod tests {
         let plan = plan_tiles(&vp, RenderServiceId(1), &[]);
         assert_eq!(plan.tiles.len(), 1);
         assert_eq!(plan.tiles[0].0, vp);
+    }
+
+    fn assert_no_degenerate_tiles(vp: &Viewport, plan: &TilePlan) {
+        let total: usize = plan.tiles.iter().map(|(t, _)| t.pixel_count()).sum();
+        assert_eq!(total, vp.pixel_count(), "plan covers viewport");
+        assert!(plan.tiles.iter().all(|(t, _)| t.width > 0), "no zero-width tiles");
+    }
+
+    #[test]
+    fn zero_capacity_helpers_are_dropped() {
+        let vp = Viewport::new(300, 200);
+        let plan = plan_tiles(
+            &vp,
+            RenderServiceId(1),
+            &[report(RenderServiceId(2), 0), report(RenderServiceId(3), 50)],
+        );
+        // The dead helper gets no tile; the live one still assists.
+        assert_eq!(plan.tiles.len(), 2);
+        assert_eq!(plan.tiles[1].1, RenderServiceId(3));
+        assert_no_degenerate_tiles(&vp, &plan);
+
+        let all_dead = plan_tiles(
+            &vp,
+            RenderServiceId(1),
+            &[report(RenderServiceId(2), 0), report(RenderServiceId(3), 0)],
+        );
+        assert_eq!(all_dead.tiles.len(), 1, "owner renders alone");
+        assert_no_degenerate_tiles(&vp, &all_dead);
+    }
+
+    #[test]
+    fn narrow_viewport_keeps_strongest_helpers_only() {
+        // 3 pixels wide, 5 participants: owner + 2 strongest helpers fit.
+        let vp = Viewport::new(3, 64);
+        let helpers: Vec<_> = (2..=5).map(|i| report(RenderServiceId(i), i as u64 * 10)).collect();
+        let plan = plan_tiles(&vp, RenderServiceId(1), &helpers);
+        assert_eq!(plan.tiles.len(), 3);
+        assert_eq!(plan.tiles[0].1, RenderServiceId(1));
+        assert_eq!(plan.tiles[1].1, RenderServiceId(5));
+        assert_eq!(plan.tiles[2].1, RenderServiceId(4));
+        assert_no_degenerate_tiles(&vp, &plan);
+    }
+
+    #[test]
+    fn feedback_plan_reweights_toward_fast_services() {
+        let vp = Viewport::new(400, 300);
+        let owner = RenderServiceId(1);
+        let helpers = [report(RenderServiceId(2), 100), report(RenderServiceId(3), 100)];
+
+        let mut tracker = TileCostTracker::new();
+        // No observations: identical to the capacity plan.
+        let cold = plan_tiles_with_feedback(&vp, owner, &helpers, &tracker);
+        assert_eq!(cold, plan_tiles(&vp, owner, &helpers));
+
+        // Helper 3 demonstrably renders 4x faster than everyone else.
+        tracker.record(owner, 10_000, 1.0);
+        tracker.record(RenderServiceId(2), 10_000, 1.0);
+        tracker.record(RenderServiceId(3), 40_000, 1.0);
+        let warm = plan_tiles_with_feedback(&vp, owner, &helpers, &tracker);
+        assert_no_degenerate_tiles(&vp, &warm);
+        let width_of = |plan: &TilePlan, svc: RenderServiceId| {
+            plan.tiles.iter().find(|(_, s)| *s == svc).map(|(t, _)| t.width).unwrap()
+        };
+        assert!(
+            width_of(&warm, RenderServiceId(3)) > 2 * width_of(&warm, RenderServiceId(2)),
+            "observed-fast helper gets a much wider strip: {warm:?}"
+        );
+    }
+
+    #[test]
+    fn tracker_ewma_converges_and_ignores_zero_durations() {
+        let mut tracker = TileCostTracker::new();
+        let svc = RenderServiceId(7);
+        tracker.record(svc, 1000, 0.0); // stale tile: no measurement
+        assert!(tracker.throughput(svc).is_none());
+        tracker.record(svc, 1000, 1.0);
+        assert_eq!(tracker.throughput(svc).unwrap(), 1000.0);
+        for _ in 0..40 {
+            tracker.record(svc, 4000, 1.0);
+        }
+        let rate = tracker.throughput(svc).unwrap();
+        assert!((rate - 4000.0).abs() < 10.0, "EWMA converged: {rate}");
     }
 
     fn tiled_world() -> (RaveSim, RenderServiceId, RenderServiceId, ClientId) {
@@ -314,5 +565,29 @@ mod tests {
         // Helper tile arrives after the local one (network round trip).
         assert!(result.tile_arrivals[1] > result.tile_arrivals[0]);
         assert_eq!(result.completed_at, result.tile_arrivals[1]);
+    }
+
+    #[test]
+    fn frame_costs_feed_tracker_and_trace() {
+        let (mut sim, owner, helper, client) = tiled_world();
+        let cam = CameraParams::look_at(Vec3::new(0.0, 0.0, 4.0), Vec3::ZERO, Vec3::Y);
+        let plan = plan_tiles(&Viewport::new(64, 64), owner, &[report(helper, 100)]);
+        let result = render_tiled_frame(&mut sim, owner, client, &plan, cam, &BTreeSet::new());
+        assert_eq!(result.tile_costs.len(), 2);
+        assert!(result.tile_costs.iter().all(|tc| tc.fresh && tc.render_seconds > 0.0));
+
+        let mut tracker = TileCostTracker::new();
+        record_tile_costs(&mut sim, &result, &mut tracker);
+        assert!(tracker.throughput(owner).is_some());
+        assert!(tracker.throughput(helper).is_some());
+        assert_eq!(sim.world.trace.count(TraceKind::TileCostFeedback), 1);
+
+        // A stalled helper's stale tile carries no fresh measurement.
+        let stalled: BTreeSet<_> = [helper].into_iter().collect();
+        let r2 = render_tiled_frame(&mut sim, owner, client, &plan, cam, &stalled);
+        assert!(!r2.tile_costs[1].fresh);
+        let before = tracker.throughput(helper).unwrap();
+        record_tile_costs(&mut sim, &r2, &mut tracker);
+        assert_eq!(tracker.throughput(helper).unwrap(), before);
     }
 }

@@ -21,6 +21,8 @@ pub enum TraceKind {
     Checkpoint,
     /// A data service was rebuilt from its durable store after a crash.
     Recovery,
+    /// Measured per-tile render cost fed back into the tile planner.
+    TileCostFeedback,
 }
 
 /// One trace record.

@@ -50,6 +50,54 @@ impl Viewport {
         )
     }
 
+    /// Split this viewport into one vertical strip per weight, strip
+    /// widths proportional to the weights (largest-remainder rounding)
+    /// with a 1-pixel floor per strip. Strips cover every pixel exactly
+    /// once, in order. A zero total weight falls back to equal widths.
+    ///
+    /// Panics if `weights` is empty or has more entries than the viewport
+    /// has pixel columns — callers must drop participants first (the tile
+    /// planner does).
+    pub fn split_columns_weighted(&self, weights: &[u64]) -> Vec<Viewport> {
+        let n = weights.len();
+        assert!(n > 0, "weighted split needs at least one strip");
+        assert!(
+            n as u64 <= self.width as u64,
+            "more strips ({n}) than pixel columns ({})",
+            self.width
+        );
+        let total: u64 = weights.iter().sum();
+        let ones = vec![1u64; n];
+        let weights = if total == 0 { &ones[..] } else { weights };
+        let total: u64 = weights.iter().sum();
+
+        // Reserve the 1px floor for every strip, then hand out the spare
+        // columns by largest remainder (ties broken by index, so the
+        // result is deterministic).
+        let spare = self.width as u64 - n as u64;
+        let mut widths: Vec<u64> = vec![1; n];
+        let mut remainders: Vec<(usize, u64)> = Vec::with_capacity(n);
+        let mut handed = 0u64;
+        for (i, &w) in weights.iter().enumerate() {
+            let exact = spare * w;
+            widths[i] += exact / total;
+            handed += exact / total;
+            remainders.push((i, exact % total));
+        }
+        remainders.sort_by_key(|&(i, rem)| (std::cmp::Reverse(rem), i));
+        for &(i, _) in remainders.iter().take((spare - handed) as usize) {
+            widths[i] += 1;
+        }
+
+        let mut strips = Vec::with_capacity(n);
+        let mut x = self.x;
+        for w in widths {
+            strips.push(Viewport::with_origin(x, self.y, w as u32, self.height));
+            x += w as u32;
+        }
+        strips
+    }
+
     /// Split this viewport into a `cols × rows` grid of tiles, row-major.
     /// Tile edges cover every pixel exactly once even when the dimensions
     /// do not divide evenly (the last row/column absorbs the remainder) —
@@ -131,5 +179,57 @@ mod tests {
     #[test]
     fn aspect_ratio() {
         assert_eq!(Viewport::new(200, 100).aspect(), 2.0);
+    }
+
+    fn assert_partition(vp: &Viewport, strips: &[Viewport]) {
+        let mut x = vp.x;
+        for s in strips {
+            assert_eq!(s.x, x, "contiguous strips");
+            assert_eq!((s.y, s.height), (vp.y, vp.height));
+            assert!(s.width >= 1, "no zero-width strips");
+            x += s.width;
+        }
+        assert_eq!(x, vp.x + vp.width, "strips cover the full width");
+    }
+
+    #[test]
+    fn weighted_split_tracks_weights() {
+        let vp = Viewport::new(100, 40);
+        let strips = vp.split_columns_weighted(&[3, 1]);
+        assert_partition(&vp, &strips);
+        assert_eq!(strips[0].width, 75);
+        assert_eq!(strips[1].width, 25);
+    }
+
+    #[test]
+    fn weighted_split_zero_total_is_equal() {
+        let vp = Viewport::new(90, 10);
+        let strips = vp.split_columns_weighted(&[0, 0, 0]);
+        assert_partition(&vp, &strips);
+        assert!(strips.iter().all(|s| s.width == 30));
+    }
+
+    #[test]
+    fn weighted_split_extreme_skew_keeps_one_pixel_floor() {
+        let vp = Viewport::new(10, 10);
+        let strips = vp.split_columns_weighted(&[1_000_000, 0, 0]);
+        assert_partition(&vp, &strips);
+        assert_eq!(strips[0].width, 8);
+        assert_eq!(strips[1].width, 1);
+        assert_eq!(strips[2].width, 1);
+    }
+
+    #[test]
+    fn weighted_split_one_column_per_strip() {
+        let vp = Viewport::new(3, 5);
+        let strips = vp.split_columns_weighted(&[7, 7, 7]);
+        assert_partition(&vp, &strips);
+        assert!(strips.iter().all(|s| s.width == 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn weighted_split_rejects_too_many_strips() {
+        Viewport::new(2, 2).split_columns_weighted(&[1, 1, 1]);
     }
 }

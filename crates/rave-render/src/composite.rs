@@ -17,10 +17,23 @@
 
 use crate::framebuffer::{Framebuffer, Rgb};
 use rave_math::Viewport;
+use rayon::prelude::*;
+
+/// Number of row bands the compositors split a target into: a few per
+/// worker for load balance, never more than the row count. The output is
+/// bit-identical for any band count — bands only partition the pixels.
+fn band_count(height: u32) -> u32 {
+    (rayon::current_num_threads() as u32 * 2).clamp(1, height)
+}
 
 /// Merge `sources` into `dst` by per-pixel depth test (all buffers must be
 /// the full viewport size). The merge is order-independent for opaque
 /// content — asserted by the tests.
+///
+/// Band-parallel: `dst` splits into contiguous row bands and every band
+/// sweeps all sources over matching contiguous slices — no per-pixel
+/// `get`/`set` calls, no locks. Per pixel, sources apply in argument
+/// order, exactly like the serial loop.
 pub fn depth_composite(dst: &mut Framebuffer, sources: &[&Framebuffer]) {
     for src in sources {
         assert_eq!(
@@ -28,24 +41,53 @@ pub fn depth_composite(dst: &mut Framebuffer, sources: &[&Framebuffer]) {
             (dst.width(), dst.height()),
             "depth compositing requires aligned full-viewport buffers"
         );
-        for y in 0..dst.height() {
-            for x in 0..dst.width() {
-                let z = src.depth_at(x, y);
-                if z < 1.0 {
-                    dst.set_if_closer(x, y, src.get(x, y), z);
+    }
+    let w = dst.width() as usize;
+    dst.row_bands(band_count(dst.height())).into_par_iter().for_each(|mut band| {
+        let row0 = band.y_start() as usize;
+        let (dc, dz) = band.planes_mut();
+        for src in sources {
+            let sc = &src.color_pixels()[row0 * w..row0 * w + dc.len()];
+            let sz = &src.depth_pixels()[row0 * w..row0 * w + dz.len()];
+            for i in 0..dc.len() {
+                let z = sz[i];
+                if z < 1.0 && z < dz[i] {
+                    dc[i] = sc[i];
+                    dz[i] = z;
                 }
             }
         }
-    }
+    });
 }
 
 /// Stitch tiles into `dst`. Each entry pairs the tile's viewport placement
 /// with its rendered buffer.
+///
+/// Band-parallel: each row band of `dst` copies the intersecting rows of
+/// every tile with contiguous slice copies. Tiles never overlap a pixel
+/// (enforced by the planner), so the result matches sequential blits.
 pub fn stitch_tiles(dst: &mut Framebuffer, tiles: &[(Viewport, &Framebuffer)]) {
     for (vp, fb) in tiles {
         assert_eq!((fb.width(), fb.height()), (vp.width, vp.height), "tile size mismatch");
-        dst.blit(fb, vp.x, vp.y);
+        assert!(
+            vp.x + vp.width <= dst.width() && vp.y + vp.height <= dst.height(),
+            "tile outside target"
+        );
     }
+    dst.row_bands(band_count(dst.height())).into_par_iter().for_each(|mut band| {
+        for (vp, fb) in tiles {
+            let y0 = vp.y.max(band.y_start());
+            let y1 = (vp.y + vp.height).min(band.y_end());
+            let n = vp.width as usize;
+            for y in y0..y1 {
+                let s0 = ((y - vp.y) as usize) * n;
+                band.color_row_mut(y, vp.x, vp.x + vp.width)
+                    .copy_from_slice(&fb.color_pixels()[s0..s0 + n]);
+                band.depth_row_mut(y, vp.x, vp.x + vp.width)
+                    .copy_from_slice(&fb.depth_pixels()[s0..s0 + n]);
+            }
+        }
+    });
 }
 
 /// An RGBA + depth layer from a volume-subset render, tagged with its
@@ -59,27 +101,38 @@ pub struct VolumeLayer {
 
 /// Blend volume layers back-to-front (farthest first) into `dst` over its
 /// current contents — the Visapult-style distributed volume composite.
+///
+/// Band-parallel: after the (serial) distance sort, each row band of
+/// `dst` applies every layer in view order over contiguous slices. Each
+/// pixel sees the same layer sequence as the serial loop, so the image
+/// is bit-identical. Bright overlapping layers can push `r + bg*(1-a)`
+/// past 1.0; channels saturate to 1.0 before quantization instead of
+/// wrapping (regression-tested below).
 pub fn blend_volume_layers(dst: &mut Framebuffer, layers: &mut [VolumeLayer]) {
     layers.sort_by(|a, b| b.view_distance.total_cmp(&a.view_distance));
-    for layer in layers.iter() {
+    let layers: &[VolumeLayer] = layers;
+    for layer in layers {
         assert_eq!((layer.width, layer.height), (dst.width(), dst.height()));
-        for y in 0..dst.height() {
-            for x in 0..dst.width() {
-                let [r, g, b, a] = layer.color[(y * dst.width() + x) as usize];
+    }
+    let w = dst.width() as usize;
+    dst.row_bands(band_count(dst.height())).into_par_iter().for_each(|mut band| {
+        let row0 = band.y_start() as usize;
+        let (dc, _) = band.planes_mut();
+        for layer in layers.iter() {
+            let src = &layer.color[row0 * w..row0 * w + dc.len()];
+            for (px, &[r, g, b, a]) in dc.iter_mut().zip(src) {
                 if a <= 0.0 {
                     continue;
                 }
-                let bg = dst.get(x, y);
                 let out = [
-                    r + bg.0 as f32 / 255.0 * (1.0 - a),
-                    g + bg.1 as f32 / 255.0 * (1.0 - a),
-                    b + bg.2 as f32 / 255.0 * (1.0 - a),
+                    (r + px.0 as f32 / 255.0 * (1.0 - a)).min(1.0),
+                    (g + px.1 as f32 / 255.0 * (1.0 - a)).min(1.0),
+                    (b + px.2 as f32 / 255.0 * (1.0 - a)).min(1.0),
                 ];
-                let depth = dst.depth_at(x, y);
-                dst.set(x, y, Rgb::from_f32(out[0], out[1], out[2]), depth);
+                *px = Rgb::from_f32(out[0], out[1], out[2]);
             }
         }
-    }
+    });
 }
 
 /// Mean color discontinuity across the seam between two horizontally
@@ -183,6 +236,61 @@ mod tests {
         let mut torn = Framebuffer::new(8, 8);
         stitch_tiles(&mut torn, &[(tiles[0], &left), (tiles[1], &right)]);
         assert!(seam_discontinuity(&torn, 4) > 50.0);
+    }
+
+    #[test]
+    fn bright_overlapping_layers_saturate_not_wrap() {
+        // Two nearly-opaque bright layers: the accumulated channel
+        // r + bg*(1-a) exceeds 1.0. It must clamp to 255, not wrap to a
+        // small value.
+        let mk = |d: f32| VolumeLayer {
+            color: vec![[0.9, 0.9, 0.2, 0.2]; 4],
+            view_distance: d,
+            width: 2,
+            height: 2,
+        };
+        let mut dst = Framebuffer::new(2, 2);
+        for y in 0..2 {
+            for x in 0..2 {
+                dst.set(x, y, Rgb(250, 250, 250), 0.5);
+            }
+        }
+        blend_volume_layers(&mut dst, &mut [mk(5.0), mk(1.0)]);
+        let px = dst.get(0, 0);
+        assert_eq!(px.0, 255, "saturated, not wrapped: {px:?}");
+        assert_eq!(px.1, 255);
+        assert!(px.2 > 150, "blue accumulated sanely: {px:?}");
+        // Depth untouched by color blending.
+        assert_eq!(dst.depth_at(0, 0), 0.5);
+    }
+
+    #[test]
+    fn compositors_bit_identical_across_thread_counts() {
+        // Build a non-trivial source pair once.
+        let mut a = Framebuffer::new(33, 17);
+        let mut b = Framebuffer::new(33, 17);
+        for y in 0..17u32 {
+            for x in 0..33u32 {
+                if (x + y) % 3 == 0 {
+                    a.set(x, y, Rgb((x * 7) as u8, y as u8, 3), (x as f32) / 40.0);
+                }
+                if (x * y) % 4 == 1 {
+                    b.set(x, y, Rgb(9, (x * 5) as u8, y as u8), (y as f32) / 20.0);
+                }
+            }
+        }
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| {
+                let mut dst = Framebuffer::new(33, 17);
+                depth_composite(&mut dst, &[&a, &b]);
+                dst
+            })
+        };
+        let one = run(1);
+        for n in [2, 3, 8] {
+            assert_eq!(one.diff_fraction(&run(n), 0.0), 0.0, "{n} threads");
+        }
     }
 
     #[test]

@@ -116,6 +116,60 @@ impl Framebuffer {
         }
     }
 
+    /// Read-only view of the color plane, row-major.
+    pub fn color_pixels(&self) -> &[Rgb] {
+        &self.color
+    }
+
+    /// Read-only view of the depth plane, row-major.
+    pub fn depth_pixels(&self) -> &[f32] {
+        &self.depth
+    }
+
+    /// Split the buffer into at most `max_bands` horizontal row bands of
+    /// near-equal height, top to bottom. Each band is an exclusive
+    /// mutable view over a **contiguous** region of the color and depth
+    /// planes, so bands can be handed to parallel workers with no locks
+    /// and no false sharing (bands never straddle a row). The union of
+    /// the bands is exactly the buffer; bands never overlap.
+    pub fn row_bands(&mut self, max_bands: u32) -> Vec<FramebufferBand<'_>> {
+        let n = max_bands.clamp(1, self.height) as usize;
+        let width = self.width;
+        let height = self.height as usize;
+        let w = width as usize;
+        let mut bands = Vec::with_capacity(n);
+        let (mut color, mut depth): (&mut [Rgb], &mut [f32]) = (&mut self.color, &mut self.depth);
+        let mut row = 0usize;
+        for k in 0..n {
+            let end_row = height * (k + 1) / n;
+            let rows = end_row - row;
+            let (c, crest) = color.split_at_mut(rows * w);
+            let (d, drest) = depth.split_at_mut(rows * w);
+            bands.push(FramebufferBand {
+                y0: row as u32,
+                width,
+                rows: rows as u32,
+                color: c,
+                depth: d,
+            });
+            color = crest;
+            depth = drest;
+            row = end_row;
+        }
+        bands
+    }
+
+    /// The whole buffer as a single band (the serial path's view).
+    pub fn as_band(&mut self) -> FramebufferBand<'_> {
+        FramebufferBand {
+            y0: 0,
+            width: self.width,
+            rows: self.height,
+            color: &mut self.color,
+            depth: &mut self.depth,
+        }
+    }
+
     /// Copy `src` into this buffer with its top-left at `(dst_x, dst_y)`
     /// (tile stitching). Color-only: tiles from remote services replace
     /// whatever was there, including stale local pixels — exactly the
@@ -197,6 +251,102 @@ impl Framebuffer {
             fb.color[i] = Rgb(px[0], px[1], px[2]);
         }
         Some(fb)
+    }
+}
+
+/// An exclusive view over a contiguous run of framebuffer rows
+/// (`[y_start, y_end)`), produced by [`Framebuffer::row_bands`].
+/// Coordinates passed to accessors are **framebuffer-local** (same `y`
+/// you would pass to [`Framebuffer::set`]); the band translates them to
+/// its own slice offsets. Out-of-band rows are a `debug_assert`, exactly
+/// like out-of-range pixels on the full buffer.
+#[derive(Debug)]
+pub struct FramebufferBand<'a> {
+    y0: u32,
+    width: u32,
+    rows: u32,
+    color: &'a mut [Rgb],
+    depth: &'a mut [f32],
+}
+
+impl FramebufferBand<'_> {
+    /// First framebuffer row covered by this band.
+    pub fn y_start(&self) -> u32 {
+        self.y0
+    }
+
+    /// One past the last framebuffer row covered by this band.
+    pub fn y_end(&self) -> u32 {
+        self.y0 + self.rows
+    }
+
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    #[inline]
+    fn idx(&self, x: u32, y: u32) -> usize {
+        debug_assert!(x < self.width && y >= self.y0 && y < self.y0 + self.rows);
+        ((y - self.y0) as usize) * (self.width as usize) + x as usize
+    }
+
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> Rgb {
+        self.color[self.idx(x, y)]
+    }
+
+    #[inline]
+    pub fn depth_at(&self, x: u32, y: u32) -> f32 {
+        self.depth[self.idx(x, y)]
+    }
+
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, c: Rgb, z: f32) {
+        let i = self.idx(x, y);
+        self.color[i] = c;
+        self.depth[i] = z;
+    }
+
+    /// Color-only write (depth untouched) — volume blending over
+    /// already-written depth.
+    #[inline]
+    pub fn set_color(&mut self, x: u32, y: u32, c: Rgb) {
+        let i = self.idx(x, y);
+        self.color[i] = c;
+    }
+
+    /// Depth-tested write, identical semantics to
+    /// [`Framebuffer::set_if_closer`].
+    #[inline]
+    pub fn set_if_closer(&mut self, x: u32, y: u32, c: Rgb, z: f32) -> bool {
+        let i = self.idx(x, y);
+        if z < self.depth[i] {
+            self.color[i] = c;
+            self.depth[i] = z;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Mutable color slice of one framebuffer row restricted to
+    /// `[x0, x1)` — contiguous-copy compositing (tile stitching).
+    pub fn color_row_mut(&mut self, y: u32, x0: u32, x1: u32) -> &mut [Rgb] {
+        let a = self.idx(x0, y);
+        &mut self.color[a..a + (x1 - x0) as usize]
+    }
+
+    /// Mutable depth slice of one framebuffer row restricted to
+    /// `[x0, x1)`.
+    pub fn depth_row_mut(&mut self, y: u32, x0: u32, x1: u32) -> &mut [f32] {
+        let a = self.idx(x0, y);
+        &mut self.depth[a..a + (x1 - x0) as usize]
+    }
+
+    /// The band's whole color and depth planes (rows `[y_start, y_end)`),
+    /// for contiguous per-pixel sweeps.
+    pub fn planes_mut(&mut self) -> (&mut [Rgb], &mut [f32]) {
+        (&mut *self.color, &mut *self.depth)
     }
 }
 
@@ -309,5 +459,66 @@ mod tests {
     #[should_panic]
     fn zero_size_rejected() {
         Framebuffer::new(0, 10);
+    }
+
+    #[test]
+    fn row_bands_partition_rows_exactly() {
+        let mut fb = Framebuffer::new(7, 11); // height not divisible
+        for n in [1u32, 2, 3, 4, 11, 50] {
+            let bands = fb.row_bands(n);
+            assert_eq!(bands.len() as u32, n.min(11));
+            let mut next = 0;
+            for b in &bands {
+                assert_eq!(b.y_start(), next, "bands contiguous");
+                assert!(b.y_end() > b.y_start(), "no empty band");
+                next = b.y_end();
+            }
+            assert_eq!(next, 11, "bands cover every row");
+        }
+    }
+
+    #[test]
+    fn band_writes_land_in_parent_buffer() {
+        let mut fb = Framebuffer::new(4, 6);
+        {
+            let mut bands = fb.row_bands(3);
+            // Middle band covers rows 2..4; write via fb-local coords.
+            let b = &mut bands[1];
+            assert_eq!((b.y_start(), b.y_end()), (2, 4));
+            b.set(1, 2, Rgb(5, 6, 7), 0.25);
+            assert!(b.set_if_closer(3, 3, Rgb::WHITE, 0.5));
+            assert!(!b.set_if_closer(3, 3, Rgb(1, 1, 1), 0.9), "farther loses");
+            b.set_color(0, 3, Rgb(9, 9, 9));
+        }
+        assert_eq!(fb.get(1, 2), Rgb(5, 6, 7));
+        assert_eq!(fb.depth_at(1, 2), 0.25);
+        assert_eq!(fb.get(3, 3), Rgb::WHITE);
+        assert_eq!(fb.get(0, 3), Rgb(9, 9, 9));
+        assert_eq!(fb.depth_at(0, 3), 1.0, "set_color leaves depth alone");
+    }
+
+    #[test]
+    fn as_band_is_whole_buffer() {
+        let mut fb = Framebuffer::new(3, 3);
+        let mut band = fb.as_band();
+        assert_eq!((band.y_start(), band.y_end(), band.width()), (0, 3, 3));
+        band.set(2, 2, Rgb::WHITE, 0.1);
+        assert_eq!(fb.get(2, 2), Rgb::WHITE);
+    }
+
+    #[test]
+    fn band_row_slices_are_contiguous() {
+        let mut fb = Framebuffer::new(8, 4);
+        {
+            let mut bands = fb.row_bands(2);
+            let row = bands[1].color_row_mut(2, 2, 6);
+            assert_eq!(row.len(), 4);
+            row.fill(Rgb(1, 2, 3));
+            bands[1].depth_row_mut(2, 2, 6).fill(0.5);
+        }
+        assert_eq!(fb.get(2, 2), Rgb(1, 2, 3));
+        assert_eq!(fb.get(5, 2), Rgb(1, 2, 3));
+        assert_eq!(fb.get(6, 2), Rgb::BLACK);
+        assert_eq!(fb.depth_at(3, 2), 0.5);
     }
 }

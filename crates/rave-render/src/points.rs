@@ -1,9 +1,82 @@
 //! Point-cloud splatting.
+//!
+//! Like `raster.rs`, the per-pixel work is split into a projection stage
+//! ([`setup_splat`]) and a band-restricted replay ([`splat_rows`]) so the
+//! binned parallel renderer can splat disjoint row bands concurrently
+//! while [`draw_points`] remains the serial reference.
 
-use crate::framebuffer::{Framebuffer, Rgb};
+use crate::framebuffer::{Framebuffer, FramebufferBand, Rgb};
 use crate::raster::RasterStats;
 use rave_math::{Mat4, Vec3, Viewport};
 use rave_scene::PointCloudData;
+
+/// A projected point ready to splat: screen center, pixel radius, depth,
+/// and resolved color.
+#[derive(Debug, Clone, Copy)]
+pub struct Splat {
+    pub cx: i64,
+    pub cy: i64,
+    pub r: i64,
+    pub z: f32,
+    pub rgb: Rgb,
+}
+
+/// Project one cloud point; `None` when it is clipped (behind the eye or
+/// outside NDC bounds). Resolves color from the cloud's palette or the
+/// node base color.
+pub fn setup_splat(
+    full_viewport: &Viewport,
+    cloud: &PointCloudData,
+    index: usize,
+    mvp: &Mat4,
+    base_color: Vec3,
+) -> Option<Splat> {
+    let p = cloud.points[index];
+    let clip = mvp.mul_vec4(p.extend(1.0));
+    if clip.w <= 1e-5 {
+        return None;
+    }
+    let ndc = clip.perspective_divide();
+    if ndc.x < -1.0 || ndc.x > 1.0 || ndc.y < -1.0 || ndc.y > 1.0 || ndc.z < -1.0 || ndc.z > 1.0 {
+        return None;
+    }
+    let px = full_viewport.ndc_to_pixel(ndc);
+    // Splat radius in pixels: world size projected through w.
+    let radius = (cloud.point_size * full_viewport.height as f32 / clip.w).clamp(0.5, 16.0);
+    let color = if cloud.colors.is_empty() { base_color } else { cloud.colors[index] };
+    Some(Splat {
+        cx: px.x as i64,
+        cy: px.y as i64,
+        r: radius.ceil() as i64,
+        z: ndc.z,
+        rgb: Rgb::from_f32(color.x, color.y, color.z),
+    })
+}
+
+/// Write the rows of `splat` that fall inside `band` (a view over the
+/// tile-sized framebuffer for `tile`). Same per-pixel body as the serial
+/// path, restricted to the band's rows.
+pub fn splat_rows(
+    band: &mut FramebufferBand<'_>,
+    tile: &Viewport,
+    splat: &Splat,
+    stats: &mut RasterStats,
+) {
+    let y_lo = (splat.cy - splat.r).max(tile.y as i64).max(tile.y as i64 + band.y_start() as i64);
+    let y_hi = (splat.cy + splat.r)
+        .min((tile.y + tile.height) as i64 - 1)
+        .min(tile.y as i64 + band.y_end() as i64 - 1);
+    let x_lo = (splat.cx - splat.r).max(tile.x as i64);
+    let x_hi = (splat.cx + splat.r).min((tile.x + tile.width) as i64 - 1);
+    for y in y_lo..=y_hi {
+        for x in x_lo..=x_hi {
+            stats.fragments_shaded += 1;
+            if band.set_if_closer((x as u32) - tile.x, (y as u32) - tile.y, splat.rgb, splat.z) {
+                stats.fragments_written += 1;
+            }
+        }
+    }
+}
 
 /// Render a point cloud as screen-space square splats whose size scales
 /// with the world-space `point_size` and perspective depth.
@@ -19,37 +92,10 @@ pub fn draw_points(
     stats: &mut RasterStats,
 ) {
     let mvp = *view_proj * *model;
-    for (i, &p) in cloud.points.iter().enumerate() {
-        let clip = mvp.mul_vec4(p.extend(1.0));
-        if clip.w <= 1e-5 {
-            continue;
-        }
-        let ndc = clip.perspective_divide();
-        if ndc.x < -1.0 || ndc.x > 1.0 || ndc.y < -1.0 || ndc.y > 1.0 || ndc.z < -1.0 || ndc.z > 1.0
-        {
-            continue;
-        }
-        let px = full_viewport.ndc_to_pixel(ndc);
-        // Splat radius in pixels: world size projected through w.
-        let radius = (cloud.point_size * full_viewport.height as f32 / clip.w).clamp(0.5, 16.0);
-        let color = if cloud.colors.is_empty() { base_color } else { cloud.colors[i] };
-        let rgb = Rgb::from_f32(color.x, color.y, color.z);
-        let r = radius.ceil() as i64;
-        let (cx, cy) = (px.x as i64, px.y as i64);
-        for y in cy - r..=cy + r {
-            for x in cx - r..=cx + r {
-                if x < tile.x as i64
-                    || y < tile.y as i64
-                    || x >= (tile.x + tile.width) as i64
-                    || y >= (tile.y + tile.height) as i64
-                {
-                    continue;
-                }
-                stats.fragments_shaded += 1;
-                if fb.set_if_closer((x as u32) - tile.x, (y as u32) - tile.y, rgb, ndc.z) {
-                    stats.fragments_written += 1;
-                }
-            }
+    let mut band = fb.as_band();
+    for i in 0..cloud.points.len() {
+        if let Some(splat) = setup_splat(full_viewport, cloud, i, &mvp, base_color) {
+            splat_rows(&mut band, tile, &splat, stats);
         }
     }
 }

@@ -1,7 +1,21 @@
 //! Triangle rasterization: clip → project → scan-convert with z-buffer
 //! and Gouraud shading.
+//!
+//! Two call paths share one pixel loop:
+//!
+//! - the **immediate-mode reference** ([`rasterize_triangle`],
+//!   [`draw_mesh`]) — simple per-triangle code, the baseline every
+//!   optimization is verified against;
+//! - the **binned pipeline** ([`setup_screen_tri`] at bin time,
+//!   [`raster_tri_rows`] at replay time) used by
+//!   [`crate::renderer::Renderer`] to rasterize disjoint row bands in
+//!   parallel.
+//!
+//! Both evaluate the identical per-pixel expressions, so a banded replay
+//! is bit-identical to a serial draw — the guarantee the parallel
+//! renderer's property tests pin down.
 
-use crate::framebuffer::{Framebuffer, Rgb};
+use crate::framebuffer::{Framebuffer, FramebufferBand, Rgb};
 use rave_math::{Mat4, Vec2, Vec3, Vec4, Viewport};
 
 /// A vertex after the vertex stage: clip-space position plus the
@@ -62,11 +76,347 @@ impl RasterStats {
         self.fragments_shaded += o.fragments_shaded;
         self.fragments_written += o.fragments_written;
     }
+
+    /// Merge two partial stats (rayon `reduce` shape).
+    pub fn merged(mut self, o: RasterStats) -> RasterStats {
+        self.accumulate(&o);
+        self
+    }
+
+    /// Scalar work proxy for cost-feedback tile planning: roughly
+    /// "pipeline operations charged", dominated by shaded fragments with
+    /// a per-triangle setup term. Dimensionless — planners only compare
+    /// ratios of it (units per second across services).
+    pub fn cost_units(&self) -> u64 {
+        self.fragments_shaded + 8 * self.triangles_submitted
+    }
+}
+
+/// A triangle after clipping and projection, ready for binned
+/// rasterization: screen-space vertices (pixel x/y + NDC z), Gouraud
+/// colors, the signed-area inverse, and its pixel bounding box already
+/// intersected with the target tile (inclusive bounds).
+#[derive(Debug, Clone, Copy)]
+pub struct ScreenTri {
+    pub p0: Vec3,
+    pub p1: Vec3,
+    pub p2: Vec3,
+    pub c0: Vec3,
+    pub c1: Vec3,
+    pub c2: Vec3,
+    pub inv_area: f32,
+    pub min_x: i64,
+    pub max_x: i64,
+    pub min_y: i64,
+    pub max_y: i64,
+}
+
+/// `v.floor() as i64` for f32 without the `floorf` libcall: truncate,
+/// then correct the negative direction. The saturating arithmetic keeps
+/// huge and NaN inputs on the same results the libcall + saturating cast
+/// would produce.
+#[inline]
+fn floor_f32_i64(v: f32) -> i64 {
+    let t = v as i64;
+    t.saturating_sub(((t as f32) > v) as i64)
+}
+
+/// `v.ceil() as i64` for f32, same construction as [`floor_f32_i64`].
+#[inline]
+fn ceil_f32_i64(v: f32) -> i64 {
+    let t = v as i64;
+    t.saturating_add(((t as f32) < v) as i64)
+}
+
+/// Screen-space setup shared by both call paths: degeneracy and bounding
+/// box tests with the exact bookkeeping the reference path performs.
+/// Returns `None` when nothing would be rasterized.
+pub fn setup_screen_tri(
+    tile: &Viewport,
+    (p0, c0): (Vec3, Vec3),
+    (p1, c1): (Vec3, Vec3),
+    (p2, c2): (Vec3, Vec3),
+    stats: &mut RasterStats,
+) -> Option<ScreenTri> {
+    let a = Vec2::new(p0.x, p0.y);
+    let b = Vec2::new(p1.x, p1.y);
+    let c = Vec2::new(p2.x, p2.y);
+    let area = (b - a).cross(c - a);
+    if area.abs() < 1e-9 {
+        stats.triangles_clipped_away += 1;
+        return None; // degenerate in screen space
+    }
+    let inv_area = 1.0 / area;
+
+    // Bounding box intersected with the tile. floor/ceil go through the
+    // truncate-and-correct helpers: this runs for every submitted
+    // triangle, and baseline x86-64 would turn `f32::floor` into a
+    // libcall.
+    let min_x = floor_f32_i64(a.x.min(b.x).min(c.x)).max(tile.x as i64);
+    let max_x = ceil_f32_i64(a.x.max(b.x).max(c.x)).min((tile.x + tile.width) as i64 - 1);
+    let min_y = floor_f32_i64(a.y.min(b.y).min(c.y)).max(tile.y as i64);
+    let max_y = ceil_f32_i64(a.y.max(b.y).max(c.y)).min((tile.y + tile.height) as i64 - 1);
+    if min_x > max_x || min_y > max_y {
+        stats.triangles_clipped_away += 1;
+        return None;
+    }
+    stats.triangles_rasterized += 1;
+    Some(ScreenTri { p0, p1, p2, c0, c1, c2, inv_area, min_x, max_x, min_y, max_y })
+}
+
+/// THE per-pixel kernel. Both engines funnel every shaded pixel through
+/// this exact body, so any partition of a triangle's pixels — rows,
+/// columns, bands — reproduces the serial result bit-for-bit, z-ties
+/// included (each pixel is touched once per triangle, so visit order
+/// within a triangle cannot matter).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn raster_pixel(
+    band: &mut FramebufferBand<'_>,
+    tile: &Viewport,
+    tri: &ScreenTri,
+    a: Vec2,
+    b: Vec2,
+    c: Vec2,
+    px: i64,
+    py: i64,
+    stats: &mut RasterStats,
+) {
+    // Sample at the pixel center.
+    let p = Vec2::new(px as f32 + 0.5, py as f32 + 0.5);
+    let w0 = (b - p).cross(c - p) * tri.inv_area;
+    let w1 = (c - p).cross(a - p) * tri.inv_area;
+    let w2 = 1.0 - w0 - w1;
+    if w0 < 0.0 || w1 < 0.0 || w2 < 0.0 {
+        return;
+    }
+    stats.fragments_shaded += 1;
+    let z = w0 * tri.p0.z + w1 * tri.p1.z + w2 * tri.p2.z;
+    if !(-1.0..=1.0).contains(&z) {
+        return; // beyond near/far in NDC
+    }
+    let col = tri.c0 * w0 + tri.c1 * w1 + tri.c2 * w2;
+    let x_local = (px as u32) - tile.x;
+    let y_local = (py as u32) - tile.y;
+    if band.set_if_closer(x_local, y_local, Rgb::from_f32(col.x, col.y, col.z), z) {
+        stats.fragments_written += 1;
+    }
+}
+
+/// Rasterize pixels `px_lo..=px_hi` of row `py` through the kernel.
+#[inline]
+fn raster_span(
+    band: &mut FramebufferBand<'_>,
+    tile: &Viewport,
+    tri: &ScreenTri,
+    py: i64,
+    px_lo: i64,
+    px_hi: i64,
+    stats: &mut RasterStats,
+) {
+    let a = Vec2::new(tri.p0.x, tri.p0.y);
+    let b = Vec2::new(tri.p1.x, tri.p1.y);
+    let c = Vec2::new(tri.p2.x, tri.p2.y);
+    for px in px_lo..=px_hi {
+        raster_pixel(band, tile, tri, a, b, c, px, py, stats);
+    }
+}
+
+/// Rasterize pixels `py_lo..=py_hi` of column `px` through the kernel.
+#[inline]
+fn raster_col(
+    band: &mut FramebufferBand<'_>,
+    tile: &Viewport,
+    tri: &ScreenTri,
+    px: i64,
+    py_lo: i64,
+    py_hi: i64,
+    stats: &mut RasterStats,
+) {
+    let a = Vec2::new(tri.p0.x, tri.p0.y);
+    let b = Vec2::new(tri.p1.x, tri.p1.y);
+    let c = Vec2::new(tri.p2.x, tri.p2.y);
+    for py in py_lo..=py_hi {
+        raster_pixel(band, tile, tri, a, b, c, px, py, stats);
+    }
+}
+
+/// `floor(v) as i64` without `f64::floor` (a libcall on baseline
+/// x86-64): truncate, then correct the negative direction. Saturates at
+/// the i64 range like any float→int cast.
+#[inline]
+fn floor_i64(v: f64) -> i64 {
+    let t = v as i64;
+    t - ((t as f64) > v) as i64
+}
+
+/// Walk `outer_lo..=outer_hi` along one screen axis, solving per step the
+/// conservative pixel interval on the *other* axis that could pass the
+/// kernel's inside test, and emit `(outer, solved_lo, solved_hi)` for
+/// each non-empty interval.
+///
+/// Each barycentric the kernel computes is (in exact arithmetic) an
+/// affine function of the pixel center, `w(x, y) = sx·x + sy·y + c`.
+/// `e[k] = [s_solved, s_outer, c]` gives those coefficients with the
+/// solved axis first; `w >= 0` then bounds the solved coordinate from
+/// below (positive `s_solved`) or above (negative), while slope-free
+/// constraints collapse to an interval on the outer axis, resolved once
+/// up front. Margins must dominate both the f32 kernel's worst-case
+/// rounding and this solver's own f64 rounding, so the interval can only
+/// over-cover — every pixel the kernel would accept is inside it.
+///
+/// Per step this is six multiply-adds, a max/min tree over fixed slots
+/// (unused slots hold ∓∞ and never win), and two integer conversions —
+/// cheap enough to pay off even on bounding boxes a few pixels across.
+/// All comparisons are written so NaN/±inf coefficients (degenerate
+/// projections) fail *open*: the solver falls back to the full interval
+/// and the kernel decides, which can only cost time, never pixels.
+#[inline(always)]
+fn walk_spans<F: FnMut(i64, i64, i64)>(
+    e: &[[f64; 3]; 3],
+    margins: &[f64; 3],
+    mut outer_lo: i64,
+    mut outer_hi: i64,
+    solved_min: i64,
+    solved_max: i64,
+    mut emit: F,
+) {
+    let mut la = [0.0f64; 3];
+    let mut lb = [f64::NEG_INFINITY; 3];
+    let mut ha = [0.0f64; 3];
+    let mut hb = [f64::INFINITY; 3];
+    for k in 0..3 {
+        let [sv, su, c] = e[k];
+        let m = margins[k];
+        if sv == 0.0 || !sv.is_finite() {
+            // Cold path (axis-aligned or degenerate edge). With no
+            // solved-axis slope the constraint is an interval on the
+            // outer axis, resolved here once (floor_i64 keeps it
+            // conservative by up to one step). NaN/±inf slopes drop the
+            // constraint entirely — fail open.
+            if sv == 0.0 {
+                let t = (-m - c) / su;
+                if su > 0.0 && t.is_finite() {
+                    outer_lo = outer_lo.max(floor_i64(t - 0.5));
+                } else if su < 0.0 && t.is_finite() {
+                    outer_hi = outer_hi.min(floor_i64(t - 0.5) + 1);
+                } else if su == 0.0 && c < -m {
+                    return; // constant and provably negative everywhere
+                }
+            }
+            continue;
+        }
+        // Bound on the solved *pixel index* (center − ½), affine in the
+        // outer center coordinate: slope in `la/ha`, constant in `lb/hb`.
+        // Branch-free slot fill: edge orientations are effectively
+        // random, so a data-dependent branch here mispredicts half the
+        // time; selects keep unused slots at their ∓∞ neutral values.
+        let inv = 1.0 / sv;
+        let slope = -su * inv;
+        let bound = (-m - c) * inv - 0.5;
+        let is_lo = sv > 0.0;
+        la[k] = if is_lo { slope } else { 0.0 };
+        lb[k] = if is_lo { bound } else { f64::NEG_INFINITY };
+        ha[k] = if is_lo { 0.0 } else { slope };
+        hb[k] = if is_lo { f64::INFINITY } else { bound };
+    }
+    if outer_lo > outer_hi {
+        return;
+    }
+    let smin = solved_min as f64;
+    let smax = solved_max as f64;
+    // Exact center coordinates: integer + ½ accumulates exactly in f64.
+    let mut uc = outer_lo as f64 + 0.5;
+    for u in outer_lo..=outer_hi {
+        // NaN bounds lose every max/min below, so lo/hi stay finite.
+        let lo = (la[0] * uc + lb[0]).max(la[1] * uc + lb[1]).max(la[2] * uc + lb[2]).max(smin);
+        let hi = (ha[0] * uc + hb[0]).min(ha[1] * uc + hb[1]).min(ha[2] * uc + hb[2]).min(smax);
+        // ±1e-5 px of slack covers the conversion arithmetic itself;
+        // casts saturate, so ±inf bounds collapse to an empty interval.
+        let l = lo - 1e-5;
+        let t = l as i64;
+        let v_lo = t + ((t as f64) < l) as i64; // ceil(l); l > -1 via smin
+        let v_hi = (hi + 1e-5) as i64; // floor for hi >= 0; else empty
+        if v_lo <= v_hi {
+            emit(u, v_lo, v_hi);
+        }
+        uc += 1.0;
+    }
+}
+
+/// Rasterize the rows of `tri` that fall inside `band` (a view over the
+/// tile-sized framebuffer for `tile`) — the binned engine's inner loop.
+/// Rows are restricted to the band; within them, [`walk_spans`] visits
+/// only the conservative span of each row or column (whichever axis of
+/// the bounding box is shorter becomes the walk axis, which matters for
+/// the tall sliver triangles tessellated models decompose into). Every
+/// visited pixel runs the shared exact kernel, so the output (pixels,
+/// depth bits, and fragment counters) matches the reference's full
+/// bounding-box scan bit-for-bit.
+pub fn raster_tri_rows(
+    band: &mut FramebufferBand<'_>,
+    tile: &Viewport,
+    tri: &ScreenTri,
+    stats: &mut RasterStats,
+) {
+    let y_lo = tri.min_y.max(tile.y as i64 + band.y_start() as i64);
+    let y_hi = tri.max_y.min(tile.y as i64 + band.y_end() as i64 - 1);
+    if y_lo > y_hi {
+        return;
+    }
+    // Tiny bounding boxes can't amortize the span solver's setup; the
+    // kernel over the whole box is cheaper. (Identical output either
+    // way — the solver only skips pixels the kernel would reject.)
+    if (tri.max_x - tri.min_x + 1) * (y_hi - y_lo + 1) <= 16 {
+        for py in y_lo..=y_hi {
+            raster_span(band, tile, tri, py, tri.min_x, tri.max_x, stats);
+        }
+        return;
+    }
+    let (ax, ay) = (tri.p0.x as f64, tri.p0.y as f64);
+    let (bx, by) = (tri.p1.x as f64, tri.p1.y as f64);
+    let (cx, cy) = (tri.p2.x as f64, tri.p2.y as f64);
+    let ia = tri.inv_area as f64;
+    // w0's edge spans (b, c), w1's spans (c, a); w2 = 1 - w0 - w1.
+    let e0 = [(by - cy) * ia, (cx - bx) * ia, (bx * cy - by * cx) * ia];
+    let e1 = [(cy - ay) * ia, (ax - cx) * ia, (cx * ay - cy * ax) * ia];
+    let e2 = [-(e0[0] + e1[0]), -(e0[1] + e1[1]), 1.0 - (e0[2] + e1[2])];
+    // Worst-case |f32 kernel − f64 line|: the kernel's differences and
+    // products involve magnitudes up to `m`, so the raw edge value
+    // carries ~24·m²·ε of rounding; ×|inv_area| maps it into barycentric
+    // units. The f64 solver rounds with the same m²·|inv_area| scale but
+    // at f64's ε, 10⁹× smaller, so one margin dominates both. The factor
+    // 32 and the additive floor are headroom.
+    let m = ax
+        .abs()
+        .max(ay.abs())
+        .max(bx.abs())
+        .max(by.abs())
+        .max(cx.abs())
+        .max(cy.abs())
+        .max(tri.max_x as f64 + 1.0)
+        .max(tri.max_y as f64 + 1.0)
+        .max(1.0);
+    let mw = 32.0 * m * m * (f32::EPSILON as f64) * ia.abs() + 1e-6;
+    let margins = [mw, mw, 2.0 * mw + 1e-6];
+    if tri.max_x - tri.min_x < y_hi - y_lo {
+        // Tall bounding box: walk the (fewer) columns, solve y per column.
+        let es = [[e0[1], e0[0], e0[2]], [e1[1], e1[0], e1[2]], [e2[1], e2[0], e2[2]]];
+        walk_spans(&es, &margins, tri.min_x, tri.max_x, y_lo, y_hi, |px, lo, hi| {
+            raster_col(band, tile, tri, px, lo, hi, stats);
+        });
+    } else {
+        walk_spans(&[e0, e1, e2], &margins, y_lo, y_hi, tri.min_x, tri.max_x, |py, lo, hi| {
+            raster_span(band, tile, tri, py, lo, hi, stats);
+        });
+    }
 }
 
 /// Clip a polygon against the `w >= W_EPS` half-space (near-plane guard:
-/// every vertex must have positive w before perspective divide).
-const W_EPS: f32 = 1e-5;
+/// every vertex must have positive w before perspective divide). The
+/// binned engine's vertex cache also keys its "safe to pre-project" test
+/// on this.
+pub(crate) const W_EPS: f32 = 1e-5;
 
 fn clip_near(poly: &mut Vec<ClipVertex>, scratch: &mut Vec<ClipVertex>) {
     scratch.clear();
@@ -85,6 +435,79 @@ fn clip_near(poly: &mut Vec<ClipVertex>, scratch: &mut Vec<ClipVertex>) {
         }
     }
     std::mem::swap(poly, scratch);
+}
+
+/// Near-clip one triangle without heap allocation: a triangle clipped
+/// against a single plane yields at most 4 vertices. Runs the identical
+/// Sutherland–Hodgman sweep as [`clip_near`] (same visit order, same
+/// `lerp` expression), so the emitted polygon is bit-identical — just on
+/// the stack.
+fn clip_near_fixed(tri: [ClipVertex; 3]) -> ([ClipVertex; 4], usize) {
+    let mut out = [tri[0]; 4];
+    let mut m = 0usize;
+    for i in 0..3 {
+        let cur = tri[i];
+        let next = tri[(i + 1) % 3];
+        let cin = cur.clip.w >= W_EPS;
+        let nin = next.clip.w >= W_EPS;
+        if cin {
+            out[m] = cur;
+            m += 1;
+        }
+        if cin != nin {
+            let t = (W_EPS - cur.clip.w) / (next.clip.w - cur.clip.w);
+            out[m] = ClipVertex::lerp(&cur, &next, t);
+            m += 1;
+        }
+    }
+    (out, m)
+}
+
+/// Clip, project, and set up one clip-space triangle for the binned
+/// pipeline, emitting 0–2 [`ScreenTri`]s through `sink`. Bookkeeping and
+/// float expressions match [`rasterize_triangle`] exactly; the only
+/// differences are performance-neutral-to-output: no heap allocation
+/// (stack clip) and a no-clip fast path for fully-visible triangles
+/// (which `clip_near` passes through unchanged anyway).
+pub fn bin_triangle(
+    full_viewport: &Viewport,
+    tile: &Viewport,
+    v0: ClipVertex,
+    v1: ClipVertex,
+    v2: ClipVertex,
+    stats: &mut RasterStats,
+    sink: &mut impl FnMut(ScreenTri),
+) {
+    stats.triangles_submitted += 1;
+    let project =
+        |v: &ClipVertex| (full_viewport.ndc_to_pixel(v.clip.perspective_divide()), v.color);
+
+    if v0.clip.w >= W_EPS && v1.clip.w >= W_EPS && v2.clip.w >= W_EPS {
+        // Fully in front of the near guard: the clip sweep would emit the
+        // triangle unchanged.
+        if let Some(tri) = setup_screen_tri(tile, project(&v0), project(&v1), project(&v2), stats) {
+            sink(tri);
+        }
+        return;
+    }
+
+    let (poly, m) = clip_near_fixed([v0, v1, v2]);
+    if m < 3 {
+        stats.triangles_clipped_away += 1;
+        return;
+    }
+    // Project every polygon vertex once, then fan.
+    let mut projected = [(Vec3::ZERO, Vec3::ZERO); 4];
+    for (dst, src) in projected[..m].iter_mut().zip(&poly[..m]) {
+        *dst = project(src);
+    }
+    for k in 1..m - 1 {
+        if let Some(tri) =
+            setup_screen_tri(tile, projected[0], projected[k], projected[k + 1], stats)
+        {
+            sink(tri);
+        }
+    }
 }
 
 /// Rasterize one triangle (given in clip space) into `fb`, restricted to
@@ -135,53 +558,18 @@ pub fn rasterize_triangle(
 fn raster_screen_tri(
     fb: &mut Framebuffer,
     tile: &Viewport,
-    (p0, c0): (Vec3, Vec3),
-    (p1, c1): (Vec3, Vec3),
-    (p2, c2): (Vec3, Vec3),
+    v0: (Vec3, Vec3),
+    v1: (Vec3, Vec3),
+    v2: (Vec3, Vec3),
     stats: &mut RasterStats,
 ) {
-    let a = Vec2::new(p0.x, p0.y);
-    let b = Vec2::new(p1.x, p1.y);
-    let c = Vec2::new(p2.x, p2.y);
-    let area = (b - a).cross(c - a);
-    if area.abs() < 1e-9 {
-        stats.triangles_clipped_away += 1;
-        return; // degenerate in screen space
-    }
-    let inv_area = 1.0 / area;
-
-    // Bounding box intersected with the tile.
-    let min_x = a.x.min(b.x).min(c.x).floor().max(tile.x as f32) as i64;
-    let max_x = (a.x.max(b.x).max(c.x).ceil() as i64).min((tile.x + tile.width) as i64 - 1);
-    let min_y = a.y.min(b.y).min(c.y).floor().max(tile.y as f32) as i64;
-    let max_y = (a.y.max(b.y).max(c.y).ceil() as i64).min((tile.y + tile.height) as i64 - 1);
-    if min_x > max_x || min_y > max_y {
-        stats.triangles_clipped_away += 1;
-        return;
-    }
-    stats.triangles_rasterized += 1;
-
-    for py in min_y..=max_y {
-        for px in min_x..=max_x {
-            // Sample at the pixel center.
-            let p = Vec2::new(px as f32 + 0.5, py as f32 + 0.5);
-            let w0 = (b - p).cross(c - p) * inv_area;
-            let w1 = (c - p).cross(a - p) * inv_area;
-            let w2 = 1.0 - w0 - w1;
-            if w0 < 0.0 || w1 < 0.0 || w2 < 0.0 {
-                continue;
-            }
-            stats.fragments_shaded += 1;
-            let z = w0 * p0.z + w1 * p1.z + w2 * p2.z;
-            if !(-1.0..=1.0).contains(&z) {
-                continue; // beyond near/far in NDC
-            }
-            let col = c0 * w0 + c1 * w1 + c2 * w2;
-            let x_local = (px as u32) - tile.x;
-            let y_local = (py as u32) - tile.y;
-            if fb.set_if_closer(x_local, y_local, Rgb::from_f32(col.x, col.y, col.z), z) {
-                stats.fragments_written += 1;
-            }
+    // The original algorithm, preserved as the baseline: scan the whole
+    // bounding box and let the kernel's inside test reject. The binned
+    // engine's span-skipping path must match this bit-for-bit.
+    if let Some(tri) = setup_screen_tri(tile, v0, v1, v2, stats) {
+        let mut band = fb.as_band();
+        for py in tri.min_y..=tri.max_y {
+            raster_span(&mut band, tile, &tri, py, tri.min_x, tri.max_x, stats);
         }
     }
 }

@@ -7,7 +7,7 @@
 //! produces per-tile RGBA+depth volume layers; [`crate::composite`] blends
 //! distributed layers in view order.
 
-use crate::framebuffer::{Framebuffer, Rgb};
+use crate::framebuffer::{Framebuffer, FramebufferBand, Rgb};
 use crate::raster::RasterStats;
 use rave_math::{clampf, Mat4, Vec3, Viewport};
 use rave_scene::VolumeData;
@@ -58,11 +58,41 @@ pub fn raycast_volume(
     steps: u32,
     stats: &mut RasterStats,
 ) {
+    raycast_rows(
+        &mut fb.as_band(),
+        full_viewport,
+        tile,
+        volume,
+        model,
+        view_proj,
+        camera_pos,
+        tf,
+        steps,
+        stats,
+    );
+}
+
+/// Ray-cast the rows of `tile` covered by `band` (a view over the
+/// tile-sized framebuffer). Each pixel is independent, so partitioning
+/// the rows across bands reproduces the serial sweep bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+pub fn raycast_rows(
+    band: &mut FramebufferBand<'_>,
+    full_viewport: &Viewport,
+    tile: &Viewport,
+    volume: &VolumeData,
+    model: &Mat4,
+    view_proj: &Mat4,
+    camera_pos: Vec3,
+    tf: &TransferFunction,
+    steps: u32,
+    stats: &mut RasterStats,
+) {
     let Some(inv_model) = model.inverse() else { return };
     let bounds = volume.bounds();
     let Some(inv_vp) = view_proj.inverse() else { return };
 
-    for py in tile.y..tile.y + tile.height {
+    for py in tile.y + band.y_start()..tile.y + band.y_end() {
         for px in tile.x..tile.x + tile.width {
             // Un-project the pixel to a world-space ray.
             let ndc =
@@ -117,11 +147,11 @@ pub fn raycast_volume(
             let y_local = py - tile.y;
             // Composite over whatever is behind (alpha blend against the
             // existing color), respecting opaque depth.
-            if z < fb.depth_at(x_local, y_local) {
-                let bg = fb.get(x_local, y_local);
+            if z < band.depth_at(x_local, y_local) {
+                let bg = band.get(x_local, y_local);
                 let bgv = Vec3::new(bg.0 as f32 / 255.0, bg.1 as f32 / 255.0, bg.2 as f32 / 255.0);
                 let out = color + bgv * (1.0 - alpha);
-                fb.set(x_local, y_local, Rgb::from_f32(out.x, out.y, out.z), z);
+                band.set(x_local, y_local, Rgb::from_f32(out.x, out.y, out.z), z);
                 stats.fragments_written += 1;
             }
         }

@@ -132,6 +132,61 @@ proptest! {
         prop_assert_eq!(scene.total_cost().polygons, tris as u64);
     }
 
+    /// Tiles from `plan_tiles` exactly partition the viewport — every
+    /// pixel covered once, no zero-width strips — for arbitrary viewport
+    /// sizes and helper capacity vectors (including all-zero capacities
+    /// and viewports narrower than the participant count).
+    #[test]
+    fn tile_plans_partition_viewport_exactly(
+        width in 1u32..500,
+        height in 1u32..400,
+        capacities in prop::collection::vec(0u64..5000, 0..12),
+        observed in prop::collection::vec(1u64..1_000_000, 0..13),
+    ) {
+        use rave::core::tiles::{plan_tiles, plan_tiles_with_feedback, TileCostTracker};
+        use rave::math::Viewport;
+
+        let vp = Viewport::new(width, height);
+        let owner = RenderServiceId(1);
+        let helpers: Vec<CapacityReport> = capacities
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| report(i as u64 + 2, c))
+            .collect();
+
+        let mut tracker = TileCostTracker::new();
+        for (i, &rate) in observed.iter().enumerate() {
+            tracker.record(RenderServiceId(i as u64 + 1), rate, 1.0);
+        }
+
+        for plan in [
+            plan_tiles(&vp, owner, &helpers),
+            plan_tiles_with_feedback(&vp, owner, &helpers, &tracker),
+        ] {
+            prop_assert!(!plan.tiles.is_empty());
+            prop_assert_eq!(plan.tiles[0].1, owner, "owner takes the first tile");
+            // Exact partition into contiguous vertical strips.
+            let mut x = 0u32;
+            for (tile, _) in &plan.tiles {
+                prop_assert!(tile.width > 0, "zero-width tile in {:?}", plan);
+                prop_assert_eq!(tile.x, x, "gap or overlap in {:?}", plan);
+                prop_assert_eq!((tile.y, tile.height), (0u32, height));
+                x += tile.width;
+            }
+            prop_assert_eq!(x, width, "strips cover the full width");
+            // Each service appears at most once.
+            let mut seen = std::collections::BTreeSet::new();
+            for (_, svc) in &plan.tiles {
+                prop_assert!(seen.insert(*svc), "service {} tiled twice", svc);
+            }
+            // Zero-capacity helpers never appear.
+            for (_, svc) in plan.tiles.iter().skip(1) {
+                let cap = capacities[(svc.0 - 2) as usize];
+                prop_assert!(cap > 0, "zero-capacity helper {} got a tile", svc);
+            }
+        }
+    }
+
     /// Migration shed selection never picks more than needed + one node,
     /// and always picks smallest-first.
     #[test]

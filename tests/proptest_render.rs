@@ -135,6 +135,38 @@ proptest! {
         prop_assert_eq!(a.diff_fraction(&b, 0.0), 0.0);
     }
 
+    /// THE parallel-engine invariant: the binned rayon renderer produces
+    /// the same image as the serial immediate-mode reference — bit for
+    /// bit, color and depth — at every thread count from 1 to 8.
+    #[test]
+    fn parallel_render_bit_identical_to_serial(
+        tree in scene_strategy(),
+        cam in camera_strategy(),
+    ) {
+        let r = Renderer::default();
+        let mut reference = Framebuffer::new(48, 36);
+        r.render_reference(&tree, &cam, &mut reference);
+
+        for threads in 1usize..=8 {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let mut fb = Framebuffer::new(48, 36);
+            pool.install(|| r.render(&tree, &cam, &mut fb));
+            prop_assert_eq!(
+                reference.diff_fraction(&fb, 0.0), 0.0,
+                "color differs at {} threads", threads
+            );
+            for y in 0..36u32 {
+                for x in 0..48u32 {
+                    prop_assert_eq!(
+                        reference.depth_at(x, y).to_bits(),
+                        fb.depth_at(x, y).to_bits(),
+                        "depth differs at ({}, {}) with {} threads", x, y, threads
+                    );
+                }
+            }
+        }
+    }
+
     /// Depth buffer correctness under arbitrary draw order: rendering a
     /// scene with nodes in reversed child order gives the same image.
     #[test]

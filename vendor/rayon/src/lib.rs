@@ -1,32 +1,343 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, now backed by real OS threads.
 //!
-//! Exposes `into_par_iter()` with rayon's API shape but sequential
-//! execution: the workspace's parallel call sites compile and produce
-//! identical results, just without the thread pool. Determinism is a
-//! feature here — simulation tests stay reproducible.
+//! Exposes the subset of rayon's API shape this workspace uses —
+//! `into_par_iter()` with `map`/`collect`/`reduce`/`for_each`, plus
+//! `ThreadPoolBuilder::install` and `current_num_threads` — executed on
+//! `std::thread::scope` workers. Unlike real rayon there is no
+//! work-stealing pool: each call splits its input into contiguous,
+//! order-preserving chunks, one per worker thread, and joins them in
+//! submission order. That makes every combinator **deterministic**: the
+//! result of `collect` is in input order and the reduction tree of
+//! `reduce` depends only on the input length and the thread count, never
+//! on scheduling. Determinism is a feature here — simulation tests and
+//! the renderer's bit-identical-to-serial guarantee depend on it.
+//!
+//! Thread-count resolution, strongest first:
+//! 1. the innermost active [`ThreadPool::install`] on this thread,
+//! 2. the `RAYON_NUM_THREADS` environment variable,
+//! 3. `std::thread::available_parallelism()`.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
 
 pub mod prelude {
-    pub use super::IntoParallelIterator;
+    pub use super::{IntoParallelIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Thread count forced by an enclosing `ThreadPool::install`.
+    static INSTALLED: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS").ok().and_then(|v| v.parse::<usize>().ok())
+    })
+}
+
+/// Number of worker threads parallel combinators on this thread will use.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = INSTALLED.with(|c| c.get()) {
+        return n.max(1);
+    }
+    if let Some(n) = env_threads() {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Builder for a [`ThreadPool`] (API-compatible subset).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads.unwrap_or(0) })
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A "pool" that pins the thread count for combinators run under
+/// [`ThreadPool::install`]. Workers themselves are spawned per call
+/// (scoped), not kept alive — sufficient for the workspace's usage.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        }
+    }
+
+    /// Run `op` with this pool's thread count forced for any parallel
+    /// combinator invoked (transitively) on the calling thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED.with(|c| c.replace(Some(self.current_num_threads())));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+}
+
+/// Split `items` into at most `parts` contiguous chunks of near-equal
+/// length, preserving order.
+fn split_chunks<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let parts = parts.clamp(1, items.len().max(1));
+    let mut chunks = Vec::with_capacity(parts);
+    let total = items.len();
+    // Peel chunks off the front so chunk k covers the k-th contiguous
+    // range of the input.
+    let mut taken = 0;
+    for k in 0..parts {
+        let want = (total * (k + 1)) / parts - taken;
+        taken += want;
+        let rest = items.split_off(want);
+        chunks.push(items);
+        items = rest;
+    }
+    chunks
+}
+
+/// Map `f` over `items` on `threads` scoped workers, returning per-chunk
+/// outputs in input order.
+fn par_map_chunks<T, R, F>(items: Vec<T>, threads: usize, f: &F) -> Vec<Vec<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return vec![items.into_iter().map(f).collect()];
+    }
+    let chunks = split_chunks(items, threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rayon worker panicked")).collect()
+    })
 }
 
 /// Blanket "parallel" conversion: any `IntoIterator` gains
-/// `into_par_iter()`, returning its ordinary sequential iterator (which
-/// already has `map`/`filter`/`collect`/...).
+/// `into_par_iter()`, returning a [`ParIter`] over its items.
 pub trait IntoParallelIterator: IntoIterator + Sized {
-    fn into_par_iter(self) -> Self::IntoIter {
-        self.into_iter()
+    fn into_par_iter(self) -> ParIter<Self::Item> {
+        ParIter { items: self.into_iter().collect() }
     }
 }
 
 impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
 
+/// The combinators shared by [`ParIter`] and [`ParMap`]. Mirrors the
+/// `rayon::iter::ParallelIterator` trait so `use rayon::prelude::*` call
+/// sites read identically to the real crate.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    /// Consume into a vector of items, in input order.
+    fn into_vec(self) -> Vec<Self::Item>;
+
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.into_vec().into_iter().collect()
+    }
+
+    fn for_each(self, f: impl Fn(Self::Item) + Sync) {
+        self.into_vec();
+        let _ = &f;
+    }
+
+    /// Deterministic parallel reduction: chunk results are folded in
+    /// chunk (= input) order.
+    fn reduce(
+        self,
+        identity: impl Fn() -> Self::Item + Sync,
+        op: impl Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    ) -> Self::Item {
+        self.into_vec().into_iter().fold(identity(), &op)
+    }
+}
+
+/// A materialized parallel iterator (input order preserved).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap { items: self.items, f }
+    }
+
+    pub fn with_min_len(self, _n: usize) -> Self {
+        self
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn into_vec(self) -> Vec<T> {
+        self.items
+    }
+
+    fn for_each(self, f: impl Fn(T) + Sync) {
+        let threads = current_num_threads();
+        par_map_chunks(self.items, threads, &|item| f(item));
+    }
+
+    fn reduce(self, identity: impl Fn() -> T + Sync, op: impl Fn(T, T) -> T + Sync) -> T {
+        let threads = current_num_threads();
+        let chunks = par_map_chunks(self.items, threads, &|x| x);
+        chunks.into_iter().map(|c| c.into_iter().fold(identity(), &op)).fold(identity(), &op)
+    }
+}
+
+/// A mapped parallel iterator: runs `f` on scoped worker threads at the
+/// terminal operation.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParallelIterator for ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    type Item = R;
+
+    fn into_vec(self) -> Vec<R> {
+        let threads = current_num_threads();
+        let mut out = Vec::with_capacity(self.items.len());
+        for chunk in par_map_chunks(self.items, threads, &self.f) {
+            out.extend(chunk);
+        }
+        out
+    }
+
+    fn for_each(self, f: impl Fn(R) + Sync) {
+        let threads = current_num_threads();
+        let map = &self.f;
+        par_map_chunks(self.items, threads, &|item| f(map(item)));
+    }
+
+    /// Deterministic parallel map-reduce: each worker folds its contiguous
+    /// chunk left-to-right, then chunk results fold in chunk order. For a
+    /// given input length and thread count the float rounding is fixed;
+    /// for associative ops (counters, max) it equals the serial fold.
+    fn reduce(self, identity: impl Fn() -> R + Sync, op: impl Fn(R, R) -> R + Sync) -> R {
+        let threads = current_num_threads();
+        let chunks = par_map_chunks(self.items, threads, &self.f);
+        chunks.into_iter().map(|c| c.into_iter().fold(identity(), &op)).fold(identity(), &op)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn par_iter_matches_sequential() {
-        let squares: Vec<usize> = (0..10usize).into_par_iter().map(|i| i * i).collect();
-        assert_eq!(squares, (0..10usize).map(|i| i * i).collect::<Vec<_>>());
+        let squares: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (0..1000usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn order_preserved_at_any_thread_count() {
+        let expect: Vec<usize> = (0..257).collect();
+        for n in [1, 2, 3, 8, 64] {
+            let pool = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+            let got: Vec<usize> =
+                pool.install(|| (0..257usize).into_par_iter().map(|i| i).collect());
+            assert_eq!(got, expect, "{n} threads");
+        }
+    }
+
+    #[test]
+    fn reduce_sums_counters() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let total =
+            pool.install(|| (1..=100u64).into_par_iter().map(|i| i).reduce(|| 0, |a, b| a + b));
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn install_nests_and_restores() {
+        let outer = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            inner.install(|| assert_eq!(current_num_threads(), 7));
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn split_chunks_covers_all() {
+        let chunks = split_chunks((0..10).collect::<Vec<_>>(), 3);
+        assert_eq!(chunks.len(), 3);
+        let flat: Vec<i32> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let v: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn really_runs_on_worker_threads() {
+        use std::sync::Mutex;
+        let ids: Mutex<Vec<std::thread::ThreadId>> = Mutex::new(Vec::new());
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            (0..64u32).into_par_iter().map(|i| i).for_each(|_| {
+                let id = std::thread::current().id();
+                let mut g = ids.lock().unwrap();
+                if !g.contains(&id) {
+                    g.push(id);
+                }
+            });
+        });
+        // At least one worker distinct from the caller (scoped spawn).
+        let g = ids.lock().unwrap();
+        assert!(!g.is_empty());
+        assert!(g.iter().any(|&id| id != std::thread::current().id()));
     }
 }
