@@ -1,0 +1,172 @@
+//! Frame-streaming head to head: the word-wide RLE/delta kernels versus
+//! their scalar reference encoders on render-like 640x480 frames, the
+//! strip-parallel container at 1/2/4 rayon threads, and the simulated
+//! §5.1 PDA session (0.83M polygons, 200x200, wireless) with the raw
+//! 24 bpp transfer replaced by the adaptive compressed stream. Emits
+//! `BENCH_frame_stream.json` at the repo root. The headline claims —
+//! checked with asserts at the bottom — are >= 2x kernel throughput for
+//! both word-wide encoders and a higher simulated fps for the adaptive
+//! stream. Set `FRAME_STREAM_QUICK=1` for a tiny CI smoke run (fewer
+//! timing rounds and frames; same JSON shape, same asserts).
+
+use criterion::Criterion;
+use rave_compress::{delta, rle, stream, Codec};
+use rave_core::config::CompressionMode;
+use rave_core::frame_stream::synthesize_frame;
+use rave_core::thin_client::{connect, stream_frames};
+use rave_core::world::RaveWorld;
+use rave_core::{ClientId, RaveConfig, RenderServiceId};
+use rave_math::Vec3;
+use rave_scene::{MeshData, NodeKind};
+use rave_sim::Simulation;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+const FRAME: (u32, u32) = (640, 480);
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap()
+}
+
+/// The §5.1 hand scenario: one render service holding a `polys`-triangle
+/// mesh, one PDA over the wireless link.
+fn pda_session(polys: usize, mode: CompressionMode) -> (Simulation<RaveWorld>, ClientId) {
+    let config = RaveConfig { frame_compression: mode, ..RaveConfig::default() };
+    let mut sim = Simulation::new(RaveWorld::paper_testbed(config, 7));
+    let rs: RenderServiceId = sim.world.spawn_render_service("laptop");
+    let mesh = MeshData {
+        positions: vec![Vec3::ZERO, Vec3::X, Vec3::Y],
+        normals: vec![],
+        colors: vec![],
+        triangles: vec![[0, 1, 2]; polys],
+        texture_bytes: 0,
+    };
+    let scene = &mut sim.world.render_mut(rs).scene;
+    let root = scene.root();
+    scene.add_node(root, "model", NodeKind::Mesh(Arc::new(mesh))).unwrap();
+    let cl = sim.world.spawn_thin_client("zaurus");
+    connect(&mut sim, cl, rs);
+    (sim, cl)
+}
+
+fn streamed_fps(polys: usize, frames: u64, mode: CompressionMode) -> (f64, f64) {
+    let (mut sim, cl) = pda_session(polys, mode);
+    stream_frames(&mut sim, cl, frames);
+    sim.run();
+    let stats = &mut sim.world.client_mut(cl).stats;
+    (stats.fps(), stats.compression_ratio())
+}
+
+fn main() {
+    let quick = std::env::var("FRAME_STREAM_QUICK").is_ok_and(|v| v == "1");
+    let rounds = if quick { 3 } else { 9 };
+    let sim_frames: u64 = if quick { 4 } else { 12 };
+    let (w, h) = FRAME;
+    let frame_len = (w * h * 3) as usize;
+    let mb = frame_len as f64 / 1e6;
+
+    // Render-like content: flat background plus a moving gradient block,
+    // the same generator the simulated stream uses. Consecutive frames so
+    // the delta base is realistic.
+    let prev = synthesize_frame(w, h, 0);
+    let cur = synthesize_frame(w, h, 1);
+
+    // The word-wide kernels must be bit-identical to the scalar reference
+    // before any timing is trusted.
+    assert_eq!(rle::encode(&cur), rle::encode_scalar(&cur));
+    assert_eq!(delta::encode(&cur, Some(&prev)), delta::encode_scalar(&cur, Some(&prev)));
+
+    // Criterion lines for the usual `cargo bench` readout (skipped in the
+    // CI smoke run; the interleaved JSON pass below is the record).
+    if !quick {
+        let mut c = Criterion::default().sample_size(10);
+        c.bench_function("rle_encode_scalar_640x480", |b| {
+            b.iter(|| std::hint::black_box(rle::encode_scalar(&cur)))
+        });
+        c.bench_function("rle_encode_wordwide_640x480", |b| {
+            b.iter(|| std::hint::black_box(rle::encode(&cur)))
+        });
+        c.bench_function("delta_encode_wordwide_640x480", |b| {
+            b.iter(|| std::hint::black_box(delta::encode(&cur, Some(&prev))))
+        });
+    }
+
+    // Interleaved best-of-`rounds` timing so background-load noise hits
+    // every configuration equally instead of whichever ran last.
+    let mut rle_scalar = f64::INFINITY;
+    let mut rle_word = f64::INFINITY;
+    let mut delta_scalar = f64::INFINITY;
+    let mut delta_word = f64::INFINITY;
+    let pools: Vec<(usize, rayon::ThreadPool)> = THREADS.iter().map(|&t| (t, pool(t))).collect();
+    let strips = stream::strip_count_for(frame_len, 16 * 1024);
+    let mut strip_par: Vec<(usize, f64)> = THREADS.iter().map(|&t| (t, f64::INFINITY)).collect();
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        std::hint::black_box(rle::encode_scalar(&cur));
+        rle_scalar = rle_scalar.min(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        std::hint::black_box(rle::encode(&cur));
+        rle_word = rle_word.min(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        std::hint::black_box(delta::encode_scalar(&cur, Some(&prev)));
+        delta_scalar = delta_scalar.min(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        std::hint::black_box(delta::encode(&cur, Some(&prev)));
+        delta_word = delta_word.min(t0.elapsed().as_secs_f64());
+
+        for (i, (_, p)) in pools.iter().enumerate() {
+            let t0 = Instant::now();
+            std::hint::black_box(p.install(|| {
+                stream::encode_frame(Codec::DeltaRle, &cur, Some(&prev), Some(&prev), strips)
+            }));
+            strip_par[i].1 = strip_par[i].1.min(t0.elapsed().as_secs_f64());
+        }
+    }
+    let speedup_rle = rle_scalar / rle_word;
+    let speedup_delta = delta_scalar / delta_word;
+
+    // Simulated PDA fps, raw 24 bpp versus the adaptive stream, on the
+    // paper's 0.83M-polygon hand scene. Virtual-time, so deterministic.
+    let (fps_raw, _) = streamed_fps(830_000, sim_frames, CompressionMode::Raw);
+    let (fps_adaptive, ratio) = streamed_fps(830_000, sim_frames, CompressionMode::Adaptive);
+    let fps_gain = fps_adaptive / fps_raw;
+
+    let strip_json: Vec<String> =
+        strip_par.iter().map(|(t, s)| format!("\"{t}\": {:.1}", mb / s)).collect();
+    let out = format!(
+        "{{\n  \"bench\": \"frame_stream\",\n  \"frame\": \"{w}x{h}\",\n  \"quick\": {quick},\n  \
+         \"kernels\": {{\n    \"rle_scalar_mb_s\": {:.1},\n    \"rle_wordwide_mb_s\": {:.1},\n    \
+         \"rle_speedup\": {speedup_rle:.2},\n    \"delta_scalar_mb_s\": {:.1},\n    \
+         \"delta_wordwide_mb_s\": {:.1},\n    \"delta_speedup\": {speedup_delta:.2}\n  }},\n  \
+         \"strip_parallel_mb_s\": {{ {} }},\n  \"sim\": {{\n    \"fps_raw\": {fps_raw:.2},\n    \
+         \"fps_adaptive\": {fps_adaptive:.2},\n    \"fps_gain\": {fps_gain:.2},\n    \
+         \"compression_ratio\": {ratio:.4}\n  }}\n}}\n",
+        mb / rle_scalar,
+        mb / rle_word,
+        mb / delta_scalar,
+        mb / delta_word,
+        strip_json.join(", "),
+    );
+    let dest = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_frame_stream.json");
+    std::fs::write(&dest, &out).unwrap();
+    println!("{out}");
+    println!("wrote {}", dest.display());
+
+    assert!(
+        speedup_rle >= 2.0,
+        "word-wide RLE should be >= 2x the scalar reference (got {speedup_rle:.2}x)"
+    );
+    assert!(
+        speedup_delta >= 2.0,
+        "word-wide delta should be >= 2x the scalar reference (got {speedup_delta:.2}x)"
+    );
+    assert!(
+        fps_gain > 1.2,
+        "adaptive stream should beat raw 24 bpp on wireless (got {fps_gain:.2}x)"
+    );
+}

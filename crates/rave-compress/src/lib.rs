@@ -16,6 +16,7 @@ pub mod adaptive;
 pub mod delta;
 pub mod quantize;
 pub mod rle;
+pub mod stream;
 
 /// The codecs a render service can apply to an outgoing frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,6 +46,22 @@ impl Codec {
             Codec::Quant565 => "rgb565",
             Codec::Quant565Rle => "rgb565+rle",
         }
+    }
+
+    /// Stable on-wire identifier (used in [`stream`] container headers).
+    pub fn id(self) -> u8 {
+        match self {
+            Codec::Raw => 0,
+            Codec::Rle => 1,
+            Codec::DeltaRle => 2,
+            Codec::Quant565 => 3,
+            Codec::Quant565Rle => 4,
+        }
+    }
+
+    /// Inverse of [`Codec::id`]; `None` for unknown wire values.
+    pub fn from_id(id: u8) -> Option<Codec> {
+        Codec::ALL.into_iter().find(|c| c.id() == id)
     }
 
     pub fn is_lossy(self) -> bool {

@@ -2,6 +2,17 @@
 
 use rave_sim::SimTime;
 
+/// How render services ship frames to thin clients and tile owners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompressionMode {
+    /// Uncompressed 24 bpp — the paper's measured baseline (Table 2).
+    #[default]
+    Raw,
+    /// Adaptive codec selection + dirty-strip reuse through
+    /// `rave_compress::stream` (the §6 future-work item, built out).
+    Adaptive,
+}
+
 /// Global RAVE configuration: the thresholds and knobs §3.2.7 describes
 /// qualitatively, made explicit.
 #[derive(Debug, Clone)]
@@ -37,6 +48,19 @@ pub struct RaveConfig {
     /// Updates between durable snapshot checkpoints when a session store
     /// is attached (§3.1.1's "intermittently streamed to disk" cadence).
     pub checkpoint_every: u64,
+    /// Frame transport for thin-client streams and helper tile returns.
+    pub frame_compression: CompressionMode,
+    /// Re-probe (trial-encode all codecs) every N frames in adaptive
+    /// mode; between probes the selector estimates from EWMA ratios.
+    pub codec_reprobe_every: u64,
+    /// EWMA weight of the newest measured compression ratio, in (0, 1].
+    pub codec_ewma_alpha: f64,
+    /// Permit lossy (RGB565) codecs on thin-client frame streams. Tile
+    /// returns are always lossless regardless (they are stitched into a
+    /// composite that must match the monolithic render).
+    pub allow_lossy_frames: bool,
+    /// Target bytes per strip in the dirty-strip frame container.
+    pub frame_strip_bytes: usize,
 }
 
 impl Default for RaveConfig {
@@ -58,6 +82,11 @@ impl Default for RaveConfig {
             // Direct serialization: bulk memcpy-ish, ~50 ns/byte.
             direct_per_byte: 50.0e-9,
             checkpoint_every: 256,
+            frame_compression: CompressionMode::Raw,
+            codec_reprobe_every: 30,
+            codec_ewma_alpha: 0.3,
+            allow_lossy_frames: true,
+            frame_strip_bytes: 16 * 1024,
         }
     }
 }
@@ -72,5 +101,13 @@ mod tests {
         assert!(c.overload_fps < c.underload_fps);
         assert!(c.fill_factor > 0.0 && c.fill_factor <= 1.0);
         assert!(c.introspect_per_byte > c.direct_per_byte * 10.0);
+    }
+
+    #[test]
+    fn default_frame_transport_is_the_paper_baseline() {
+        let c = RaveConfig::default();
+        assert_eq!(c.frame_compression, CompressionMode::Raw);
+        assert!(c.codec_ewma_alpha > 0.0 && c.codec_ewma_alpha <= 1.0);
+        assert!(c.frame_strip_bytes > 0);
     }
 }

@@ -16,6 +16,7 @@
 //! | Collaboration & avatars (§3.2.4, §5.2) | [`collaboration`] |
 //! | GUI: pick/select/drag + interrogation menus (§5.2) | [`gui`] |
 //! | Bootstrap with update overlap (§5.5) | [`bootstrap`] |
+//! | Compressed frame streaming (§5.1, §6) | [`frame_stream`] |
 //! | The assembled world (testbed, §4.4) | [`world`] |
 //! | Distributed volume rendering (§6) | [`volume_dist`] |
 //! | Computational steering / remote bridge (§5.2) | [`steering`] |
@@ -33,6 +34,7 @@ pub mod collaboration;
 pub mod config;
 pub mod data_service;
 pub mod distribution;
+pub mod frame_stream;
 pub mod gui;
 pub mod ids;
 pub mod migration;

@@ -8,9 +8,11 @@
 //! the requesting render service."
 
 use crate::capacity::CapacityReport;
+use crate::config::CompressionMode;
 use crate::ids::{ClientId, RenderServiceId};
 use crate::trace::TraceKind;
 use crate::world::RaveSim;
+use rave_compress::adaptive::EndpointSpeed;
 use rave_math::Viewport;
 use rave_render::composite::stitch_tiles;
 use rave_render::{Framebuffer, OffscreenMode};
@@ -308,8 +310,6 @@ pub fn render_tiled_frame(
         let cost =
             sim.world.render(*svc).machine.offscreen_cost(polys, pixels, OffscreenMode::Sequential);
         let rendered = req_arrives + SimTime::from_secs(cost.total());
-        let arrival = sim.world.send_bytes(rendered, &helper_host, &owner_host, pixels * 3);
-        tile_arrivals.push(arrival);
         let (img, units) = if produce_images {
             let (img, stats) =
                 sim.world.render(*svc).rasterize_tile_with_stats(&camera, &full_viewport, tile_vp);
@@ -317,6 +317,29 @@ pub fn render_tiled_frame(
         } else {
             (None, pixels + 8 * polys)
         };
+        // Tile return: raw 24 bpp, or the compressed stream when the
+        // world has real pixels to encode. Always lossless — the tile is
+        // stitched into a composite that must match a monolithic render.
+        let arrival = match (&img, sim.world.config.frame_compression) {
+            (Some(fb), CompressionMode::Adaptive) => {
+                let out = crate::frame_stream::send_frame(
+                    &mut sim.world,
+                    rendered,
+                    *svc,
+                    client,
+                    &helper_host,
+                    &owner_host,
+                    &fb.to_rgb_bytes(),
+                    EndpointSpeed::workstation(),
+                    EndpointSpeed::workstation(),
+                    false,
+                );
+                // The owner decodes before it can stitch.
+                out.arrival + SimTime::from_secs(out.decode_secs)
+            }
+            _ => sim.world.send_bytes(rendered, &helper_host, &owner_host, pixels * 3),
+        };
+        tile_arrivals.push(arrival);
         images.push(img);
         tile_costs.push(TileCost {
             service: *svc,
@@ -552,6 +575,28 @@ mod tests {
             torn.diff_fraction(&clean, 0.0) > 0.0,
             "stale tile produces a visibly different (torn) image"
         );
+    }
+
+    #[test]
+    fn compressed_tile_return_stays_bit_exact_and_shrinks_static_frames() {
+        let (mut sim, owner, helper, client) = tiled_world();
+        sim.world.config.frame_compression = CompressionMode::Adaptive;
+        let cam = CameraParams::look_at(Vec3::new(0.0, 0.0, 4.0), Vec3::ZERO, Vec3::Y);
+        let plan = plan_tiles(&Viewport::new(64, 64), owner, &[report(helper, 100)]);
+        let r1 = render_tiled_frame(&mut sim, owner, client, &plan, cam, &BTreeSet::new());
+        let tiled = r1.image.unwrap();
+        let mono = sim.world.render_mut(owner).rasterize(client).unwrap();
+        assert_eq!(mono.diff_fraction(&tiled, 0.0), 0.0, "compressed tiling is invisible");
+
+        // Frame 2, camera unchanged: the helper tile is byte-identical, so
+        // the dirty-strip container ships almost nothing.
+        let before = sim.world.frame_cache.stats(helper, client).unwrap();
+        let r2 = render_tiled_frame(&mut sim, owner, client, &plan, cam, &BTreeSet::new());
+        let after = sim.world.frame_cache.stats(helper, client).unwrap();
+        assert_eq!(after.frames, before.frames + 1);
+        let frame2_bytes = after.encoded_bytes - before.encoded_bytes;
+        assert!(frame2_bytes < 64, "static tile resend cost {frame2_bytes} bytes");
+        assert_eq!(r2.image.unwrap().diff_fraction(&mono, 0.0), 0.0);
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub enum TraceKind {
     Recovery,
     /// Measured per-tile render cost fed back into the tile planner.
     TileCostFeedback,
+    /// The adaptive frame stream changed codec for a client.
+    CodecSwitch,
 }
 
 /// One trace record.

@@ -3,6 +3,7 @@
 
 use crate::config::RaveConfig;
 use crate::data_service::DataService;
+use crate::frame_stream::FrameCache;
 use crate::ids::{ClientId, DataServiceId, RenderServiceId};
 use crate::render_service::RenderService;
 use crate::thin_client::ThinClient;
@@ -31,6 +32,8 @@ pub struct RaveWorld {
     pub thin_clients: BTreeMap<ClientId, ThinClient>,
     /// Serializing per-(sender, receiver) channels for bulk streams.
     channels: BTreeMap<(String, String), Channel>,
+    /// Compressed frame-stream state per (render service, client).
+    pub frame_cache: FrameCache,
     pub trace: EventTrace,
     pub rng: SimRng,
     /// When each render service first reported sustained under-load
@@ -60,6 +63,7 @@ impl RaveWorld {
             render_services: BTreeMap::new(),
             thin_clients: BTreeMap::new(),
             channels: BTreeMap::new(),
+            frame_cache: FrameCache::new(),
             trace: EventTrace::new(),
             rng: SimRng::new(seed),
             underload_since: BTreeMap::new(),
@@ -178,6 +182,20 @@ impl RaveWorld {
     /// Queue `bytes` from `from` to `to` at `now`; returns arrival time.
     pub fn send_bytes(&mut self, now: SimTime, from: &str, to: &str, bytes: u64) -> SimTime {
         self.channel(from, to).send(now, bytes)
+    }
+
+    /// Queue a compressed payload: `wire_bytes` drive link timing and
+    /// goodput, `logical_bytes` (pre-encode size) feed the compression
+    /// accounting. Returns arrival time.
+    pub fn send_encoded_bytes(
+        &mut self,
+        now: SimTime,
+        from: &str,
+        to: &str,
+        wire_bytes: u64,
+        logical_bytes: u64,
+    ) -> SimTime {
+        self.channel(from, to).send_encoded(now, wire_bytes, logical_bytes)
     }
 
     // ---- lookups with panics-on-bug semantics --------------------------

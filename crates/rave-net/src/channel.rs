@@ -14,22 +14,47 @@ pub struct Channel {
     link: LinkSpec,
     /// When the wire finishes carrying the last queued message.
     busy_until: SimTime,
-    /// Total payload bytes accepted.
+    /// Total *wire* bytes accepted — what actually crossed the link,
+    /// after any compression.
     bytes_sent: u64,
+    /// Total pre-compression payload bytes the senders handed over.
+    logical_bytes_sent: u64,
     messages_sent: u64,
 }
 
 impl Channel {
     pub fn new(link: LinkSpec) -> Self {
-        Self { link, busy_until: SimTime::ZERO, bytes_sent: 0, messages_sent: 0 }
+        Self {
+            link,
+            busy_until: SimTime::ZERO,
+            bytes_sent: 0,
+            logical_bytes_sent: 0,
+            messages_sent: 0,
+        }
     }
 
     pub fn link(&self) -> &LinkSpec {
         &self.link
     }
 
+    /// Wire bytes carried (encoded size for compressed streams).
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent
+    }
+
+    /// Logical payload bytes carried (pre-compression size).
+    pub fn logical_bytes_sent(&self) -> u64 {
+        self.logical_bytes_sent
+    }
+
+    /// Achieved `wire / logical` ratio over the channel's lifetime
+    /// (1.0 when nothing was compressed or nothing was sent).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.logical_bytes_sent == 0 {
+            1.0
+        } else {
+            self.bytes_sent as f64 / self.logical_bytes_sent as f64
+        }
     }
 
     pub fn messages_sent(&self) -> u64 {
@@ -44,10 +69,20 @@ impl Channel {
     /// Queue a message of `bytes` at time `now`; returns its arrival time
     /// at the receiver.
     pub fn send(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        self.send_encoded(now, bytes, bytes)
+    }
+
+    /// Queue a *compressed* message: `wire_bytes` occupy the link and
+    /// drive timing; `logical_bytes` (the pre-encode payload size) only
+    /// feed the accounting, so `observed_goodput` reports what actually
+    /// crossed the wire while [`Channel::compression_ratio`] reports the
+    /// saving.
+    pub fn send_encoded(&mut self, now: SimTime, wire_bytes: u64, logical_bytes: u64) -> SimTime {
         let start = now.max(self.busy_until);
-        let done_tx = start + self.link.tx_time(bytes);
+        let done_tx = start + self.link.tx_time(wire_bytes);
         self.busy_until = done_tx;
-        self.bytes_sent += bytes;
+        self.bytes_sent += wire_bytes;
+        self.logical_bytes_sent += logical_bytes;
         self.messages_sent += 1;
         done_tx + self.link.latency
     }
@@ -126,6 +161,25 @@ mod tests {
         let mut c = Channel::new(LinkSpec::wireless_11mb(1.0));
         c.send(SimTime::ZERO, 1_200_000);
         assert!(c.backlog(SimTime::ZERO).as_secs() > 1.0);
+    }
+
+    #[test]
+    fn encoded_sends_charge_wire_bytes_only() {
+        let mut plain = Channel::new(LinkSpec::wireless_11mb(1.0));
+        let mut compressed = Channel::new(LinkSpec::wireless_11mb(1.0));
+        let a_plain = plain.send(SimTime::ZERO, 120_000);
+        // Same logical frame at 4:1 compression: arrives much earlier...
+        let a_comp = compressed.send_encoded(SimTime::ZERO, 30_000, 120_000);
+        assert!(a_comp < a_plain);
+        // ...and the books separate wire from logical traffic.
+        assert_eq!(compressed.bytes_sent(), 30_000);
+        assert_eq!(compressed.logical_bytes_sent(), 120_000);
+        assert!((compressed.compression_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(plain.bytes_sent(), plain.logical_bytes_sent());
+        assert_eq!(plain.compression_ratio(), 1.0);
+        // Goodput measures the wire, not the logical stream.
+        let g = compressed.observed_goodput(a_comp);
+        assert!(g < 600_000.0, "goodput reflects wire bytes: {g}");
     }
 
     #[test]

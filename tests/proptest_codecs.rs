@@ -2,11 +2,18 @@
 //! binary frame protocol, SOAP, and the PLY/OBJ model formats.
 
 use proptest::prelude::*;
-use rave::compress::Codec;
+use rave::compress::{delta, rle, stream, Codec};
 use rave::grid::{SoapCodec, SoapEnvelope, SoapValue};
 use rave::math::Vec3;
 use rave::net::{Frame, FrameKind};
 use rave::scene::MeshData;
+
+/// A shared 2-thread pool for the thread-invariance property (built once;
+/// per-case pool spawning would dominate the test).
+fn two_thread_pool() -> &'static rayon::ThreadPool {
+    static POOL: std::sync::OnceLock<rayon::ThreadPool> = std::sync::OnceLock::new();
+    POOL.get_or_init(|| rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap())
+}
 
 fn rgb_frame() -> impl Strategy<Value = Vec<u8>> {
     // Pixel count then content mode: flat runs, gradients, or noise —
@@ -48,6 +55,72 @@ proptest! {
             } else {
                 prop_assert_eq!(&dec, &frame, "{}", codec.name());
             }
+        }
+    }
+
+    /// The word-wide production kernels emit the exact byte stream of the
+    /// scalar reference encoders, for any content.
+    #[test]
+    fn wordwide_kernels_match_scalar(frame in rgb_frame(), prev in rgb_frame()) {
+        prop_assert_eq!(rle::encode(&frame), rle::encode_scalar(&frame));
+        let prev_arg = if prev.len() == frame.len() { Some(&prev[..]) } else { None };
+        prop_assert_eq!(delta::encode(&frame, prev_arg), delta::encode_scalar(&frame, prev_arg));
+        prop_assert_eq!(delta::encode(&frame, None), delta::encode_scalar(&frame, None));
+    }
+
+    /// The dirty-strip container roundtrips any frame under every codec
+    /// and strip count (exactly for lossless codecs, within the RGB565
+    /// bound for lossy ones), and its bytes do not depend on the rayon
+    /// thread count.
+    #[test]
+    fn strip_container_roundtrips(
+        frame in rgb_frame(),
+        prev in rgb_frame(),
+        strips in 0u16..40,
+    ) {
+        let prev_arg = if prev.len() == frame.len() { Some(&prev[..]) } else { None };
+        for codec in Codec::ALL {
+            let enc = stream::encode_frame(codec, &frame, prev_arg, prev_arg, strips);
+            let enc2 = two_thread_pool().install(|| {
+                stream::encode_frame(codec, &frame, prev_arg, prev_arg, strips)
+            });
+            prop_assert_eq!(&enc, &enc2, "thread-count invariant ({})", codec.name());
+            let dec = stream::decode_frame(&enc, prev_arg).expect("decodable");
+            prop_assert_eq!(dec.len(), frame.len(), "{}", codec.name());
+            if codec.is_lossy() {
+                for (a, b) in frame.iter().zip(&dec) {
+                    prop_assert!((*a as i16 - *b as i16).abs() <= 8, "{}", codec.name());
+                }
+            } else {
+                prop_assert_eq!(&dec, &frame, "{}", codec.name());
+            }
+        }
+    }
+
+    /// Decoders must refuse arbitrary garbage with `None`, never panic:
+    /// raw codec payloads, and stream containers both from whole cloth
+    /// and from a single corrupted byte in a valid container.
+    #[test]
+    fn decoders_never_panic_on_corrupt_input(
+        garbage in prop::collection::vec(any::<u8>(), 0..600),
+        frame in rgb_frame(),
+        flip_at in any::<usize>(),
+        flip_bits in 1u8..255,
+    ) {
+        for codec in Codec::ALL {
+            let _ = codec.decode(&garbage, None);
+            let _ = codec.decode(&garbage, Some(&frame));
+        }
+        let _ = rle::decode(&garbage);
+        let _ = delta::decode(&garbage, Some(&frame));
+        let _ = stream::decode_frame(&garbage, Some(&frame));
+
+        let mut enc = stream::encode_frame(Codec::DeltaRle, &frame, None, Some(&frame), 7);
+        let i = flip_at % enc.len();
+        enc[i] ^= flip_bits;
+        if let Some(dec) = stream::decode_frame(&enc, Some(&frame)) {
+            // A surviving decode may differ, but must stay frame-shaped.
+            prop_assert_eq!(dec.len() % 3, 0);
         }
     }
 
