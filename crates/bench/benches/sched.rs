@@ -1,0 +1,217 @@
+//! Scheduler refactor guardrail: plan latency of the unified placement
+//! engine (`sched::placement` behind `plan_distribution`) versus a
+//! verbatim copy of the pre-refactor first-fit-decreasing planner, over
+//! 100/1k/10k content nodes × 4/16/64 services. Emits `BENCH_sched.json`
+//! at the repo root; the assert at the bottom holds the unified engine to
+//! within 10% of the old planner in aggregate. Set `SCHED_QUICK=1` for a
+//! tiny CI smoke run (fewer timing rounds, same JSON shape, same assert).
+
+use rave_core::capacity::CapacityReport;
+use rave_core::distribution::{plan_distribution, split_node, DistributionPlan, PlanError};
+use rave_core::RenderServiceId;
+use rave_math::Vec3;
+use rave_scene::{MeshData, NodeCost, NodeId, NodeKind, SceneTree};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+const NODE_COUNTS: [usize; 3] = [100, 1_000, 10_000];
+const SERVICE_COUNTS: [u64; 3] = [4, 16, 64];
+
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+    fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+fn tiny_mesh(tris: u32) -> MeshData {
+    MeshData {
+        positions: vec![Vec3::ZERO, Vec3::X, Vec3::Y],
+        normals: vec![],
+        colors: vec![],
+        triangles: vec![[0, 1, 2]; tris as usize],
+        texture_bytes: 0,
+    }
+}
+
+/// `n` mesh nodes with varied (seeded) sizes, so the decreasing sort and
+/// first-fit scan do non-degenerate work.
+fn scene_with(n: usize) -> SceneTree {
+    let mut rng = Lcg(0x5eed_bec4 ^ n as u64);
+    let mut scene = SceneTree::new();
+    let root = scene.root();
+    for i in 0..n {
+        let tris = rng.in_range(10, 400) as u32;
+        scene.add_node(root, format!("m{i}"), NodeKind::Mesh(Arc::new(tiny_mesh(tris)))).unwrap();
+    }
+    scene
+}
+
+fn report(id: u64, polys: u64) -> CapacityReport {
+    CapacityReport {
+        service: RenderServiceId(id),
+        host: format!("h{id}"),
+        polys_per_sec: 1e7,
+        poly_headroom: polys,
+        texture_headroom: 1 << 40,
+        volume_hw: false,
+        assigned: NodeCost::ZERO,
+        rolling_fps: None,
+    }
+}
+
+/// Verbatim copy of the pre-refactor `plan_distribution` (the inline FFD
+/// loop `sched::placement::place_with_splitting` replaced).
+fn old_plan(
+    scene: &mut SceneTree,
+    candidates: &[CapacityReport],
+) -> Result<DistributionPlan, PlanError> {
+    if candidates.is_empty() {
+        return Err(PlanError::NoCandidates);
+    }
+    let demand = scene.total_cost();
+    let total_polys = candidates.iter().fold(0u64, |a, c| a.saturating_add(c.poly_headroom));
+    let total_tex = candidates.iter().fold(0u64, |a, c| a.saturating_add(c.texture_headroom));
+    if demand.polygons > total_polys || demand.texture_bytes > total_tex {
+        return Err(PlanError::InsufficientResources {
+            required_polygons: demand.polygons,
+            total_poly_headroom: total_polys,
+            required_texture: demand.texture_bytes,
+            total_texture_headroom: total_tex,
+        });
+    }
+    let mut remaining: Vec<(RenderServiceId, u64, u64)> =
+        candidates.iter().map(|c| (c.service, c.poly_headroom, c.texture_headroom)).collect();
+    remaining.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut queue: Vec<(NodeId, NodeCost)> = scene
+        .find_all(|n| {
+            !n.kind.cost().is_zero() && !matches!(n.kind, NodeKind::Avatar(_) | NodeKind::Camera(_))
+        })
+        .into_iter()
+        .map(|id| (id, scene.node(id).expect("found").kind.cost()))
+        .collect();
+    queue.sort_by(|a, b| b.1.render_weight().cmp(&a.1.render_weight()).then(a.0.cmp(&b.0)));
+    let mut assignments: std::collections::BTreeMap<RenderServiceId, (Vec<NodeId>, NodeCost)> =
+        std::collections::BTreeMap::new();
+    let mut splits = 0u32;
+    while !queue.is_empty() {
+        let (id, cost) = queue.remove(0);
+        let slot = remaining
+            .iter_mut()
+            .find(|(_, polys, tex)| cost.polygons <= *polys && cost.texture_bytes <= *tex);
+        match slot {
+            Some((svc, polys, tex)) => {
+                *polys -= cost.polygons;
+                *tex -= cost.texture_bytes;
+                let entry = assignments.entry(*svc).or_default();
+                entry.0.push(id);
+                entry.1 += cost;
+                remaining.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            }
+            None => match split_node(scene, id) {
+                Some((a, b)) => {
+                    splits += 1;
+                    let ca = scene.node(a).expect("split child").kind.cost();
+                    let cb = scene.node(b).expect("split child").kind.cost();
+                    if ca.render_weight() >= cb.render_weight() {
+                        queue.insert(0, (a, ca));
+                        queue.insert(1, (b, cb));
+                    } else {
+                        queue.insert(0, (b, cb));
+                        queue.insert(1, (a, ca));
+                    }
+                }
+                None => {
+                    return Err(PlanError::IndivisibleNode {
+                        node: id,
+                        polygons: cost.polygons,
+                        largest_headroom: remaining.iter().map(|(_, p, _)| *p).max().unwrap_or(0),
+                    });
+                }
+            },
+        }
+    }
+    Ok(DistributionPlan {
+        assignments: assignments
+            .into_iter()
+            .map(|(service, (nodes, cost))| rave_core::distribution::Assignment {
+                service,
+                nodes,
+                cost,
+            })
+            .collect(),
+        splits_performed: splits,
+    })
+}
+
+fn main() {
+    let quick = std::env::var("SCHED_QUICK").is_ok_and(|v| v == "1");
+    let rounds = if quick { 3 } else { 9 };
+
+    let mut configs = Vec::new();
+    let mut old_total = 0.0f64;
+    let mut new_total = 0.0f64;
+    for &nodes in &NODE_COUNTS {
+        let mut scene = scene_with(nodes);
+        let total_polys = scene.total_cost().polygons;
+        for &services in &SERVICE_COUNTS {
+            // Generous headroom: plans complete without splits, so the
+            // timing isolates the packing loop itself and the scene is
+            // never mutated between rounds.
+            let per_service = (total_polys / services) * 2 + 1_000;
+            let reports: Vec<CapacityReport> =
+                (1..=services).map(|i| report(i, per_service)).collect();
+
+            // The engines must agree before any timing is trusted.
+            let baseline = old_plan(&mut scene, &reports).unwrap();
+            assert_eq!(plan_distribution(&mut scene, &reports).unwrap(), baseline);
+
+            // Interleaved best-of-rounds so load noise hits both equally.
+            let mut old_best = f64::INFINITY;
+            let mut new_best = f64::INFINITY;
+            for _ in 0..rounds {
+                let t0 = Instant::now();
+                std::hint::black_box(old_plan(&mut scene, &reports).unwrap());
+                old_best = old_best.min(t0.elapsed().as_secs_f64());
+
+                let t0 = Instant::now();
+                std::hint::black_box(plan_distribution(&mut scene, &reports).unwrap());
+                new_best = new_best.min(t0.elapsed().as_secs_f64());
+            }
+            old_total += old_best;
+            new_total += new_best;
+            configs.push(format!(
+                "{{ \"nodes\": {nodes}, \"services\": {services}, \"old_ms\": {:.3}, \
+                 \"unified_ms\": {:.3}, \"ratio\": {:.3} }}",
+                old_best * 1e3,
+                new_best * 1e3,
+                new_best / old_best,
+            ));
+        }
+    }
+    let aggregate_ratio = new_total / old_total;
+
+    let out = format!(
+        "{{\n  \"bench\": \"sched\",\n  \"quick\": {quick},\n  \"configs\": [\n    {}\n  ],\n  \
+         \"old_total_ms\": {:.3},\n  \"unified_total_ms\": {:.3},\n  \
+         \"aggregate_ratio\": {aggregate_ratio:.3}\n}}\n",
+        configs.join(",\n    "),
+        old_total * 1e3,
+        new_total * 1e3,
+    );
+    let dest = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sched.json");
+    std::fs::write(&dest, &out).unwrap();
+    println!("{out}");
+    println!("wrote {}", dest.display());
+
+    assert!(
+        aggregate_ratio <= 1.10,
+        "unified planner must stay within 10% of the pre-refactor planner \
+         (got {aggregate_ratio:.3}x aggregate)"
+    );
+}

@@ -116,6 +116,23 @@ pub fn connect_render_service(
     BootstrapTiming { subscribed_at, marshalled_at, ready_at: arrival, snapshot_bytes: stats.bytes }
 }
 
+/// Connect every render service named by a [`DistributionPlan`], each with
+/// an interest set covering exactly its assigned subtrees. Returns the
+/// per-service timings in plan order.
+pub fn connect_planned(
+    sim: &mut RaveSim,
+    ds_id: DataServiceId,
+    plan: &crate::distribution::DistributionPlan,
+) -> Vec<(RenderServiceId, BootstrapTiming)> {
+    plan.assignments
+        .iter()
+        .map(|a| {
+            let interest = InterestSet::subtrees(a.nodes.iter().copied());
+            (a.service, connect_render_service(sim, a.service, ds_id, interest))
+        })
+        .collect()
+}
+
 /// Replace a crashed data service with one recovered from its durable
 /// store (§3.1.1's persistence made crash-tolerant).
 ///

@@ -33,13 +33,41 @@ impl CapacityReport {
     /// Can this service additionally accept `cost` (with the planner's
     /// fill factor already applied by the caller)?
     pub fn can_accept(&self, cost: &NodeCost) -> bool {
-        cost.polygons <= self.poly_headroom && cost.texture_bytes <= self.texture_headroom
+        self.headroom().fits(cost)
     }
 
     /// Scalar headroom used for ordering candidate services (most spare
     /// capacity first).
     pub fn headroom_weight(&self) -> u64 {
         self.poly_headroom
+    }
+
+    /// The report's remaining room as a debitable ledger entry.
+    pub fn headroom(&self) -> Headroom {
+        Headroom { polygons: self.poly_headroom, texture_bytes: self.texture_headroom }
+    }
+}
+
+/// A service's remaining room on the two advertised capacity axes. Every
+/// "does it fit / subtract it" check in the scheduler, migration and
+/// distribution paths goes through this one type rather than re-deriving
+/// the comparison from raw `(poly, tex)` tuples inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Headroom {
+    pub polygons: u64,
+    pub texture_bytes: u64,
+}
+
+impl Headroom {
+    /// Does `cost` fit on both capacity axes?
+    pub fn fits(&self, cost: &NodeCost) -> bool {
+        cost.polygons <= self.polygons && cost.texture_bytes <= self.texture_bytes
+    }
+
+    /// Subtract a placed cost (caller guarantees [`Headroom::fits`]).
+    pub fn debit(&mut self, cost: &NodeCost) {
+        self.polygons -= cost.polygons;
+        self.texture_bytes -= cost.texture_bytes;
     }
 }
 
@@ -71,5 +99,15 @@ mod tests {
     #[test]
     fn headroom_orders_candidates() {
         assert!(report(5000, 0).headroom_weight() > report(100, 0).headroom_weight());
+    }
+
+    #[test]
+    fn headroom_debits_both_axes() {
+        let mut room = report(1000, 500).headroom();
+        let cost = NodeCost { polygons: 400, texture_bytes: 100, ..NodeCost::ZERO };
+        assert!(room.fits(&cost));
+        room.debit(&cost);
+        assert_eq!(room, Headroom { polygons: 600, texture_bytes: 400 });
+        assert!(!room.fits(&NodeCost { polygons: 601, ..NodeCost::ZERO }));
     }
 }

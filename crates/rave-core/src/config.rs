@@ -61,6 +61,16 @@ pub struct RaveConfig {
     pub allow_lossy_frames: bool,
     /// Target bytes per strip in the dirty-strip frame container.
     pub frame_strip_bytes: usize,
+    /// EWMA weight of the newest measured throughput observation in the
+    /// scheduler's [`crate::sched::ThroughputTracker`], in (0, 1].
+    pub sched_ewma_alpha: f64,
+    /// `CostDrift` trigger: a service whose measured throughput falls
+    /// below this fraction of its advertised rate gets re-planned before
+    /// the overload fps threshold ever trips.
+    pub sched_drift_ratio: f64,
+    /// Emit a `TraceKind::SchedDecision` record (candidates, scores,
+    /// choice) for every migration/failure placement decision.
+    pub sched_decision_trace: bool,
 }
 
 impl Default for RaveConfig {
@@ -87,6 +97,9 @@ impl Default for RaveConfig {
             codec_ewma_alpha: 0.3,
             allow_lossy_frames: true,
             frame_strip_bytes: 16 * 1024,
+            sched_ewma_alpha: 0.3,
+            sched_drift_ratio: 0.5,
+            sched_decision_trace: true,
         }
     }
 }
@@ -109,5 +122,13 @@ mod tests {
         assert_eq!(c.frame_compression, CompressionMode::Raw);
         assert!(c.codec_ewma_alpha > 0.0 && c.codec_ewma_alpha <= 1.0);
         assert!(c.frame_strip_bytes > 0);
+    }
+
+    #[test]
+    fn default_sched_knobs_sane() {
+        let c = RaveConfig::default();
+        assert!(c.sched_ewma_alpha > 0.0 && c.sched_ewma_alpha <= 1.0);
+        assert!(c.sched_drift_ratio > 0.0 && c.sched_drift_ratio < 1.0);
+        assert!(c.sched_decision_trace, "decision audit on by default");
     }
 }

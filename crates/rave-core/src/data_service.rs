@@ -206,6 +206,11 @@ impl DataService {
         self.subscribers.remove(&rs).is_some()
     }
 
+    /// Ids of every current subscriber, in stable (id) order.
+    pub fn subscriber_ids(&self) -> Vec<RenderServiceId> {
+        self.subscribers.keys().copied().collect()
+    }
+
     /// Route a freshly committed update: returns the live subscribers it
     /// must be delivered to, buffering it for bootstrapping ones.
     pub fn route(&mut self, stamped: &StampedUpdate) -> Vec<RenderServiceId> {

@@ -7,9 +7,16 @@
 //! single service can hold them, and refuses with an explanatory error
 //! when total resources are insufficient (the paper's present-testbed
 //! behaviour).
+//!
+//! Since the scheduler unification this module is a thin adapter: the
+//! packing loop itself lives in [`crate::sched::placement`] (shared with
+//! migration and failover re-plans); what stays here is the dataset
+//! vocabulary — [`DistributionPlan`], [`PlanError`], the feasibility
+//! pre-check, and the spatial [`split_node`] the engine calls back into.
 
 use crate::capacity::CapacityReport;
 use crate::ids::RenderServiceId;
+use crate::sched::placement::{place_with_splitting, Ledger, PlaceError};
 use rave_scene::{NodeCost, NodeId, NodeKind, SceneTree};
 use std::sync::Arc;
 
@@ -174,87 +181,37 @@ pub fn plan_distribution(
         });
     }
 
-    // Remaining headroom per candidate, ordered most-spacious first.
-    let mut remaining: Vec<(RenderServiceId, u64, u64)> =
-        candidates.iter().map(|c| (c.service, c.poly_headroom, c.texture_headroom)).collect();
-    remaining.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-
-    // First-fit-decreasing over content units, splitting when nothing
-    // fits.
-    let mut queue = distributable_units(scene);
-    queue.sort_by(|a, b| b.1.render_weight().cmp(&a.1.render_weight()).then(a.0.cmp(&b.0)));
-    let mut assignments: std::collections::BTreeMap<RenderServiceId, (Vec<NodeId>, NodeCost)> =
-        std::collections::BTreeMap::new();
-    let mut splits = 0u32;
-
-    while let Some((id, cost)) = queue.pop_front_fifo() {
-        let slot = remaining
-            .iter_mut()
-            .find(|(_, polys, tex)| cost.polygons <= *polys && cost.texture_bytes <= *tex);
-        match slot {
-            Some((svc, polys, tex)) => {
-                *polys -= cost.polygons;
-                *tex -= cost.texture_bytes;
-                let entry = assignments.entry(*svc).or_default();
-                entry.0.push(id);
-                entry.1 += cost;
-                // Keep most-spacious-first ordering.
-                remaining.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-            }
-            None => {
-                // Nothing fits: split and requeue, or fail.
-                match split_node(scene, id) {
-                    Some((a, b)) => {
-                        splits += 1;
-                        let ca = scene.node(a).expect("split child").kind.cost();
-                        let cb = scene.node(b).expect("split child").kind.cost();
-                        // Push the larger half first (still decreasing-ish).
-                        if ca.render_weight() >= cb.render_weight() {
-                            queue.insert(0, (a, ca));
-                            queue.insert(1, (b, cb));
-                        } else {
-                            queue.insert(0, (b, cb));
-                            queue.insert(1, (a, ca));
-                        }
-                    }
-                    None => {
-                        return Err(PlanError::IndivisibleNode {
-                            node: id,
-                            polygons: cost.polygons,
-                            largest_headroom: remaining
-                                .iter()
-                                .map(|(_, p, _)| *p)
-                                .max()
-                                .unwrap_or(0),
-                        })
-                    }
-                }
-            }
+    // The shared engine does the first-fit-decreasing packing with the
+    // re-sort-after-every-placement ledger policy this planner has always
+    // used; splitting calls back into the spatial [`split_node`].
+    let mut ledger = Ledger::from_reports(candidates, true);
+    let outcome = place_with_splitting(
+        &mut ledger,
+        distributable_units(scene),
+        |id| {
+            let (a, b) = split_node(scene, id)?;
+            let ca = scene.node(a).expect("split child").kind.cost();
+            let cb = scene.node(b).expect("split child").kind.cost();
+            Some([(a, ca), (b, cb)])
+        },
+        // Bulk planning is latency-sensitive and discards the records;
+        // migration/failure paths record through the ledger directly.
+        false,
+    )
+    .map_err(|e| match e {
+        PlaceError::Indivisible { item, polygons, largest_headroom } => {
+            PlanError::IndivisibleNode { node: item, polygons, largest_headroom }
         }
-    }
+    })?;
 
     Ok(DistributionPlan {
-        assignments: assignments
+        assignments: outcome
+            .assignments
             .into_iter()
-            .map(|(service, (nodes, cost))| Assignment { service, nodes, cost })
+            .map(|(service, nodes, cost)| Assignment { service, nodes, cost })
             .collect(),
-        splits_performed: splits,
+        splits_performed: outcome.splits,
     })
-}
-
-/// Tiny FIFO-pop helper so the planner reads top-down.
-trait PopFront<T> {
-    fn pop_front_fifo(&mut self) -> Option<T>;
-}
-
-impl<T> PopFront<T> for Vec<T> {
-    fn pop_front_fifo(&mut self) -> Option<T> {
-        if self.is_empty() {
-            None
-        } else {
-            Some(self.remove(0))
-        }
-    }
 }
 
 #[cfg(test)]
@@ -353,6 +310,32 @@ mod tests {
     fn no_candidates_is_an_error() {
         let mut scene = scene_with_meshes(&[10]);
         assert_eq!(plan_distribution(&mut scene, &[]), Err(PlanError::NoCandidates));
+    }
+
+    #[test]
+    fn plan_error_is_a_std_error_with_explanatory_display() {
+        // The §3.2.5 "refused with an explanatory error message": PlanError
+        // composes with `?` into boxed-error call chains and renders a
+        // human-readable refusal for each variant.
+        fn plan_or_box(
+            scene: &mut SceneTree,
+            candidates: &[CapacityReport],
+        ) -> Result<DistributionPlan, Box<dyn std::error::Error>> {
+            Ok(plan_distribution(scene, candidates)?)
+        }
+        let mut scene = scene_with_meshes(&[1000]);
+        let err = plan_or_box(&mut scene, &[]).unwrap_err();
+        assert_eq!(err.to_string(), "no render services available");
+
+        let err = plan_or_box(&mut scene, &[report(1, 300)]).unwrap_err();
+        assert!(err.to_string().contains("insufficient render resources"), "explanatory: {err}");
+        assert!(err.to_string().contains("1000"), "names the demand: {err}");
+
+        let indivisible =
+            PlanError::IndivisibleNode { node: NodeId(7), polygons: 900, largest_headroom: 50 };
+        let msg = indivisible.to_string();
+        assert!(msg.contains("cannot be split further"), "{msg}");
+        assert!(msg.contains("50"), "{msg}");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | Capacity interrogation (§3.2.5) | [`capacity`] |
 //! | Dataset distribution (§3.2.5) | [`distribution`] |
 //! | Framebuffer/tile distribution (§3.2.5) | [`tiles`] |
+//! | Unified workload scheduler (§3.2.5, §3.2.7) | [`sched`] |
 //! | Workload migration (§3.2.7) | [`migration`] |
 //! | Collaboration & avatars (§3.2.4, §5.2) | [`collaboration`] |
 //! | GUI: pick/select/drag + interrogation menus (§5.2) | [`gui`] |
@@ -41,6 +42,7 @@ pub mod migration;
 pub mod mirror;
 pub mod persist;
 pub mod render_service;
+pub mod sched;
 pub mod steering;
 pub mod thin_client;
 pub mod tiles;

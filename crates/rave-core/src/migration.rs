@@ -8,176 +8,24 @@
 //! insufficient spare capacity, then the data server uses UDDI to
 //! discover additional render services that are not connected to the data
 //! service."
+//!
+//! The decision machinery lives in [`crate::sched::rebalance`] since the
+//! scheduler unification; this module keeps the historical entry points
+//! as thin adapters that detect the trigger condition and feed the
+//! [`SchedEvent`] stream.
 
-use crate::bootstrap::connect_render_service;
 use crate::ids::{DataServiceId, RenderServiceId};
-use crate::trace::TraceKind;
+use crate::sched::rebalance::{detect_overload, detect_underload, process_events};
 use crate::world::RaveSim;
-use rave_grid::TechnicalModel;
-use rave_scene::{InterestSet, NodeCost, NodeId};
 
-/// What a migration pass did.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct MigrationOutcome {
-    /// `(node, from, to)` moves performed.
-    pub moved: Vec<(NodeId, RenderServiceId, RenderServiceId)>,
-    /// Render services recruited via UDDI this pass.
-    pub recruited: Vec<RenderServiceId>,
-    /// True when work remained unplaceable ("the request is refused").
-    pub refused: bool,
-}
-
-impl MigrationOutcome {
-    pub fn acted(&self) -> bool {
-        !self.moved.is_empty() || !self.recruited.is_empty()
-    }
-}
-
-/// The node set to shed from an overloaded service: smallest nodes first,
-/// until `excess` polygons are covered. Fine-grain selection is the whole
-/// point — "If an underloaded service has capacity for another 5k
-/// polygons/sec ... we do not want to add 100k polygons by mistake."
-pub fn select_nodes_to_shed(
-    scene: &rave_scene::SceneTree,
-    roots: &[NodeId],
-    excess_polygons: u64,
-) -> Vec<(NodeId, NodeCost)> {
-    let mut candidates: Vec<(NodeId, NodeCost)> = roots
-        .iter()
-        .filter_map(|&id| scene.node(id).map(|_| (id, scene.subtree_cost(id))))
-        .filter(|(_, c)| !c.is_zero())
-        .collect();
-    candidates.sort_by_key(|(id, c)| (c.render_weight(), *id));
-    let mut shed = Vec::new();
-    let mut covered = 0u64;
-    for (id, cost) in candidates {
-        if covered >= excess_polygons {
-            break;
-        }
-        covered += cost.polygons;
-        shed.push((id, cost));
-    }
-    shed
-}
+pub use crate::sched::rebalance::{select_nodes_to_shed, MigrationOutcome, SchedEvent};
 
 /// One migration pass for `ds_id`: shed from overloaded services onto
 /// connected services with headroom, recruiting via UDDI when that is not
 /// enough.
 pub fn check_and_migrate(sim: &mut RaveSim, ds_id: DataServiceId) -> MigrationOutcome {
-    let now = sim.now();
-    let cfg = sim.world.config.clone();
-    let mut outcome = MigrationOutcome::default();
-
-    // Interrogate every connected render service.
-    let subscriber_ids: Vec<RenderServiceId> =
-        sim.world.data(ds_id).subscribers.keys().copied().collect();
-    let reports: Vec<_> =
-        subscriber_ids.iter().map(|&rs| sim.world.render(rs).capacity_report(&cfg)).collect();
-
-    let overloaded: Vec<RenderServiceId> = reports
-        .iter()
-        .filter(|r| r.rolling_fps.is_some_and(|f| f < cfg.overload_fps))
-        .map(|r| r.service)
-        .collect();
-    if overloaded.is_empty() {
-        return outcome;
-    }
-    for &rs in &overloaded {
-        sim.world.trace.record(
-            now,
-            TraceKind::Overload,
-            format!(
-                "{rs} at {:.1} fps (threshold {})",
-                sim.world.render(rs).rolling_fps().unwrap_or(0.0),
-                cfg.overload_fps
-            ),
-        );
-    }
-
-    // Headroom ledger over connected, non-overloaded services.
-    let mut ledger: Vec<(RenderServiceId, u64, u64)> = reports
-        .iter()
-        .filter(|r| !overloaded.contains(&r.service))
-        .map(|r| (r.service, r.poly_headroom, r.texture_headroom))
-        .collect();
-    ledger.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-
-    for over_rs in overloaded {
-        // How much must go: bring the service back inside its interactive
-        // polygon budget.
-        let (assigned, budget, roots) = {
-            let rs = sim.world.render(over_rs);
-            let pixels = rs
-                .sessions
-                .values()
-                .map(|s| s.viewport.pixel_count() as u64)
-                .max()
-                .unwrap_or(160_000);
-            let budget = rs.machine.poly_budget_at_fps(cfg.target_fps, pixels);
-            let roots: Vec<NodeId> = if rs.interest.is_everything() {
-                rs.scene.node(rs.scene.root()).map(|root| root.children.clone()).unwrap_or_default()
-            } else {
-                rs.interest.roots().collect()
-            };
-            (rs.assigned_cost(), budget, roots)
-        };
-        let excess = assigned.polygons.saturating_sub(budget);
-        if excess == 0 {
-            continue;
-        }
-        let shed = select_nodes_to_shed(&sim.world.render(over_rs).scene, &roots, excess);
-
-        let mut unplaced: Vec<(NodeId, NodeCost)> = Vec::new();
-        for (node, cost) in shed {
-            let slot =
-                ledger.iter_mut().find(|(_, p, t)| cost.polygons <= *p && cost.texture_bytes <= *t);
-            match slot {
-                Some((to, p, t)) => {
-                    let to = *to;
-                    *p -= cost.polygons;
-                    *t -= cost.texture_bytes;
-                    move_node(sim, ds_id, node, over_rs, to, &cost);
-                    outcome.moved.push((node, over_rs, to));
-                }
-                None => unplaced.push((node, cost)),
-            }
-        }
-
-        if !unplaced.is_empty() {
-            // Recruit via UDDI: registered render services not yet
-            // connected to this data service.
-            let recruited = recruit_unconnected(sim, ds_id);
-            match recruited {
-                Some(new_rs) => {
-                    outcome.recruited.push(new_rs);
-                    let report = sim.world.render(new_rs).capacity_report(&cfg);
-                    let mut p = report.poly_headroom;
-                    let mut t = report.texture_headroom;
-                    let mut still_unplaced = Vec::new();
-                    for (node, cost) in unplaced {
-                        if cost.polygons <= p && cost.texture_bytes <= t {
-                            p -= cost.polygons;
-                            t -= cost.texture_bytes;
-                            move_node(sim, ds_id, node, over_rs, new_rs, &cost);
-                            outcome.moved.push((node, over_rs, new_rs));
-                        } else {
-                            still_unplaced.push((node, cost));
-                        }
-                    }
-                    ledger.push((new_rs, p, t));
-                    if !still_unplaced.is_empty() {
-                        refuse(sim, ds_id, &still_unplaced);
-                        outcome.refused = true;
-                    }
-                }
-                None => {
-                    refuse(sim, ds_id, &unplaced);
-                    outcome.refused = true;
-                }
-            }
-        }
-    }
-    outcome
+    let events = detect_overload(sim, ds_id);
+    process_events(sim, ds_id, &events)
 }
 
 /// Track under-load and rebalance onto services that have been idle past
@@ -185,174 +33,8 @@ pub fn check_and_migrate(sim: &mut RaveSim, ds_id: DataServiceId) -> MigrationOu
 /// underloaded (for a given amount of time, to smooth out spikes of
 /// usage), the data service again redistributes data."
 pub fn check_underload_rebalance(sim: &mut RaveSim, ds_id: DataServiceId) -> MigrationOutcome {
-    let now = sim.now();
-    let cfg = sim.world.config.clone();
-    let mut outcome = MigrationOutcome::default();
-    let subscriber_ids: Vec<RenderServiceId> =
-        sim.world.data(ds_id).subscribers.keys().copied().collect();
-
-    // Update the debounce ledger.
-    let mut ready: Vec<RenderServiceId> = Vec::new();
-    for &rs in &subscriber_ids {
-        let fps = sim.world.render(rs).rolling_fps();
-        // No fps data counts as under-loaded only for an *empty* service
-        // (a fresh recruit); a loaded service that simply has not rendered
-        // lately is not a migration target.
-        let under = match fps {
-            Some(f) => f > cfg.underload_fps,
-            None => sim.world.render(rs).assigned_cost().is_zero(),
-        };
-        if under {
-            let since = *sim.world.underload_since.entry(rs).or_insert(now);
-            if now - since >= cfg.underload_debounce {
-                ready.push(rs);
-            }
-        } else {
-            sim.world.underload_since.remove(&rs);
-        }
-    }
-    if ready.is_empty() {
-        return outcome;
-    }
-
-    // Donor: the most loaded service not in the ready set.
-    let donor = subscriber_ids
-        .iter()
-        .filter(|rs| !ready.contains(rs))
-        .max_by_key(|&&rs| sim.world.render(rs).assigned_cost().polygons)
-        .copied();
-    let Some(donor) = donor else { return outcome };
-
-    for under_rs in ready {
-        sim.world.trace.record(now, TraceKind::Underload, format!("{under_rs} has headroom"));
-        let headroom = sim.world.render(under_rs).capacity_report(&cfg).poly_headroom;
-        if headroom == 0 {
-            continue;
-        }
-        let roots: Vec<NodeId> = {
-            let rs = sim.world.render(donor);
-            if rs.interest.is_everything() {
-                rs.scene.node(rs.scene.root()).map(|r| r.children.clone()).unwrap_or_default()
-            } else {
-                rs.interest.roots().collect()
-            }
-        };
-        // Fine-grain: move the largest node set that FITS the headroom
-        // (never overshoot — the §3.2.7 "5k vs 100k" rule).
-        let mut candidates: Vec<(NodeId, NodeCost)> = roots
-            .iter()
-            .filter_map(|&id| {
-                let scene = &sim.world.render(donor).scene;
-                scene.node(id).map(|_| (id, scene.subtree_cost(id)))
-            })
-            .filter(|(_, c)| !c.is_zero())
-            .collect();
-        candidates.sort_by_key(|(id, c)| (std::cmp::Reverse(c.render_weight()), *id));
-        let mut remaining = headroom;
-        for (node, cost) in candidates {
-            if cost.polygons <= remaining && donor != under_rs {
-                remaining -= cost.polygons;
-                move_node(sim, ds_id, node, donor, under_rs, &cost);
-                outcome.moved.push((node, donor, under_rs));
-            }
-        }
-        sim.world.underload_since.remove(&under_rs);
-    }
-    outcome
-}
-
-/// Execute one node move: update interest sets at the data service,
-/// charge the data transfer to the receiving service, and install/remove
-/// the subtree on the replicas.
-fn move_node(
-    sim: &mut RaveSim,
-    ds_id: DataServiceId,
-    node: NodeId,
-    from: RenderServiceId,
-    to: RenderServiceId,
-    cost: &NodeCost,
-) {
-    let now = sim.now();
-    let ds_host = sim.world.data(ds_id).host.clone();
-    let to_host = sim.world.render(to).host.clone();
-
-    // Update interest sets (data-service side routing).
-    {
-        let master_len;
-        {
-            let ds = sim.world.data_mut(ds_id);
-            master_len = ds.scene.len();
-            if let Some(sub) = ds.subscribers.get_mut(&from) {
-                sub.interest.remove_root(node);
-            }
-            if let Some(sub) = ds.subscribers.get_mut(&to) {
-                sub.interest.add_root(node);
-            }
-            ds.refresh_interests();
-        }
-        let _ = master_len;
-    }
-
-    // Replica surgery now; the transfer cost lands on the receiving side
-    // as an arrival event (the node is "in flight" until then, but the
-    // old holder keeps rendering it until the handoff — best effort).
-    let subtree = {
-        let ds = sim.world.data(ds_id);
-        ds.scene.extract_subset(&[node])
-    };
-    let bytes = cost.data_bytes.max(256);
-    let arrival = sim.world.send_bytes(now, &ds_host, &to_host, bytes);
-    sim.schedule_at(arrival, move |sim| {
-        let at = sim.now();
-        // The donor may already be gone (failure-triggered moves).
-        if let Some(rs) = sim.world.render_services.get_mut(&from) {
-            let _ = rs.scene.remove(node);
-            rs.interest.remove_root(node);
-        }
-        {
-            let rs = sim.world.render_mut(to);
-            rs.interest.add_root(node);
-            rs.scene.merge_subset(&subtree);
-        }
-        sim.world.trace.record(
-            at,
-            TraceKind::Migration,
-            format!("node {node} moved {from} -> {to}"),
-        );
-    });
-}
-
-/// Recruit one registered-but-unconnected render service via UDDI,
-/// charging the warm-scan cost and the bootstrap. Returns its id.
-fn recruit_unconnected(sim: &mut RaveSim, ds_id: DataServiceId) -> Option<RenderServiceId> {
-    let now = sim.now();
-    // Which render services exist but are not subscribed?
-    let connected: Vec<RenderServiceId> =
-        sim.world.data(ds_id).subscribers.keys().copied().collect();
-    let candidate = sim
-        .world
-        .render_services
-        .iter()
-        .filter(|(id, rs)| !connected.contains(id) && rs.offscreen_capable)
-        .map(|(id, _)| *id)
-        .next()?;
-
-    // Charge the UDDI inquiry (warm scan on the kept-alive proxy).
-    let results =
-        sim.world.registry.scan_access_points("RAVE", TechnicalModel::RenderService).len();
-    let scan = sim.world.uddi_cost.scan_cost(results);
-    sim.world.trace.record(
-        now,
-        TraceKind::Recruitment,
-        format!("{candidate} discovered via UDDI ({results} services scanned, {scan})"),
-    );
-    // The bootstrap starts after the scan completes; we approximate by
-    // offsetting the connect with a scheduled wrapper.
-    let start = now + scan;
-    sim.schedule_at(start, move |sim| {
-        connect_render_service(sim, candidate, ds_id, InterestSet::subtrees([]));
-    });
-    Some(candidate)
+    let events = detect_underload(sim, ds_id);
+    process_events(sim, ds_id, &events)
 }
 
 /// Handle the death of a render service (§6: "we can stop using a machine
@@ -364,109 +46,18 @@ pub fn handle_service_failure(
     ds_id: DataServiceId,
     dead: RenderServiceId,
 ) -> MigrationOutcome {
-    let now = sim.now();
-    let mut outcome = MigrationOutcome::default();
-    let cfg = sim.world.config.clone();
-
-    // Take the dead service's interest roots off the subscription.
-    let orphaned: Vec<NodeId> = {
-        let ds = sim.world.data_mut(ds_id);
-        let roots = ds
-            .subscribers
-            .get(&dead)
-            .map(|sub| {
-                if sub.interest.is_everything() {
-                    // A full replica holds everything; its loss orphans
-                    // nothing that others don't already have.
-                    Vec::new()
-                } else {
-                    sub.interest.roots().collect()
-                }
-            })
-            .unwrap_or_default();
-        ds.unsubscribe(dead);
-        roots
-    };
-    // Remove the dead service from the world and the registry: its
-    // replica and advertisement are gone.
-    let dead_host = sim.world.render(dead).host.clone();
-    sim.world.render_services.remove(&dead);
-    sim.world.registry.unpublish("RAVE", &dead_host, &format!("render-{dead}"));
-    sim.world.trace.record(
-        now,
-        TraceKind::Overload,
-        format!("{dead} failed; {} orphaned subtree(s)", orphaned.len()),
-    );
-    if orphaned.is_empty() {
-        return outcome;
-    }
-
-    // Redistribute orphaned nodes onto surviving subscribers by headroom.
-    let survivors: Vec<RenderServiceId> =
-        sim.world.data(ds_id).subscribers.keys().copied().collect();
-    let mut ledger: Vec<(RenderServiceId, u64, u64)> = survivors
-        .iter()
-        .map(|&rs| {
-            let r = sim.world.render(rs).capacity_report(&cfg);
-            (rs, r.poly_headroom, r.texture_headroom)
-        })
-        .collect();
-    ledger.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-
-    let mut unplaced = Vec::new();
-    for node in orphaned {
-        let cost = sim.world.data(ds_id).scene.subtree_cost(node);
-        let slot =
-            ledger.iter_mut().find(|(_, p, t)| cost.polygons <= *p && cost.texture_bytes <= *t);
-        match slot {
-            Some((to, p, t)) => {
-                let to = *to;
-                *p -= cost.polygons;
-                *t -= cost.texture_bytes;
-                move_node(sim, ds_id, node, dead, to, &cost);
-                outcome.moved.push((node, dead, to));
-            }
-            None => unplaced.push((node, cost)),
-        }
-    }
-    if !unplaced.is_empty() {
-        match recruit_unconnected(sim, ds_id) {
-            Some(new_rs) => {
-                outcome.recruited.push(new_rs);
-                for (node, cost) in unplaced {
-                    move_node(sim, ds_id, node, dead, new_rs, &cost);
-                    outcome.moved.push((node, dead, new_rs));
-                }
-            }
-            None => {
-                refuse(sim, ds_id, &unplaced);
-                outcome.refused = true;
-            }
-        }
-    }
-    outcome
-}
-
-fn refuse(sim: &mut RaveSim, ds_id: DataServiceId, unplaced: &[(NodeId, NodeCost)]) {
-    let now = sim.now();
-    let polys: u64 = unplaced.iter().map(|(_, c)| c.polygons).sum();
-    sim.world.trace.record(
-        now,
-        TraceKind::Refusal,
-        format!(
-            "{ds_id}: insufficient resources for {} nodes ({polys} polygons) — request refused",
-            unplaced.len()
-        ),
-    );
+    process_events(sim, ds_id, &[SchedEvent::Failure { service: dead }])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::TraceKind;
     use crate::world::RaveWorld;
     use crate::RaveConfig;
     use rave_math::{Vec3, Viewport};
     use rave_render::OffscreenMode;
+    use rave_scene::InterestSet;
     use rave_scene::{CameraParams, MeshData, NodeKind, SceneTree};
     use rave_sim::SimTime;
     use rave_sim::Simulation;

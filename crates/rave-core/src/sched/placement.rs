@@ -1,0 +1,314 @@
+//! The placement engine: capacity-aware first-fit-decreasing bin-packing
+//! with spatial splitting, over a headroom ledger built from interrogated
+//! [`CapacityReport`]s. Dataset distribution, migration shedding,
+//! failover re-planning and tile/volume participant ranking all make
+//! their choices here, and every choice can be captured as a
+//! [`DecisionRecord`] for the `SchedDecision` trace stream.
+
+use crate::capacity::{CapacityReport, Headroom};
+use crate::ids::RenderServiceId;
+use rave_scene::{NodeCost, NodeId};
+
+/// One candidate service's remaining room in the ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Slot {
+    pub service: RenderServiceId,
+    pub room: Headroom,
+}
+
+/// The considered candidates, their scores (polygon headroom at decision
+/// time) and the chosen placement for one workload — the audit record the
+/// unified `TraceKind::SchedDecision` events carry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRecord {
+    /// What was being placed, e.g. `"shard 5 (1200 polys)"`.
+    pub subject: String,
+    pub chosen: Option<RenderServiceId>,
+    /// `(service, poly headroom)` in the order they were considered.
+    pub candidates: Vec<(RenderServiceId, u64)>,
+}
+
+impl DecisionRecord {
+    /// Compact one-line rendering for the trace.
+    pub fn detail(&self, event: &str) -> String {
+        let cands: Vec<String> = self.candidates.iter().map(|(s, h)| format!("{s}@{h}")).collect();
+        match self.chosen {
+            Some(svc) => {
+                format!("{event}: {} -> {svc} [candidates: {}]", self.subject, cands.join(" "))
+            }
+            None => {
+                format!("{event}: {} -> unplaced [candidates: {}]", self.subject, cands.join(" "))
+            }
+        }
+    }
+}
+
+/// Remaining headroom per candidate service. Ordered most-spacious first
+/// (polygon headroom descending, service id ascending as the tiebreak);
+/// `keep_sorted` re-establishes that order after every debit — the
+/// distribution planner's policy — while migration-style ledgers keep
+/// their initial order.
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    slots: Vec<Slot>,
+    keep_sorted: bool,
+}
+
+impl Ledger {
+    pub fn from_reports(reports: &[CapacityReport], keep_sorted: bool) -> Self {
+        let slots =
+            reports.iter().map(|r| Slot { service: r.service, room: r.headroom() }).collect();
+        let mut ledger = Self { slots, keep_sorted };
+        ledger.sort();
+        ledger
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    fn sort(&mut self) {
+        self.slots
+            .sort_by(|a, b| b.room.polygons.cmp(&a.room.polygons).then(a.service.cmp(&b.service)));
+    }
+
+    /// Append a late-arriving candidate (a recruit) without disturbing
+    /// the existing order.
+    pub fn push(&mut self, service: RenderServiceId, room: Headroom) {
+        self.slots.push(Slot { service, room });
+    }
+
+    /// The biggest single-service polygon headroom (the `IndivisibleNode`
+    /// refusal's explanatory number).
+    pub fn largest_poly_headroom(&self) -> u64 {
+        self.slots.iter().map(|s| s.room.polygons).max().unwrap_or(0)
+    }
+
+    /// First-fit: the first slot (in ledger order) whose remaining room
+    /// covers `cost` on both capacity axes takes it and is debited.
+    pub fn fit(&mut self, cost: &NodeCost) -> Option<RenderServiceId> {
+        let slot = self.slots.iter_mut().find(|s| s.room.fits(cost))?;
+        slot.room.debit(cost);
+        let svc = slot.service;
+        if self.keep_sorted {
+            self.sort();
+        }
+        Some(svc)
+    }
+
+    /// Like [`Ledger::fit`], also capturing the considered candidates and
+    /// the choice as a [`DecisionRecord`].
+    pub fn fit_recorded(
+        &mut self,
+        cost: &NodeCost,
+        subject: impl Into<String>,
+    ) -> (Option<RenderServiceId>, DecisionRecord) {
+        let candidates: Vec<(RenderServiceId, u64)> =
+            self.slots.iter().map(|s| (s.service, s.room.polygons)).collect();
+        let chosen = self.fit(cost);
+        (chosen, DecisionRecord { subject: subject.into(), chosen, candidates })
+    }
+}
+
+/// Why the engine could not place everything.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlaceError {
+    /// A single unsplittable item exceeds every candidate's room.
+    Indivisible { item: NodeId, polygons: u64, largest_headroom: u64 },
+}
+
+/// What a full placement pass produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementOutcome {
+    /// Per-service `(nodes, total cost)`, ordered by service id.
+    pub assignments: Vec<(RenderServiceId, Vec<NodeId>, NodeCost)>,
+    /// Spatial splits performed to make things fit.
+    pub splits: u32,
+    /// One record per placement choice, in decision order.
+    pub decisions: Vec<DecisionRecord>,
+}
+
+/// First-fit-decreasing with spatial splitting: items are ordered largest
+/// render weight first (id ascending as tiebreak), each goes to the first
+/// ledger slot that fits, and an item nothing can hold is split via
+/// `splitter` — larger half requeued first — or the pass fails with
+/// [`PlaceError::Indivisible`].
+///
+/// This is exactly the pre-refactor `plan_distribution` packing loop,
+/// extracted so migration and failover re-plans flow through the same
+/// code. `record_decisions` controls whether per-item [`DecisionRecord`]s
+/// are captured: callers that discard them (the bulk dataset planner on
+/// its latency-sensitive path) skip the per-item bookkeeping entirely.
+pub fn place_with_splitting(
+    ledger: &mut Ledger,
+    queue: Vec<(NodeId, NodeCost)>,
+    splitter: impl FnMut(NodeId) -> Option<[(NodeId, NodeCost); 2]>,
+    record_decisions: bool,
+) -> Result<PlacementOutcome, PlaceError> {
+    let mut queue = queue;
+    let mut splitter = splitter;
+    queue.sort_by(|a, b| b.1.render_weight().cmp(&a.1.render_weight()).then(a.0.cmp(&b.0)));
+    let mut assignments: std::collections::BTreeMap<RenderServiceId, (Vec<NodeId>, NodeCost)> =
+        std::collections::BTreeMap::new();
+    let mut splits = 0u32;
+    let mut decisions = Vec::new();
+
+    while !queue.is_empty() {
+        let (id, cost) = queue.remove(0);
+        let chosen = if record_decisions {
+            let (chosen, record) =
+                ledger.fit_recorded(&cost, format!("shard {id} ({} polys)", cost.polygons));
+            decisions.push(record);
+            chosen
+        } else {
+            ledger.fit(&cost)
+        };
+        match chosen {
+            Some(svc) => {
+                let entry = assignments.entry(svc).or_default();
+                entry.0.push(id);
+                entry.1 += cost;
+            }
+            None => match splitter(id) {
+                Some([(a, ca), (b, cb)]) => {
+                    splits += 1;
+                    // Push the larger half first (still decreasing-ish).
+                    if ca.render_weight() >= cb.render_weight() {
+                        queue.insert(0, (a, ca));
+                        queue.insert(1, (b, cb));
+                    } else {
+                        queue.insert(0, (b, cb));
+                        queue.insert(1, (a, ca));
+                    }
+                }
+                None => {
+                    return Err(PlaceError::Indivisible {
+                        item: id,
+                        polygons: cost.polygons,
+                        largest_headroom: ledger.largest_poly_headroom(),
+                    });
+                }
+            },
+        }
+    }
+
+    Ok(PlacementOutcome {
+        assignments: assignments
+            .into_iter()
+            .map(|(service, (nodes, cost))| (service, nodes, cost))
+            .collect(),
+        splits,
+        decisions,
+    })
+}
+
+/// Rank assisting services strongest-first by advertised headroom,
+/// dropping those that can contribute nothing (zero headroom) and
+/// truncating to `cap` participants. This is the tile planner's
+/// participant-selection primitive, shared with volume placement.
+pub fn rank_helpers(helpers: &[CapacityReport], cap: usize) -> Vec<&CapacityReport> {
+    let mut ordered: Vec<&CapacityReport> =
+        helpers.iter().filter(|r| r.headroom_weight() > 0).collect();
+    ordered.sort_by_key(|r| std::cmp::Reverse(r.headroom_weight()));
+    ordered.truncate(cap);
+    ordered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(id: u64, polys: u64) -> CapacityReport {
+        CapacityReport {
+            service: RenderServiceId(id),
+            host: format!("h{id}"),
+            polys_per_sec: 1e7,
+            poly_headroom: polys,
+            texture_headroom: u64::MAX,
+            volume_hw: false,
+            assigned: NodeCost::ZERO,
+            rolling_fps: None,
+        }
+    }
+
+    fn polys(n: u64) -> NodeCost {
+        NodeCost { polygons: n, ..NodeCost::ZERO }
+    }
+
+    #[test]
+    fn ledger_orders_most_spacious_first() {
+        let mut ledger =
+            Ledger::from_reports(&[report(1, 100), report(2, 500), report(3, 500)], true);
+        // Ties break by id ascending; biggest headroom wins.
+        assert_eq!(ledger.fit(&polys(10)), Some(RenderServiceId(2)));
+        assert_eq!(ledger.largest_poly_headroom(), 500);
+    }
+
+    #[test]
+    fn keep_sorted_reorders_after_debit() {
+        let mut sorted = Ledger::from_reports(&[report(1, 500), report(2, 400)], true);
+        assert_eq!(sorted.fit(&polys(300)), Some(RenderServiceId(1)));
+        // 1 now holds 200 < 400: service 2 takes the next item.
+        assert_eq!(sorted.fit(&polys(300)), Some(RenderServiceId(2)));
+
+        let mut fixed = Ledger::from_reports(&[report(1, 500), report(2, 400)], false);
+        assert_eq!(fixed.fit(&polys(300)), Some(RenderServiceId(1)));
+        // Without resorting, 1 (200 left) is still first but cannot fit.
+        assert_eq!(fixed.fit(&polys(300)), Some(RenderServiceId(2)));
+        assert_eq!(fixed.fit(&polys(150)), Some(RenderServiceId(1)));
+    }
+
+    #[test]
+    fn fit_recorded_captures_candidates_and_choice() {
+        let mut ledger = Ledger::from_reports(&[report(1, 100), report(2, 50)], true);
+        let (chosen, rec) = ledger.fit_recorded(&polys(80), "shard 9 (80 polys)");
+        assert_eq!(chosen, Some(RenderServiceId(1)));
+        assert_eq!(rec.candidates, vec![(RenderServiceId(1), 100), (RenderServiceId(2), 50)]);
+        let line = rec.detail("Overload");
+        assert!(line.contains("shard 9"));
+        assert!(line.contains("-> rs1"));
+        let (none, rec) = ledger.fit_recorded(&polys(500), "shard 10 (500 polys)");
+        assert_eq!(none, None);
+        assert!(rec.detail("Failure").contains("unplaced"));
+    }
+
+    #[test]
+    fn place_with_splitting_splits_until_it_fits() {
+        let mut ledger = Ledger::from_reports(&[report(1, 60), report(2, 60)], true);
+        // One 100-poly item, splittable in halves down to single polys.
+        let out = place_with_splitting(
+            &mut ledger,
+            vec![(NodeId(10), polys(100))],
+            |id| {
+                let half = NodeId(id.0 * 2);
+                let other = NodeId(id.0 * 2 + 1);
+                Some([(half, polys(50)), (other, polys(50))])
+            },
+            true,
+        )
+        .unwrap();
+        assert_eq!(out.splits, 1);
+        let placed: u64 = out.assignments.iter().map(|(_, _, c)| c.polygons).sum();
+        assert_eq!(placed, 100);
+        assert_eq!(out.decisions.len(), 3, "one unplaced probe + two placements");
+    }
+
+    #[test]
+    fn place_with_splitting_reports_indivisible() {
+        let mut ledger = Ledger::from_reports(&[report(1, 60)], true);
+        let err = place_with_splitting(&mut ledger, vec![(NodeId(1), polys(100))], |_| None, false)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PlaceError::Indivisible { item: NodeId(1), polygons: 100, largest_headroom: 60 }
+        );
+    }
+
+    #[test]
+    fn rank_helpers_drops_dead_and_truncates() {
+        let helpers = [report(1, 0), report(2, 10), report(3, 500), report(4, 50)];
+        let ranked = rank_helpers(&helpers, 2);
+        let ids: Vec<u64> = ranked.iter().map(|r| r.service.0).collect();
+        assert_eq!(ids, vec![3, 4]);
+    }
+}

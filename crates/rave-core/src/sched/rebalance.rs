@@ -1,0 +1,787 @@
+//! Event-driven rebalancing: every trigger that can change a placement —
+//! overload (§3.2.7), sustained under-load, service failure (§6), and
+//! measured-throughput drift — is one [`SchedEvent`], and every event in
+//! a batch is handled through the same headroom ledger and movement
+//! machinery. `migration.rs` is a thin adapter that detects conditions
+//! and feeds the stream; the decisions themselves — considered
+//! candidates, scores, chosen placement — are recorded as
+//! [`crate::trace::TraceKind::SchedDecision`] events.
+
+use crate::bootstrap::connect_render_service;
+use crate::ids::{DataServiceId, RenderServiceId};
+use crate::sched::placement::Ledger;
+use crate::trace::TraceKind;
+use crate::world::RaveSim;
+use rave_grid::TechnicalModel;
+use rave_scene::{InterestSet, NodeCost, NodeId};
+use std::collections::BTreeSet;
+
+/// A rebalance trigger. Initial plans, migrations and failover re-plans
+/// all arrive at the scheduler as a stream of these.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedEvent {
+    /// A service's rolling frame rate dropped below the overload
+    /// threshold: shed work until it is back inside its budget.
+    Overload { service: RenderServiceId },
+    /// A service has sustained spare capacity past the debounce window:
+    /// pull work onto it from the most loaded donor.
+    Underload { service: RenderServiceId },
+    /// A service died (crash, or a local user logged on): re-home its
+    /// share onto the survivors.
+    Failure { service: RenderServiceId },
+    /// Measured throughput fell well below what the service advertised:
+    /// re-plan before the overload fps threshold ever trips.
+    CostDrift { service: RenderServiceId, measured: f64, expected: f64 },
+}
+
+/// What a rebalance pass did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MigrationOutcome {
+    /// `(node, from, to)` moves performed.
+    pub moved: Vec<(NodeId, RenderServiceId, RenderServiceId)>,
+    /// Render services recruited via UDDI this pass.
+    pub recruited: Vec<RenderServiceId>,
+    /// True when work remained unplaceable ("the request is refused").
+    pub refused: bool,
+}
+
+impl MigrationOutcome {
+    pub fn acted(&self) -> bool {
+        !self.moved.is_empty() || !self.recruited.is_empty()
+    }
+}
+
+/// The node set to shed from an overloaded service: smallest nodes first,
+/// until `excess` polygons are covered. Fine-grain selection is the whole
+/// point — "If an underloaded service has capacity for another 5k
+/// polygons/sec ... we do not want to add 100k polygons by mistake."
+pub fn select_nodes_to_shed(
+    scene: &rave_scene::SceneTree,
+    roots: &[NodeId],
+    excess_polygons: u64,
+) -> Vec<(NodeId, NodeCost)> {
+    let mut candidates: Vec<(NodeId, NodeCost)> = roots
+        .iter()
+        .filter_map(|&id| scene.node(id).map(|_| (id, scene.subtree_cost(id))))
+        .filter(|(_, c)| !c.is_zero())
+        .collect();
+    candidates.sort_by_key(|(id, c)| (c.render_weight(), *id));
+    let mut shed = Vec::new();
+    let mut covered = 0u64;
+    for (id, cost) in candidates {
+        if covered >= excess_polygons {
+            break;
+        }
+        covered += cost.polygons;
+        shed.push((id, cost));
+    }
+    shed
+}
+
+/// Detect overloaded subscribers (rolling fps below the threshold),
+/// recording the §3.2.7 "informs the data server" trace for each.
+pub fn detect_overload(sim: &mut RaveSim, ds_id: DataServiceId) -> Vec<SchedEvent> {
+    let now = sim.now();
+    let cfg = sim.world.config.clone();
+    let mut events = Vec::new();
+    for rs in sim.world.data(ds_id).subscriber_ids() {
+        let fps = sim.world.render(rs).rolling_fps();
+        if fps.is_some_and(|f| f < cfg.overload_fps) {
+            events.push(SchedEvent::Overload { service: rs });
+        }
+    }
+    for ev in &events {
+        if let SchedEvent::Overload { service } = ev {
+            sim.world.trace.record(
+                now,
+                TraceKind::Overload,
+                format!(
+                    "{service} at {:.1} fps (threshold {})",
+                    sim.world.render(*service).rolling_fps().unwrap_or(0.0),
+                    cfg.overload_fps
+                ),
+            );
+        }
+    }
+    events
+}
+
+/// Track under-load and surface services idle past the debounce window:
+/// "When a render service is significantly underloaded (for a given
+/// amount of time, to smooth out spikes of usage), the data service again
+/// redistributes data." Mutates the debounce ledger in
+/// `world.sched.underload_since`.
+pub fn detect_underload(sim: &mut RaveSim, ds_id: DataServiceId) -> Vec<SchedEvent> {
+    let now = sim.now();
+    let cfg = sim.world.config.clone();
+    let mut events = Vec::new();
+    for rs in sim.world.data(ds_id).subscriber_ids() {
+        let fps = sim.world.render(rs).rolling_fps();
+        // No fps data counts as under-loaded only for an *empty* service
+        // (a fresh recruit); a loaded service that simply has not rendered
+        // lately is not a migration target.
+        let under = match fps {
+            Some(f) => f > cfg.underload_fps,
+            None => sim.world.render(rs).assigned_cost().is_zero(),
+        };
+        if under {
+            let since = *sim.world.sched.underload_since.entry(rs).or_insert(now);
+            if now - since >= cfg.underload_debounce {
+                events.push(SchedEvent::Underload { service: rs });
+            }
+        } else {
+            sim.world.sched.underload_since.remove(&rs);
+        }
+    }
+    events
+}
+
+/// Detect services whose measured throughput (from the world's
+/// scheduler-level [`super::ThroughputTracker`]) has drifted below
+/// `sched_drift_ratio × advertised`. The tracker's unit domain is
+/// whatever the caller feeds it — comparisons only make sense against an
+/// `expected` in the same units, so the advertised `polys_per_sec` is
+/// used as the reference scale.
+pub fn detect_cost_drift(sim: &mut RaveSim, ds_id: DataServiceId) -> Vec<SchedEvent> {
+    let cfg = sim.world.config.clone();
+    let mut events = Vec::new();
+    for rs in sim.world.data(ds_id).subscriber_ids() {
+        let expected = sim.world.render(rs).capacity_report(&cfg).polys_per_sec;
+        if sim.world.sched.throughput.drifted_below(rs, expected, cfg.sched_drift_ratio) {
+            let measured = sim.world.sched.throughput.throughput(rs).unwrap_or(0.0);
+            events.push(SchedEvent::CostDrift { service: rs, measured, expected });
+        }
+    }
+    events
+}
+
+/// Per-batch processing state: one ledger and one moved-set shared by
+/// every event, so two events in the same batch can neither overfill a
+/// receiver nor move the same node twice.
+struct Batch {
+    /// Services overloaded (or drifting) in this batch — excluded from
+    /// the shared receiving ledger.
+    overloaded: Vec<RenderServiceId>,
+    /// Services underloaded in this batch — excluded from donor choice.
+    underloaded: Vec<RenderServiceId>,
+    /// Receiving ledger for overload-type events, built lazily from one
+    /// interrogation pass (original order kept across debits).
+    ledger: Option<Ledger>,
+    /// Donor for underload events, computed once per batch.
+    donor: Option<Option<RenderServiceId>>,
+    /// Nodes already moved by an earlier event in this batch.
+    moved_nodes: BTreeSet<NodeId>,
+}
+
+/// Process a batch of [`SchedEvent`]s against one data service. Every
+/// decision goes through the shared ledger and emits a `SchedDecision`
+/// trace record with the considered candidates and chosen placement.
+pub fn process_events(
+    sim: &mut RaveSim,
+    ds_id: DataServiceId,
+    events: &[SchedEvent],
+) -> MigrationOutcome {
+    let mut outcome = MigrationOutcome::default();
+    let mut batch = Batch {
+        overloaded: events
+            .iter()
+            .filter_map(|e| match e {
+                SchedEvent::Overload { service } | SchedEvent::CostDrift { service, .. } => {
+                    Some(*service)
+                }
+                _ => None,
+            })
+            .collect(),
+        underloaded: events
+            .iter()
+            .filter_map(|e| match e {
+                SchedEvent::Underload { service } => Some(*service),
+                _ => None,
+            })
+            .collect(),
+        ledger: None,
+        donor: None,
+        moved_nodes: BTreeSet::new(),
+    };
+    for ev in events {
+        match *ev {
+            SchedEvent::Overload { service } => {
+                handle_overload(sim, ds_id, service, &mut batch, &mut outcome, "Overload");
+            }
+            SchedEvent::CostDrift { service, measured, expected } => {
+                let now = sim.now();
+                sim.world.trace.record(
+                    now,
+                    TraceKind::Overload,
+                    format!(
+                        "{service} drifting: measured {measured:.0} vs advertised {expected:.0}"
+                    ),
+                );
+                handle_overload(sim, ds_id, service, &mut batch, &mut outcome, "CostDrift");
+            }
+            SchedEvent::Underload { service } => {
+                handle_underload(sim, ds_id, service, &mut batch, &mut outcome);
+            }
+            SchedEvent::Failure { service } => {
+                handle_failure(sim, ds_id, service, &mut batch, &mut outcome);
+            }
+        }
+    }
+    outcome
+}
+
+fn trace_decision(
+    sim: &mut RaveSim,
+    record: &crate::sched::placement::DecisionRecord,
+    event: &str,
+) {
+    if !sim.world.config.sched_decision_trace {
+        return;
+    }
+    let now = sim.now();
+    sim.world.trace.record(now, TraceKind::SchedDecision, record.detail(event));
+}
+
+/// Shed work from an overloaded (or drifting) service onto connected
+/// services with headroom, recruiting via UDDI when that is not enough.
+fn handle_overload(
+    sim: &mut RaveSim,
+    ds_id: DataServiceId,
+    over_rs: RenderServiceId,
+    batch: &mut Batch,
+    outcome: &mut MigrationOutcome,
+    event: &str,
+) {
+    let cfg = sim.world.config.clone();
+    if !sim.world.render_services.contains_key(&over_rs) {
+        return;
+    }
+    // How much must go: bring the service back inside its interactive
+    // polygon budget.
+    let (assigned, budget, roots) = {
+        let rs = sim.world.render(over_rs);
+        let pixels =
+            rs.sessions.values().map(|s| s.viewport.pixel_count() as u64).max().unwrap_or(160_000);
+        let budget = rs.machine.poly_budget_at_fps(cfg.target_fps, pixels);
+        let roots: Vec<NodeId> = if rs.interest.is_everything() {
+            rs.scene.node(rs.scene.root()).map(|root| root.children.clone()).unwrap_or_default()
+        } else {
+            rs.interest.roots().collect()
+        };
+        (rs.assigned_cost(), budget, roots)
+    };
+    let excess = assigned.polygons.saturating_sub(budget);
+    if excess == 0 {
+        return;
+    }
+    let shed: Vec<(NodeId, NodeCost)> =
+        select_nodes_to_shed(&sim.world.render(over_rs).scene, &roots, excess)
+            .into_iter()
+            .filter(|(node, _)| !batch.moved_nodes.contains(node))
+            .collect();
+
+    // Receiving ledger: one interrogation pass per batch over connected
+    // services that are not themselves overloaded, ordered most-spacious
+    // first and debited (without re-sorting) as the batch places work.
+    if batch.ledger.is_none() {
+        let overloaded = batch.overloaded.clone();
+        let reports: Vec<_> = sim
+            .world
+            .data(ds_id)
+            .subscriber_ids()
+            .into_iter()
+            .filter(|rs| !overloaded.contains(rs))
+            .map(|rs| sim.world.render(rs).capacity_report(&cfg))
+            .collect();
+        batch.ledger = Some(Ledger::from_reports(&reports, false));
+    }
+    let ledger = batch.ledger.as_mut().expect("just built");
+
+    let mut unplaced: Vec<(NodeId, NodeCost)> = Vec::new();
+    let mut placed: Vec<(NodeId, RenderServiceId, NodeCost)> = Vec::new();
+    for (node, cost) in shed {
+        let (chosen, record) =
+            ledger.fit_recorded(&cost, format!("shard {node} ({} polys)", cost.polygons));
+        trace_decision(sim, &record, event);
+        match chosen {
+            Some(to) => placed.push((node, to, cost)),
+            None => unplaced.push((node, cost)),
+        }
+    }
+    for (node, to, cost) in placed {
+        move_node(sim, ds_id, node, over_rs, to, &cost);
+        batch.moved_nodes.insert(node);
+        outcome.moved.push((node, over_rs, to));
+    }
+
+    if !unplaced.is_empty() {
+        // Recruit via UDDI: registered render services not yet connected
+        // to this data service.
+        match recruit_unconnected(sim, ds_id) {
+            Some(new_rs) => {
+                outcome.recruited.push(new_rs);
+                let report = sim.world.render(new_rs).capacity_report(&cfg);
+                let mut room = report.headroom();
+                let mut still_unplaced = Vec::new();
+                for (node, cost) in unplaced {
+                    let record = crate::sched::placement::DecisionRecord {
+                        subject: format!("shard {node} ({} polys)", cost.polygons),
+                        chosen: room.fits(&cost).then_some(new_rs),
+                        candidates: vec![(new_rs, room.polygons)],
+                    };
+                    trace_decision(sim, &record, event);
+                    if room.fits(&cost) {
+                        room.debit(&cost);
+                        move_node(sim, ds_id, node, over_rs, new_rs, &cost);
+                        batch.moved_nodes.insert(node);
+                        outcome.moved.push((node, over_rs, new_rs));
+                    } else {
+                        still_unplaced.push((node, cost));
+                    }
+                }
+                let ledger = batch.ledger.as_mut().expect("built above");
+                ledger.push(new_rs, room);
+                if !still_unplaced.is_empty() {
+                    refuse(sim, ds_id, &still_unplaced);
+                    outcome.refused = true;
+                }
+            }
+            None => {
+                refuse(sim, ds_id, &unplaced);
+                outcome.refused = true;
+            }
+        }
+    }
+}
+
+/// Pull work from the most loaded donor onto a debounced under-loaded
+/// service, never overshooting its headroom (the §3.2.7 "5k vs 100k"
+/// rule).
+fn handle_underload(
+    sim: &mut RaveSim,
+    ds_id: DataServiceId,
+    under_rs: RenderServiceId,
+    batch: &mut Batch,
+    outcome: &mut MigrationOutcome,
+) {
+    let now = sim.now();
+    let cfg = sim.world.config.clone();
+    if !sim.world.render_services.contains_key(&under_rs) {
+        return;
+    }
+    // Donor: the most loaded subscriber outside the batch's under-loaded
+    // set, chosen once per batch.
+    if batch.donor.is_none() {
+        let underloaded = batch.underloaded.clone();
+        let donor = sim
+            .world
+            .data(ds_id)
+            .subscriber_ids()
+            .into_iter()
+            .filter(|rs| !underloaded.contains(rs) && sim.world.render_services.contains_key(rs))
+            .max_by_key(|&rs| sim.world.render(rs).assigned_cost().polygons);
+        batch.donor = Some(donor);
+    }
+    let Some(donor) = batch.donor.expect("just set") else { return };
+
+    sim.world.trace.record(now, TraceKind::Underload, format!("{under_rs} has headroom"));
+    let mut room = sim.world.render(under_rs).capacity_report(&cfg).headroom();
+    if room.polygons == 0 {
+        return;
+    }
+    let roots: Vec<NodeId> = {
+        let rs = sim.world.render(donor);
+        if rs.interest.is_everything() {
+            rs.scene.node(rs.scene.root()).map(|r| r.children.clone()).unwrap_or_default()
+        } else {
+            rs.interest.roots().collect()
+        }
+    };
+    // Fine-grain: move the largest node set that FITS the headroom.
+    let mut candidates: Vec<(NodeId, NodeCost)> = roots
+        .iter()
+        .filter_map(|&id| {
+            let scene = &sim.world.render(donor).scene;
+            scene.node(id).map(|_| (id, scene.subtree_cost(id)))
+        })
+        .filter(|(node, c)| !c.is_zero() && !batch.moved_nodes.contains(node))
+        .collect();
+    candidates.sort_by_key(|(id, c)| (std::cmp::Reverse(c.render_weight()), *id));
+    for (node, cost) in candidates {
+        if cost.polygons <= room.polygons && donor != under_rs {
+            let record = crate::sched::placement::DecisionRecord {
+                subject: format!("shard {node} ({} polys)", cost.polygons),
+                chosen: Some(under_rs),
+                candidates: vec![(under_rs, room.polygons)],
+            };
+            trace_decision(sim, &record, "Underload");
+            room.polygons -= cost.polygons;
+            move_node(sim, ds_id, node, donor, under_rs, &cost);
+            batch.moved_nodes.insert(node);
+            outcome.moved.push((node, donor, under_rs));
+        }
+    }
+    sim.world.sched.underload_since.remove(&under_rs);
+}
+
+/// Handle the death of a render service (§6): unsubscribe it and
+/// redistribute its scene share onto the remaining services, recruiting
+/// via UDDI if necessary.
+fn handle_failure(
+    sim: &mut RaveSim,
+    ds_id: DataServiceId,
+    dead: RenderServiceId,
+    batch: &mut Batch,
+    outcome: &mut MigrationOutcome,
+) {
+    let now = sim.now();
+    let cfg = sim.world.config.clone();
+    if !sim.world.render_services.contains_key(&dead) {
+        return;
+    }
+
+    // Take the dead service's interest roots off the subscription.
+    let orphaned: Vec<NodeId> = {
+        let ds = sim.world.data_mut(ds_id);
+        let roots = ds
+            .subscribers
+            .get(&dead)
+            .map(|sub| {
+                if sub.interest.is_everything() {
+                    // A full replica holds everything; its loss orphans
+                    // nothing that others don't already have.
+                    Vec::new()
+                } else {
+                    sub.interest.roots().collect()
+                }
+            })
+            .unwrap_or_default();
+        ds.unsubscribe(dead);
+        roots
+    };
+    // Remove the dead service from the world, the registry, and the
+    // scheduler's throughput memory: its replica, advertisement and
+    // measurements are gone.
+    let dead_host = sim.world.render(dead).host.clone();
+    sim.world.render_services.remove(&dead);
+    sim.world.registry.unpublish("RAVE", &dead_host, &format!("render-{dead}"));
+    sim.world.sched.throughput.forget(dead);
+    sim.world.trace.record(
+        now,
+        TraceKind::Overload,
+        format!("{dead} failed; {} orphaned subtree(s)", orphaned.len()),
+    );
+    if orphaned.is_empty() {
+        return;
+    }
+
+    // Redistribute orphaned nodes onto surviving subscribers by headroom
+    // (the failure re-plan uses its own interrogation pass: survivor
+    // capacity just changed by the death itself).
+    let reports: Vec<_> = sim
+        .world
+        .data(ds_id)
+        .subscriber_ids()
+        .into_iter()
+        .map(|rs| sim.world.render(rs).capacity_report(&cfg))
+        .collect();
+    let mut ledger = Ledger::from_reports(&reports, false);
+
+    let mut unplaced = Vec::new();
+    let mut placed: Vec<(NodeId, RenderServiceId, NodeCost)> = Vec::new();
+    for node in orphaned {
+        if batch.moved_nodes.contains(&node) {
+            continue;
+        }
+        let cost = sim.world.data(ds_id).scene.subtree_cost(node);
+        let (chosen, record) =
+            ledger.fit_recorded(&cost, format!("shard {node} ({} polys)", cost.polygons));
+        trace_decision(sim, &record, "Failure");
+        match chosen {
+            Some(to) => placed.push((node, to, cost)),
+            None => unplaced.push((node, cost)),
+        }
+    }
+    for (node, to, cost) in placed {
+        move_node(sim, ds_id, node, dead, to, &cost);
+        batch.moved_nodes.insert(node);
+        outcome.moved.push((node, dead, to));
+    }
+    if !unplaced.is_empty() {
+        match recruit_unconnected(sim, ds_id) {
+            Some(new_rs) => {
+                outcome.recruited.push(new_rs);
+                for (node, cost) in unplaced {
+                    let record = crate::sched::placement::DecisionRecord {
+                        subject: format!("shard {node} ({} polys)", cost.polygons),
+                        chosen: Some(new_rs),
+                        candidates: vec![(new_rs, cost.polygons)],
+                    };
+                    trace_decision(sim, &record, "Failure");
+                    move_node(sim, ds_id, node, dead, new_rs, &cost);
+                    batch.moved_nodes.insert(node);
+                    outcome.moved.push((node, dead, new_rs));
+                }
+            }
+            None => {
+                refuse(sim, ds_id, &unplaced);
+                outcome.refused = true;
+            }
+        }
+    }
+}
+
+/// Execute one node move: update interest sets at the data service,
+/// charge the data transfer to the receiving service, and install/remove
+/// the subtree on the replicas.
+fn move_node(
+    sim: &mut RaveSim,
+    ds_id: DataServiceId,
+    node: NodeId,
+    from: RenderServiceId,
+    to: RenderServiceId,
+    cost: &NodeCost,
+) {
+    let now = sim.now();
+    let ds_host = sim.world.data(ds_id).host.clone();
+    let to_host = sim.world.render(to).host.clone();
+
+    // Update interest sets (data-service side routing).
+    {
+        let ds = sim.world.data_mut(ds_id);
+        if let Some(sub) = ds.subscribers.get_mut(&from) {
+            sub.interest.remove_root(node);
+        }
+        if let Some(sub) = ds.subscribers.get_mut(&to) {
+            sub.interest.add_root(node);
+        }
+        ds.refresh_interests();
+    }
+
+    // Replica surgery now; the transfer cost lands on the receiving side
+    // as an arrival event (the node is "in flight" until then, but the
+    // old holder keeps rendering it until the handoff — best effort).
+    let subtree = {
+        let ds = sim.world.data(ds_id);
+        ds.scene.extract_subset(&[node])
+    };
+    let bytes = cost.data_bytes.max(256);
+    let arrival = sim.world.send_bytes(now, &ds_host, &to_host, bytes);
+    sim.schedule_at(arrival, move |sim| {
+        let at = sim.now();
+        // The donor may already be gone (failure-triggered moves).
+        if let Some(rs) = sim.world.render_services.get_mut(&from) {
+            let _ = rs.scene.remove(node);
+            rs.interest.remove_root(node);
+        }
+        {
+            let rs = sim.world.render_mut(to);
+            rs.interest.add_root(node);
+            rs.scene.merge_subset(&subtree);
+        }
+        sim.world.trace.record(
+            at,
+            TraceKind::Migration,
+            format!("node {node} moved {from} -> {to}"),
+        );
+    });
+}
+
+/// Recruit one registered-but-unconnected render service via UDDI,
+/// charging the warm-scan cost and the bootstrap. Returns its id.
+fn recruit_unconnected(sim: &mut RaveSim, ds_id: DataServiceId) -> Option<RenderServiceId> {
+    let now = sim.now();
+    // Which render services exist but are not subscribed?
+    let connected = sim.world.data(ds_id).subscriber_ids();
+    let candidate = sim
+        .world
+        .render_services
+        .iter()
+        .filter(|(id, rs)| !connected.contains(id) && rs.offscreen_capable)
+        .map(|(id, _)| *id)
+        .next()?;
+
+    // Charge the UDDI inquiry (warm scan on the kept-alive proxy).
+    let results =
+        sim.world.registry.scan_access_points("RAVE", TechnicalModel::RenderService).len();
+    let scan = sim.world.uddi_cost.scan_cost(results);
+    sim.world.trace.record(
+        now,
+        TraceKind::Recruitment,
+        format!("{candidate} discovered via UDDI ({results} services scanned, {scan})"),
+    );
+    // The bootstrap starts after the scan completes; we approximate by
+    // offsetting the connect with a scheduled wrapper.
+    let start = now + scan;
+    sim.schedule_at(start, move |sim| {
+        connect_render_service(sim, candidate, ds_id, InterestSet::subtrees([]));
+    });
+    Some(candidate)
+}
+
+fn refuse(sim: &mut RaveSim, ds_id: DataServiceId, unplaced: &[(NodeId, NodeCost)]) {
+    let now = sim.now();
+    let polys: u64 = unplaced.iter().map(|(_, c)| c.polygons).sum();
+    sim.world.trace.record(
+        now,
+        TraceKind::Refusal,
+        format!(
+            "{ds_id}: insufficient resources for {} nodes ({polys} polygons) — request refused",
+            unplaced.len()
+        ),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::RaveWorld;
+    use crate::RaveConfig;
+    use rave_math::{Vec3, Viewport};
+    use rave_render::OffscreenMode;
+    use rave_scene::{CameraParams, MeshData, NodeKind};
+    use rave_sim::{SimTime, Simulation};
+    use std::sync::Arc;
+
+    fn mesh(tris: usize) -> NodeKind {
+        NodeKind::Mesh(Arc::new(MeshData {
+            positions: vec![Vec3::ZERO, Vec3::X, Vec3::Y],
+            normals: vec![],
+            colors: vec![],
+            triangles: vec![[0, 1, 2]; tris],
+            texture_bytes: 0,
+        }))
+    }
+
+    fn overload_world() -> (RaveSim, DataServiceId, RenderServiceId, RenderServiceId) {
+        let mut sim = Simulation::new(RaveWorld::paper_testbed(RaveConfig::default(), 11));
+        let ds = sim.world.spawn_data_service("adrenochrome", "sess");
+        let slow = sim.world.spawn_render_service("laptop");
+        let fast = sim.world.spawn_render_service("onyx");
+        let (big, small) = {
+            let scene = &mut sim.world.data_mut(ds).scene;
+            let root = scene.root();
+            let big = scene.add_node(root, "big", mesh(600_000)).unwrap();
+            let small = scene.add_node(root, "small", mesh(40_000)).unwrap();
+            (big, small)
+        };
+        {
+            let replica = sim.world.data(ds).scene.clone();
+            let rs = sim.world.render_mut(slow);
+            rs.scene = replica;
+            rs.interest = InterestSet::subtrees([big, small]);
+            rs.open_session(
+                crate::ids::ClientId(1),
+                Viewport::new(200, 200),
+                CameraParams::default(),
+                OffscreenMode::Sequential,
+            );
+        }
+        sim.world.data_mut(ds).subscribe_live(slow, InterestSet::subtrees([big, small]));
+        sim.world.data_mut(ds).subscribe_live(fast, InterestSet::subtrees([]));
+        (sim, ds, slow, fast)
+    }
+
+    fn make_overloaded(sim: &mut RaveSim, rs: RenderServiceId) {
+        for i in 0..6 {
+            let t = SimTime::from_secs(i as f64 * 0.5);
+            sim.world.render_mut(rs).record_frame(t, 10);
+        }
+    }
+
+    #[test]
+    fn overload_events_flow_through_the_engine_with_decisions() {
+        let (mut sim, ds, slow, fast) = overload_world();
+        make_overloaded(&mut sim, slow);
+        let events = detect_overload(&mut sim, ds);
+        assert_eq!(events, vec![SchedEvent::Overload { service: slow }]);
+        let outcome = process_events(&mut sim, ds, &events);
+        assert!(outcome.acted());
+        assert!(outcome.moved.iter().all(|(_, from, to)| *from == slow && *to == fast));
+        // Every placement decision is on the SchedDecision stream.
+        assert_eq!(
+            sim.world.trace.count(TraceKind::SchedDecision),
+            outcome.moved.len(),
+            "{}",
+            sim.world.trace.render()
+        );
+        let detail = &sim.world.trace.first_of(TraceKind::SchedDecision).unwrap().detail;
+        assert!(detail.starts_with("Overload:"), "{detail}");
+        assert!(detail.contains("candidates:"), "{detail}");
+    }
+
+    #[test]
+    fn decision_trace_can_be_silenced() {
+        let (mut sim, ds, slow, _) = overload_world();
+        sim.world.config.sched_decision_trace = false;
+        make_overloaded(&mut sim, slow);
+        let events = detect_overload(&mut sim, ds);
+        let outcome = process_events(&mut sim, ds, &events);
+        assert!(outcome.acted());
+        assert_eq!(sim.world.trace.count(TraceKind::SchedDecision), 0);
+    }
+
+    #[test]
+    fn one_batch_never_moves_a_node_twice() {
+        let (mut sim, ds, slow, fast) = overload_world();
+        make_overloaded(&mut sim, slow);
+        // A synthetic pathological batch: the same overload event twice.
+        let events =
+            [SchedEvent::Overload { service: slow }, SchedEvent::Overload { service: slow }];
+        let outcome = process_events(&mut sim, ds, &events);
+        let mut seen = BTreeSet::new();
+        for (node, _, _) in &outcome.moved {
+            assert!(seen.insert(*node), "node {node} moved twice in one batch");
+        }
+        let _ = fast;
+    }
+
+    #[test]
+    fn failure_event_rehomes_and_forgets_throughput() {
+        let (mut sim, ds, slow, fast) = overload_world();
+        sim.world.sched.throughput.record(slow, 1000, 1.0);
+        let outcome = process_events(&mut sim, ds, &[SchedEvent::Failure { service: slow }]);
+        sim.run();
+        assert!(!outcome.refused);
+        assert!(outcome.moved.iter().all(|(_, from, to)| *from == slow && *to == fast));
+        assert!(sim.world.sched.throughput.throughput(slow).is_none());
+        assert!(sim.world.trace.count(TraceKind::SchedDecision) >= 1);
+    }
+
+    #[test]
+    fn events_on_dead_services_are_ignored() {
+        let (mut sim, ds, slow, _) = overload_world();
+        sim.world.data_mut(ds).unsubscribe(slow);
+        sim.world.render_services.remove(&slow);
+        let outcome = process_events(
+            &mut sim,
+            ds,
+            &[
+                SchedEvent::Overload { service: slow },
+                SchedEvent::Underload { service: slow },
+                SchedEvent::Failure { service: slow },
+            ],
+        );
+        assert!(!outcome.acted());
+        assert!(!outcome.refused);
+    }
+
+    #[test]
+    fn cost_drift_sheds_like_overload() {
+        let (mut sim, ds, slow, fast) = overload_world();
+        // The laptop advertises ~1e7 polys/s but measures far below the
+        // drift ratio: the scheduler re-plans without waiting for the fps
+        // threshold to trip.
+        let expected = {
+            let cfg = sim.world.config.clone();
+            sim.world.render(slow).capacity_report(&cfg).polys_per_sec
+        };
+        sim.world.sched.throughput.record(slow, (expected * 0.01) as u64, 1.0);
+        let events = detect_cost_drift(&mut sim, ds);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], SchedEvent::CostDrift { service, .. } if service == slow));
+        let outcome = process_events(&mut sim, ds, &events);
+        assert!(outcome.acted(), "drifting service sheds work");
+        assert!(outcome.moved.iter().all(|(_, from, to)| *from == slow && *to == fast));
+    }
+}

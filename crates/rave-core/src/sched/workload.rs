@@ -1,0 +1,133 @@
+//! The workload abstraction: every distributable unit of rendering work —
+//! a dataset shard, a framebuffer tile, a volume brick — reduced to one
+//! cost vector the placement engine can bin-pack, rank and trace
+//! uniformly.
+
+use crate::ids::RenderServiceId;
+use rave_math::Viewport;
+use rave_scene::{NodeCost, NodeId};
+
+/// The common cost vector placement decisions are made on. Dataset shards
+/// fill it from [`NodeCost`]; tiles carry pixels; volume bricks carry
+/// voxels. `polygons`/`texture_bytes` are the two capacity axes a
+/// [`crate::capacity::CapacityReport`] advertises, so they are what the
+/// ledger debits; the rest weigh ordering and throughput feedback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostVector {
+    pub polygons: u64,
+    pub points: u64,
+    pub voxels: u64,
+    pub texture_bytes: u64,
+    /// Pixels of image work (tiles only; zero for scene content).
+    pub pixels: u64,
+}
+
+impl CostVector {
+    pub fn from_node_cost(c: &NodeCost) -> Self {
+        Self {
+            polygons: c.polygons,
+            points: c.points,
+            voxels: c.voxels,
+            texture_bytes: c.texture_bytes,
+            pixels: 0,
+        }
+    }
+
+    /// The scalar weight FFD ordering uses — identical to
+    /// [`NodeCost::render_weight`] for scene content, with pixels folded
+    /// in for image work.
+    pub fn render_weight(&self) -> u64 {
+        self.polygons * 4 + self.points + self.voxels / 16 + self.pixels
+    }
+
+    /// Back to the capacity-axis view the ledger debits.
+    pub fn as_node_cost(&self) -> NodeCost {
+        NodeCost {
+            polygons: self.polygons,
+            points: self.points,
+            voxels: self.voxels,
+            texture_bytes: self.texture_bytes,
+            data_bytes: 0,
+        }
+    }
+}
+
+/// One schedulable unit of rendering work.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// A subtree of scene content a render service must hold and render
+    /// (dataset distribution, §3.2.5).
+    DatasetShard { node: NodeId, cost: NodeCost },
+    /// One rectangle of a session's target framebuffer (framebuffer
+    /// distribution, §3.2.5).
+    Tile { index: usize, bounds: Viewport },
+    /// One brick of a volume, ray-cast by an assisting service and
+    /// blended by the owner (§6, Visapult-style).
+    VolumeBrick { node: NodeId, voxels: u64 },
+}
+
+impl Workload {
+    pub fn cost(&self) -> CostVector {
+        match self {
+            Workload::DatasetShard { cost, .. } => CostVector::from_node_cost(cost),
+            Workload::Tile { bounds, .. } => {
+                CostVector { pixels: bounds.pixel_count() as u64, ..CostVector::default() }
+            }
+            Workload::VolumeBrick { voxels, .. } => {
+                CostVector { voxels: *voxels, ..CostVector::default() }
+            }
+        }
+    }
+
+    /// Human-readable subject for [`super::placement::DecisionRecord`]s.
+    pub fn label(&self) -> String {
+        match self {
+            Workload::DatasetShard { node, cost } => {
+                format!("shard {node} ({} polys)", cost.polygons)
+            }
+            Workload::Tile { index, bounds } => {
+                format!("tile #{index} ({}x{})", bounds.width, bounds.height)
+            }
+            Workload::VolumeBrick { node, voxels } => format!("brick {node} ({voxels} voxels)"),
+        }
+    }
+}
+
+/// A placement pairing: which service carries which workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    pub service: RenderServiceId,
+    pub workload: Workload,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_vector_round_trips_node_cost() {
+        let c = NodeCost { polygons: 7, points: 3, voxels: 64, texture_bytes: 9, data_bytes: 11 };
+        let v = CostVector::from_node_cost(&c);
+        assert_eq!(v.render_weight(), c.render_weight());
+        let back = v.as_node_cost();
+        assert_eq!(back.polygons, 7);
+        assert_eq!(back.texture_bytes, 9);
+        assert_eq!(back.data_bytes, 0, "wire size is not a placement axis");
+    }
+
+    #[test]
+    fn workload_kinds_cost_on_their_own_axis() {
+        let shard = Workload::DatasetShard {
+            node: NodeId(1),
+            cost: NodeCost { polygons: 100, ..NodeCost::ZERO },
+        };
+        let tile = Workload::Tile { index: 0, bounds: Viewport::new(10, 10) };
+        let brick = Workload::VolumeBrick { node: NodeId(2), voxels: 4096 };
+        assert_eq!(shard.cost().polygons, 100);
+        assert_eq!(tile.cost().pixels, 100);
+        assert_eq!(brick.cost().voxels, 4096);
+        assert!(shard.label().contains("shard"));
+        assert!(tile.label().contains("10x10"));
+        assert!(brick.label().contains("4096"));
+    }
+}

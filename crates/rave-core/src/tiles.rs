@@ -10,6 +10,7 @@
 use crate::capacity::CapacityReport;
 use crate::config::CompressionMode;
 use crate::ids::{ClientId, RenderServiceId};
+use crate::sched::placement::rank_helpers;
 use crate::trace::TraceKind;
 use crate::world::RaveSim;
 use rave_compress::adaptive::EndpointSpeed;
@@ -18,7 +19,7 @@ use rave_render::composite::stitch_tiles;
 use rave_render::{Framebuffer, OffscreenMode};
 use rave_scene::CameraParams;
 use rave_sim::SimTime;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// A tile assignment: who renders which rectangle of the target image.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,17 +35,15 @@ impl TilePlan {
 
 /// Order helpers strongest-first, dropping those that can contribute
 /// nothing: zero advertised headroom, or beyond what the viewport can
-/// give a ≥1px strip (one column per participant is the floor).
+/// give a ≥1px strip (one column per participant is the floor). The
+/// ranking itself is the scheduler's shared participant-selection
+/// primitive; the owner always keeps a strip, so at most `width - 1`
+/// helpers fit.
 fn usable_helpers<'a>(
     viewport: &Viewport,
     helpers: &'a [CapacityReport],
 ) -> Vec<&'a CapacityReport> {
-    let mut ordered: Vec<&CapacityReport> =
-        helpers.iter().filter(|r| r.headroom_weight() > 0).collect();
-    ordered.sort_by_key(|r| std::cmp::Reverse(r.headroom_weight()));
-    // The owner always keeps a strip, so at most `width - 1` helpers fit.
-    ordered.truncate(viewport.width.saturating_sub(1) as usize);
-    ordered
+    rank_helpers(helpers, viewport.width.saturating_sub(1) as usize)
 }
 
 /// Split `viewport` into one tile per participant. The owner takes the
@@ -73,51 +72,15 @@ pub fn plan_tiles(
     TilePlan { tiles }
 }
 
-/// Exponentially-weighted per-service render throughput, measured in
+/// Per-service render throughput in
 /// [`rave_render::raster::RasterStats::cost_units`] per second. This is
 /// the §3.2.5 feedback loop closed: advertised capacity seeds the plan,
 /// but the split converges on what each service *actually* delivers.
-#[derive(Debug, Clone, Default)]
-pub struct TileCostTracker {
-    observed: BTreeMap<RenderServiceId, f64>,
-}
-
-impl TileCostTracker {
-    /// EWMA smoothing factor: new observations get this share.
-    pub const ALPHA: f64 = 0.3;
-
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Record one tile render: `cost_units` of work finished in
-    /// `seconds`. Non-positive durations are ignored (stale tiles cost
-    /// nothing and measure nothing).
-    pub fn record(&mut self, service: RenderServiceId, cost_units: u64, seconds: f64) {
-        if seconds <= 0.0 {
-            return;
-        }
-        let rate = cost_units as f64 / seconds;
-        match self.observed.entry(service) {
-            std::collections::btree_map::Entry::Vacant(e) => {
-                e.insert(rate);
-            }
-            std::collections::btree_map::Entry::Occupied(mut e) => {
-                let v = e.get_mut();
-                *v = (1.0 - Self::ALPHA) * *v + Self::ALPHA * rate;
-            }
-        }
-    }
-
-    /// Smoothed throughput for a service, if it has ever been observed.
-    pub fn throughput(&self, service: RenderServiceId) -> Option<f64> {
-        self.observed.get(&service).copied()
-    }
-
-    pub fn observed_services(&self) -> usize {
-        self.observed.len()
-    }
-}
+///
+/// The EWMA itself was promoted into the scheduler as
+/// [`crate::sched::ThroughputTracker`]; this alias keeps the tile
+/// planner's historical name working.
+pub type TileCostTracker = crate::sched::ThroughputTracker;
 
 /// Like [`plan_tiles`], but strip widths follow *measured* throughput
 /// from `tracker` where available: a helper that advertised a big GPU but
@@ -136,18 +99,9 @@ pub fn plan_tiles_with_feedback(
     }
     let participants: Vec<RenderServiceId> =
         std::iter::once(owner).chain(ordered.iter().map(|r| r.service)).collect();
-    let known: Vec<f64> = participants.iter().filter_map(|&svc| tracker.throughput(svc)).collect();
-    let mean = known.iter().sum::<f64>() / known.len().max(1) as f64;
-    let max = known.iter().cloned().fold(mean, f64::max).max(1e-12);
     // Integer weights normalized to the fastest observed service; the
     // 1-unit floor keeps never-observed stragglers in the plan.
-    let weights: Vec<u64> = participants
-        .iter()
-        .map(|&svc| {
-            let rate = tracker.throughput(svc).unwrap_or(mean);
-            ((rate / max * 1000.0).round() as u64).max(1)
-        })
-        .collect();
+    let weights = tracker.split_weights(&participants);
     let cells = viewport.split_columns_weighted(&weights);
     TilePlan { tiles: cells.into_iter().zip(participants).collect() }
 }
@@ -184,7 +138,9 @@ pub struct TiledFrameResult {
 }
 
 /// Feed one frame's measured tile costs into `tracker` and trace the
-/// updated picture. Stale tiles are skipped (nothing was rendered).
+/// updated picture. Stale tiles are skipped (nothing was rendered). The
+/// same observations also land in the world's scheduler-level tracker,
+/// where the `CostDrift` rebalance trigger reads them.
 pub fn record_tile_costs(
     sim: &mut RaveSim,
     result: &TiledFrameResult,
@@ -197,6 +153,7 @@ pub fn record_tile_costs(
             continue;
         }
         tracker.record(tc.service, tc.cost_units, tc.render_seconds);
+        sim.world.sched.throughput.record(tc.service, tc.cost_units, tc.render_seconds);
         any = true;
         let rate = tracker.throughput(tc.service).unwrap_or(0.0);
         detail.push_str(&format!(" {}={rate:.0}u/s", tc.service));

@@ -23,6 +23,9 @@ pub enum TraceKind {
     Recovery,
     /// Measured per-tile render cost fed back into the tile planner.
     TileCostFeedback,
+    /// One scheduler placement decision: the considered candidates, their
+    /// headroom scores, and the chosen service (or "unplaced").
+    SchedDecision,
     /// The adaptive frame stream changed codec for a client.
     CodecSwitch,
 }

@@ -13,8 +13,10 @@
 //! owner, and the owner blends the layers back-to-front by brick
 //! distance.
 
+use crate::capacity::CapacityReport;
 use crate::distribution::split_node;
 use crate::ids::RenderServiceId;
+use crate::sched::placement::rank_helpers;
 use crate::trace::TraceKind;
 use crate::world::RaveSim;
 use rave_math::Viewport;
@@ -43,6 +45,28 @@ pub fn brick_volume(scene: &mut SceneTree, volume: NodeId, splits: u32) -> Vec<N
         frontier = next;
     }
     frontier
+}
+
+/// Plan brick-to-service assignments through the scheduler's shared
+/// participant ranking: the owner takes the first brick, assisting
+/// services (strongest advertised headroom first, zero-headroom helpers
+/// dropped) take the rest, wrapping round-robin when bricks outnumber
+/// participants. With one helper and two bricks this reproduces the
+/// manual `[(owner, b0), (helper, b1)]` assignment the module's tests
+/// always used.
+pub fn plan_volume_bricks(
+    owner: RenderServiceId,
+    bricks: &[NodeId],
+    helpers: &[CapacityReport],
+) -> Vec<(RenderServiceId, NodeId)> {
+    let ranked = rank_helpers(helpers, bricks.len().saturating_sub(1));
+    let participants: Vec<RenderServiceId> =
+        std::iter::once(owner).chain(ranked.iter().map(|r| r.service)).collect();
+    bricks
+        .iter()
+        .enumerate()
+        .map(|(i, &brick)| (participants[i % participants.len()], brick))
+        .collect()
 }
 
 /// Outcome of a distributed volume frame.
@@ -225,6 +249,48 @@ mod tests {
             "diff {}",
             distributed.diff_fraction(&mono, 40.0)
         );
+    }
+
+    #[test]
+    fn planned_bricks_match_the_manual_assignment() {
+        use rave_scene::NodeCost;
+        let (mut sim, owner, helper, vol) = volume_world();
+        let bricks = {
+            let mut bricks = Vec::new();
+            for rs in [owner, helper] {
+                let scene = &mut sim.world.render_mut(rs).scene;
+                bricks = brick_volume(scene, vol, 1);
+            }
+            bricks
+        };
+        let helper_report = CapacityReport {
+            service: helper,
+            host: "onyx".into(),
+            polys_per_sec: 1e7,
+            poly_headroom: 1000,
+            texture_headroom: u64::MAX,
+            volume_hw: true,
+            assigned: NodeCost::ZERO,
+            rolling_fps: None,
+        };
+        let planned = plan_volume_bricks(owner, &bricks, std::slice::from_ref(&helper_report));
+        assert_eq!(planned, vec![(owner, bricks[0]), (helper, bricks[1])]);
+
+        // A zero-headroom helper is dropped: the owner wraps around and
+        // carries every brick itself.
+        let dead = CapacityReport { poly_headroom: 0, ..helper_report };
+        let solo = plan_volume_bricks(owner, &bricks, &[dead]);
+        assert_eq!(solo, vec![(owner, bricks[0]), (owner, bricks[1])]);
+
+        // Plan-driven render produces the same frame as the manual pair.
+        let cam = CameraParams::look_at(Vec3::new(12.0, 12.0, 60.0), Vec3::splat(12.0), Vec3::Y);
+        let vp = Viewport::new(48, 48);
+        let via_plan =
+            render_distributed_volume(&mut sim, owner, &planned, cam, vp, 50.0e6).image.unwrap();
+        let manual = vec![(owner, bricks[0]), (helper, bricks[1])];
+        let via_manual =
+            render_distributed_volume(&mut sim, owner, &manual, cam, vp, 50.0e6).image.unwrap();
+        assert_eq!(via_plan.diff_fraction(&via_manual, 0.0), 0.0);
     }
 
     #[test]

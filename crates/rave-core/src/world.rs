@@ -6,6 +6,7 @@ use crate::data_service::DataService;
 use crate::frame_stream::FrameCache;
 use crate::ids::{ClientId, DataServiceId, RenderServiceId};
 use crate::render_service::RenderService;
+use crate::sched::ThroughputTracker;
 use crate::thin_client::ThinClient;
 use crate::trace::{EventTrace, TraceKind};
 use rave_grid::uddi::ServiceBinding;
@@ -36,9 +37,9 @@ pub struct RaveWorld {
     pub frame_cache: FrameCache,
     pub trace: EventTrace,
     pub rng: SimRng,
-    /// When each render service first reported sustained under-load
-    /// (debounce state for §3.2.7's "for a given amount of time").
-    pub underload_since: BTreeMap<RenderServiceId, SimTime>,
+    /// The unified scheduler's cross-pass state (throughput memory and
+    /// under-load debounce).
+    pub sched: SchedState,
     /// Latest scheduled update-delivery time per (data service,
     /// subscriber) pair: updates are applied strictly in publish order on
     /// every replica, so a small update must not overtake a large one
@@ -49,10 +50,31 @@ pub struct RaveWorld {
     next_cl: u64,
 }
 
+/// Scheduler state that outlives any single rebalance pass.
+#[derive(Debug, Clone)]
+pub struct SchedState {
+    /// Measured per-service throughput (EWMA), fed by tile cost feedback
+    /// and consulted by the `CostDrift` rebalance trigger.
+    pub throughput: ThroughputTracker,
+    /// When each render service first reported sustained under-load
+    /// (debounce state for §3.2.7's "for a given amount of time").
+    pub underload_since: BTreeMap<RenderServiceId, SimTime>,
+}
+
+impl SchedState {
+    fn new(config: &RaveConfig) -> Self {
+        Self {
+            throughput: ThroughputTracker::with_alpha(config.sched_ewma_alpha),
+            underload_since: BTreeMap::new(),
+        }
+    }
+}
+
 impl RaveWorld {
     pub fn new(network: Network, config: RaveConfig, seed: u64) -> Self {
         let mut registry = UddiRegistry::new();
         registry.register_business("RAVE");
+        let sched = SchedState::new(&config);
         Self {
             config,
             network,
@@ -66,7 +88,7 @@ impl RaveWorld {
             frame_cache: FrameCache::new(),
             trace: EventTrace::new(),
             rng: SimRng::new(seed),
-            underload_since: BTreeMap::new(),
+            sched,
             delivery_high_water: BTreeMap::new(),
             next_ds: 1,
             next_rs: 1,

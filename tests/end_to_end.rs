@@ -1,7 +1,7 @@
 //! Cross-crate integration: the full RAVE pipeline from model file to
 //! delivered pixels.
 
-use rave::core::bootstrap::connect_render_service;
+use rave::core::bootstrap::{connect_planned, connect_render_service};
 use rave::core::collaboration::{join_session, move_camera};
 use rave::core::distribution::plan_distribution;
 use rave::core::thin_client::{connect, stream_frames};
@@ -115,14 +115,7 @@ fn distributed_collaborative_session_converges() {
     };
     let placed: u64 = plan.assignments.iter().map(|a| a.cost.polygons).sum();
     assert_eq!(placed, 10_000, "all content placed");
-    for a in &plan.assignments {
-        connect_render_service(
-            &mut sim,
-            a.service,
-            ds,
-            InterestSet::subtrees(a.nodes.iter().copied()),
-        );
-    }
+    connect_planned(&mut sim, ds, &plan);
     sim.run();
 
     // A user joins and navigates: avatar updates reach *all* replicas

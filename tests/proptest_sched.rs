@@ -1,0 +1,122 @@
+//! Property tests on the unified scheduler's event loop: arbitrary
+//! sequences of rebalance events — overload, underload, failure, cost
+//! drift — conserve the scene. Every content node stays claimed by
+//! exactly one live subscriber, replica contents partition the master,
+//! and the master copy itself is never touched.
+
+use proptest::prelude::*;
+use rave::core::bootstrap::connect_render_service;
+use rave::core::sched::rebalance::process_events;
+use rave::core::sched::SchedEvent;
+use rave::core::world::{publish_update, RaveWorld};
+use rave::core::{RaveConfig, RenderServiceId};
+use rave::math::Vec3;
+use rave::scene::{InterestSet, MeshData, NodeId, NodeKind, SceneUpdate};
+use rave::sim::Simulation;
+use std::sync::Arc;
+
+fn mesh(tris: u32) -> NodeKind {
+    NodeKind::Mesh(Arc::new(MeshData {
+        positions: vec![Vec3::ZERO, Vec3::X, Vec3::Y],
+        normals: vec![],
+        colors: vec![],
+        triangles: vec![[0, 1, 2]; tris as usize],
+        texture_bytes: 0,
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Feed the scheduler random event batches over a partitioned scene.
+    /// After every processed batch (and barring an explicit refusal) the
+    /// scene is conserved: each content node has exactly one holder among
+    /// the live subscribers and the replicas sum to the master cost.
+    #[test]
+    fn event_storms_conserve_the_scene(
+        sizes in prop::collection::vec(100u32..5_000, 2..6),
+        storm in prop::collection::vec((0usize..4, any::<usize>()), 1..8),
+    ) {
+        let mut sim = Simulation::new(RaveWorld::paper_testbed(RaveConfig::default(), 1717));
+        let ds = sim.world.spawn_data_service("adrenochrome", "sess");
+        let mut nodes: Vec<NodeId> = Vec::new();
+        for (i, &s) in sizes.iter().enumerate() {
+            let (id, root) = {
+                let scene = &mut sim.world.data_mut(ds).scene;
+                (scene.allocate_id(), scene.root())
+            };
+            publish_update(
+                &mut sim,
+                ds,
+                "imp",
+                SceneUpdate::AddNode {
+                    id,
+                    parent: root,
+                    name: format!("m{i}"),
+                    kind: mesh(s),
+                },
+            )
+            .unwrap();
+            nodes.push(id);
+        }
+        let master_polys = sim.world.data(ds).scene.total_cost().polygons;
+
+        let hosts = ["onyx", "tower", "v880z", "laptop", "desktop", "adrenochrome"];
+        let mut alive: Vec<RenderServiceId> = Vec::new();
+        for (i, &node) in nodes.iter().enumerate() {
+            let rs = sim.world.spawn_render_service(hosts[i % hosts.len()]);
+            connect_render_service(&mut sim, rs, ds, InterestSet::subtrees([node]));
+            alive.push(rs);
+        }
+        sim.run();
+
+        for &(kind, pick) in &storm {
+            if alive.len() <= 1 {
+                break;
+            }
+            let target = alive[pick % alive.len()];
+            let event = match kind {
+                0 => SchedEvent::Overload { service: target },
+                1 => SchedEvent::Underload { service: target },
+                2 => SchedEvent::CostDrift {
+                    service: target,
+                    measured: 1_000.0,
+                    expected: 1e7,
+                },
+                _ => SchedEvent::Failure { service: target },
+            };
+            let outcome = process_events(&mut sim, ds, &[event]);
+            if matches!(event, SchedEvent::Failure { .. }) {
+                alive.retain(|&rs| rs != target);
+            }
+            for r in &outcome.recruited {
+                alive.push(*r);
+            }
+            sim.run();
+
+            // Master untouched, whatever the scheduler did.
+            prop_assert_eq!(sim.world.data(ds).scene.total_cost().polygons, master_polys);
+            if outcome.refused {
+                continue; // explicitly surfaced loss — allowed by the spec
+            }
+            // Every content node claimed by exactly one live subscriber.
+            let ds_ref = sim.world.data(ds);
+            for &node in &nodes {
+                let holders = ds_ref
+                    .subscribers
+                    .values()
+                    .filter(|sub| sub.interest.roots().any(|r| r == node))
+                    .count();
+                prop_assert_eq!(holders, 1, "node {} held once after {:?}", node, event);
+            }
+            // Replicas partition the master scene: total assigned cost is
+            // conserved through every move.
+            let total_replica: u64 = ds_ref
+                .subscribers
+                .keys()
+                .map(|rs| sim.world.render(*rs).assigned_cost().polygons)
+                .sum();
+            prop_assert_eq!(total_replica, master_polys, "replicas conserve cost after {:?}", event);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Parity pins for the unified scheduler refactor: the new
+//! `sched::placement` engine must produce byte-for-byte the same plans as
+//! the pre-refactor planners. Reference copies of the old first-fit-
+//! decreasing dataset planner and the old feedback-weighted tile planner
+//! are embedded here verbatim (modulo naming) and compared against the
+//! live implementations across seeded scenarios, including ones that
+//! force spatial splits.
+
+use rave::core::capacity::CapacityReport;
+use rave::core::distribution::{plan_distribution, split_node, DistributionPlan, PlanError};
+use rave::core::tiles::{plan_tiles, plan_tiles_with_feedback, TileCostTracker, TilePlan};
+use rave::core::RenderServiceId;
+use rave::math::{Vec3, Viewport};
+use rave::scene::{MeshData, NodeCost, NodeId, NodeKind, SceneTree};
+use std::sync::Arc;
+
+fn strip_mesh(tris: u32) -> MeshData {
+    let mut positions = Vec::with_capacity((tris as usize + 1) * 2);
+    let mut triangles = Vec::with_capacity(tris as usize);
+    for i in 0..=tris {
+        positions.push(Vec3::new(i as f32, 0.0, 0.0));
+        positions.push(Vec3::new(i as f32, 1.0, 0.0));
+    }
+    for i in 0..tris {
+        let b = i * 2;
+        triangles.push([b, b + 2, b + 3]);
+    }
+    MeshData::new(positions, triangles)
+}
+
+fn report(id: u64, polys: u64) -> CapacityReport {
+    CapacityReport {
+        service: RenderServiceId(id),
+        host: format!("h{id}"),
+        polys_per_sec: 1e7,
+        poly_headroom: polys,
+        texture_headroom: 1 << 40,
+        volume_hw: false,
+        assigned: NodeCost::ZERO,
+        rolling_fps: None,
+    }
+}
+
+/// The pre-refactor `plan_distribution` packing loop, kept as the parity
+/// reference: headroom ledger most-spacious-first (id ascending on ties,
+/// re-sorted after every placement), FIFO queue sorted by descending
+/// render weight, larger split half requeued first.
+fn reference_plan(
+    scene: &mut SceneTree,
+    candidates: &[CapacityReport],
+) -> Result<DistributionPlan, PlanError> {
+    if candidates.is_empty() {
+        return Err(PlanError::NoCandidates);
+    }
+    let demand = scene.total_cost();
+    let total_polys = candidates.iter().fold(0u64, |a, c| a.saturating_add(c.poly_headroom));
+    let total_tex = candidates.iter().fold(0u64, |a, c| a.saturating_add(c.texture_headroom));
+    if demand.polygons > total_polys || demand.texture_bytes > total_tex {
+        return Err(PlanError::InsufficientResources {
+            required_polygons: demand.polygons,
+            total_poly_headroom: total_polys,
+            required_texture: demand.texture_bytes,
+            total_texture_headroom: total_tex,
+        });
+    }
+
+    let mut remaining: Vec<(RenderServiceId, u64, u64)> =
+        candidates.iter().map(|c| (c.service, c.poly_headroom, c.texture_headroom)).collect();
+    remaining.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let mut queue: Vec<(NodeId, NodeCost)> = scene
+        .find_all(|n| {
+            !n.kind.cost().is_zero() && !matches!(n.kind, NodeKind::Avatar(_) | NodeKind::Camera(_))
+        })
+        .into_iter()
+        .map(|id| (id, scene.node(id).expect("found").kind.cost()))
+        .collect();
+    queue.sort_by(|a, b| b.1.render_weight().cmp(&a.1.render_weight()).then(a.0.cmp(&b.0)));
+    let mut assignments: std::collections::BTreeMap<RenderServiceId, (Vec<NodeId>, NodeCost)> =
+        std::collections::BTreeMap::new();
+    let mut splits = 0u32;
+
+    while !queue.is_empty() {
+        let (id, cost) = queue.remove(0);
+        let slot = remaining
+            .iter_mut()
+            .find(|(_, polys, tex)| cost.polygons <= *polys && cost.texture_bytes <= *tex);
+        match slot {
+            Some((svc, polys, tex)) => {
+                *polys -= cost.polygons;
+                *tex -= cost.texture_bytes;
+                let entry = assignments.entry(*svc).or_default();
+                entry.0.push(id);
+                entry.1 += cost;
+                remaining.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            }
+            None => match split_node(scene, id) {
+                Some((a, b)) => {
+                    splits += 1;
+                    let ca = scene.node(a).expect("split child").kind.cost();
+                    let cb = scene.node(b).expect("split child").kind.cost();
+                    if ca.render_weight() >= cb.render_weight() {
+                        queue.insert(0, (a, ca));
+                        queue.insert(1, (b, cb));
+                    } else {
+                        queue.insert(0, (b, cb));
+                        queue.insert(1, (a, ca));
+                    }
+                }
+                None => {
+                    return Err(PlanError::IndivisibleNode {
+                        node: id,
+                        polygons: cost.polygons,
+                        largest_headroom: remaining.iter().map(|(_, p, _)| *p).max().unwrap_or(0),
+                    });
+                }
+            },
+        }
+    }
+
+    Ok(DistributionPlan {
+        assignments: assignments
+            .into_iter()
+            .map(|(service, (nodes, cost))| rave::core::distribution::Assignment {
+                service,
+                nodes,
+                cost,
+            })
+            .collect(),
+        splits_performed: splits,
+    })
+}
+
+/// The pre-refactor feedback-weighted tile planner, kept as the parity
+/// reference.
+fn reference_tiles_with_feedback(
+    viewport: &Viewport,
+    owner: RenderServiceId,
+    helpers: &[CapacityReport],
+    tracker: &TileCostTracker,
+) -> TilePlan {
+    let mut ordered: Vec<&CapacityReport> =
+        helpers.iter().filter(|r| r.headroom_weight() > 0).collect();
+    ordered.sort_by_key(|r| std::cmp::Reverse(r.headroom_weight()));
+    ordered.truncate(viewport.width.saturating_sub(1) as usize);
+    if tracker.observed_services() == 0 || viewport.width == 0 {
+        return plan_tiles(viewport, owner, helpers);
+    }
+    let participants: Vec<RenderServiceId> =
+        std::iter::once(owner).chain(ordered.iter().map(|r| r.service)).collect();
+    let known: Vec<f64> = participants.iter().filter_map(|&svc| tracker.throughput(svc)).collect();
+    let mean = known.iter().sum::<f64>() / known.len().max(1) as f64;
+    let max = known.iter().cloned().fold(mean, f64::max).max(1e-12);
+    let weights: Vec<u64> = participants
+        .iter()
+        .map(|&svc| {
+            let rate = tracker.throughput(svc).unwrap_or(mean);
+            ((rate / max * 1000.0).round() as u64).max(1)
+        })
+        .collect();
+    let cells = viewport.split_columns_weighted(&weights);
+    TilePlan { tiles: cells.into_iter().zip(participants).collect() }
+}
+
+/// Deterministic scenario generator (LCG; no RNG dependency).
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+    fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+fn scene_with_meshes(sizes: &[u64]) -> SceneTree {
+    let mut scene = SceneTree::new();
+    let root = scene.root();
+    for (i, &s) in sizes.iter().enumerate() {
+        scene
+            .add_node(root, format!("m{i}"), NodeKind::Mesh(Arc::new(strip_mesh(s as u32))))
+            .unwrap();
+    }
+    scene
+}
+
+#[test]
+fn dataset_plans_match_the_pre_refactor_planner() {
+    let mut rng = Lcg(0x5eed_0004);
+    for round in 0..40 {
+        let n_meshes = rng.in_range(1, 9) as usize;
+        let sizes: Vec<u64> = (0..n_meshes).map(|_| rng.in_range(2, 5_000)).collect();
+        let n_services = rng.in_range(1, 6) as usize;
+        let caps: Vec<u64> = (0..n_services).map(|_| rng.in_range(100, 7_000)).collect();
+        let reports: Vec<CapacityReport> =
+            caps.iter().enumerate().map(|(i, &c)| report(i as u64 + 1, c)).collect();
+
+        let mut scene_new = scene_with_meshes(&sizes);
+        let mut scene_ref = scene_new.clone();
+        let new = plan_distribution(&mut scene_new, &reports);
+        let old = reference_plan(&mut scene_ref, &reports);
+        assert_eq!(new, old, "round {round}: sizes {sizes:?}, caps {caps:?}");
+        // Both planners split identically, so the mutated master scenes
+        // must agree node for node too.
+        assert_eq!(scene_new.len(), scene_ref.len(), "round {round}: scene shapes diverged");
+    }
+}
+
+#[test]
+fn dataset_plan_splits_are_pinned() {
+    // One 4000-triangle mesh over two 2500-headroom services: exactly one
+    // split, both halves placed.
+    let mut scene = scene_with_meshes(&[4_000]);
+    let reports = vec![report(1, 2_500), report(2, 2_500)];
+    let mut scene_ref = scene.clone();
+    let new = plan_distribution(&mut scene, &reports).unwrap();
+    let old = reference_plan(&mut scene_ref, &reports).unwrap();
+    assert_eq!(new, old);
+    assert_eq!(new.splits_performed, 1);
+    assert_eq!(new.total_cost().polygons, 4_000);
+}
+
+#[test]
+fn tile_plans_match_the_pre_refactor_planner() {
+    let mut rng = Lcg(0x5eed_0005);
+    let owner = RenderServiceId(1);
+    for round in 0..40 {
+        let vp = Viewport::new(rng.in_range(1, 1_024) as u32, 256);
+        let n_helpers = rng.in_range(0, 5) as usize;
+        let helpers: Vec<CapacityReport> =
+            (0..n_helpers).map(|i| report(i as u64 + 2, rng.in_range(0, 500_000))).collect();
+        let mut tracker = TileCostTracker::new();
+        for _ in 0..rng.in_range(0, 8) {
+            let svc = RenderServiceId(rng.in_range(1, n_helpers as u64 + 2));
+            tracker.record(svc, rng.in_range(1_000, 900_000), 0.01 * rng.in_range(1, 90) as f64);
+        }
+        let new = plan_tiles_with_feedback(&vp, owner, &helpers, &tracker);
+        let old = reference_tiles_with_feedback(&vp, owner, &helpers, &tracker);
+        assert_eq!(new.tiles, old.tiles, "round {round}");
+    }
+}
