@@ -149,12 +149,22 @@ pub fn split_node(scene: &mut SceneTree, id: NodeId) -> Option<(NodeId, NodeId)>
 /// excluding avatars/cameras (presence markers travel with every
 /// replica).
 fn distributable_units(scene: &SceneTree) -> Vec<(NodeId, NodeCost)> {
+    // Sequential id-order walk rather than the pre-order
+    // `descendants_iter`: every node is reachable from the root (tree
+    // invariant), so the *set* is identical, and `place_with_splitting`
+    // canonicalizes the queue with a strict total-order sort
+    // (descending render weight, then id — ids are unique), so the
+    // visit order here cannot affect the plan. The in-order map walk
+    // avoids a random-probe lookup per node, which is what dominates
+    // plan latency past ~10k nodes.
     scene
-        .find_all(|n| {
-            !n.kind.cost().is_zero() && !matches!(n.kind, NodeKind::Avatar(_) | NodeKind::Camera(_))
+        .iter_nodes()
+        .filter_map(|node| {
+            let cost = node.kind.cost();
+            let eligible =
+                !cost.is_zero() && !matches!(node.kind, NodeKind::Avatar(_) | NodeKind::Camera(_));
+            eligible.then_some((node.id, cost))
         })
-        .into_iter()
-        .map(|id| (id, scene.node(id).expect("found").kind.cost()))
         .collect()
 }
 

@@ -8,6 +8,7 @@
 use crate::capacity::{CapacityReport, Headroom};
 use crate::ids::RenderServiceId;
 use rave_scene::{NodeCost, NodeId};
+use std::collections::VecDeque;
 
 /// One candidate service's remaining room in the ledger.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,13 +53,18 @@ impl DecisionRecord {
 pub struct Ledger {
     slots: Vec<Slot>,
     keep_sorted: bool,
+    /// A recruit was `push`ed since the last full sort, so the tail is
+    /// out of order and the next successful fit must re-sort everything
+    /// (exactly what the historical full re-sort after every debit did).
+    /// While false, a debit only moves the one slot whose key shrank.
+    stale_tail: bool,
 }
 
 impl Ledger {
     pub fn from_reports(reports: &[CapacityReport], keep_sorted: bool) -> Self {
         let slots =
             reports.iter().map(|r| Slot { service: r.service, room: r.headroom() }).collect();
-        let mut ledger = Self { slots, keep_sorted };
+        let mut ledger = Self { slots, keep_sorted, stale_tail: false };
         ledger.sort();
         ledger
     }
@@ -72,10 +78,24 @@ impl Ledger {
             .sort_by(|a, b| b.room.polygons.cmp(&a.room.polygons).then(a.service.cmp(&b.service)));
     }
 
+    /// Re-establish ledger order after debiting `slots[idx]`. Only that
+    /// slot's key shrank, so it can only move towards the tail: binary
+    /// search its new position among the (still sorted) slots after it
+    /// and rotate it into place — O(log s) + the move distance, instead
+    /// of the O(s log s) full re-sort. Ties resolve exactly as the
+    /// stable full sort did: equal keys keep the debited slot first.
+    fn resift(&mut self, idx: usize) {
+        let key = |s: &Slot| (std::cmp::Reverse(s.room.polygons), s.service);
+        let k = key(&self.slots[idx]);
+        let shift = self.slots[idx + 1..].partition_point(|s| key(s) < k);
+        self.slots[idx..=idx + shift].rotate_left(1);
+    }
+
     /// Append a late-arriving candidate (a recruit) without disturbing
     /// the existing order.
     pub fn push(&mut self, service: RenderServiceId, room: Headroom) {
         self.slots.push(Slot { service, room });
+        self.stale_tail = true;
     }
 
     /// The biggest single-service polygon headroom (the `IndivisibleNode`
@@ -87,17 +107,25 @@ impl Ledger {
     /// First-fit: the first slot (in ledger order) whose remaining room
     /// covers `cost` on both capacity axes takes it and is debited.
     pub fn fit(&mut self, cost: &NodeCost) -> Option<RenderServiceId> {
-        let slot = self.slots.iter_mut().find(|s| s.room.fits(cost))?;
-        slot.room.debit(cost);
-        let svc = slot.service;
+        let idx = self.slots.iter().position(|s| s.room.fits(cost))?;
+        self.slots[idx].room.debit(cost);
+        let svc = self.slots[idx].service;
         if self.keep_sorted {
-            self.sort();
+            if self.stale_tail {
+                self.sort();
+                self.stale_tail = false;
+            } else {
+                self.resift(idx);
+            }
         }
         Some(svc)
     }
 
     /// Like [`Ledger::fit`], also capturing the considered candidates and
-    /// the choice as a [`DecisionRecord`].
+    /// the choice as a [`DecisionRecord`]. The candidate snapshot and the
+    /// subject string both allocate, so latency-sensitive callers that do
+    /// not trace decisions (the bulk dataset planner, rebalance with
+    /// `sched_decision_trace` off) must call [`Ledger::fit`] instead.
     pub fn fit_recorded(
         &mut self,
         cost: &NodeCost,
@@ -136,25 +164,36 @@ pub struct PlacementOutcome {
 ///
 /// This is exactly the pre-refactor `plan_distribution` packing loop,
 /// extracted so migration and failover re-plans flow through the same
-/// code. `record_decisions` controls whether per-item [`DecisionRecord`]s
-/// are captured: callers that discard them (the bulk dataset planner on
-/// its latency-sensitive path) skip the per-item bookkeeping entirely.
+/// code — with the queue held in a `VecDeque` so the front pop and the
+/// front re-queue of split halves are O(1) instead of shifting the whole
+/// remaining queue (the pre-refactor `Vec::remove(0)`/`insert(0)` made
+/// large plans quadratic). The pop order is bit-identical: a `VecDeque`
+/// preserves FIFO order exactly, including split halves jumping the
+/// queue ahead of possibly-heavier items behind them — which is why this
+/// is not a weight-keyed heap. `record_decisions` controls whether
+/// per-item [`DecisionRecord`]s are captured: callers that discard them
+/// (the bulk dataset planner on its latency-sensitive path) skip the
+/// per-item bookkeeping entirely.
 pub fn place_with_splitting(
     ledger: &mut Ledger,
     queue: Vec<(NodeId, NodeCost)>,
     splitter: impl FnMut(NodeId) -> Option<[(NodeId, NodeCost); 2]>,
     record_decisions: bool,
 ) -> Result<PlacementOutcome, PlaceError> {
-    let mut queue = queue;
+    let mut sorted = queue;
     let mut splitter = splitter;
-    queue.sort_by(|a, b| b.1.render_weight().cmp(&a.1.render_weight()).then(a.0.cmp(&b.0)));
+    // Unstable sort is safe: the (weight desc, id asc) key is a strict
+    // total order — ids are unique — so no equal elements exist for
+    // instability to reorder.
+    sorted
+        .sort_unstable_by(|a, b| b.1.render_weight().cmp(&a.1.render_weight()).then(a.0.cmp(&b.0)));
+    let mut queue: VecDeque<(NodeId, NodeCost)> = sorted.into();
     let mut assignments: std::collections::BTreeMap<RenderServiceId, (Vec<NodeId>, NodeCost)> =
         std::collections::BTreeMap::new();
     let mut splits = 0u32;
     let mut decisions = Vec::new();
 
-    while !queue.is_empty() {
-        let (id, cost) = queue.remove(0);
+    while let Some((id, cost)) = queue.pop_front() {
         let chosen = if record_decisions {
             let (chosen, record) =
                 ledger.fit_recorded(&cost, format!("shard {id} ({} polys)", cost.polygons));
@@ -174,11 +213,11 @@ pub fn place_with_splitting(
                     splits += 1;
                     // Push the larger half first (still decreasing-ish).
                     if ca.render_weight() >= cb.render_weight() {
-                        queue.insert(0, (a, ca));
-                        queue.insert(1, (b, cb));
+                        queue.push_front((b, cb));
+                        queue.push_front((a, ca));
                     } else {
-                        queue.insert(0, (b, cb));
-                        queue.insert(1, (a, ca));
+                        queue.push_front((a, ca));
+                        queue.push_front((b, cb));
                     }
                 }
                 None => {
@@ -206,12 +245,26 @@ pub fn place_with_splitting(
 /// dropping those that can contribute nothing (zero headroom) and
 /// truncating to `cap` participants. This is the tile planner's
 /// participant-selection primitive, shared with volume placement.
+///
+/// When far more helpers report in than `cap` admits, selecting the
+/// top-`cap` with `select_nth_unstable_by_key` and sorting only that
+/// slice is O(n + cap log cap) instead of sorting the whole roster.
+/// Ties are resolved exactly as the historical stable sort did: the key
+/// includes each helper's filtered input index, which is the total order
+/// a stable sort on `Reverse(weight)` alone induces.
 pub fn rank_helpers(helpers: &[CapacityReport], cap: usize) -> Vec<&CapacityReport> {
-    let mut ordered: Vec<&CapacityReport> =
-        helpers.iter().filter(|r| r.headroom_weight() > 0).collect();
-    ordered.sort_by_key(|r| std::cmp::Reverse(r.headroom_weight()));
-    ordered.truncate(cap);
-    ordered
+    let mut ordered: Vec<(usize, &CapacityReport)> =
+        helpers.iter().filter(|r| r.headroom_weight() > 0).enumerate().collect();
+    let key = |&(idx, r): &(usize, &CapacityReport)| (std::cmp::Reverse(r.headroom_weight()), idx);
+    if cap == 0 {
+        return Vec::new();
+    }
+    if ordered.len() > cap {
+        ordered.select_nth_unstable_by_key(cap - 1, key);
+        ordered.truncate(cap);
+    }
+    ordered.sort_unstable_by_key(key);
+    ordered.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]
@@ -310,5 +363,89 @@ mod tests {
         let ranked = rank_helpers(&helpers, 2);
         let ids: Vec<u64> = ranked.iter().map(|r| r.service.0).collect();
         assert_eq!(ids, vec![3, 4]);
+    }
+
+    #[test]
+    fn rank_helpers_preserves_input_order_for_ties() {
+        // Equal-weight helpers must rank in input order (the historical
+        // stable sort's behavior), including across the truncation cut.
+        let helpers = [
+            report(9, 50),
+            report(3, 50),
+            report(7, 100),
+            report(5, 50),
+            report(1, 50),
+            report(8, 100),
+        ];
+        // Reference: stable sort + truncate.
+        let reference = |cap: usize| {
+            let mut ordered: Vec<&CapacityReport> =
+                helpers.iter().filter(|r| r.headroom_weight() > 0).collect();
+            ordered.sort_by_key(|r| std::cmp::Reverse(r.headroom_weight()));
+            ordered.truncate(cap);
+            ordered.iter().map(|r| r.service.0).collect::<Vec<u64>>()
+        };
+        for cap in 0..=helpers.len() + 1 {
+            let ids: Vec<u64> = rank_helpers(&helpers, cap).iter().map(|r| r.service.0).collect();
+            assert_eq!(ids, reference(cap), "cap {cap}");
+        }
+        // The tie-break is input position, not service id: 9 before 3.
+        let full: Vec<u64> = rank_helpers(&helpers, 6).iter().map(|r| r.service.0).collect();
+        assert_eq!(full, vec![7, 8, 9, 3, 5, 1]);
+    }
+
+    #[test]
+    fn ledger_incremental_resift_matches_full_resort() {
+        // Drive two ledgers through the same debit sequence: one via the
+        // production `fit` (incremental resift), one re-sorted from
+        // scratch after every debit. Slot order must stay identical,
+        // including ties (equal keys keep the debited slot first, exactly
+        // as a stable full sort does).
+        let reports: Vec<CapacityReport> = [(1u64, 100u64), (2, 100), (3, 80), (4, 100), (5, 60)]
+            .iter()
+            .map(|&(id, p)| report(id, p))
+            .collect();
+        let mut fast = Ledger::from_reports(&reports, true);
+        let mut slow: Vec<(u64, u64)> =
+            reports.iter().map(|r| (r.service.0, r.poly_headroom)).collect();
+        slow.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let costs = [40u64, 40, 5, 100, 20, 30, 1, 1, 60];
+        for &c in &costs {
+            let cost = polys(c);
+            let picked = fast.fit(&cost).map(|s| s.0);
+            let idx = slow.iter().position(|&(_, p)| c <= p);
+            let expect = idx.map(|i| {
+                slow[i].1 -= c;
+                let svc = slow[i].0;
+                slow.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                svc
+            });
+            assert_eq!(picked, expect, "cost {c}");
+            let fast_order: Vec<(u64, u64)> =
+                fast.slots.iter().map(|s| (s.service.0, s.room.polygons)).collect();
+            assert_eq!(fast_order, slow, "slot order diverged after cost {c}");
+        }
+    }
+
+    #[test]
+    fn ledger_push_resorts_on_next_fit() {
+        // A recruit appended via `push` lands at the tail; the next
+        // successful fit must scan in that order (sorted prefix, then the
+        // tail) and then restore full sorted order — the historical
+        // behavior of re-sorting after every debit.
+        let mut ledger = Ledger::from_reports(&[report(1, 50), report(2, 40)], true);
+        ledger.push(RenderServiceId(3), Headroom { polygons: 100, texture_bytes: 1 << 40 });
+        // 60 only fits the recruit even though it sits after smaller slots.
+        assert_eq!(ledger.fit(&polys(60)), Some(RenderServiceId(3)));
+        // The post-fit sort put the recruit's remaining 40 among the rest:
+        // order is (1,50), (2,40), (3,40) — service id breaks the tie.
+        let order: Vec<(u64, u64)> =
+            ledger.slots.iter().map(|s| (s.service.0, s.room.polygons)).collect();
+        assert_eq!(order, vec![(1, 50), (2, 40), (3, 40)]);
+        // Subsequent fits use the incremental path again.
+        assert_eq!(ledger.fit(&polys(45)), Some(RenderServiceId(1)));
+        let order: Vec<(u64, u64)> =
+            ledger.slots.iter().map(|s| (s.service.0, s.room.polygons)).collect();
+        assert_eq!(order, vec![(2, 40), (3, 40), (1, 5)]);
     }
 }

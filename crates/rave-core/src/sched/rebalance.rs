@@ -300,9 +300,16 @@ fn handle_overload(
     let mut unplaced: Vec<(NodeId, NodeCost)> = Vec::new();
     let mut placed: Vec<(NodeId, RenderServiceId, NodeCost)> = Vec::new();
     for (node, cost) in shed {
-        let (chosen, record) =
-            ledger.fit_recorded(&cost, format!("shard {node} ({} polys)", cost.polygons));
-        trace_decision(sim, &record, event);
+        // Only pay for the candidate snapshot and subject string when the
+        // decision trace is actually on.
+        let chosen = if cfg.sched_decision_trace {
+            let (chosen, record) =
+                ledger.fit_recorded(&cost, format!("shard {node} ({} polys)", cost.polygons));
+            trace_decision(sim, &record, event);
+            chosen
+        } else {
+            ledger.fit(&cost)
+        };
         match chosen {
             Some(to) => placed.push((node, to, cost)),
             None => unplaced.push((node, cost)),
@@ -324,12 +331,14 @@ fn handle_overload(
                 let mut room = report.headroom();
                 let mut still_unplaced = Vec::new();
                 for (node, cost) in unplaced {
-                    let record = crate::sched::placement::DecisionRecord {
-                        subject: format!("shard {node} ({} polys)", cost.polygons),
-                        chosen: room.fits(&cost).then_some(new_rs),
-                        candidates: vec![(new_rs, room.polygons)],
-                    };
-                    trace_decision(sim, &record, event);
+                    if cfg.sched_decision_trace {
+                        let record = crate::sched::placement::DecisionRecord {
+                            subject: format!("shard {node} ({} polys)", cost.polygons),
+                            chosen: room.fits(&cost).then_some(new_rs),
+                            candidates: vec![(new_rs, room.polygons)],
+                        };
+                        trace_decision(sim, &record, event);
+                    }
                     if room.fits(&cost) {
                         room.debit(&cost);
                         move_node(sim, ds_id, node, over_rs, new_rs, &cost);
@@ -409,12 +418,14 @@ fn handle_underload(
     candidates.sort_by_key(|(id, c)| (std::cmp::Reverse(c.render_weight()), *id));
     for (node, cost) in candidates {
         if cost.polygons <= room.polygons && donor != under_rs {
-            let record = crate::sched::placement::DecisionRecord {
-                subject: format!("shard {node} ({} polys)", cost.polygons),
-                chosen: Some(under_rs),
-                candidates: vec![(under_rs, room.polygons)],
-            };
-            trace_decision(sim, &record, "Underload");
+            if cfg.sched_decision_trace {
+                let record = crate::sched::placement::DecisionRecord {
+                    subject: format!("shard {node} ({} polys)", cost.polygons),
+                    chosen: Some(under_rs),
+                    candidates: vec![(under_rs, room.polygons)],
+                };
+                trace_decision(sim, &record, "Underload");
+            }
             room.polygons -= cost.polygons;
             move_node(sim, ds_id, node, donor, under_rs, &cost);
             batch.moved_nodes.insert(node);
@@ -494,9 +505,14 @@ fn handle_failure(
             continue;
         }
         let cost = sim.world.data(ds_id).scene.subtree_cost(node);
-        let (chosen, record) =
-            ledger.fit_recorded(&cost, format!("shard {node} ({} polys)", cost.polygons));
-        trace_decision(sim, &record, "Failure");
+        let chosen = if cfg.sched_decision_trace {
+            let (chosen, record) =
+                ledger.fit_recorded(&cost, format!("shard {node} ({} polys)", cost.polygons));
+            trace_decision(sim, &record, "Failure");
+            chosen
+        } else {
+            ledger.fit(&cost)
+        };
         match chosen {
             Some(to) => placed.push((node, to, cost)),
             None => unplaced.push((node, cost)),
@@ -512,12 +528,14 @@ fn handle_failure(
             Some(new_rs) => {
                 outcome.recruited.push(new_rs);
                 for (node, cost) in unplaced {
-                    let record = crate::sched::placement::DecisionRecord {
-                        subject: format!("shard {node} ({} polys)", cost.polygons),
-                        chosen: Some(new_rs),
-                        candidates: vec![(new_rs, cost.polygons)],
-                    };
-                    trace_decision(sim, &record, "Failure");
+                    if cfg.sched_decision_trace {
+                        let record = crate::sched::placement::DecisionRecord {
+                            subject: format!("shard {node} ({} polys)", cost.polygons),
+                            chosen: Some(new_rs),
+                            candidates: vec![(new_rs, cost.polygons)],
+                        };
+                        trace_decision(sim, &record, "Failure");
+                    }
                     move_node(sim, ds_id, node, dead, new_rs, &cost);
                     batch.moved_nodes.insert(node);
                     outcome.moved.push((node, dead, new_rs));

@@ -37,6 +37,6 @@ pub use cost::NodeCost;
 pub use geometry::{MeshData, PointCloudData, VolumeData};
 pub use interest::InterestSet;
 pub use node::{AvatarInfo, Node, NodeId, NodeKind, Transform};
-pub use tree::SceneTree;
+pub use tree::{Descendants, SceneTree};
 pub use update::{SceneUpdate, StampedUpdate, UpdateError};
 pub use wire::WireError;

@@ -4,18 +4,80 @@ use crate::cost::NodeCost;
 use crate::node::{Node, NodeId, NodeKind, Transform};
 use rave_math::{Aabb, Mat4};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+/// Cached per-node subtree-cost aggregates, rebuilt lazily on the first
+/// [`SceneTree::subtree_cost`] query after any structural edit. The
+/// planner's feasibility pre-check and queue build hammer
+/// `subtree_cost`/`total_cost`; without the cache each call re-walks the
+/// whole `BTreeMap`, which made planning quadratic in scene size.
+///
+/// Interior mutability is a `Mutex` (not a `RefCell`) so `SceneTree`
+/// stays `Sync` — the parallel rasterizer shares `&SceneTree` across
+/// rayon workers. The lock is only ever held for a flag check or the
+/// one-shot rebuild; reads after that are a `HashMap` lookup.
+#[derive(Debug, Default)]
+struct CostIndex(Mutex<CostIndexState>);
+
+#[derive(Debug, Default)]
+struct CostIndexState {
+    valid: bool,
+    subtree: HashMap<NodeId, NodeCost>,
+}
+
+impl Clone for CostIndex {
+    /// Clones start cold: the copy rebuilds on first query rather than
+    /// duplicating (and having to trust) the source's cache.
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
 
 /// A scene tree: a rooted hierarchy of typed nodes.
 ///
 /// Storage is a `BTreeMap` keyed by [`NodeId`] so iteration order is
 /// deterministic (render services on different "machines" must walk the
 /// same scene in the same order for compositing to be reproducible).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SceneTree {
     nodes: BTreeMap<NodeId, Node>,
     root: NodeId,
     next_id: u64,
+    /// Derived data only — never serialized, never compared.
+    cost_index: CostIndex,
+}
+
+impl PartialEq for SceneTree {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes && self.root == other.root && self.next_id == other.next_id
+    }
+}
+
+// Manual serde impls (the vendored derive cannot skip fields): the wire
+// shape is exactly what the derive produced before the cost index was
+// added — a map of the three structural fields. Deserialized trees start
+// with a cold cache.
+impl Serialize for SceneTree {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("nodes".into(), self.nodes.to_value()),
+            ("root".into(), self.root.to_value()),
+            ("next_id".into(), self.next_id.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SceneTree {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let m = serde::expect_map(v, "SceneTree")?;
+        Ok(Self {
+            nodes: serde::de_field(m, "nodes", "SceneTree")?,
+            root: serde::de_field(m, "root", "SceneTree")?,
+            next_id: serde::de_field(m, "next_id", "SceneTree")?,
+            cost_index: CostIndex::default(),
+        })
+    }
 }
 
 impl Default for SceneTree {
@@ -29,7 +91,7 @@ impl SceneTree {
         let root = NodeId(0);
         let mut nodes = BTreeMap::new();
         nodes.insert(root, Node::new(root, "root", NodeKind::Group));
-        Self { nodes, root, next_id: 1 }
+        Self { nodes, root, next_id: 1, cost_index: CostIndex::default() }
     }
 
     pub fn root(&self) -> NodeId {
@@ -53,7 +115,16 @@ impl SceneTree {
     }
 
     pub fn node_mut(&mut self, id: NodeId) -> Option<&mut Node> {
+        // The caller may rewrite the node's kind (e.g. `split_node`
+        // demoting a mesh to a Group), which changes its cost.
+        self.invalidate_cost_index();
         self.nodes.get_mut(&id)
+    }
+
+    /// Drop the cached subtree-cost aggregates; the next cost query
+    /// rebuilds them in one O(n) pass.
+    fn invalidate_cost_index(&mut self) {
+        self.cost_index.0.get_mut().expect("cost index poisoned").valid = false;
     }
 
     /// Every node in id order (the map's deterministic iteration order).
@@ -71,7 +142,7 @@ impl SceneTree {
     /// The caller guarantees structural validity (wire decode checks the
     /// root exists; `check_invariants` covers the rest in tests).
     pub(crate) fn from_parts(nodes: BTreeMap<NodeId, Node>, root: NodeId, next_id: u64) -> Self {
-        Self { nodes, root, next_id }
+        Self { nodes, root, next_id, cost_index: CostIndex::default() }
     }
 
     /// Allocate the next id without inserting — the data service allocates
@@ -115,6 +186,7 @@ impl SceneTree {
         self.nodes.insert(id, node);
         self.nodes.get_mut(&parent).expect("parent checked").children.push(id);
         self.next_id = self.next_id.max(id.0 + 1);
+        self.invalidate_cost_index();
         Ok(())
     }
 
@@ -138,22 +210,28 @@ impl SceneTree {
         if let Some(p) = parent.and_then(|p| self.nodes.get_mut(&p)) {
             p.children.retain(|&c| c != id);
         }
+        self.invalidate_cost_index();
         Ok(removed)
     }
 
     /// Pre-order traversal from `start` (inclusive), children in insertion
     /// order.
     pub fn descendants(&self, start: NodeId) -> Vec<NodeId> {
-        let mut out = Vec::new();
-        let mut stack = vec![start];
-        while let Some(id) = stack.pop() {
-            if let Some(node) = self.nodes.get(&id) {
-                out.push(id);
-                // Reverse so the first child is popped first.
-                stack.extend(node.children.iter().rev().copied());
-            }
-        }
+        // From the root the subtree is the whole tree, so the size is
+        // known exactly; elsewhere `len()` is only an upper bound and
+        // over-reserving for tiny subtrees of huge trees would hurt.
+        let mut out = Vec::with_capacity(if start == self.root { self.nodes.len() } else { 0 });
+        out.extend(self.descendants_iter(start).map(|n| n.id));
         out
+    }
+
+    /// Iterator form of [`SceneTree::descendants`]: same pre-order, same
+    /// children-in-insertion-order, but yielding `&Node` with no output
+    /// `Vec` — callers that filter or fold (the planner's queue build,
+    /// `find_all`) traverse without materializing the id list or paying a
+    /// second map lookup per visited node.
+    pub fn descendants_iter(&self, start: NodeId) -> Descendants<'_> {
+        Descendants { tree: self, stack: vec![start] }
     }
 
     /// Ancestors from the node's parent up to and including the root.
@@ -194,12 +272,38 @@ impl SceneTree {
 
     /// Aggregate cost of a subtree (§3.2.7's "how much data are contained
     /// in a given set of nodes").
+    ///
+    /// Served from the [`CostIndex`]: the first query after a structural
+    /// edit rebuilds every node's aggregate in one O(n) bottom-up pass;
+    /// queries until the next edit are a hash lookup. An unknown id costs
+    /// [`NodeCost::ZERO`], exactly as the uncached walk summed an empty
+    /// traversal.
     pub fn subtree_cost(&self, id: NodeId) -> NodeCost {
-        self.descendants(id)
-            .into_iter()
-            .filter_map(|n| self.nodes.get(&n))
-            .map(|n| n.kind.cost())
-            .sum()
+        let mut state = self.cost_index.0.lock().expect("cost index poisoned");
+        if !state.valid {
+            self.rebuild_cost_index(&mut state);
+        }
+        state.subtree.get(&id).copied().unwrap_or(NodeCost::ZERO)
+    }
+
+    /// Recompute every node's subtree aggregate. Walking the pre-order
+    /// list in reverse visits children before their parents, so each
+    /// parent just adds its children's already-final aggregates.
+    fn rebuild_cost_index(&self, state: &mut CostIndexState) {
+        state.subtree.clear();
+        state.subtree.reserve(self.nodes.len());
+        let order = self.descendants(self.root);
+        for &id in order.iter().rev() {
+            let node = &self.nodes[&id];
+            let mut agg = node.kind.cost();
+            for c in &node.children {
+                if let Some(child) = state.subtree.get(c) {
+                    agg += *child;
+                }
+            }
+            state.subtree.insert(id, agg);
+        }
+        state.valid = true;
     }
 
     /// Total cost of the whole scene.
@@ -242,7 +346,7 @@ impl SceneTree {
 
     /// Every node id whose kind matches `pred`, in deterministic order.
     pub fn find_all(&self, mut pred: impl FnMut(&Node) -> bool) -> Vec<NodeId> {
-        self.descendants(self.root).into_iter().filter(|id| pred(&self.nodes[id])).collect()
+        self.descendants_iter(self.root).filter(|n| pred(n)).map(|n| n.id).collect()
     }
 
     /// The *ancestor closure* of a node set: the nodes themselves, all
@@ -251,16 +355,17 @@ impl SceneTree {
     /// distribution: "a subset of the scene tree, including the parent
     /// nodes to orientate the scene subset in the world" (§3.2.5).
     pub fn subset_closure(&self, roots: &[NodeId]) -> Vec<NodeId> {
-        let mut included = std::collections::BTreeSet::new();
+        // Collect-then-dedup in a pre-sized Vec rather than inserting into
+        // a BTreeSet node by node; the sorted, duplicate-free result is
+        // identical.
+        let mut included = Vec::with_capacity(self.nodes.len().min(roots.len().max(1) * 8));
         for &r in roots {
-            for d in self.descendants(r) {
-                included.insert(d);
-            }
-            for a in self.ancestors(r) {
-                included.insert(a);
-            }
+            included.extend(self.descendants_iter(r).map(|n| n.id));
+            included.extend(self.ancestors(r));
         }
-        included.into_iter().collect()
+        included.sort_unstable();
+        included.dedup();
+        included
     }
 
     /// Extract a standalone subtree containing exactly `closure` nodes
@@ -269,9 +374,11 @@ impl SceneTree {
     /// content payload if they are not within a requested subtree
     /// (`content_roots`).
     pub fn extract_subset(&self, roots: &[NodeId]) -> SceneTree {
-        let closure = self.subset_closure(roots);
-        let in_subtree: std::collections::BTreeSet<NodeId> =
-            roots.iter().flat_map(|&r| self.descendants(r)).collect();
+        let closure = self.subset_closure(roots); // sorted + deduped
+        let mut in_subtree: Vec<NodeId> =
+            roots.iter().flat_map(|&r| self.descendants_iter(r).map(|n| n.id)).collect();
+        in_subtree.sort_unstable();
+        in_subtree.dedup();
         let mut out = SceneTree::new();
         out.next_id = self.next_id;
         // The root's transform orients everything: copy it so world
@@ -279,14 +386,14 @@ impl SceneTree {
         let root_transform = self.nodes[&self.root].transform;
         out.node_mut(out.root).expect("fresh root").transform = root_transform;
         // Walk in pre-order from our root so parents are inserted first.
-        for id in self.descendants(self.root) {
-            if id == self.root || !closure.contains(&id) {
+        for src in self.descendants_iter(self.root) {
+            let id = src.id;
+            if id == self.root || closure.binary_search(&id).is_err() {
                 continue;
             }
-            let src = &self.nodes[&id];
             let parent = src.parent.expect("non-root has parent");
             let parent_in_out = if parent == self.root { out.root } else { parent };
-            let kind = if in_subtree.contains(&id) {
+            let kind = if in_subtree.binary_search(&id).is_ok() {
                 src.kind.clone()
             } else {
                 NodeKind::Group // ancestor kept for orientation only
@@ -306,11 +413,11 @@ impl SceneTree {
     /// root. This is how a replica integrates an arriving snapshot or a
     /// migrated subtree without discarding content it already holds.
     pub fn merge_subset(&mut self, subset: &SceneTree) {
-        for id in subset.descendants(subset.root()) {
+        for src in subset.descendants_iter(subset.root()) {
+            let id = src.id;
             if id == subset.root() || self.contains(id) {
                 continue;
             }
-            let src = subset.node(id).expect("descendant exists");
             let parent = src.parent.expect("non-root has parent");
             let parent = if parent == subset.root() { self.root } else { parent };
             if !self.contains(parent) {
@@ -362,6 +469,11 @@ impl SceneTree {
 
     /// Convenience: set a node's transform, bumping its version. Returns
     /// false if the node does not exist.
+    ///
+    /// Deliberately bypasses [`SceneTree::node_mut`]: transforms do not
+    /// affect [`NodeCost`], so the cost index stays valid — avatar and
+    /// camera motion (the per-frame update stream) never forces a cost
+    /// rebuild.
     pub fn set_transform(&mut self, id: NodeId, t: Transform) -> bool {
         match self.nodes.get_mut(&id) {
             Some(n) => {
@@ -371,6 +483,29 @@ impl SceneTree {
             }
             None => false,
         }
+    }
+}
+
+/// Pre-order subtree traversal, yielded lazily as `&Node`. Created by
+/// [`SceneTree::descendants_iter`]; only the internal DFS stack
+/// allocates, never an output list.
+pub struct Descendants<'a> {
+    tree: &'a SceneTree,
+    stack: Vec<NodeId>,
+}
+
+impl<'a> Iterator for Descendants<'a> {
+    type Item = &'a Node;
+
+    fn next(&mut self) -> Option<&'a Node> {
+        while let Some(id) = self.stack.pop() {
+            if let Some(node) = self.tree.nodes.get(&id) {
+                // Reverse so the first child is popped first.
+                self.stack.extend(node.children.iter().rev().copied());
+                return Some(node);
+            }
+        }
+        None
     }
 }
 
@@ -591,5 +726,71 @@ mod tests {
         t.add_node(t.root(), "g", NodeKind::Group).unwrap();
         let meshes = t.find_all(|n| matches!(n.kind, NodeKind::Mesh(_)));
         assert_eq!(meshes.len(), 1);
+    }
+
+    #[test]
+    fn descendants_iter_matches_descendants() {
+        let mut t = SceneTree::new();
+        let a = t.add_node(t.root(), "a", NodeKind::Group).unwrap();
+        let b = t.add_node(t.root(), "b", tri_mesh()).unwrap();
+        let a1 = t.add_node(a, "a1", tri_mesh()).unwrap();
+        let a2 = t.add_node(a, "a2", NodeKind::Group).unwrap();
+        t.add_node(a2, "a2x", tri_mesh()).unwrap();
+        for start in [t.root(), a, b, a1, a2, NodeId(999)] {
+            let eager = t.descendants(start);
+            let lazy: Vec<NodeId> = t.descendants_iter(start).map(|n| n.id).collect();
+            assert_eq!(eager, lazy, "start {start:?}");
+        }
+    }
+
+    #[test]
+    fn cost_index_tracks_adds_removes_and_kind_changes() {
+        let mut t = SceneTree::new();
+        let g = t.add_node(t.root(), "g", NodeKind::Group).unwrap();
+        let m1 = t.add_node(g, "m1", tri_mesh()).unwrap();
+        assert_eq!(t.total_cost().polygons, 1);
+        // Add after a cached query: cache must refresh.
+        let m2 = t.add_node(g, "m2", tri_mesh()).unwrap();
+        assert_eq!(t.subtree_cost(g).polygons, 2);
+        // Remove.
+        t.remove(m1).unwrap();
+        assert_eq!(t.total_cost().polygons, 1);
+        // Kind change through node_mut (the split_node pattern).
+        t.node_mut(m2).unwrap().kind = NodeKind::Group;
+        assert_eq!(t.total_cost().polygons, 0);
+        // Missing nodes cost zero, as the uncached walk did.
+        assert_eq!(t.subtree_cost(NodeId(999)), NodeCost::ZERO);
+    }
+
+    #[test]
+    fn cost_index_survives_transform_updates_and_clone() {
+        let mut t = SceneTree::new();
+        let a = t.add_node(t.root(), "a", tri_mesh()).unwrap();
+        assert_eq!(t.total_cost().polygons, 1);
+        // set_transform must not perturb cost results (and, by design,
+        // does not invalidate the cache).
+        t.set_transform(a, Transform::from_translation(Vec3::new(1.0, 0.0, 0.0)));
+        assert_eq!(t.total_cost().polygons, 1);
+        // Clones answer independently and correctly.
+        let mut c = t.clone();
+        assert_eq!(c.total_cost().polygons, 1);
+        c.remove(a).unwrap();
+        assert_eq!(c.total_cost().polygons, 0);
+        assert_eq!(t.total_cost().polygons, 1, "source unaffected by clone's edit");
+    }
+
+    #[test]
+    fn subset_closure_is_sorted_and_duplicate_free() {
+        let mut t = SceneTree::new();
+        let g = t.add_node(t.root(), "g", NodeKind::Group).unwrap();
+        let m = t.add_node(g, "m", tri_mesh()).unwrap();
+        let leaf = t.add_node(m, "leaf", NodeKind::Group).unwrap();
+        // Overlapping roots: m's subtree is inside g's.
+        let closure = t.subset_closure(&[g, m, leaf]);
+        let mut sorted = closure.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(closure, sorted);
+        assert_eq!(closure, vec![t.root(), g, m, leaf]);
     }
 }

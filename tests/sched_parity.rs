@@ -208,6 +208,69 @@ fn dataset_plans_match_the_pre_refactor_planner() {
 }
 
 #[test]
+fn split_heavy_scenarios_match_the_pre_refactor_planner() {
+    // Every node oversized for every service, forcing the splitter path
+    // on each queue pop until the halves fit: the maximum-stress case for
+    // the front-requeue order (split halves must be re-examined before
+    // anything already queued, even heavier items further back).
+    let mut rng = Lcg(0x5eed_0006);
+    for round in 0..20 {
+        let n_meshes = rng.in_range(1, 6) as usize;
+        // All meshes larger than the biggest service cap below.
+        let sizes: Vec<u64> = (0..n_meshes).map(|_| rng.in_range(2_000, 12_000)).collect();
+        // Enough sub-mesh-sized services that the plan is feasible and
+        // the splitter must actually run (never the refusal path).
+        let demand: u64 = sizes.iter().sum();
+        let n_services = (demand / 1_000 + 2) as usize;
+        let caps: Vec<u64> = (0..n_services).map(|_| rng.in_range(1_000, 1_900)).collect();
+        let reports: Vec<CapacityReport> =
+            caps.iter().enumerate().map(|(i, &c)| report(i as u64 + 1, c)).collect();
+
+        let mut scene_new = scene_with_meshes(&sizes);
+        let mut scene_ref = scene_new.clone();
+        let new = plan_distribution(&mut scene_new, &reports);
+        let old = reference_plan(&mut scene_ref, &reports);
+        assert_eq!(new, old, "round {round}: sizes {sizes:?}, caps {caps:?}");
+        assert_eq!(scene_new.len(), scene_ref.len(), "round {round}: scene shapes diverged");
+        let plan = new.expect("feasible by construction");
+        assert!(plan.splits_performed >= n_meshes as u32, "every node had to split");
+    }
+}
+
+mod queue_ledger_proptest {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The new VecDeque queue + incrementally-resifted ledger must
+        /// produce plans identical to the embedded pre-refactor planner on
+        /// arbitrary scenes up to 2k nodes, mixed fitting/oversized.
+        #[test]
+        fn plans_identical_up_to_2k_nodes(
+            seed in any::<u64>(),
+            n_meshes in 1usize..2_000,
+            n_services in 1usize..12,
+        ) {
+            let mut rng = Lcg(seed | 1);
+            let sizes: Vec<u64> = (0..n_meshes).map(|_| rng.in_range(2, 600)).collect();
+            let caps: Vec<u64> =
+                (0..n_services).map(|_| rng.in_range(200, 80_000)).collect();
+            let reports: Vec<CapacityReport> =
+                caps.iter().enumerate().map(|(i, &c)| report(i as u64 + 1, c)).collect();
+
+            let mut scene_new = scene_with_meshes(&sizes);
+            let mut scene_ref = scene_new.clone();
+            let new = plan_distribution(&mut scene_new, &reports);
+            let old = reference_plan(&mut scene_ref, &reports);
+            prop_assert_eq!(new, old);
+            prop_assert_eq!(scene_new.len(), scene_ref.len());
+        }
+    }
+}
+
+#[test]
 fn dataset_plan_splits_are_pinned() {
     // One 4000-triangle mesh over two 2500-headroom services: exactly one
     // split, both halves placed.
