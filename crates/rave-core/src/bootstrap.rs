@@ -155,6 +155,7 @@ pub fn recover_data_service(
         .data_services
         .remove(&failed)
         .unwrap_or_else(|| panic!("no data service {failed} to recover"));
+    sim.world.registry.unpublish("RAVE", &failed_ds.host, &failed_ds.name);
     let cfg =
         StoreConfig { checkpoint_every: sim.world.config.checkpoint_every, ..Default::default() };
     let new_id = sim.world.next_data_service_id();

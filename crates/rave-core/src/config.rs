@@ -71,6 +71,17 @@ pub struct RaveConfig {
     /// Emit a `TraceKind::SchedDecision` record (candidates, scores,
     /// choice) for every migration/failure placement decision.
     pub sched_decision_trace: bool,
+    /// Cadence of the log-shipping replication driver: how often the
+    /// primary plans and sends WAL frames to its warm standby.
+    pub ship_interval: SimTime,
+    /// Maximum unacknowledged frames in flight per replica link; a tick
+    /// plans at most `ack_window − in_flight` new frames.
+    pub ship_ack_window: usize,
+    /// Replication lag bound, in committed updates: the newest entries of
+    /// the primary's *unsealed* segment may stay unshipped up to this
+    /// count (0 = ship every entry immediately). Sealed segments always
+    /// ship whole.
+    pub ship_max_lag: u64,
 }
 
 impl Default for RaveConfig {
@@ -100,6 +111,9 @@ impl Default for RaveConfig {
             sched_ewma_alpha: 0.3,
             sched_drift_ratio: 0.5,
             sched_decision_trace: true,
+            ship_interval: SimTime::from_millis(250.0),
+            ship_ack_window: 4,
+            ship_max_lag: 64,
         }
     }
 }
@@ -130,5 +144,13 @@ mod tests {
         assert!(c.sched_ewma_alpha > 0.0 && c.sched_ewma_alpha <= 1.0);
         assert!(c.sched_drift_ratio > 0.0 && c.sched_drift_ratio < 1.0);
         assert!(c.sched_decision_trace, "decision audit on by default");
+    }
+
+    #[test]
+    fn default_ship_knobs_sane() {
+        let c = RaveConfig::default();
+        assert!(c.ship_interval > SimTime::ZERO);
+        assert!(c.ship_ack_window >= 1, "at least one frame in flight");
+        assert!(c.ship_max_lag < c.checkpoint_every, "lag bound inside a checkpoint window");
     }
 }

@@ -49,6 +49,10 @@ pub struct DataService {
     /// clones of the service (mirrors) observe one log, not two
     /// half-written ones.
     persistence: Option<Arc<Mutex<dyn Persistence>>>,
+    /// Directory of the attached [`rave_store::Store`], if the sink is
+    /// one: failover uses it to recover or log-ship the session without
+    /// asking the (dead) service.
+    pub store_dir: Option<std::path::PathBuf>,
     /// Trace lines from checkpoints taken inside [`DataService::commit`],
     /// drained by the world into the event trace.
     checkpoint_notes: Vec<String>,
@@ -65,6 +69,7 @@ impl DataService {
             next_seq: 1,
             subscribers: BTreeMap::new(),
             persistence: None,
+            store_dir: None,
             checkpoint_notes: Vec::new(),
         }
     }
@@ -81,7 +86,8 @@ impl DataService {
         dir: impl AsRef<std::path::Path>,
         cfg: StoreConfig,
     ) -> std::io::Result<()> {
-        self.attach_persistence(StorePersistence::open(dir, cfg)?);
+        self.attach_persistence(StorePersistence::open(dir.as_ref(), cfg)?);
+        self.store_dir = Some(dir.as_ref().to_path_buf());
         Ok(())
     }
 

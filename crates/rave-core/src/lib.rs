@@ -22,6 +22,7 @@
 //! | Distributed volume rendering (§6) | [`volume_dist`] |
 //! | Computational steering / remote bridge (§5.2) | [`steering`] |
 //! | Data-service mirroring & failover (§6) | [`mirror`] |
+//! | WAL log shipping to a warm standby (§6) | [`replica`] |
 //! | Durable session store & crash recovery (§3.1.1) | [`persist`] |
 //!
 //! Everything runs inside a `rave_sim::Simulation<RaveWorld>`: service
@@ -42,6 +43,7 @@ pub mod migration;
 pub mod mirror;
 pub mod persist;
 pub mod render_service;
+pub mod replica;
 pub mod sched;
 pub mod steering;
 pub mod thin_client;

@@ -49,6 +49,16 @@ pub fn handle_service_failure(
     process_events(sim, ds_id, &[SchedEvent::Failure { service: dead }])
 }
 
+/// Handle the death of the data service itself — the last single point
+/// of failure. The event flows through the same rebalance engine as
+/// every other trigger: a warm standby (log-shipping link, see
+/// [`crate::replica`]) is promoted in place; without one the service is
+/// rebuilt cold from its durable store, and with neither the session is
+/// refused as lost.
+pub fn handle_data_service_failure(sim: &mut RaveSim, dead: DataServiceId) -> MigrationOutcome {
+    process_events(sim, dead, &[SchedEvent::DataFailure { service: dead }])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

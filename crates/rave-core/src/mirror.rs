@@ -25,32 +25,44 @@ pub struct MirrorPair {
 }
 
 impl MirrorPair {
-    /// Establish mirroring: the mirror receives the primary's current
-    /// audit trail (charged as one bulk transfer) and replays it.
-    /// Subsequent updates must be forwarded with
-    /// [`MirrorPair::replicate_pending`].
+    /// Establish mirroring: the mirror receives the primary's audit
+    /// trail past its own `last_seq` (charged as one bulk transfer) and
+    /// commits it in order — a mirror that already holds a prefix (a
+    /// re-established pairing, a restarted mirror) is topped up, not
+    /// re-shipped the whole history. Subsequent updates must be
+    /// forwarded with [`MirrorPair::replicate_pending`].
     pub fn establish(sim: &mut RaveSim, primary: DataServiceId, mirror: DataServiceId) -> Self {
         let now = sim.now();
-        let (entries, bytes, p_host) = {
+        let m_last = sim.world.data(mirror).audit.last_seq();
+        let (pending, bytes, p_host): (Vec<(f64, StampedUpdate)>, u64, String) = {
             let p = sim.world.data(primary);
-            let bytes: u64 =
-                p.audit.entries().iter().map(|e| e.stamped.wire_size()).sum::<u64>() + 64;
-            (p.audit.clone(), bytes, p.host.clone())
+            let pending: Vec<(f64, StampedUpdate)> = p
+                .audit
+                .entries()
+                .iter()
+                .filter(|e| e.stamped.seq > m_last)
+                .map(|e| (e.at_secs, e.stamped.clone()))
+                .collect();
+            let bytes: u64 = pending.iter().map(|(_, s)| s.wire_size()).sum::<u64>() + 64;
+            (pending, bytes, p.host.clone())
         };
         let m_host = sim.world.data(mirror).host.clone();
         let arrival = sim.world.send_bytes(now, &p_host, &m_host, bytes);
         sim.schedule_at(arrival, move |sim| {
             let at = sim.now();
+            let n = pending.len();
             {
                 let m = sim.world.data_mut(mirror);
-                m.scene = entries.replay_all().expect("primary trail replays");
-                m.observe_seq(entries.last_seq());
-                m.audit = entries.clone();
+                for (at_secs, stamped) in pending {
+                    if stamped.seq > m.audit.last_seq() {
+                        m.commit(at_secs, &stamped).expect("primary trail replays");
+                    }
+                }
             }
             sim.world.trace.record(
                 at,
                 TraceKind::Bootstrap,
-                format!("{mirror} mirroring {primary} ({} entries)", entries.len()),
+                format!("{mirror} mirroring {primary} ({n} entries, resumed from seq {m_last})"),
             );
         });
         Self { primary, mirror }
@@ -184,6 +196,38 @@ mod tests {
         let m = &sim.world.data(pair.mirror).scene;
         assert_eq!(p.len(), m.len());
         assert_eq!(pair.lag(&sim), 0);
+    }
+
+    #[test]
+    fn re_establish_ships_only_the_delta() {
+        let (mut sim, pair, _) = mirrored_world();
+        // Publish more history, then re-establish the same pairing: only
+        // the two new entries cross the wire, not the whole trail.
+        for name in ["c", "d"] {
+            let id = sim.world.data_mut(pair.primary).scene.allocate_id();
+            publish_update(
+                &mut sim,
+                pair.primary,
+                "u",
+                SceneUpdate::AddNode {
+                    id,
+                    parent: rave_scene::NodeId(0),
+                    name: name.into(),
+                    kind: NodeKind::Group,
+                },
+            )
+            .unwrap();
+        }
+        sim.run();
+        MirrorPair::establish(&mut sim, pair.primary, pair.mirror);
+        sim.run();
+        assert_eq!(pair.lag(&sim), 0);
+        let detail = &sim.world.trace.last_of(TraceKind::Bootstrap).unwrap().detail;
+        assert!(detail.contains("2 entries, resumed from seq 2"), "{detail}");
+        assert_eq!(
+            sim.world.data(pair.mirror).audit.len(),
+            sim.world.data(pair.primary).audit.len()
+        );
     }
 
     #[test]

@@ -1,0 +1,558 @@
+//! Warm-standby replication: continuous WAL log shipping and measured
+//! promotion (§6 "data servers could mirror each other", production
+//! grade).
+//!
+//! [`crate::mirror`] is the *cold* half of the fail-safe: a one-shot bulk
+//! copy of the whole audit trail, paid for at failover time. This module
+//! is the warm half. A [`ReplicaLink`] continuously streams the
+//! primary's WAL — sealed segments verbatim, plus the unsealed tail past
+//! the [`crate::RaveConfig::ship_max_lag`] bound — to a standby data
+//! service on another host, through the same serializing
+//! `rave_net` channels every other transfer uses. The standby applies
+//! each frame to its own on-disk log *and* its in-memory replica, so at
+//! promotion time there is (almost) nothing left to do: re-point the
+//! subscribers and continue sequence numbers where the primary stopped.
+//!
+//! Failure enters through the scheduler:
+//! [`crate::sched::SchedEvent::DataFailure`] is handled by
+//! `rebalance::process_events`, which promotes the standby when a link
+//! exists and falls back to the cold
+//! [`crate::bootstrap::recover_data_service`] path (durable store, full
+//! re-bootstrap of every subscriber) when one does not.
+
+use crate::ids::{DataServiceId, RenderServiceId};
+use crate::trace::TraceKind;
+use crate::world::RaveSim;
+use rave_scene::InterestSet;
+use rave_sim::SimTime;
+use rave_store::ship::{Shipper, StandbyLog, ACK_BYTES};
+use rave_store::{StoreConfig, Wal};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One live replication link, owned by the world and keyed by primary.
+#[derive(Debug)]
+pub struct ReplicaLink {
+    pub primary: DataServiceId,
+    pub standby: DataServiceId,
+    /// The primary's WAL directory frames are planned from.
+    pub primary_dir: PathBuf,
+    /// The standby's durable log (its directory is a prefix of the
+    /// primary's, and becomes the promoted service's store).
+    pub log: StandbyLog,
+    /// Highest sequence number the standby has acknowledged.
+    pub acked_seq: u64,
+    /// Optimistic cursor covering frames still in flight, so overlapping
+    /// ship ticks never re-send what an earlier tick already queued.
+    pub shipped_seq: u64,
+    /// Segment index the standby asked to have re-shipped (torn frame).
+    pub resend: Option<u64>,
+    /// Frames sent but not yet acknowledged.
+    pub in_flight: usize,
+    /// Lifetime accounting, for traces and benches.
+    pub shipped_frames: u64,
+    pub shipped_bytes: u64,
+}
+
+/// What [`promote_standby`] did, for the scheduler's outcome record and
+/// for benches measuring recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromotionReport {
+    pub failed: DataServiceId,
+    pub promoted: DataServiceId,
+    /// True for a warm (log-shipped) promotion; false for the cold
+    /// recover-from-store fallback.
+    pub warm: bool,
+    /// Subscribers re-pointed at the promoted service.
+    pub subscribers_moved: usize,
+    /// Durably shipped entries the standby had not yet applied in memory
+    /// and replayed at promotion time (normally 0 for a warm standby).
+    pub residual_entries: usize,
+    /// Wire bytes of those residual entries.
+    pub replayed_bytes: u64,
+    /// Committed updates the primary held that never reached the
+    /// standby's log — bounded by the configured lag.
+    pub lost_updates: u64,
+    /// Virtual time at which the last subscriber flip completes.
+    pub completed_at: SimTime,
+}
+
+/// Establish a warm standby for `primary` (whose WAL lives under
+/// `primary_dir`): the standby service resumes from whatever prefix its
+/// own directory already holds — a restarted standby does NOT re-ship
+/// history it kept — and the link starts shipping from that cursor on
+/// the next [`ship_tick`].
+pub fn establish_standby(
+    sim: &mut RaveSim,
+    primary: DataServiceId,
+    standby: DataServiceId,
+    primary_dir: impl AsRef<Path>,
+    standby_dir: impl AsRef<Path>,
+) -> io::Result<u64> {
+    let log = StandbyLog::open(standby_dir.as_ref())?;
+    let resumed_from = log.last_seq();
+    // Seed the standby's in-memory replica from its durable prefix, so
+    // memory and disk advance together from one consistent point.
+    let rec = rave_store::recover(standby_dir.as_ref())?;
+    {
+        let ds = sim.world.data_mut(standby);
+        if rec.last_seq > ds.audit.last_seq() {
+            ds.scene = rec.tree;
+            ds.observe_seq(rec.last_seq);
+        }
+        for e in &rec.entries {
+            // A re-established link over a live standby already holds a
+            // prefix in memory; only record past it.
+            if e.stamped.seq > ds.audit.last_seq() {
+                ds.audit
+                    .record(e.at_secs, e.stamped.clone())
+                    .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+            }
+        }
+    }
+    sim.world.replicas.insert(
+        primary,
+        ReplicaLink {
+            primary,
+            standby,
+            primary_dir: primary_dir.as_ref().to_path_buf(),
+            log,
+            acked_seq: resumed_from,
+            shipped_seq: resumed_from,
+            resend: None,
+            in_flight: 0,
+            shipped_frames: 0,
+            shipped_bytes: 0,
+        },
+    );
+    let now = sim.now();
+    sim.world.trace.record(
+        now,
+        TraceKind::LogShip,
+        format!("{standby} standing by for {primary} (resumed from seq {resumed_from})"),
+    );
+    Ok(resumed_from)
+}
+
+/// One replication round: plan frames past the link's cursor (bounded by
+/// the ack window), charge each over the primary→standby channel, apply
+/// on arrival (disk + in-memory replica), and charge the ack back.
+/// Returns the number of frames put in flight.
+pub fn ship_tick(sim: &mut RaveSim, primary: DataServiceId) -> io::Result<usize> {
+    let cfg = sim.world.config.clone();
+    let Some(link) = sim.world.replicas.get(&primary) else { return Ok(0) };
+    let window = cfg.ship_ack_window.saturating_sub(link.in_flight);
+    if window == 0 {
+        return Ok(0);
+    }
+    let standby = link.standby;
+    let shipper = Shipper::new(&link.primary_dir);
+    let (shipped_seq, resend) = (link.shipped_seq, link.resend);
+    // The primary must flush its WAL before frames leave the host: a
+    // frame must never describe bytes the OS still holds in a buffer.
+    sim.world.data_mut(primary).sync_persistence()?;
+    let frames = shipper.plan(shipped_seq, resend, cfg.ship_max_lag, window)?;
+    if frames.is_empty() {
+        return Ok(0);
+    }
+    let p_host = sim.world.data(primary).host.clone();
+    let s_host = sim.world.data(standby).host.clone();
+    let shipped = frames.len();
+    let now = sim.now();
+    for frame in frames {
+        let bytes = frame.wire_size();
+        {
+            let link = sim.world.replicas.get_mut(&primary).expect("link checked above");
+            link.in_flight += 1;
+            link.shipped_frames += 1;
+            link.shipped_bytes += bytes;
+            if let Some(last) = frame.last_seq() {
+                link.shipped_seq = link.shipped_seq.max(last);
+            }
+        }
+        sim.world.trace.record(
+            now,
+            TraceKind::LogShip,
+            format!("{primary} -> {standby}: {} ({bytes} bytes)", frame.describe()),
+        );
+        let arrival = sim.world.send_bytes(now, &p_host, &s_host, bytes);
+        let (p_host, s_host) = (p_host.clone(), s_host.clone());
+        sim.schedule_at(arrival, move |sim| {
+            let at = sim.now();
+            // The link may have been torn down (promotion) while the
+            // frame was on the wire; late frames are simply dropped.
+            let Some(link) = sim.world.replicas.get_mut(&primary) else { return };
+            let apply = link.log.apply(&frame).expect("standby applies shipped frame");
+            let ack = apply.ack;
+            for e in &apply.entries {
+                // The shipped log is authoritative: divergence between it
+                // and the in-memory replica is a bug, not a condition.
+                sim.world
+                    .data_mut(standby)
+                    .commit(e.at_secs, &e.stamped)
+                    .expect("standby replays primary log");
+            }
+            // For tail-sealed coverage the tail cursor is what the sealed
+            // frame ends at; keep the optimistic cursor monotone.
+            if let Some(link) = sim.world.replicas.get_mut(&primary) {
+                link.shipped_seq = link.shipped_seq.max(ack.last_seq);
+            }
+            let ack_arrival = sim.world.send_bytes(at, &s_host, &p_host, ACK_BYTES);
+            sim.schedule_at(ack_arrival, move |sim| {
+                let at = sim.now();
+                let Some(link) = sim.world.replicas.get_mut(&primary) else { return };
+                link.in_flight = link.in_flight.saturating_sub(1);
+                link.acked_seq = link.acked_seq.max(ack.last_seq);
+                link.resend = ack.resend;
+                // Once the pipe drains, re-sync the optimistic cursor to
+                // what the standby actually holds (a declined or torn
+                // frame leaves them apart; re-planning from the acked
+                // cursor re-ships the difference).
+                if link.in_flight == 0 && link.acked_seq < link.shipped_seq {
+                    link.shipped_seq = link.acked_seq;
+                }
+                if let Some(idx) = ack.resend {
+                    sim.world.trace.record(
+                        at,
+                        TraceKind::LogShip,
+                        format!(
+                            "{standby} -> {primary}: ack seq {} torn, re-requesting segment #{idx}",
+                            ack.last_seq,
+                        ),
+                    );
+                }
+            });
+        });
+    }
+    Ok(shipped)
+}
+
+/// Periodic replication driver: run [`ship_tick`] every
+/// [`crate::RaveConfig::ship_interval`] until the horizon, stopping by
+/// itself once the link (or the primary) is gone.
+pub fn run_log_shipping(sim: &mut RaveSim, primary: DataServiceId, horizon: SimTime) {
+    fn tick(sim: &mut RaveSim, primary: DataServiceId, horizon: SimTime) {
+        if !sim.world.replicas.contains_key(&primary)
+            || !sim.world.data_services.contains_key(&primary)
+        {
+            return;
+        }
+        if let Err(e) = ship_tick(sim, primary) {
+            let now = sim.now();
+            sim.world.trace.record(
+                now,
+                TraceKind::LogShip,
+                format!("{primary}: shipping stopped: {e}"),
+            );
+            return;
+        }
+        let next = sim.now() + sim.world.config.ship_interval;
+        if next <= horizon {
+            sim.schedule_at(next, move |sim| tick(sim, primary, horizon));
+        }
+    }
+    let first = sim.now() + sim.world.config.ship_interval;
+    sim.schedule_at(first, move |sim| tick(sim, primary, horizon));
+}
+
+/// Promote the warm standby of a failed primary. The primary is removed
+/// from the world and the registry; the standby replays any durably
+/// shipped entries it had not yet applied in memory, attaches the
+/// shipped store (sequence numbers and logging continue on the shipped
+/// segments), and every subscriber is re-pointed with one control round
+/// trip charged per flip — no snapshot marshal, no trail re-replay.
+///
+/// Returns `None` when `primary` has no replica link.
+pub fn promote_standby(
+    sim: &mut RaveSim,
+    primary: DataServiceId,
+) -> io::Result<Option<PromotionReport>> {
+    let Some(link) = sim.world.replicas.remove(&primary) else { return Ok(None) };
+    let now = sim.now();
+    let standby = link.standby;
+    // The failed instance: its in-memory state is gone with the host,
+    // but as the simulator we can still read it to *report* loss.
+    let failed = sim
+        .world
+        .data_services
+        .remove(&primary)
+        .unwrap_or_else(|| panic!("no data service {primary} to promote away from"));
+    sim.world.registry.unpublish("RAVE", &failed.host, &failed.name);
+
+    // Residual: entries on the standby's disk (shipped, durable) that
+    // its in-memory replica has not applied yet — e.g. the standby
+    // process restarted after the last apply. Normally empty.
+    let applied = sim.world.data(standby).audit.last_seq();
+    let residual = Wal::replay_after(link.log.dir(), applied)?;
+    let replayed_bytes: u64 = residual.iter().map(|e| e.stamped.wire_size()).sum();
+    for e in &residual {
+        sim.world
+            .data_mut(standby)
+            .commit(e.at_secs, &e.stamped)
+            .expect("standby replays shipped log");
+    }
+    // The shipped directory *is* a WAL: attach it so the promoted
+    // service appends (and checkpoints) where shipping stopped.
+    let store_cfg =
+        StoreConfig { checkpoint_every: sim.world.config.checkpoint_every, ..Default::default() };
+    sim.world.data_mut(standby).attach_store(link.log.dir(), store_cfg)?;
+
+    let standby_last = sim.world.data(standby).audit.last_seq();
+    let lost = failed.audit.last_seq().saturating_sub(standby_last);
+
+    // Re-point subscribers: each flip is one small control round trip
+    // from the promoted host — the replicas themselves are already warm,
+    // so there is no bootstrap marshal and no buffered-update replay.
+    let s_host = sim.world.data(standby).host.clone();
+    let mut completed_at = now;
+    let subs: Vec<(RenderServiceId, InterestSet)> =
+        failed.subscribers.iter().map(|(rs, sub)| (*rs, sub.interest.clone())).collect();
+    for (rs, interest) in &subs {
+        let rs_host = sim.world.render(*rs).host.clone();
+        let rtt = sim.world.network.round_trip(&s_host, &rs_host, 128, 64);
+        let at = now + rtt;
+        completed_at = completed_at.max(at);
+        let (rs, interest) = (*rs, interest.clone());
+        sim.schedule_at(at, move |sim| {
+            sim.world.data_mut(standby).subscribe_live(rs, interest);
+        });
+    }
+    let report = PromotionReport {
+        failed: primary,
+        promoted: standby,
+        warm: true,
+        subscribers_moved: subs.len(),
+        residual_entries: residual.len(),
+        replayed_bytes,
+        lost_updates: lost,
+        completed_at,
+    };
+    sim.world.trace.record(
+        now,
+        TraceKind::Promote,
+        format!(
+            "{primary} -> {standby}: promoted at seq {standby_last} \
+             ({} subscriber(s) re-pointed, {} residual entr(ies) replayed, \
+             {lost} committed update(s) lost)",
+            subs.len(),
+            residual.len(),
+        ),
+    );
+    Ok(Some(report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::rebalance::process_events;
+    use crate::sched::SchedEvent;
+    use crate::world::{publish_update, RaveWorld};
+    use crate::RaveConfig;
+    use rave_scene::{NodeKind, SceneUpdate};
+    use rave_sim::Simulation;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rave-replica-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn add(sim: &mut RaveSim, ds: DataServiceId, name: &str) -> rave_scene::NodeId {
+        let id = sim.world.data_mut(ds).scene.allocate_id();
+        publish_update(
+            sim,
+            ds,
+            "u",
+            SceneUpdate::AddNode {
+                id,
+                parent: rave_scene::NodeId(0),
+                name: name.into(),
+                kind: NodeKind::Group,
+            },
+        )
+        .unwrap();
+        id
+    }
+
+    /// Primary with a durable store + subscriber + warm standby, shipping.
+    fn warm_world(
+        tag: &str,
+        max_lag: u64,
+    ) -> (RaveSim, DataServiceId, DataServiceId, RenderServiceId, PathBuf, PathBuf) {
+        let cfg = RaveConfig { ship_max_lag: max_lag, ..Default::default() };
+        let mut sim = Simulation::new(RaveWorld::paper_testbed(cfg, 7));
+        let primary = sim.world.spawn_data_service("adrenochrome", "sess");
+        let standby = sim.world.spawn_data_service("tower", "sess-standby");
+        let rs = sim.world.spawn_render_service("laptop");
+        sim.world.data_mut(primary).subscribe_live(rs, rave_scene::InterestSet::everything());
+        let pdir = tmp_dir(&format!("{tag}-p"));
+        let sdir = tmp_dir(&format!("{tag}-s"));
+        // Small segments force rotations; huge checkpoint interval keeps
+        // the whole WAL around for shipping.
+        let store_cfg = StoreConfig {
+            segment_max_bytes: 512,
+            checkpoint_every: u64::MAX / 2,
+            sync_writes: false,
+        };
+        sim.world.data_mut(primary).attach_store(&pdir, store_cfg).unwrap();
+        establish_standby(&mut sim, primary, standby, &pdir, &sdir).unwrap();
+        (sim, primary, standby, rs, pdir, sdir)
+    }
+
+    #[test]
+    fn shipping_keeps_standby_in_lockstep() {
+        let (mut sim, primary, standby, _, pdir, sdir) = warm_world("lockstep", 0);
+        let horizon = sim.now() + SimTime::from_secs(30.0);
+        run_log_shipping(&mut sim, primary, horizon);
+        for i in 0..40 {
+            add(&mut sim, primary, &format!("n{i}"));
+        }
+        sim.run();
+        let p = sim.world.data(primary);
+        let s = sim.world.data(standby);
+        assert_eq!(s.audit.last_seq(), p.audit.last_seq(), "{}", sim.world.trace.render());
+        assert_eq!(s.scene, p.scene);
+        assert!(sim.world.trace.count(TraceKind::LogShip) > 1);
+        // The standby's directory recovers to the same state.
+        let rec = rave_store::recover(&sdir).unwrap();
+        assert_eq!(rec.last_seq, p.audit.last_seq());
+        assert_eq!(rec.tree, p.scene);
+        let _ = std::fs::remove_dir_all(&pdir);
+        let _ = std::fs::remove_dir_all(&sdir);
+    }
+
+    #[test]
+    fn lag_bound_limits_unshipped_tail() {
+        let (mut sim, primary, standby, _, pdir, sdir) = warm_world("lag", 8);
+        let horizon = sim.now() + SimTime::from_secs(30.0);
+        run_log_shipping(&mut sim, primary, horizon);
+        for i in 0..30 {
+            add(&mut sim, primary, &format!("n{i}"));
+        }
+        sim.run();
+        let p_last = sim.world.data(primary).audit.last_seq();
+        let s_last = sim.world.data(standby).audit.last_seq();
+        assert!(p_last - s_last <= 8, "lag {} exceeds bound", p_last - s_last);
+        let _ = std::fs::remove_dir_all(&pdir);
+        let _ = std::fs::remove_dir_all(&sdir);
+    }
+
+    #[test]
+    fn data_failure_event_promotes_the_standby_with_zero_loss() {
+        let (mut sim, primary, standby, rs, pdir, sdir) = warm_world("promote", 0);
+        let horizon = sim.now() + SimTime::from_secs(60.0);
+        run_log_shipping(&mut sim, primary, horizon);
+        for i in 0..25 {
+            add(&mut sim, primary, &format!("n{i}"));
+        }
+        sim.run();
+        let committed = sim.world.data(primary).audit.last_seq();
+
+        let outcome =
+            process_events(&mut sim, primary, &[SchedEvent::DataFailure { service: primary }]);
+        assert_eq!(outcome.promotions.len(), 1, "{}", sim.world.trace.render());
+        let report = &outcome.promotions[0];
+        assert!(report.warm);
+        assert_eq!(report.promoted, standby);
+        assert_eq!(report.lost_updates, 0, "zero committed updates lost at lag 0");
+        assert_eq!(report.subscribers_moved, 1);
+        sim.run();
+
+        // The primary is gone; the standby owns the session and the
+        // subscriber, and sequence numbers continue.
+        assert!(!sim.world.data_services.contains_key(&primary));
+        assert_eq!(sim.world.data(standby).audit.last_seq(), committed);
+        assert!(sim.world.data(standby).subscribers.contains_key(&rs));
+        let id = add(&mut sim, standby, "post-promotion");
+        sim.run();
+        assert!(sim.world.render(rs).scene.contains(id), "subscriber keeps receiving updates");
+        let seq = sim.world.data(standby).audit.last_seq();
+        assert_eq!(seq, committed + 1, "sequence continues past the primary's");
+        // And the promoted service logs durably to the shipped store.
+        assert_eq!(sim.world.data(standby).store_dir.as_deref(), Some(sdir.as_path()));
+        sim.world.data_mut(standby).sync_persistence().unwrap();
+        assert_eq!(rave_store::recover(&sdir).unwrap().last_seq, seq);
+        assert_eq!(sim.world.trace.count(TraceKind::Promote), 1);
+        let _ = std::fs::remove_dir_all(&pdir);
+        let _ = std::fs::remove_dir_all(&sdir);
+    }
+
+    #[test]
+    fn promotion_loss_is_bounded_by_the_lag() {
+        let (mut sim, primary, _standby, _, pdir, sdir) = warm_world("lagloss", 8);
+        let horizon = sim.now() + SimTime::from_secs(60.0);
+        run_log_shipping(&mut sim, primary, horizon);
+        for i in 0..30 {
+            add(&mut sim, primary, &format!("n{i}"));
+        }
+        sim.run();
+        let outcome =
+            process_events(&mut sim, primary, &[SchedEvent::DataFailure { service: primary }]);
+        let report = &outcome.promotions[0];
+        assert!(report.lost_updates <= 8, "lost {} > lag bound", report.lost_updates);
+        let _ = std::fs::remove_dir_all(&pdir);
+        let _ = std::fs::remove_dir_all(&sdir);
+    }
+
+    #[test]
+    fn data_failure_without_standby_falls_back_to_cold_recovery() {
+        let mut sim = Simulation::new(RaveWorld::paper_testbed(RaveConfig::default(), 7));
+        let primary = sim.world.spawn_data_service("adrenochrome", "sess");
+        let rs = sim.world.spawn_render_service("laptop");
+        sim.world.data_mut(primary).subscribe_live(rs, rave_scene::InterestSet::everything());
+        let pdir = tmp_dir("cold-p");
+        sim.world.data_mut(primary).attach_store(&pdir, StoreConfig::default()).unwrap();
+        for i in 0..10 {
+            add(&mut sim, primary, &format!("n{i}"));
+        }
+        sim.world.data_mut(primary).sync_persistence().unwrap();
+        sim.run();
+        let outcome =
+            process_events(&mut sim, primary, &[SchedEvent::DataFailure { service: primary }]);
+        sim.run();
+        assert_eq!(outcome.promotions.len(), 1);
+        let report = &outcome.promotions[0];
+        assert!(!report.warm, "no link: cold recovery path");
+        assert!(!sim.world.data_services.contains_key(&primary));
+        let new_ds = report.promoted;
+        assert_eq!(sim.world.data(new_ds).audit.last_seq(), 10);
+        assert!(sim.world.data(new_ds).subscribers.contains_key(&rs));
+        assert_eq!(sim.world.trace.count(TraceKind::Recovery), 1);
+        let _ = std::fs::remove_dir_all(&pdir);
+    }
+
+    #[test]
+    fn data_failure_with_nothing_durable_is_refused() {
+        let mut sim = Simulation::new(RaveWorld::paper_testbed(RaveConfig::default(), 7));
+        let primary = sim.world.spawn_data_service("adrenochrome", "sess");
+        add(&mut sim, primary, "n");
+        let outcome =
+            process_events(&mut sim, primary, &[SchedEvent::DataFailure { service: primary }]);
+        assert!(outcome.promotions.is_empty());
+        assert!(outcome.refused);
+        assert_eq!(sim.world.trace.count(TraceKind::Refusal), 1);
+    }
+
+    #[test]
+    fn standby_restart_resumes_from_its_durable_prefix() {
+        let (mut sim, primary, standby, _, pdir, sdir) = warm_world("restart", 0);
+        let horizon = sim.now() + SimTime::from_secs(30.0);
+        run_log_shipping(&mut sim, primary, horizon);
+        for i in 0..20 {
+            add(&mut sim, primary, &format!("n{i}"));
+        }
+        sim.run();
+        let shipped_before = sim.world.replicas.get(&primary).unwrap().shipped_bytes;
+        // "Restart" the standby process: tear the link down and
+        // re-establish over the same directories.
+        sim.world.replicas.remove(&primary);
+        let resumed_from = establish_standby(&mut sim, primary, standby, &pdir, &sdir).unwrap();
+        assert_eq!(resumed_from, 20, "resume cursor is the durable prefix, not zero");
+        // Nothing new to ship: the re-established link stays quiet.
+        let shipped = ship_tick(&mut sim, primary).unwrap();
+        assert_eq!(shipped, 0, "no re-shipping of held history");
+        let _ = shipped_before;
+        let _ = std::fs::remove_dir_all(&pdir);
+        let _ = std::fs::remove_dir_all(&sdir);
+    }
+}

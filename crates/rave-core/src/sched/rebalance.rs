@@ -32,6 +32,10 @@ pub enum SchedEvent {
     /// Measured throughput fell well below what the service advertised:
     /// re-plan before the overload fps threshold ever trips.
     CostDrift { service: RenderServiceId, measured: f64, expected: f64 },
+    /// The data service itself died — the last single point of failure.
+    /// Promote its warm standby if a replication link exists; otherwise
+    /// fall back to cold recovery from its durable store.
+    DataFailure { service: DataServiceId },
 }
 
 /// What a rebalance pass did.
@@ -41,13 +45,16 @@ pub struct MigrationOutcome {
     pub moved: Vec<(NodeId, RenderServiceId, RenderServiceId)>,
     /// Render services recruited via UDDI this pass.
     pub recruited: Vec<RenderServiceId>,
+    /// Data-service failovers performed this pass (warm promotion or
+    /// cold recovery).
+    pub promotions: Vec<crate::replica::PromotionReport>,
     /// True when work remained unplaceable ("the request is refused").
     pub refused: bool,
 }
 
 impl MigrationOutcome {
     pub fn acted(&self) -> bool {
-        !self.moved.is_empty() || !self.recruited.is_empty()
+        !self.moved.is_empty() || !self.recruited.is_empty() || !self.promotions.is_empty()
     }
 }
 
@@ -225,9 +232,59 @@ pub fn process_events(
             SchedEvent::Failure { service } => {
                 handle_failure(sim, ds_id, service, &mut batch, &mut outcome);
             }
+            SchedEvent::DataFailure { service } => {
+                handle_data_failure(sim, service, &mut outcome);
+            }
         }
     }
     outcome
+}
+
+/// Handle the death of a data service. Preference order: promote the
+/// warm standby (log-shipped, nothing to marshal), else rebuild from the
+/// durable store via [`crate::bootstrap::recover_data_service`] (cold:
+/// every subscriber re-bootstraps), else refuse — the session state is
+/// gone with the host.
+fn handle_data_failure(sim: &mut RaveSim, dead: DataServiceId, outcome: &mut MigrationOutcome) {
+    if !sim.world.data_services.contains_key(&dead) {
+        return;
+    }
+    if sim.world.replicas.contains_key(&dead) {
+        let report = crate::replica::promote_standby(sim, dead)
+            .expect("warm promotion replays a verified log")
+            .expect("link checked above");
+        outcome.promotions.push(report);
+        return;
+    }
+    let (host, store_dir, n_subs) = {
+        let ds = sim.world.data(dead);
+        (ds.host.clone(), ds.store_dir.clone(), ds.subscribers.len())
+    };
+    if let Some(dir) = store_dir {
+        let now = sim.now();
+        let new_id = crate::bootstrap::recover_data_service(sim, dead, &host, &dir)
+            .expect("cold recovery from an intact store");
+        outcome.promotions.push(crate::replica::PromotionReport {
+            failed: dead,
+            promoted: new_id,
+            warm: false,
+            subscribers_moved: n_subs,
+            residual_entries: 0,
+            replayed_bytes: 0,
+            // The store is lossless up to its last durable append;
+            // anything past it died with the host and is unknowable here.
+            lost_updates: 0,
+            completed_at: now,
+        });
+        return;
+    }
+    let now = sim.now();
+    sim.world.trace.record(
+        now,
+        TraceKind::Refusal,
+        format!("{dead} failed with no standby and no durable store — session lost"),
+    );
+    outcome.refused = true;
 }
 
 fn trace_decision(

@@ -28,6 +28,12 @@ pub enum TraceKind {
     SchedDecision,
     /// The adaptive frame stream changed codec for a client.
     CodecSwitch,
+    /// Log-shipping replication traffic: a WAL frame shipped to (or
+    /// acknowledged by) a warm standby.
+    LogShip,
+    /// A warm standby was promoted to primary after a data-service
+    /// failure.
+    Promote,
 }
 
 /// One trace record.

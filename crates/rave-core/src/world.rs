@@ -35,6 +35,8 @@ pub struct RaveWorld {
     channels: BTreeMap<(String, String), Channel>,
     /// Compressed frame-stream state per (render service, client).
     pub frame_cache: FrameCache,
+    /// Active log-shipping replication links, keyed by primary.
+    pub replicas: BTreeMap<DataServiceId, crate::replica::ReplicaLink>,
     pub trace: EventTrace,
     pub rng: SimRng,
     /// The unified scheduler's cross-pass state (throughput memory and
@@ -86,6 +88,7 @@ impl RaveWorld {
             thin_clients: BTreeMap::new(),
             channels: BTreeMap::new(),
             frame_cache: FrameCache::new(),
+            replicas: BTreeMap::new(),
             trace: EventTrace::new(),
             rng: SimRng::new(seed),
             sched,

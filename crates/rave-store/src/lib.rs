@@ -13,7 +13,10 @@
 //! - **compaction** ([`compact`]) deleting segments a snapshot covers,
 //!   bounding disk use to one snapshot + the active segment;
 //! - **crash recovery** ([`recover`]): latest snapshot + WAL tail, always
-//!   landing on a clean update boundary.
+//!   landing on a clean update boundary;
+//! - **log shipping** ([`ship`]): continuous replication of sealed
+//!   segments (plus a bounded unsealed tail) to a warm standby whose
+//!   directory is always an exact prefix of the primary's log.
 //!
 //! The [`Store`] facade ties these together behind the append /
 //! checkpoint / recover API the data service drives.
@@ -22,12 +25,14 @@ pub mod compact;
 pub mod record;
 pub mod recover;
 pub mod segment;
+pub mod ship;
 pub mod snapshot;
 pub mod wal;
 
 pub use compact::{compact, CompactionReport};
 pub use record::{crc32, TornTail};
 pub use recover::{recover, Recovery};
+pub use ship::{ShipAck, ShipApply, ShipFrame, Shipper, StandbyLog};
 pub use snapshot::{read_snapshot, write_snapshot, Snapshot};
 pub use wal::{Wal, WalOpenReport};
 

@@ -5,7 +5,7 @@
 //! snapshot covers them.
 
 use crate::record::TornTail;
-use crate::segment::{list_segments, read_segment, SegmentWriter};
+use crate::segment::{list_segments, read_segment, read_segment_header, SegmentWriter};
 use rave_scene::AuditEntry;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -110,10 +110,26 @@ impl Wal {
     /// Replay every entry with `seq > after_seq`, in order, across all
     /// segments. Stops at the first torn/corrupt record (the entries
     /// before it are a guaranteed-intact prefix of the log).
+    ///
+    /// Sealed segments wholly at or below the cursor are skipped from
+    /// their 28-byte headers alone: segment `i`'s entries all lie below
+    /// segment `i+1`'s `base_seq` (rotation chains them), so an
+    /// incremental replay never reads or decodes record bodies the
+    /// caller already holds.
     pub fn replay_after(dir: &Path, after_seq: u64) -> io::Result<Vec<AuditEntry>> {
+        let segments = list_segments(dir)?;
+        let mut start = 0;
+        for i in 0..segments.len().saturating_sub(1) {
+            let next_base = read_segment_header(&segments[i + 1].1)?.base_seq;
+            if next_base <= after_seq.saturating_add(1) {
+                start = i + 1;
+            } else {
+                break;
+            }
+        }
         let mut out = Vec::new();
-        for (_, path) in list_segments(dir)? {
-            let contents = read_segment(&path)?;
+        for (_, path) in &segments[start..] {
+            let contents = read_segment(path)?;
             for e in contents.entries {
                 if e.stamped.seq > after_seq {
                     out.push(e);
@@ -223,6 +239,34 @@ mod tests {
         wal.sync().unwrap();
         let replayed = Wal::replay_after(&dir, 0).unwrap();
         assert_eq!(replayed.len(), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_after_skips_sealed_segments_by_header() {
+        let dir = tmp_dir("skip");
+        let (mut wal, _) = Wal::open(&dir, 256, false).unwrap();
+        for seq in 1..=50 {
+            wal.append(&entry(seq)).unwrap();
+        }
+        wal.sync().unwrap();
+        let segs = list_segments(&dir).unwrap();
+        assert!(segs.len() > 2, "several sealed segments");
+        // Corrupt segment 0's record region. A cursor past its coverage
+        // must skip it entirely (header-only decision) and still replay
+        // the tail — proof the bodies were never read.
+        let (_, first) = &segs[0];
+        let mut bytes = std::fs::read(first).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0xFF;
+        std::fs::write(first, &bytes).unwrap();
+        let seg1_base = read_segment_header(&segs[1].1).unwrap().base_seq;
+        let tail = Wal::replay_after(&dir, seg1_base - 1).unwrap();
+        assert_eq!(tail.first().unwrap().stamped.seq, seg1_base);
+        assert_eq!(tail.last().unwrap().stamped.seq, 50);
+        // A cursor of 0 does read segment 0 and stops at the corruption.
+        let from_zero = Wal::replay_after(&dir, 0).unwrap();
+        assert!(from_zero.len() < 50, "corruption truncates a full replay");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
