@@ -84,7 +84,7 @@ fn bench_planner_with_splits(c: &mut Criterion) {
 fn bench_shed_selection(c: &mut Criterion) {
     let scene = scene_with(100, 2_000);
     let root = scene.root();
-    let roots = scene.node(root).unwrap().children.clone();
+    let roots: Vec<_> = scene.node(root).unwrap().children().collect();
     c.bench_function("select_nodes_to_shed_100", |b| {
         b.iter(|| std::hint::black_box(select_nodes_to_shed(&scene, &roots, 50_000)));
     });

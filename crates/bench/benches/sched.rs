@@ -94,10 +94,11 @@ fn old_plan(
     remaining.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     let mut queue: Vec<(NodeId, NodeCost)> = scene
         .find_all(|n| {
-            !n.kind.cost().is_zero() && !matches!(n.kind, NodeKind::Avatar(_) | NodeKind::Camera(_))
+            !n.own_cost().is_zero()
+                && !matches!(n.kind(), NodeKind::Avatar(_) | NodeKind::Camera(_))
         })
         .into_iter()
-        .map(|id| (id, scene.node(id).expect("found").kind.cost()))
+        .map(|id| (id, scene.node(id).expect("found").own_cost()))
         .collect();
     queue.sort_by(|a, b| b.1.render_weight().cmp(&a.1.render_weight()).then(a.0.cmp(&b.0)));
     let mut assignments: std::collections::BTreeMap<RenderServiceId, (Vec<NodeId>, NodeCost)> =
@@ -120,8 +121,8 @@ fn old_plan(
             None => match split_node(scene, id) {
                 Some((a, b)) => {
                     splits += 1;
-                    let ca = scene.node(a).expect("split child").kind.cost();
-                    let cb = scene.node(b).expect("split child").kind.cost();
+                    let ca = scene.node(a).expect("split child").own_cost();
+                    let cb = scene.node(b).expect("split child").own_cost();
                     if ca.render_weight() >= cb.render_weight() {
                         queue.insert(0, (a, ca));
                         queue.insert(1, (b, cb));

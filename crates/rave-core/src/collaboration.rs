@@ -96,17 +96,19 @@ pub fn drag_object(
 /// presence): the avatar node survived in the snapshot/WAL, only the
 /// handle to it was lost with the crashed process.
 pub fn reattach_participant(scene: &SceneTree, label: &str) -> Option<Participant> {
-    scene.iter_nodes().find_map(|n| match &n.kind {
-        NodeKind::Avatar(a) if a.label == label => Some(Participant { avatar: n.id }),
+    scene.iter_nodes().find_map(|n| match n.kind() {
+        NodeKind::Avatar(a) if a.label == label => Some(Participant { avatar: n.id() }),
         _ => None,
     })
 }
 
 /// The GUI's interaction interrogation (§5.2): "The GUI interrogates
 /// objects for any supported interactions, and reflects this in the
-/// drop-down menus." Returns the menu for a selected node.
-pub fn interaction_menu(scene: &SceneTree, node: NodeId) -> Vec<Interaction> {
-    scene.node(node).map(|n| n.supported_interactions()).unwrap_or_default()
+/// drop-down menus." Returns the menu for a selected node. Static: the
+/// menu rebuild runs per node per frame, so this allocates nothing and —
+/// with the arena's kind tag — never touches the node payload.
+pub fn interaction_menu(scene: &SceneTree, node: NodeId) -> &'static [Interaction] {
+    scene.node(node).map(|n| n.supported_interactions()).unwrap_or(&[])
 }
 
 /// Rotate-around interaction: orbit `who`'s camera around the selected
@@ -123,7 +125,7 @@ pub fn orbit_selected(
 ) -> Result<(), UpdateError> {
     let (mut camera, center) = {
         let ds = sim.world.data(ds_id);
-        let camera = match &ds.scene.node(who.avatar).map(|n| &n.kind) {
+        let camera = match ds.scene.node(who.avatar).map(|n| n.kind()) {
             Some(NodeKind::Avatar(a)) => a.camera,
             _ => CameraParams::default(),
         };
@@ -182,7 +184,7 @@ mod tests {
         let replica = &sim.world.render(rs).scene;
         assert!(replica.contains(a.avatar));
         assert!(replica.contains(b.avatar));
-        match &replica.node(b.avatar).unwrap().kind {
+        match replica.node(b.avatar).unwrap().kind() {
             NodeKind::Avatar(info) => {
                 assert_eq!(info.label, "Desktop");
                 assert_eq!(info.camera.position, cam_b.position);
@@ -202,7 +204,7 @@ mod tests {
         move_camera(&mut sim, ds, who, "Desktop", cam2).unwrap();
         sim.run();
         let node = sim.world.render(rs).scene.node(who.avatar).unwrap();
-        assert_eq!(node.transform.translation, cam2.position);
+        assert_eq!(node.transform().translation, cam2.position);
     }
 
     #[test]
@@ -219,7 +221,7 @@ mod tests {
         .unwrap();
         sim.run();
         assert_eq!(
-            sim.world.render(rs).scene.node(hand).unwrap().transform.translation,
+            sim.world.render(rs).scene.node(hand).unwrap().transform().translation,
             Vec3::new(2.0, 0.0, 0.0)
         );
     }
@@ -246,7 +248,7 @@ mod tests {
         let before = cam.position.distance(center);
         orbit_selected(&mut sim, ds, who, "u", hand, 0.6, 0.1).unwrap();
         sim.run();
-        let after_cam = match &sim.world.data(ds).scene.node(who.avatar).unwrap().kind {
+        let after_cam = match sim.world.data(ds).scene.node(who.avatar).unwrap().kind() {
             NodeKind::Avatar(a) => a.camera,
             _ => unreachable!(),
         };

@@ -17,7 +17,7 @@
 use crate::capacity::CapacityReport;
 use crate::ids::RenderServiceId;
 use crate::sched::placement::{place_with_splitting, Ledger, PlaceError};
-use rave_scene::{NodeCost, NodeId, NodeKind, SceneTree};
+use rave_scene::{KindTag, NodeCost, NodeId, NodeKind, SceneTree};
 use std::sync::Arc;
 
 /// One service's share of the scene.
@@ -95,50 +95,50 @@ impl std::error::Error for PlanError {}
 /// if the payload cannot be split.
 pub fn split_node(scene: &mut SceneTree, id: NodeId) -> Option<(NodeId, NodeId)> {
     let node = scene.node(id)?;
-    match node.kind.clone() {
+    match node.kind().clone() {
         NodeKind::Mesh(mesh) => {
             let (a, b) = mesh.split_spatial()?;
             let ida = scene.allocate_id();
             let idb = scene.allocate_id();
-            let name = scene.node(id)?.name.clone();
+            let name = scene.node(id)?.name().to_string();
             scene.insert_with_id(ida, id, format!("{name}.a"), NodeKind::Mesh(Arc::new(a))).ok()?;
             scene.insert_with_id(idb, id, format!("{name}.b"), NodeKind::Mesh(Arc::new(b))).ok()?;
-            let n = scene.node_mut(id)?;
-            n.kind = NodeKind::Group;
-            n.version += 1;
+            let mut n = scene.node_mut(id)?;
+            n.set_kind(NodeKind::Group);
+            n.bump_version();
             Some((ida, idb))
         }
         NodeKind::PointCloud(cloud) => {
             let (a, b) = cloud.split_spatial()?;
             let ida = scene.allocate_id();
             let idb = scene.allocate_id();
-            let name = scene.node(id)?.name.clone();
+            let name = scene.node(id)?.name().to_string();
             scene
                 .insert_with_id(ida, id, format!("{name}.a"), NodeKind::PointCloud(Arc::new(a)))
                 .ok()?;
             scene
                 .insert_with_id(idb, id, format!("{name}.b"), NodeKind::PointCloud(Arc::new(b)))
                 .ok()?;
-            let n = scene.node_mut(id)?;
-            n.kind = NodeKind::Group;
-            n.version += 1;
+            let mut n = scene.node_mut(id)?;
+            n.set_kind(NodeKind::Group);
+            n.bump_version();
             Some((ida, idb))
         }
         NodeKind::Volume(vol) => {
             let (a, b, offset) = vol.split_bricks()?;
             let ida = scene.allocate_id();
             let idb = scene.allocate_id();
-            let name = scene.node(id)?.name.clone();
+            let name = scene.node(id)?.name().to_string();
             scene
                 .insert_with_id(ida, id, format!("{name}.a"), NodeKind::Volume(Arc::new(a)))
                 .ok()?;
             scene
                 .insert_with_id(idb, id, format!("{name}.b"), NodeKind::Volume(Arc::new(b)))
                 .ok()?;
-            scene.node_mut(idb)?.transform.translation = offset;
-            let n = scene.node_mut(id)?;
-            n.kind = NodeKind::Group;
-            n.version += 1;
+            scene.node_mut(idb)?.transform_mut().translation = offset;
+            let mut n = scene.node_mut(id)?;
+            n.set_kind(NodeKind::Group);
+            n.bump_version();
             Some((ida, idb))
         }
         _ => None,
@@ -160,10 +160,12 @@ fn distributable_units(scene: &SceneTree) -> Vec<(NodeId, NodeCost)> {
     scene
         .iter_nodes()
         .filter_map(|node| {
-            let cost = node.kind.cost();
+            // Hot-array reads only: the cached own cost and the kind tag
+            // classify the node without touching the cold payload.
+            let cost = node.own_cost();
             let eligible =
-                !cost.is_zero() && !matches!(node.kind, NodeKind::Avatar(_) | NodeKind::Camera(_));
-            eligible.then_some((node.id, cost))
+                !cost.is_zero() && !matches!(node.kind_tag(), KindTag::Avatar | KindTag::Camera);
+            eligible.then_some((node.id(), cost))
         })
         .collect()
 }
@@ -200,8 +202,8 @@ pub fn plan_distribution(
         distributable_units(scene),
         |id| {
             let (a, b) = split_node(scene, id)?;
-            let ca = scene.node(a).expect("split child").kind.cost();
-            let cb = scene.node(b).expect("split child").kind.cost();
+            let ca = scene.node(a).expect("split child").own_cost();
+            let cb = scene.node(b).expect("split child").own_cost();
             Some([(a, ca), (b, cb)])
         },
         // Bulk planning is latency-sensitive and discards the records;
@@ -356,9 +358,9 @@ mod tests {
         let (a, b) = split_node(&mut scene, id).unwrap();
         let after = scene.world_bounds(scene.root());
         assert_eq!(before, after, "split does not move geometry");
-        assert!(matches!(scene.node(id).unwrap().kind, NodeKind::Group));
-        let ca = scene.node(a).unwrap().kind.cost().polygons;
-        let cb = scene.node(b).unwrap().kind.cost().polygons;
+        assert!(matches!(scene.node(id).unwrap().kind(), NodeKind::Group));
+        let ca = scene.node(a).unwrap().own_cost().polygons;
+        let cb = scene.node(b).unwrap().own_cost().polygons;
         assert_eq!(ca + cb, 100);
     }
 
@@ -369,7 +371,7 @@ mod tests {
         let root = scene.root();
         let id = scene.add_node(root, "vol", NodeKind::Volume(Arc::new(vol))).unwrap();
         let (_, b) = split_node(&mut scene, id).unwrap();
-        assert_eq!(scene.node(b).unwrap().transform.translation, Vec3::new(4.0, 0.0, 0.0));
+        assert_eq!(scene.node(b).unwrap().transform().translation, Vec3::new(4.0, 0.0, 0.0));
     }
 
     #[test]
@@ -384,8 +386,8 @@ mod tests {
         // always "fits" by polygons, so exercise split_node directly.
         let id = scene.find_by_path("/pc").unwrap();
         let (a, b) = split_node(&mut scene, id).unwrap();
-        let ca = scene.node(a).unwrap().kind.cost().points;
-        let cb = scene.node(b).unwrap().kind.cost().points;
+        let ca = scene.node(a).unwrap().own_cost().points;
+        let cb = scene.node(b).unwrap().own_cost().points;
         assert_eq!(ca + cb, 1000);
         scene.check_invariants().unwrap();
     }

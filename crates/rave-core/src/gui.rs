@@ -69,12 +69,12 @@ impl GuiController {
 
     /// The drop-down menu for the current selection, built by
     /// interrogation.
-    pub fn menu(&self, sim: &RaveSim) -> Vec<Interaction> {
+    pub fn menu(&self, sim: &RaveSim) -> &'static [Interaction] {
         let scene = &sim.world.data(self.data_service).scene;
         self.selected
             .and_then(|id| scene.node(id))
             .map(|n| n.supported_interactions())
-            .unwrap_or_default()
+            .unwrap_or(&[])
     }
 
     /// Drag with an object selected: moves the object if it supports
@@ -94,7 +94,8 @@ impl GuiController {
                 // like pixels.
                 let scale = 0.01;
                 let delta = self.camera.right() * (dx * scale) + self.camera.up() * (-dy * scale);
-                let current = sim.world.data(self.data_service).scene.node(id).map(|n| n.transform);
+                let current =
+                    sim.world.data(self.data_service).scene.node(id).map(|n| n.transform());
                 let mut t = current.unwrap_or(Transform::IDENTITY);
                 t.translation += delta;
                 publish_update(
@@ -206,9 +207,9 @@ mod tests {
         assert_eq!(ran, Interaction::Drag);
         sim.run();
         let master_t =
-            sim.world.data(gui.data_service).scene.node(obj).unwrap().transform.translation;
+            sim.world.data(gui.data_service).scene.node(obj).unwrap().transform().translation;
         assert!(master_t.x > 0.2, "object moved: {master_t:?}");
-        let replica_t = sim.world.render(rs).scene.node(obj).unwrap().transform.translation;
+        let replica_t = sim.world.render(rs).scene.node(obj).unwrap().transform().translation;
         assert_eq!(master_t, replica_t, "replica follows the drag");
     }
 
@@ -221,8 +222,14 @@ mod tests {
         assert!(gui.camera.position.distance(pos0) > 0.01);
         sim.run();
         // Avatar on the replica moved with the camera.
-        let av =
-            sim.world.render(rs).scene.node(gui.participant.avatar).unwrap().transform.translation;
+        let av = sim
+            .world
+            .render(rs)
+            .scene
+            .node(gui.participant.avatar)
+            .unwrap()
+            .transform()
+            .translation;
         assert_eq!(av, gui.camera.position);
     }
 

@@ -321,7 +321,7 @@ fn handle_overload(
             rs.sessions.values().map(|s| s.viewport.pixel_count() as u64).max().unwrap_or(160_000);
         let budget = rs.machine.poly_budget_at_fps(cfg.target_fps, pixels);
         let roots: Vec<NodeId> = if rs.interest.is_everything() {
-            rs.scene.node(rs.scene.root()).map(|root| root.children.clone()).unwrap_or_default()
+            rs.scene.node(rs.scene.root()).map(|root| root.children().collect()).unwrap_or_default()
         } else {
             rs.interest.roots().collect()
         };
@@ -458,7 +458,7 @@ fn handle_underload(
     let roots: Vec<NodeId> = {
         let rs = sim.world.render(donor);
         if rs.interest.is_everything() {
-            rs.scene.node(rs.scene.root()).map(|r| r.children.clone()).unwrap_or_default()
+            rs.scene.node(rs.scene.root()).map(|r| r.children().collect()).unwrap_or_default()
         } else {
             rs.interest.roots().collect()
         }

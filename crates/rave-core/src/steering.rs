@@ -271,7 +271,7 @@ mod tests {
         }
         sim.run();
         let node0 = bridge.bindings[&0];
-        let replica_pos = sim.world.render(rs).scene.node(node0).unwrap().transform.translation;
+        let replica_pos = sim.world.render(rs).scene.node(node0).unwrap().transform().translation;
         assert!(replica_pos.y > 0.01, "replica sees the steered motion: {replica_pos:?}");
         assert_eq!(replica_pos, bridge.simulator.atoms[0].position);
     }
@@ -303,7 +303,7 @@ mod tests {
         let replayed = sim.world.data(ds).audit.replay_all().unwrap();
         let node2 = bridge.bindings[&2];
         assert_eq!(
-            replayed.node(node2).unwrap().transform.translation,
+            replayed.node(node2).unwrap().transform().translation,
             bridge.simulator.atoms[2].position
         );
     }

@@ -22,7 +22,7 @@ use crate::world::RaveSim;
 use rave_math::Viewport;
 use rave_render::composite::{blend_volume_layers, VolumeLayer};
 use rave_render::Framebuffer;
-use rave_scene::{CameraParams, NodeId, NodeKind, SceneTree};
+use rave_scene::{CameraParams, KindTag, NodeId, SceneTree};
 use rave_sim::SimTime;
 
 /// Split one volume node into `2^splits` bricks (in the master scene),
@@ -110,7 +110,7 @@ pub fn render_distributed_volume(
         };
         let voxels = {
             let rs = sim.world.render(*svc);
-            rs.scene.node(*brick).map_or(0, |n| n.kind.cost().voxels)
+            rs.scene.node(*brick).map_or(0, |n| n.own_cost().voxels)
         };
         let cast_time = SimTime::from_secs(voxels as f64 / cost_voxels_per_sec);
         let rendered_at = req_at + cast_time;
@@ -153,7 +153,7 @@ pub fn render_distributed_volume(
 
 /// Convenience: does a scene node hold volume content?
 pub fn is_volume(scene: &SceneTree, id: NodeId) -> bool {
-    matches!(scene.node(id).map(|n| &n.kind), Some(NodeKind::Volume(_)))
+    matches!(scene.node(id).map(|n| n.kind_tag()), Some(KindTag::Volume))
 }
 
 #[cfg(test)]
@@ -162,7 +162,7 @@ mod tests {
     use crate::world::RaveWorld;
     use crate::RaveConfig;
     use rave_math::Vec3;
-    use rave_scene::VolumeData;
+    use rave_scene::{NodeKind, VolumeData};
     use rave_sim::Simulation;
     use std::sync::Arc;
 
@@ -207,7 +207,7 @@ mod tests {
         assert_eq!(bricks.len(), 4);
         assert_eq!(scene.total_cost().voxels, total);
         scene.check_invariants().unwrap();
-        assert!(matches!(scene.node(vol).unwrap().kind, NodeKind::Group));
+        assert!(matches!(scene.node(vol).unwrap().kind(), NodeKind::Group));
     }
 
     #[test]

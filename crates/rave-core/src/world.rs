@@ -483,7 +483,7 @@ mod tests {
             assert!(e.detail.contains("applied=true"), "out-of-order delivery: {}", e.detail);
         }
         assert_eq!(
-            s.world.render(rs).scene.node(id).unwrap().transform.translation,
+            s.world.render(rs).scene.node(id).unwrap().transform().translation,
             rave_math::Vec3::new(9.0, 9.0, 9.0)
         );
     }

@@ -58,7 +58,7 @@ pub fn render_id_buffer(
         let Some(node) = tree.node(id) else { continue };
         let model = tree.world_transform(id);
         let color = id_to_color(id);
-        match &node.kind {
+        match node.kind() {
             NodeKind::Mesh(mesh) => {
                 // Strip vertex colors so the flat id color wins.
                 let mut flat_mesh = (**mesh).clone();
@@ -169,7 +169,7 @@ mod tests {
         let (mut tree, cam, vp) = setup();
         // Shrink the near quad so the far one peeks out at the edge.
         let near = tree.find_by_path("/near").unwrap();
-        tree.node_mut(near).unwrap().transform.scale = Vec3::splat(0.3);
+        tree.node_mut(near).unwrap().transform_mut().scale = Vec3::splat(0.3);
         let far = tree.find_by_path("/far").unwrap();
         // Click inside the big quad but outside the shrunk near one
         // (the far quad spans ~21..43 px here, the near one ~29..35).

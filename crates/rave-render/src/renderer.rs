@@ -227,10 +227,10 @@ impl Renderer {
                 stats.nodes_culled += 1;
                 continue;
             }
-            stack.extend(node.children.iter().rev().copied());
+            stack.extend(node.children().rev());
 
             let model = tree.world_transform(id);
-            match &node.kind {
+            match node.kind() {
                 NodeKind::Group | NodeKind::Camera(_) => {}
                 NodeKind::Mesh(mesh) => {
                     stats.polygons_on_screen += mesh.triangle_count();
@@ -381,10 +381,10 @@ impl Renderer {
                 stats.nodes_culled += 1;
                 continue;
             }
-            stack.extend(node.children.iter().rev().copied());
+            stack.extend(node.children().rev());
 
             let model = tree.world_transform(id);
-            match &node.kind {
+            match node.kind() {
                 NodeKind::Group | NodeKind::Camera(_) => {}
                 NodeKind::Mesh(mesh) => {
                     stats.polygons_on_screen += mesh.triangle_count();
@@ -459,7 +459,7 @@ impl Renderer {
         viewport: &Viewport,
     ) -> Option<VolumeLayer> {
         let node = tree.node(volume_node)?;
-        let NodeKind::Volume(vol) = &node.kind else { return None };
+        let NodeKind::Volume(vol) = node.kind() else { return None };
         let mut fb = Framebuffer::new(viewport.width, viewport.height);
         fb.clear(Rgb::BLACK);
         let mut stats = RasterStats::default();

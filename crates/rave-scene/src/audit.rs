@@ -157,10 +157,10 @@ mod tests {
         // At t=0.5 the node exists at the origin.
         let t0 = trail.replay(0.5).unwrap();
         assert!(t0.contains(NodeId(1)));
-        assert_eq!(t0.node(NodeId(1)).unwrap().transform.translation, Vec3::ZERO);
+        assert_eq!(t0.node(NodeId(1)).unwrap().transform().translation, Vec3::ZERO);
         // At t=1.5 it has moved.
         let t1 = trail.replay(1.5).unwrap();
-        assert_eq!(t1.node(NodeId(1)).unwrap().transform.translation, Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(t1.node(NodeId(1)).unwrap().transform().translation, Vec3::new(1.0, 0.0, 0.0));
         // After t=2 it is gone.
         let t2 = trail.replay_all().unwrap();
         assert!(!t2.contains(NodeId(1)));

@@ -85,8 +85,8 @@ impl InterestSet {
         }
         let presence = |id: crate::node::NodeId| {
             matches!(
-                tree.node(id).map(|n| &n.kind),
-                Some(crate::node::NodeKind::Avatar(_)) | Some(crate::node::NodeKind::Camera(_))
+                tree.node(id).map(|n| n.kind_tag()),
+                Some(crate::node::KindTag::Avatar) | Some(crate::node::KindTag::Camera)
             )
         };
         match update {

@@ -14,8 +14,8 @@
 //! bottleneck, and `bench/table5` charges the introspective path's cost
 //! model to reproduce the 68.2 s Skeletal-Hand bootstrap.
 
-use crate::node::{Node, NodeKind};
-use crate::tree::SceneTree;
+use crate::node::{Node, NodeKind, Transform};
+use crate::tree::{NodeRef, SceneTree};
 use rave_math::Vec3;
 
 /// One extracted field value, as the introspection layer sees it.
@@ -84,72 +84,97 @@ fn tri_bytes(ts: &[[u32; 3]]) -> Vec<u8> {
     out
 }
 
+/// Shared interrogation logic: both the detached [`Node`] record and the
+/// arena's [`NodeRef`] view marshal identically, so the interface checks
+/// and extraction run over the decomposed (name, transform, kind) parts.
+fn kind_implements(kind: &NodeKind, iface: FieldInterface) -> bool {
+    match iface {
+        FieldInterface::Named => true,
+        FieldInterface::Positioned | FieldInterface::Oriented | FieldInterface::Scaled => true,
+        FieldInterface::HasGeometry => {
+            matches!(kind, NodeKind::Mesh(_) | NodeKind::PointCloud(_) | NodeKind::Volume(_))
+        }
+        FieldInterface::HasCamera => matches!(kind, NodeKind::Camera(_)),
+        FieldInterface::HasAvatar => matches!(kind, NodeKind::Avatar(_)),
+    }
+}
+
+fn extract_parts(
+    name: &str,
+    transform: &Transform,
+    kind: &NodeKind,
+    iface: FieldInterface,
+) -> Vec<Field> {
+    match iface {
+        FieldInterface::Named => vec![Field::Str("name", name.to_string())],
+        FieldInterface::Positioned => {
+            let t = transform.translation;
+            vec![Field::F32("px", t.x), Field::F32("py", t.y), Field::F32("pz", t.z)]
+        }
+        FieldInterface::Oriented => {
+            let r = transform.rotation;
+            vec![
+                Field::F32("qx", r.x),
+                Field::F32("qy", r.y),
+                Field::F32("qz", r.z),
+                Field::F32("qw", r.w),
+            ]
+        }
+        FieldInterface::Scaled => {
+            let s = transform.scale;
+            vec![Field::F32("sx", s.x), Field::F32("sy", s.y), Field::F32("sz", s.z)]
+        }
+        FieldInterface::HasGeometry => match kind {
+            NodeKind::Mesh(m) => vec![
+                Field::U64("polygons", m.triangle_count()),
+                Field::Bytes("positions", vec3_bytes(&m.positions)),
+                Field::Bytes("normals", vec3_bytes(&m.normals)),
+                Field::Bytes("colors", vec3_bytes(&m.colors)),
+                Field::Bytes("triangles", tri_bytes(&m.triangles)),
+            ],
+            NodeKind::PointCloud(p) => vec![
+                Field::U64("points", p.point_count()),
+                Field::Bytes("positions", vec3_bytes(&p.points)),
+                Field::Bytes("colors", vec3_bytes(&p.colors)),
+            ],
+            NodeKind::Volume(v) => vec![
+                Field::U64("voxels", v.voxel_count()),
+                Field::Bytes("density", v.voxels.clone()),
+            ],
+            _ => Vec::new(),
+        },
+        FieldInterface::HasCamera => match kind {
+            NodeKind::Camera(c) => vec![
+                Field::F32("fov", c.fov_y),
+                Field::F32("near", c.near),
+                Field::F32("far", c.far),
+            ],
+            _ => Vec::new(),
+        },
+        FieldInterface::HasAvatar => match kind {
+            NodeKind::Avatar(a) => vec![Field::Str("label", a.label.clone())],
+            _ => Vec::new(),
+        },
+    }
+}
+
 impl Introspect for Node {
     fn implements(&self, iface: FieldInterface) -> bool {
-        match iface {
-            FieldInterface::Named => true,
-            FieldInterface::Positioned | FieldInterface::Oriented | FieldInterface::Scaled => true,
-            FieldInterface::HasGeometry => matches!(
-                self.kind,
-                NodeKind::Mesh(_) | NodeKind::PointCloud(_) | NodeKind::Volume(_)
-            ),
-            FieldInterface::HasCamera => matches!(self.kind, NodeKind::Camera(_)),
-            FieldInterface::HasAvatar => matches!(self.kind, NodeKind::Avatar(_)),
-        }
+        kind_implements(&self.kind, iface)
     }
 
     fn extract(&self, iface: FieldInterface) -> Vec<Field> {
-        match iface {
-            FieldInterface::Named => vec![Field::Str("name", self.name.clone())],
-            FieldInterface::Positioned => {
-                let t = self.transform.translation;
-                vec![Field::F32("px", t.x), Field::F32("py", t.y), Field::F32("pz", t.z)]
-            }
-            FieldInterface::Oriented => {
-                let r = self.transform.rotation;
-                vec![
-                    Field::F32("qx", r.x),
-                    Field::F32("qy", r.y),
-                    Field::F32("qz", r.z),
-                    Field::F32("qw", r.w),
-                ]
-            }
-            FieldInterface::Scaled => {
-                let s = self.transform.scale;
-                vec![Field::F32("sx", s.x), Field::F32("sy", s.y), Field::F32("sz", s.z)]
-            }
-            FieldInterface::HasGeometry => match &self.kind {
-                NodeKind::Mesh(m) => vec![
-                    Field::U64("polygons", m.triangle_count()),
-                    Field::Bytes("positions", vec3_bytes(&m.positions)),
-                    Field::Bytes("normals", vec3_bytes(&m.normals)),
-                    Field::Bytes("colors", vec3_bytes(&m.colors)),
-                    Field::Bytes("triangles", tri_bytes(&m.triangles)),
-                ],
-                NodeKind::PointCloud(p) => vec![
-                    Field::U64("points", p.point_count()),
-                    Field::Bytes("positions", vec3_bytes(&p.points)),
-                    Field::Bytes("colors", vec3_bytes(&p.colors)),
-                ],
-                NodeKind::Volume(v) => vec![
-                    Field::U64("voxels", v.voxel_count()),
-                    Field::Bytes("density", v.voxels.clone()),
-                ],
-                _ => Vec::new(),
-            },
-            FieldInterface::HasCamera => match &self.kind {
-                NodeKind::Camera(c) => vec![
-                    Field::F32("fov", c.fov_y),
-                    Field::F32("near", c.near),
-                    Field::F32("far", c.far),
-                ],
-                _ => Vec::new(),
-            },
-            FieldInterface::HasAvatar => match &self.kind {
-                NodeKind::Avatar(a) => vec![Field::Str("label", a.label.clone())],
-                _ => Vec::new(),
-            },
-        }
+        extract_parts(&self.name, &self.transform, &self.kind, iface)
+    }
+}
+
+impl Introspect for NodeRef<'_> {
+    fn implements(&self, iface: FieldInterface) -> bool {
+        kind_implements(self.kind(), iface)
+    }
+
+    fn extract(&self, iface: FieldInterface) -> Vec<Field> {
+        extract_parts(self.name(), &self.transform(), self.kind(), iface)
     }
 }
 

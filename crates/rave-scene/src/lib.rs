@@ -36,7 +36,7 @@ pub use camera::CameraParams;
 pub use cost::NodeCost;
 pub use geometry::{MeshData, PointCloudData, VolumeData};
 pub use interest::InterestSet;
-pub use node::{AvatarInfo, Node, NodeId, NodeKind, Transform};
-pub use tree::{Descendants, SceneTree};
+pub use node::{AvatarInfo, Interaction, KindTag, Node, NodeId, NodeKind, Transform};
+pub use tree::{Children, Descendants, NodeMut, NodeRef, SceneTree, TreeError};
 pub use update::{SceneUpdate, StampedUpdate, UpdateError};
 pub use wire::WireError;

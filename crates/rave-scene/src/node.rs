@@ -84,16 +84,71 @@ pub enum NodeKind {
     Avatar(AvatarInfo),
 }
 
-impl NodeKind {
-    pub fn kind_name(&self) -> &'static str {
+/// Discriminant of a [`NodeKind`] without its payload. One byte; lives in
+/// the scene arena's hot array so traversals that only need to classify a
+/// node (cullable? presence marker? splittable content?) never touch the
+/// cold payload store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum KindTag {
+    Group = 0,
+    Mesh = 1,
+    PointCloud = 2,
+    Volume = 3,
+    Camera = 4,
+    Avatar = 5,
+}
+
+impl KindTag {
+    pub fn kind_name(self) -> &'static str {
         match self {
-            NodeKind::Group => "group",
-            NodeKind::Mesh(_) => "mesh",
-            NodeKind::PointCloud(_) => "pointcloud",
-            NodeKind::Volume(_) => "volume",
-            NodeKind::Camera(_) => "camera",
-            NodeKind::Avatar(_) => "avatar",
+            KindTag::Group => "group",
+            KindTag::Mesh => "mesh",
+            KindTag::PointCloud => "pointcloud",
+            KindTag::Volume => "volume",
+            KindTag::Camera => "camera",
+            KindTag::Avatar => "avatar",
         }
+    }
+
+    /// The interaction set for this kind (§5.2). Static: the GUI
+    /// interrogates every visible node each menu rebuild, so this must
+    /// not allocate.
+    pub fn supported_interactions(self) -> &'static [Interaction] {
+        match self {
+            KindTag::Group => &[Interaction::Select, Interaction::EditTransform],
+            KindTag::Mesh | KindTag::PointCloud | KindTag::Volume => &[
+                Interaction::Select,
+                Interaction::Drag,
+                Interaction::RotateAround,
+                Interaction::EditTransform,
+            ],
+            KindTag::Camera => &[Interaction::Select, Interaction::Drag, Interaction::RotateAround],
+            KindTag::Avatar => &[Interaction::Select],
+        }
+    }
+}
+
+impl NodeKind {
+    /// The payload-free discriminant stored in the arena's hot array.
+    pub fn tag(&self) -> KindTag {
+        match self {
+            NodeKind::Group => KindTag::Group,
+            NodeKind::Mesh(_) => KindTag::Mesh,
+            NodeKind::PointCloud(_) => KindTag::PointCloud,
+            NodeKind::Volume(_) => KindTag::Volume,
+            NodeKind::Camera(_) => KindTag::Camera,
+            NodeKind::Avatar(_) => KindTag::Avatar,
+        }
+    }
+
+    pub fn kind_name(&self) -> &'static str {
+        self.tag().kind_name()
+    }
+
+    /// Interrogate the kind for its supported interactions (§5.2).
+    pub fn supported_interactions(&self) -> &'static [Interaction] {
+        self.tag().supported_interactions()
     }
 
     /// Bounds of the content in the node's local frame.
@@ -147,7 +202,15 @@ pub enum Interaction {
     RemoteBridge,
 }
 
-/// A node in the scene tree.
+/// A detached scene-node record: the serde/wire shape of one node, and
+/// the unit [`crate::tree::SceneTree::from_parts`] rebuilds a tree from.
+///
+/// The tree itself no longer stores `Node` values — storage is a flat
+/// generational arena with the per-traversal fields (topology, transform,
+/// cost, kind tag) split from the cold payload (name, [`NodeKind`],
+/// version). Read access goes through [`crate::tree::NodeRef`]; this
+/// struct survives as the stable interchange shape so snapshot bytes and
+/// JSON written before the arena refactor decode unchanged.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Node {
     pub id: NodeId,
@@ -176,21 +239,10 @@ impl Node {
 
     /// Interrogate the node for its supported interactions (§5.2). The GUI
     /// builds its menus from this, so extending interactions requires no
-    /// GUI or transport change.
-    pub fn supported_interactions(&self) -> Vec<Interaction> {
-        match &self.kind {
-            NodeKind::Group => vec![Interaction::Select, Interaction::EditTransform],
-            NodeKind::Mesh(_) | NodeKind::PointCloud(_) | NodeKind::Volume(_) => vec![
-                Interaction::Select,
-                Interaction::Drag,
-                Interaction::RotateAround,
-                Interaction::EditTransform,
-            ],
-            NodeKind::Camera(_) => {
-                vec![Interaction::Select, Interaction::Drag, Interaction::RotateAround]
-            }
-            NodeKind::Avatar(_) => vec![Interaction::Select],
-        }
+    /// GUI or transport change. Returns a static slice — the menu rebuild
+    /// runs per node per frame and must not allocate.
+    pub fn supported_interactions(&self) -> &'static [Interaction] {
+        self.kind.supported_interactions()
     }
 }
 

@@ -1,67 +1,225 @@
-//! The scene tree proper.
+//! The scene tree proper: a flat generational arena with a hot/cold
+//! data split.
+//!
+//! # Storage layout
+//!
+//! The paper's automatic distribution walks the scene constantly — the
+//! planner costs and partitions it, interest management expands closures
+//! over it, render services replay it. Up to 100k nodes the old
+//! `BTreeMap<NodeId, Node>` held up; beyond that every traversal step was
+//! a pointer chase that dragged node names, geometry handles and audit
+//! versions through cache for no reason. Storage is now two parallel
+//! slot-indexed arrays:
+//!
+//! - **hot** ([`HotNode`]): everything a traversal touches — intrusive
+//!   topology links (parent / first–last child / prev–next sibling), the
+//!   local transform, the node's own content cost, the one-byte
+//!   [`KindTag`], and the slot generation;
+//! - **cold** ([`ColdNode`]): everything it must not — the name, the full
+//!   [`NodeKind`] payload, and the conflict-resolution version.
+//!
+//! Slots of removed nodes go on a free list and are reused under a bumped
+//! generation, so the arena stays dense under churn and stale internal
+//! handles can never alias a recycled slot. External identity is still
+//! [`NodeId`] — the u64 the data service allocates, never reuses, and
+//! writes into every wire message — mapped to its slot by an O(1)
+//! integer-keyed index. Wire bytes, JSON serde shape and id allocation
+//! semantics are exactly the pre-arena ones (pinned by
+//! `tests/wire_fixture.rs`).
+//!
+//! # Derived caches
+//!
+//! Two lazily built caches (invalidated by `&mut self` edits, rebuilt
+//! once on the next `&self` query, shareable across rayon workers):
+//!
+//! - [`FlatCache`]: the pre-order slot sequence plus, per slot, its
+//!   position and subtree length. Pre-order puts every subtree in one
+//!   contiguous run, so [`SceneTree::descendants_iter`] is a slice walk —
+//!   no stack, no hashing, no per-step branching — and `iter_nodes`' id
+//!   order is one sorted slot list. One O(n) pass over hot data builds
+//!   all of it.
+//! - subtree costs: a dense per-slot `Vec<NodeCost>` aggregated in one
+//!   reverse-pre-order pass (children before parents) over hot data
+//!   only. This replaces the old `Mutex<HashMap>` cost index; kind edits
+//!   invalidate costs but keep the structure cache, and
+//!   [`SceneTree::set_transform`] deliberately invalidates neither (the
+//!   per-frame motion stream must never force a rebuild — pinned by a
+//!   regression test below).
 
 use crate::cost::NodeCost;
-use crate::node::{Node, NodeId, NodeKind, Transform};
+use crate::node::{Interaction, KindTag, Node, NodeId, NodeKind, Transform};
 use rave_math::{Aabb, Mat4};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Mutex;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::OnceLock;
 
-/// Cached per-node subtree-cost aggregates, rebuilt lazily on the first
-/// [`SceneTree::subtree_cost`] query after any structural edit. The
-/// planner's feasibility pre-check and queue build hammer
-/// `subtree_cost`/`total_cost`; without the cache each call re-walks the
-/// whole `BTreeMap`, which made planning quadratic in scene size.
-///
-/// Interior mutability is a `Mutex` (not a `RefCell`) so `SceneTree`
-/// stays `Sync` — the parallel rasterizer shares `&SceneTree` across
-/// rayon workers. The lock is only ever held for a flag check or the
-/// one-shot rebuild; reads after that are a `HashMap` lookup.
-#[derive(Debug, Default)]
-struct CostIndex(Mutex<CostIndexState>);
+/// Sentinel for "no slot" in the intrusive topology links.
+const NIL: u32 = u32::MAX;
 
-#[derive(Debug, Default)]
-struct CostIndexState {
-    valid: bool,
-    subtree: HashMap<NodeId, NodeCost>,
+/// Per-traversal node state. ~128 bytes, fetched sequentially by every
+/// walk; nothing here owns an allocation.
+#[derive(Debug, Clone)]
+struct HotNode {
+    id: NodeId,
+    parent: u32,
+    first_child: u32,
+    last_child: u32,
+    prev_sibling: u32,
+    next_sibling: u32,
+    child_count: u32,
+    /// Bumped every time the slot is freed; an internal handle minted
+    /// under an older generation can never alias the reused slot.
+    generation: u32,
+    alive: bool,
+    tag: KindTag,
+    transform: Transform,
+    /// The node's *own* content cost (`NodeKind::cost()`), cached here so
+    /// the subtree-cost rebuild never touches the cold payload.
+    cost: NodeCost,
 }
 
-impl Clone for CostIndex {
-    /// Clones start cold: the copy rebuilds on first query rather than
-    /// duplicating (and having to trust) the source's cache.
-    fn clone(&self) -> Self {
-        Self::default()
+/// Cold per-node state: touched by lookups and edits, never by
+/// traversal, costing or culling walks.
+#[derive(Debug, Clone)]
+struct ColdNode {
+    name: String,
+    kind: NodeKind,
+    version: u64,
+}
+
+impl ColdNode {
+    /// A freed slot's cold state: payload dropped, allocations released.
+    fn vacant() -> Self {
+        Self { name: String::new(), kind: NodeKind::Group, version: 0 }
     }
 }
 
-/// A scene tree: a rooted hierarchy of typed nodes.
-///
-/// Storage is a `BTreeMap` keyed by [`NodeId`] so iteration order is
-/// deterministic (render services on different "machines" must walk the
-/// same scene in the same order for compositing to be reproducible).
-#[derive(Debug, Clone)]
+/// Multiply-shift hasher for the id→slot index: `NodeId` keys are
+/// sequentially allocated u64s, so one odd-constant multiply mixes them
+/// better than SipHash at a fraction of the cost.
+#[derive(Default)]
+pub struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type IdIndex = HashMap<NodeId, u32, BuildHasherDefault<IdHasher>>;
+
+/// The structure cache: pre-order as one flat slot array. A subtree is a
+/// contiguous range of `preorder`, so every traversal is a slice walk.
+#[derive(Debug)]
+struct FlatCache {
+    /// Live slots in pre-order from the root (children in insertion
+    /// order) — the exact order the old `Descendants` stack produced.
+    preorder: Vec<u32>,
+    /// Per slot: index into `preorder` (`NIL` for dead slots).
+    pos: Vec<u32>,
+    /// Per slot: number of pre-order entries in the slot's subtree
+    /// (itself included).
+    subtree_len: Vec<u32>,
+    /// Live slots sorted by id — `iter_nodes`' deterministic order (the
+    /// old `BTreeMap` iteration order).
+    id_order: Vec<u32>,
+}
+
+/// A scene tree: a rooted hierarchy of typed nodes over a flat
+/// generational arena (see the module docs for the layout).
 pub struct SceneTree {
-    nodes: BTreeMap<NodeId, Node>,
+    hot: Vec<HotNode>,
+    cold: Vec<ColdNode>,
+    /// Freed slots available for reuse (generation already bumped).
+    free: Vec<u32>,
+    /// Live node count (`hot.len()` minus freed slots).
+    live: usize,
+    index: IdIndex,
     root: NodeId,
+    root_slot: u32,
     next_id: u64,
-    /// Derived data only — never serialized, never compared.
-    cost_index: CostIndex,
+    /// Derived data only — never serialized, never compared. Rebuilt at
+    /// most once per structural edit on the next `&self` query.
+    structure: OnceLock<Box<FlatCache>>,
+    /// Per-slot subtree-cost aggregates; invalidated by structural *and*
+    /// kind edits, exempt from transform updates.
+    costs: OnceLock<Vec<NodeCost>>,
+}
+
+impl std::fmt::Debug for SceneTree {
+    /// Logical state only (nodes in id order, root, allocator), not the
+    /// arena internals: two trees that compare equal print identically
+    /// regardless of slot layout, free-list history or cache warmth.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SceneTree")
+            .field("nodes", &self.iter_nodes().map(|n| n.to_node()).collect::<Vec<_>>())
+            .field("root", &self.root)
+            .field("next_id", &self.next_id)
+            .finish()
+    }
+}
+
+impl Clone for SceneTree {
+    /// Clones start with cold caches: the copy rebuilds on first query
+    /// rather than duplicating (and having to trust) the source's.
+    fn clone(&self) -> Self {
+        Self {
+            hot: self.hot.clone(),
+            cold: self.cold.clone(),
+            free: self.free.clone(),
+            live: self.live,
+            index: self.index.clone(),
+            root: self.root,
+            root_slot: self.root_slot,
+            next_id: self.next_id,
+            structure: OnceLock::new(),
+            costs: OnceLock::new(),
+        }
+    }
 }
 
 impl PartialEq for SceneTree {
     fn eq(&self, other: &Self) -> bool {
-        self.nodes == other.nodes && self.root == other.root && self.next_id == other.next_id
+        if self.root != other.root || self.next_id != other.next_id || self.live != other.live {
+            return false;
+        }
+        // Same node set, same per-node state, same children order —
+        // exactly what the old `BTreeMap<NodeId, Node>` equality checked.
+        // Slot layout is deliberately NOT compared: two trees that took
+        // different edit paths to the same logical state are equal.
+        self.iter_nodes().zip(other.iter_nodes()).all(|(a, b)| {
+            a.id() == b.id()
+                && a.name() == b.name()
+                && a.transform() == b.transform()
+                && a.kind() == b.kind()
+                && a.version() == b.version()
+                && a.parent() == b.parent()
+                && a.children().eq(b.children())
+        })
     }
 }
 
-// Manual serde impls (the vendored derive cannot skip fields): the wire
-// shape is exactly what the derive produced before the cost index was
-// added — a map of the three structural fields. Deserialized trees start
-// with a cold cache.
+// Manual serde impls: the wire shape is exactly what the derive produced
+// for the pre-arena struct — a map of `nodes` (id-keyed `BTreeMap` of
+// detached `Node` records), `root` and `next_id`. Deserialized trees
+// start with cold caches.
 impl Serialize for SceneTree {
     fn to_value(&self) -> serde::Value {
+        let nodes: BTreeMap<NodeId, Node> =
+            self.iter_nodes().map(|n| (n.id(), n.to_node())).collect();
         serde::Value::Map(vec![
-            ("nodes".into(), self.nodes.to_value()),
+            ("nodes".into(), nodes.to_value()),
             ("root".into(), self.root.to_value()),
             ("next_id".into(), self.next_id.to_value()),
         ])
@@ -71,12 +229,11 @@ impl Serialize for SceneTree {
 impl Deserialize for SceneTree {
     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
         let m = serde::expect_map(v, "SceneTree")?;
-        Ok(Self {
-            nodes: serde::de_field(m, "nodes", "SceneTree")?,
-            root: serde::de_field(m, "root", "SceneTree")?,
-            next_id: serde::de_field(m, "next_id", "SceneTree")?,
-            cost_index: CostIndex::default(),
-        })
+        let nodes: BTreeMap<NodeId, Node> = serde::de_field(m, "nodes", "SceneTree")?;
+        let root: NodeId = serde::de_field(m, "root", "SceneTree")?;
+        let next_id: u64 = serde::de_field(m, "next_id", "SceneTree")?;
+        Self::from_parts(nodes, root, next_id)
+            .map_err(|what| serde::DeError::new(format!("SceneTree: {what}")))
     }
 }
 
@@ -89,47 +246,241 @@ impl Default for SceneTree {
 impl SceneTree {
     pub fn new() -> Self {
         let root = NodeId(0);
-        let mut nodes = BTreeMap::new();
-        nodes.insert(root, Node::new(root, "root", NodeKind::Group));
-        Self { nodes, root, next_id: 1, cost_index: CostIndex::default() }
+        let mut tree = Self {
+            hot: Vec::new(),
+            cold: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            index: IdIndex::default(),
+            root,
+            root_slot: 0,
+            next_id: 1,
+            structure: OnceLock::new(),
+            costs: OnceLock::new(),
+        };
+        tree.root_slot = tree.alloc_slot(root, NIL, "root", NodeKind::Group);
+        tree
     }
+
+    /// Pre-size the arena for `n` nodes (bulk scene builds).
+    pub fn with_capacity(n: usize) -> Self {
+        let mut t = Self::new();
+        t.reserve(n.saturating_sub(1));
+        t
+    }
+
+    /// Reserve arena room for `additional` more nodes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.hot.reserve(additional);
+        self.cold.reserve(additional);
+        self.index.reserve(additional);
+    }
+
+    // ---- slot plumbing --------------------------------------------------
+
+    #[inline]
+    fn slot(&self, id: NodeId) -> Option<u32> {
+        self.index.get(&id).copied()
+    }
+
+    /// Allocate a slot (reusing the free list) and link nothing: the
+    /// caller wires topology.
+    fn alloc_slot(
+        &mut self,
+        id: NodeId,
+        parent: u32,
+        name: impl Into<String>,
+        kind: NodeKind,
+    ) -> u32 {
+        let cost = kind.cost();
+        let tag = kind.tag();
+        let cold = ColdNode { name: name.into(), kind, version: 0 };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let gen = self.hot[s as usize].generation;
+                self.hot[s as usize] = HotNode {
+                    id,
+                    parent,
+                    first_child: NIL,
+                    last_child: NIL,
+                    prev_sibling: NIL,
+                    next_sibling: NIL,
+                    child_count: 0,
+                    generation: gen,
+                    alive: true,
+                    tag,
+                    transform: Transform::IDENTITY,
+                    cost,
+                };
+                self.cold[s as usize] = cold;
+                s
+            }
+            None => {
+                let s = self.hot.len() as u32;
+                self.hot.push(HotNode {
+                    id,
+                    parent,
+                    first_child: NIL,
+                    last_child: NIL,
+                    prev_sibling: NIL,
+                    next_sibling: NIL,
+                    child_count: 0,
+                    generation: 0,
+                    alive: true,
+                    tag,
+                    transform: Transform::IDENTITY,
+                    cost,
+                });
+                self.cold.push(cold);
+                s
+            }
+        };
+        self.index.insert(id, slot);
+        self.live += 1;
+        slot
+    }
+
+    /// Append `child` as the last child of `parent` (insertion order is
+    /// sibling-link order).
+    fn link_last_child(&mut self, parent: u32, child: u32) {
+        let prev_last = self.hot[parent as usize].last_child;
+        self.hot[child as usize].prev_sibling = prev_last;
+        self.hot[child as usize].next_sibling = NIL;
+        self.hot[child as usize].parent = parent;
+        if prev_last == NIL {
+            self.hot[parent as usize].first_child = child;
+        } else {
+            self.hot[prev_last as usize].next_sibling = child;
+        }
+        self.hot[parent as usize].last_child = child;
+        self.hot[parent as usize].child_count += 1;
+    }
+
+    /// Detach `child` from its parent's sibling chain.
+    fn unlink_child(&mut self, child: u32) {
+        let (parent, prev, next) = {
+            let h = &self.hot[child as usize];
+            (h.parent, h.prev_sibling, h.next_sibling)
+        };
+        if prev == NIL {
+            self.hot[parent as usize].first_child = next;
+        } else {
+            self.hot[prev as usize].next_sibling = next;
+        }
+        if next == NIL {
+            self.hot[parent as usize].last_child = prev;
+        } else {
+            self.hot[next as usize].prev_sibling = prev;
+        }
+        self.hot[parent as usize].child_count -= 1;
+        let h = &mut self.hot[child as usize];
+        h.prev_sibling = NIL;
+        h.next_sibling = NIL;
+    }
+
+    fn invalidate_structure(&mut self) {
+        self.structure.take();
+        self.costs.take();
+    }
+
+    fn invalidate_costs(&mut self) {
+        self.costs.take();
+    }
+
+    /// The structure cache, built on first use after an edit: one O(n)
+    /// pass over hot data produces pre-order, per-slot positions,
+    /// subtree lengths and the id-sorted order.
+    fn flat(&self) -> &FlatCache {
+        self.structure.get_or_init(|| {
+            let n = self.hot.len();
+            let mut preorder = Vec::with_capacity(self.live);
+            let mut pos = vec![NIL; n];
+            let mut subtree_len = vec![0u32; n];
+            let mut stack = Vec::with_capacity(64);
+            stack.push(self.root_slot);
+            while let Some(s) = stack.pop() {
+                pos[s as usize] = preorder.len() as u32;
+                preorder.push(s);
+                subtree_len[s as usize] = 1;
+                // Push children last→first so the first child pops first
+                // (the old Descendants stack order).
+                let mut c = self.hot[s as usize].last_child;
+                while c != NIL {
+                    stack.push(c);
+                    c = self.hot[c as usize].prev_sibling;
+                }
+            }
+            // Children precede parents in reverse pre-order, so one
+            // reverse sweep finalizes every subtree length.
+            for &s in preorder.iter().rev() {
+                let p = self.hot[s as usize].parent;
+                if p != NIL {
+                    subtree_len[p as usize] += subtree_len[s as usize];
+                }
+            }
+            let mut id_order = preorder.clone();
+            id_order.sort_unstable_by_key(|&s| self.hot[s as usize].id);
+            Box::new(FlatCache { preorder, pos, subtree_len, id_order })
+        })
+    }
+
+    /// The subtree-cost cache: own costs seeded from the hot array, then
+    /// one reverse-pre-order sweep adds children into parents.
+    fn cost_cache(&self) -> &[NodeCost] {
+        self.costs.get_or_init(|| {
+            let flat = self.flat();
+            let mut agg = vec![NodeCost::ZERO; self.hot.len()];
+            for &s in &flat.preorder {
+                agg[s as usize] = self.hot[s as usize].cost;
+            }
+            for &s in flat.preorder.iter().rev() {
+                let p = self.hot[s as usize].parent;
+                if p != NIL {
+                    let c = agg[s as usize];
+                    agg[p as usize] += c;
+                }
+            }
+            agg
+        })
+    }
+
+    // ---- queries --------------------------------------------------------
 
     pub fn root(&self) -> NodeId {
         self.root
     }
 
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.live
     }
 
     pub fn is_empty(&self) -> bool {
-        self.nodes.len() <= 1
+        self.live <= 1
     }
 
     pub fn contains(&self, id: NodeId) -> bool {
-        self.nodes.contains_key(&id)
+        self.index.contains_key(&id)
     }
 
-    pub fn node(&self, id: NodeId) -> Option<&Node> {
-        self.nodes.get(&id)
+    pub fn node(&self, id: NodeId) -> Option<NodeRef<'_>> {
+        self.slot(id).map(|slot| NodeRef { tree: self, slot })
     }
 
-    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut Node> {
-        // The caller may rewrite the node's kind (e.g. `split_node`
-        // demoting a mesh to a Group), which changes its cost.
-        self.invalidate_cost_index();
-        self.nodes.get_mut(&id)
+    /// Mutable access to one node's editable state. Conservatively
+    /// invalidates the cost cache (the caller may rewrite the node's
+    /// kind, e.g. `split_node` demoting a mesh to a Group); the
+    /// structure cache survives.
+    pub fn node_mut(&mut self, id: NodeId) -> Option<NodeMut<'_>> {
+        let slot = self.slot(id)?;
+        self.invalidate_costs();
+        Some(NodeMut { tree: self, slot, kind_touched: false })
     }
 
-    /// Drop the cached subtree-cost aggregates; the next cost query
-    /// rebuilds them in one O(n) pass.
-    fn invalidate_cost_index(&mut self) {
-        self.cost_index.0.get_mut().expect("cost index poisoned").valid = false;
-    }
-
-    /// Every node in id order (the map's deterministic iteration order).
-    pub fn iter_nodes(&self) -> impl Iterator<Item = &Node> {
-        self.nodes.values()
+    /// Every node in id order (the old map's deterministic iteration
+    /// order — render services on different "machines" must walk the
+    /// same scene in the same order for compositing to be reproducible).
+    pub fn iter_nodes(&self) -> impl Iterator<Item = NodeRef<'_>> + '_ {
+        self.flat().id_order.iter().map(move |&slot| NodeRef { tree: self, slot })
     }
 
     /// The id the allocator would hand out next. Snapshots persist this so
@@ -138,11 +489,63 @@ impl SceneTree {
         self.next_id
     }
 
-    /// Reassemble a tree from its raw parts — the snapshot decode path.
-    /// The caller guarantees structural validity (wire decode checks the
-    /// root exists; `check_invariants` covers the rest in tests).
-    pub(crate) fn from_parts(nodes: BTreeMap<NodeId, Node>, root: NodeId, next_id: u64) -> Self {
-        Self { nodes, root, next_id, cost_index: CostIndex::default() }
+    /// Reassemble a tree from detached records — the snapshot/serde decode
+    /// path. Children order comes from each record's `children` list (the
+    /// wire-authoritative order); the records' structural claims are
+    /// verified (root present, every child link matched by a parent link,
+    /// no unreachable nodes), since arena assembly would otherwise turn a
+    /// corrupt snapshot into silent node loss.
+    pub(crate) fn from_parts(
+        nodes: BTreeMap<NodeId, Node>,
+        root: NodeId,
+        next_id: u64,
+    ) -> Result<Self, &'static str> {
+        let Some(root_rec) = nodes.get(&root) else { return Err("root node missing") };
+        let mut tree = Self {
+            hot: Vec::with_capacity(nodes.len()),
+            cold: Vec::with_capacity(nodes.len()),
+            free: Vec::new(),
+            live: 0,
+            index: IdIndex::default(),
+            root,
+            root_slot: 0,
+            next_id,
+            structure: OnceLock::new(),
+            costs: OnceLock::new(),
+        };
+        tree.index.reserve(nodes.len());
+        tree.root_slot = tree.alloc_slot(root, NIL, root_rec.name.clone(), root_rec.kind.clone());
+        tree.hot[tree.root_slot as usize].transform = root_rec.transform;
+        tree.cold[tree.root_slot as usize].version = root_rec.version;
+        // Pre-order DFS over the records' children lists: parents are
+        // always materialized before their children.
+        let mut stack: Vec<(NodeId, u32)> =
+            root_rec.children.iter().rev().map(|&c| (c, tree.root_slot)).collect();
+        while let Some((id, parent_slot)) = stack.pop() {
+            let rec = nodes.get(&id).ok_or("child link to missing node")?;
+            if rec.parent != Some(self_id(&tree, parent_slot)) {
+                return Err("child/parent link mismatch");
+            }
+            if tree.index.contains_key(&id) {
+                return Err("node reachable twice (cycle or duplicate child link)");
+            }
+            let slot = tree.alloc_slot(id, parent_slot, rec.name.clone(), rec.kind.clone());
+            tree.link_last_child(parent_slot, slot);
+            tree.hot[slot as usize].transform = rec.transform;
+            tree.cold[slot as usize].version = rec.version;
+            for &c in rec.children.iter().rev() {
+                stack.push((c, slot));
+            }
+        }
+        if tree.live != nodes.len() {
+            return Err("unreachable nodes in record set");
+        }
+        if tree.next_id <= nodes.keys().next_back().map_or(0, |id| id.0) {
+            // Tolerate (don't reject) a stale allocator: advance past the
+            // largest live id exactly as `insert_with_id` would.
+            tree.next_id = nodes.keys().next_back().unwrap().0 + 1;
+        }
+        Ok(tree)
     }
 
     /// Allocate the next id without inserting — the data service allocates
@@ -175,72 +578,124 @@ impl SceneTree {
         name: impl Into<String>,
         kind: NodeKind,
     ) -> Result<(), TreeError> {
-        if self.nodes.contains_key(&id) {
+        if self.contains(id) {
             return Err(TreeError::DuplicateId(id));
         }
-        if !self.nodes.contains_key(&parent) {
+        let Some(parent_slot) = self.slot(parent) else {
             return Err(TreeError::MissingNode(parent));
-        }
-        let mut node = Node::new(id, name, kind);
-        node.parent = Some(parent);
-        self.nodes.insert(id, node);
-        self.nodes.get_mut(&parent).expect("parent checked").children.push(id);
+        };
+        let slot = self.alloc_slot(id, parent_slot, name, kind);
+        self.link_last_child(parent_slot, slot);
         self.next_id = self.next_id.max(id.0 + 1);
-        self.invalidate_cost_index();
+        self.invalidate_structure();
         Ok(())
     }
 
     /// Remove a node and its whole subtree. Removing the root is rejected.
+    /// Returns the removed ids (subtree in last-child-first DFS order,
+    /// matching the pre-arena implementation).
     pub fn remove(&mut self, id: NodeId) -> Result<Vec<NodeId>, TreeError> {
         if id == self.root {
             return Err(TreeError::CannotRemoveRoot);
         }
-        let Some(parent) = self.nodes.get(&id).map(|n| n.parent) else {
+        let Some(slot) = self.slot(id) else {
             return Err(TreeError::MissingNode(id));
         };
+        self.unlink_child(slot);
         let mut removed = Vec::new();
-        let mut stack = vec![id];
-        while let Some(n) = stack.pop() {
-            if let Some(node) = self.nodes.remove(&n) {
-                stack.extend(node.children.iter().copied());
-                removed.push(n);
+        let mut stack = vec![slot];
+        while let Some(s) = stack.pop() {
+            let h = &self.hot[s as usize];
+            removed.push(h.id);
+            // Push first→last so the last child pops first — the order the
+            // old `stack.extend(children)` produced.
+            let mut c = h.first_child;
+            while c != NIL {
+                stack.push(c);
+                c = self.hot[c as usize].next_sibling;
             }
+            self.index.remove(&self.hot[s as usize].id);
+            let h = &mut self.hot[s as usize];
+            h.alive = false;
+            h.generation = h.generation.wrapping_add(1);
+            h.first_child = NIL;
+            h.last_child = NIL;
+            h.child_count = 0;
+            self.cold[s as usize] = ColdNode::vacant();
+            self.free.push(s);
         }
-        // Unlink from the parent.
-        if let Some(p) = parent.and_then(|p| self.nodes.get_mut(&p)) {
-            p.children.retain(|&c| c != id);
-        }
-        self.invalidate_cost_index();
+        self.live -= removed.len();
+        self.invalidate_structure();
         Ok(removed)
+    }
+
+    /// Move a subtree under a new parent, appended as its last child.
+    /// O(1) link surgery in the arena (plus one ancestor walk for the
+    /// cycle check); the subtree keeps every id, transform and version.
+    pub fn reparent(&mut self, id: NodeId, new_parent: NodeId) -> Result<(), TreeError> {
+        if id == self.root {
+            return Err(TreeError::CannotReparentRoot);
+        }
+        let Some(slot) = self.slot(id) else {
+            return Err(TreeError::MissingNode(id));
+        };
+        let Some(parent_slot) = self.slot(new_parent) else {
+            return Err(TreeError::MissingNode(new_parent));
+        };
+        // Reject moves into the node's own subtree (including itself).
+        let mut cur = parent_slot;
+        while cur != NIL {
+            if cur == slot {
+                return Err(TreeError::WouldCreateCycle(id));
+            }
+            cur = self.hot[cur as usize].parent;
+        }
+        if self.hot[slot as usize].parent != parent_slot {
+            self.unlink_child(slot);
+            self.link_last_child(parent_slot, slot);
+        } else {
+            // Same parent: move to the end of the sibling order.
+            self.unlink_child(slot);
+            self.link_last_child(parent_slot, slot);
+        }
+        self.invalidate_structure();
+        Ok(())
     }
 
     /// Pre-order traversal from `start` (inclusive), children in insertion
     /// order.
     pub fn descendants(&self, start: NodeId) -> Vec<NodeId> {
-        // From the root the subtree is the whole tree, so the size is
-        // known exactly; elsewhere `len()` is only an upper bound and
-        // over-reserving for tiny subtrees of huge trees would hurt.
-        let mut out = Vec::with_capacity(if start == self.root { self.nodes.len() } else { 0 });
-        out.extend(self.descendants_iter(start).map(|n| n.id));
-        out
+        self.descendants_iter(start).map(|n| n.id()).collect()
     }
 
     /// Iterator form of [`SceneTree::descendants`]: same pre-order, same
-    /// children-in-insertion-order, but yielding `&Node` with no output
-    /// `Vec` — callers that filter or fold (the planner's queue build,
-    /// `find_all`) traverse without materializing the id list or paying a
-    /// second map lookup per visited node.
+    /// children-in-insertion-order, yielding [`NodeRef`]s. A subtree is a
+    /// contiguous range of the cached pre-order, so this is a slice walk
+    /// over dense `u32`s — no DFS stack, no per-step lookups.
     pub fn descendants_iter(&self, start: NodeId) -> Descendants<'_> {
-        Descendants { tree: self, stack: vec![start] }
+        let slots: &[u32] = match self.slot(start) {
+            Some(s) => {
+                let flat = self.flat();
+                let p = flat.pos[s as usize] as usize;
+                let len = flat.subtree_len[s as usize] as usize;
+                &flat.preorder[p..p + len]
+            }
+            None => &[],
+        };
+        Descendants { tree: self, slots: slots.iter() }
     }
 
     /// Ancestors from the node's parent up to and including the root.
     pub fn ancestors(&self, id: NodeId) -> Vec<NodeId> {
         let mut out = Vec::new();
-        let mut cur = self.nodes.get(&id).and_then(|n| n.parent);
-        while let Some(p) = cur {
-            out.push(p);
-            cur = self.nodes.get(&p).and_then(|n| n.parent);
+        let Some(mut cur) = self.slot(id) else { return out };
+        loop {
+            let p = self.hot[cur as usize].parent;
+            if p == NIL {
+                break;
+            }
+            out.push(self.hot[p as usize].id);
+            cur = p;
         }
         out
     }
@@ -248,11 +703,17 @@ impl SceneTree {
     /// The composed local-to-world matrix for a node.
     pub fn world_transform(&self, id: NodeId) -> Mat4 {
         let mut chain = Vec::new();
-        let mut cur = Some(id);
-        while let Some(c) = cur {
-            let Some(node) = self.nodes.get(&c) else { break };
-            chain.push(node.transform.matrix());
-            cur = node.parent;
+        let mut cur = match self.slot(id) {
+            Some(s) => s,
+            None => return Mat4::IDENTITY,
+        };
+        loop {
+            chain.push(self.hot[cur as usize].transform.matrix());
+            let p = self.hot[cur as usize].parent;
+            if p == NIL {
+                break;
+            }
+            cur = p;
         }
         chain.into_iter().rev().fold(Mat4::IDENTITY, |acc, m| acc * m)
     }
@@ -260,11 +721,10 @@ impl SceneTree {
     /// World-space bounds of a subtree.
     pub fn world_bounds(&self, id: NodeId) -> Aabb {
         let mut b = Aabb::EMPTY;
-        for n in self.descendants(id) {
-            let node = &self.nodes[&n];
-            let local = node.kind.local_bounds();
+        for n in self.descendants_iter(id) {
+            let local = n.kind().local_bounds();
             if !local.is_empty() {
-                b = b.union(&local.transformed(&self.world_transform(n)));
+                b = b.union(&local.transformed(&self.world_transform(n.id())));
             }
         }
         b
@@ -273,37 +733,16 @@ impl SceneTree {
     /// Aggregate cost of a subtree (§3.2.7's "how much data are contained
     /// in a given set of nodes").
     ///
-    /// Served from the [`CostIndex`]: the first query after a structural
-    /// edit rebuilds every node's aggregate in one O(n) bottom-up pass;
-    /// queries until the next edit are a hash lookup. An unknown id costs
-    /// [`NodeCost::ZERO`], exactly as the uncached walk summed an empty
-    /// traversal.
+    /// Served from the dense cost cache: the first query after an edit
+    /// aggregates every node in one O(n) reverse-pre-order pass over hot
+    /// data; queries until the next edit are two array reads. An unknown
+    /// id costs [`NodeCost::ZERO`], exactly as the uncached walk summed an
+    /// empty traversal.
     pub fn subtree_cost(&self, id: NodeId) -> NodeCost {
-        let mut state = self.cost_index.0.lock().expect("cost index poisoned");
-        if !state.valid {
-            self.rebuild_cost_index(&mut state);
+        match self.slot(id) {
+            Some(s) => self.cost_cache()[s as usize],
+            None => NodeCost::ZERO,
         }
-        state.subtree.get(&id).copied().unwrap_or(NodeCost::ZERO)
-    }
-
-    /// Recompute every node's subtree aggregate. Walking the pre-order
-    /// list in reverse visits children before their parents, so each
-    /// parent just adds its children's already-final aggregates.
-    fn rebuild_cost_index(&self, state: &mut CostIndexState) {
-        state.subtree.clear();
-        state.subtree.reserve(self.nodes.len());
-        let order = self.descendants(self.root);
-        for &id in order.iter().rev() {
-            let node = &self.nodes[&id];
-            let mut agg = node.kind.cost();
-            for c in &node.children {
-                if let Some(child) = state.subtree.get(c) {
-                    agg += *child;
-                }
-            }
-            state.subtree.insert(id, agg);
-        }
-        state.valid = true;
     }
 
     /// Total cost of the whole scene.
@@ -317,14 +756,13 @@ impl SceneTree {
             return Some("/".into());
         }
         let mut parts = Vec::new();
-        let mut cur = Some(id);
-        while let Some(c) = cur {
-            if c == self.root {
+        let mut cur = self.slot(id)?;
+        while cur != self.root_slot {
+            parts.push(self.cold[cur as usize].name.as_str());
+            cur = self.hot[cur as usize].parent;
+            if cur == NIL {
                 break;
             }
-            let node = self.nodes.get(&c)?;
-            parts.push(node.name.clone());
-            cur = node.parent;
         }
         parts.reverse();
         Some(format!("/{}", parts.join("/")))
@@ -333,20 +771,27 @@ impl SceneTree {
     /// Look a node up by slash path (first match wins among same-named
     /// siblings).
     pub fn find_by_path(&self, path: &str) -> Option<NodeId> {
-        let mut cur = self.root;
+        let mut cur = self.root_slot;
         for part in path.split('/').filter(|p| !p.is_empty()) {
-            let node = self.nodes.get(&cur)?;
-            cur = *node
-                .children
-                .iter()
-                .find(|c| self.nodes.get(c).map(|n| n.name.as_str()) == Some(part))?;
+            let mut c = self.hot[cur as usize].first_child;
+            loop {
+                if c == NIL {
+                    return None;
+                }
+                if self.cold[c as usize].name == part {
+                    break;
+                }
+                c = self.hot[c as usize].next_sibling;
+            }
+            cur = c;
         }
-        Some(cur)
+        Some(self.hot[cur as usize].id)
     }
 
-    /// Every node id whose kind matches `pred`, in deterministic order.
-    pub fn find_all(&self, mut pred: impl FnMut(&Node) -> bool) -> Vec<NodeId> {
-        self.descendants_iter(self.root).filter(|n| pred(n)).map(|n| n.id).collect()
+    /// Every node id whose kind matches `pred`, in deterministic
+    /// (pre-order) order.
+    pub fn find_all(&self, mut pred: impl FnMut(NodeRef<'_>) -> bool) -> Vec<NodeId> {
+        self.descendants_iter(self.root).filter(|n| pred(*n)).map(|n| n.id()).collect()
     }
 
     /// The *ancestor closure* of a node set: the nodes themselves, all
@@ -358,9 +803,9 @@ impl SceneTree {
         // Collect-then-dedup in a pre-sized Vec rather than inserting into
         // a BTreeSet node by node; the sorted, duplicate-free result is
         // identical.
-        let mut included = Vec::with_capacity(self.nodes.len().min(roots.len().max(1) * 8));
+        let mut included = Vec::with_capacity(self.live.min(roots.len().max(1) * 8));
         for &r in roots {
-            included.extend(self.descendants_iter(r).map(|n| n.id));
+            included.extend(self.descendants_iter(r).map(|n| n.id()));
             included.extend(self.ancestors(r));
         }
         included.sort_unstable();
@@ -368,41 +813,39 @@ impl SceneTree {
         included
     }
 
-    /// Extract a standalone subtree containing exactly `closure` nodes
-    /// (typically from [`SceneTree::subset_closure`]). Ancestor nodes that
+    /// Extract a standalone subtree containing exactly the closure of
+    /// `roots` (see [`SceneTree::subset_closure`]). Ancestor nodes that
     /// are included for orientation keep their transforms but drop any
-    /// content payload if they are not within a requested subtree
-    /// (`content_roots`).
+    /// content payload if they are not within a requested subtree.
     pub fn extract_subset(&self, roots: &[NodeId]) -> SceneTree {
         let closure = self.subset_closure(roots); // sorted + deduped
         let mut in_subtree: Vec<NodeId> =
-            roots.iter().flat_map(|&r| self.descendants_iter(r).map(|n| n.id)).collect();
+            roots.iter().flat_map(|&r| self.descendants_iter(r).map(|n| n.id())).collect();
         in_subtree.sort_unstable();
         in_subtree.dedup();
-        let mut out = SceneTree::new();
+        let mut out = SceneTree::with_capacity(closure.len());
         out.next_id = self.next_id;
         // The root's transform orients everything: copy it so world
         // transforms in the subset match the source exactly.
-        let root_transform = self.nodes[&self.root].transform;
-        out.node_mut(out.root).expect("fresh root").transform = root_transform;
+        out.hot[out.root_slot as usize].transform = self.hot[self.root_slot as usize].transform;
         // Walk in pre-order from our root so parents are inserted first.
         for src in self.descendants_iter(self.root) {
-            let id = src.id;
+            let id = src.id();
             if id == self.root || closure.binary_search(&id).is_err() {
                 continue;
             }
-            let parent = src.parent.expect("non-root has parent");
+            let parent = src.parent().expect("non-root has parent");
             let parent_in_out = if parent == self.root { out.root } else { parent };
             let kind = if in_subtree.binary_search(&id).is_ok() {
-                src.kind.clone()
+                src.kind().clone()
             } else {
                 NodeKind::Group // ancestor kept for orientation only
             };
-            out.insert_with_id(id, parent_in_out, src.name.clone(), kind)
+            out.insert_with_id(id, parent_in_out, src.name(), kind)
                 .expect("closure preserves parent-before-child");
-            let n = out.node_mut(id).unwrap();
-            n.transform = src.transform;
-            n.version = src.version;
+            let slot = out.slot(id).expect("just inserted");
+            out.hot[slot as usize].transform = src.transform();
+            out.cold[slot as usize].version = src.version();
         }
         out
     }
@@ -414,54 +857,101 @@ impl SceneTree {
     /// migrated subtree without discarding content it already holds.
     pub fn merge_subset(&mut self, subset: &SceneTree) {
         for src in subset.descendants_iter(subset.root()) {
-            let id = src.id;
+            let id = src.id();
             if id == subset.root() || self.contains(id) {
                 continue;
             }
-            let parent = src.parent.expect("non-root has parent");
+            let parent = src.parent().expect("non-root has parent");
             let parent = if parent == subset.root() { self.root } else { parent };
             if !self.contains(parent) {
                 continue; // orphaned branch: parent was never replicated
             }
-            self.insert_with_id(id, parent, src.name.clone(), src.kind.clone())
+            self.insert_with_id(id, parent, src.name(), src.kind().clone())
                 .expect("id checked missing");
-            let n = self.node_mut(id).expect("just inserted");
-            n.transform = src.transform;
-            n.version = src.version;
+            let slot = self.slot(id).expect("just inserted");
+            self.hot[slot as usize].transform = src.transform();
+            self.cold[slot as usize].version = src.version();
         }
     }
 
     /// Structural invariant check, used by property tests and debug
-    /// assertions: every child link has a matching parent link, the root
-    /// exists, and there are no orphans or cycles.
+    /// assertions: the id index is a bijection onto live slots, sibling
+    /// links are doubly consistent, every child's parent link matches,
+    /// the free list covers exactly the dead slots, and every live node
+    /// is reachable from the root.
     pub fn check_invariants(&self) -> Result<(), String> {
-        if !self.nodes.contains_key(&self.root) {
+        if !self.contains(self.root) {
             return Err("root missing".into());
         }
-        let reachable = self.descendants(self.root);
-        if reachable.len() != self.nodes.len() {
+        if self.slot(self.root) != Some(self.root_slot) {
+            return Err("root slot mapping broken".into());
+        }
+        let alive_count = self.hot.iter().filter(|h| h.alive).count();
+        if alive_count != self.live {
+            return Err(format!("live count {} but {} alive slots", self.live, alive_count));
+        }
+        if self.index.len() != self.live {
+            return Err(format!("index has {} entries for {} live", self.index.len(), self.live));
+        }
+        if self.free.len() != self.hot.len() - self.live {
             return Err(format!(
-                "orphaned nodes: {} reachable of {}",
-                reachable.len(),
-                self.nodes.len()
+                "free list {} != {} dead slots",
+                self.free.len(),
+                self.hot.len() - self.live
             ));
         }
-        for node in self.nodes.values() {
-            for c in &node.children {
-                let child = self
-                    .nodes
-                    .get(c)
-                    .ok_or_else(|| format!("dangling child {c} of {}", node.id))?;
-                if child.parent != Some(node.id) {
-                    return Err(format!("child {c} parent link mismatch"));
-                }
+        for (&id, &slot) in &self.index {
+            let h = self.hot.get(slot as usize).ok_or("index points past arena")?;
+            if !h.alive || h.id != id {
+                return Err(format!("index entry {id} -> slot {slot} stale"));
             }
-            if let Some(p) = node.parent {
-                let parent =
-                    self.nodes.get(&p).ok_or_else(|| format!("dangling parent of {}", node.id))?;
-                if !parent.children.contains(&node.id) {
-                    return Err(format!("parent {p} missing child link to {}", node.id));
+        }
+        for &f in &self.free {
+            if self.hot.get(f as usize).is_none_or(|h| h.alive) {
+                return Err(format!("free-list slot {f} is alive"));
+            }
+        }
+        let reachable = self.descendants(self.root);
+        if reachable.len() != self.live {
+            return Err(format!("orphaned nodes: {} reachable of {}", reachable.len(), self.live));
+        }
+        for (s, h) in self.hot.iter().enumerate() {
+            if !h.alive {
+                continue;
+            }
+            let s = s as u32;
+            // Walk the child chain, checking both link directions and the
+            // cached count.
+            let mut count = 0;
+            let mut prev = NIL;
+            let mut c = h.first_child;
+            while c != NIL {
+                let ch = self.hot.get(c as usize).ok_or("child link past arena")?;
+                if !ch.alive {
+                    return Err(format!("dangling child slot {c} of {}", h.id));
                 }
+                if ch.parent != s {
+                    return Err(format!("child {} parent link mismatch", ch.id));
+                }
+                if ch.prev_sibling != prev {
+                    return Err(format!("sibling back-link broken at {}", ch.id));
+                }
+                count += 1;
+                prev = c;
+                c = ch.next_sibling;
+            }
+            if h.last_child != prev {
+                return Err(format!("last_child stale on {}", h.id));
+            }
+            if h.child_count != count {
+                return Err(format!("child_count {} != {} on {}", h.child_count, count, h.id));
+            }
+            // Hot mirrors of cold state must agree.
+            if h.tag != self.cold[s as usize].kind.tag() {
+                return Err(format!("hot tag stale on {}", h.id));
+            }
+            if h.cost != self.cold[s as usize].kind.cost() {
+                return Err(format!("hot cost stale on {}", h.id));
             }
         }
         Ok(())
@@ -470,44 +960,298 @@ impl SceneTree {
     /// Convenience: set a node's transform, bumping its version. Returns
     /// false if the node does not exist.
     ///
-    /// Deliberately bypasses [`SceneTree::node_mut`]: transforms do not
-    /// affect [`NodeCost`], so the cost index stays valid — avatar and
-    /// camera motion (the per-frame update stream) never forces a cost
-    /// rebuild.
+    /// Deliberately bypasses [`SceneTree::node_mut`]: transforms affect
+    /// neither structure nor [`NodeCost`], so both caches stay valid —
+    /// avatar and camera motion (the per-frame update stream) never
+    /// forces a rebuild.
     pub fn set_transform(&mut self, id: NodeId, t: Transform) -> bool {
-        match self.nodes.get_mut(&id) {
-            Some(n) => {
-                n.transform = t;
-                n.version += 1;
+        match self.slot(id) {
+            Some(s) => {
+                self.hot[s as usize].transform = t;
+                self.cold[s as usize].version += 1;
                 true
             }
             None => false,
         }
     }
+
+    // ---- test-only cache instrumentation --------------------------------
+
+    /// Is the subtree-cost cache currently built? (Regression pins for
+    /// the invalidation contract; not part of the public API surface.)
+    #[doc(hidden)]
+    pub fn cost_cache_is_warm(&self) -> bool {
+        self.costs.get().is_some()
+    }
+
+    /// Is the structure cache currently built?
+    #[doc(hidden)]
+    pub fn structure_cache_is_warm(&self) -> bool {
+        self.structure.get().is_some()
+    }
 }
 
-/// Pre-order subtree traversal, yielded lazily as `&Node`. Created by
-/// [`SceneTree::descendants_iter`]; only the internal DFS stack
-/// allocates, never an output list.
+fn self_id(tree: &SceneTree, slot: u32) -> NodeId {
+    tree.hot[slot as usize].id
+}
+
+// ---- node views --------------------------------------------------------
+
+/// Shared view of one live node. Copy-cheap (a tree pointer and a slot);
+/// field reads resolve into the hot or cold array as appropriate, so a
+/// traversal that never asks for a name or payload never loads one.
+#[derive(Clone, Copy)]
+pub struct NodeRef<'a> {
+    tree: &'a SceneTree,
+    slot: u32,
+}
+
+impl std::fmt::Debug for NodeRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeRef")
+            .field("id", &self.id())
+            .field("name", &self.name())
+            .field("kind", &self.kind_tag())
+            .finish()
+    }
+}
+
+impl<'a> NodeRef<'a> {
+    #[inline]
+    fn hot(&self) -> &'a HotNode {
+        &self.tree.hot[self.slot as usize]
+    }
+
+    #[inline]
+    fn cold(&self) -> &'a ColdNode {
+        &self.tree.cold[self.slot as usize]
+    }
+
+    #[inline]
+    pub fn id(&self) -> NodeId {
+        self.hot().id
+    }
+
+    #[inline]
+    pub fn parent(&self) -> Option<NodeId> {
+        let p = self.hot().parent;
+        (p != NIL).then(|| self.tree.hot[p as usize].id)
+    }
+
+    #[inline]
+    pub fn transform(&self) -> Transform {
+        self.hot().transform
+    }
+
+    /// The node's own content cost (children excluded) — hot-array read,
+    /// no payload access.
+    #[inline]
+    pub fn own_cost(&self) -> NodeCost {
+        self.hot().cost
+    }
+
+    /// The payload-free kind discriminant — hot-array read.
+    #[inline]
+    pub fn kind_tag(&self) -> KindTag {
+        self.hot().tag
+    }
+
+    #[inline]
+    pub fn child_count(&self) -> usize {
+        self.hot().child_count as usize
+    }
+
+    /// The node's children in insertion order. Double-ended (the
+    /// renderer's DFS pushes children reversed) and exact-size.
+    pub fn children(&self) -> Children<'a> {
+        let h = self.hot();
+        Children {
+            tree: self.tree,
+            front: h.first_child,
+            back: h.last_child,
+            remaining: h.child_count as usize,
+        }
+    }
+
+    #[inline]
+    pub fn name(&self) -> &'a str {
+        &self.cold().name
+    }
+
+    #[inline]
+    pub fn kind(&self) -> &'a NodeKind {
+        &self.cold().kind
+    }
+
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.cold().version
+    }
+
+    /// Interrogate the node for its supported interactions (§5.2) — tag
+    /// dispatch only, no payload access, no allocation.
+    pub fn supported_interactions(&self) -> &'static [Interaction] {
+        self.kind_tag().supported_interactions()
+    }
+
+    /// Materialize a detached [`Node`] record (the serde/wire shape).
+    /// Payloads are `Arc`-shared, so this is cheap even for geometry.
+    pub fn to_node(&self) -> Node {
+        let cold = self.cold();
+        Node {
+            id: self.id(),
+            name: cold.name.clone(),
+            transform: self.transform(),
+            kind: cold.kind.clone(),
+            children: self.children().collect(),
+            parent: self.parent(),
+            version: cold.version,
+        }
+    }
+}
+
+/// Iterator over a node's children (insertion order), walking the
+/// intrusive sibling links in the hot array.
+#[derive(Clone)]
+pub struct Children<'a> {
+    tree: &'a SceneTree,
+    front: u32,
+    back: u32,
+    remaining: usize,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let s = self.front;
+        self.remaining -= 1;
+        self.front = self.tree.hot[s as usize].next_sibling;
+        Some(self.tree.hot[s as usize].id)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl DoubleEndedIterator for Children<'_> {
+    fn next_back(&mut self) -> Option<NodeId> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let s = self.back;
+        self.remaining -= 1;
+        self.back = self.tree.hot[s as usize].prev_sibling;
+        Some(self.tree.hot[s as usize].id)
+    }
+}
+
+impl ExactSizeIterator for Children<'_> {}
+
+/// Mutable view of one live node's editable state (name, kind, version,
+/// transform). Created by [`SceneTree::node_mut`]; if the kind is
+/// touched, the hot mirrors (tag, own cost) are refreshed when the view
+/// drops.
+pub struct NodeMut<'a> {
+    tree: &'a mut SceneTree,
+    slot: u32,
+    kind_touched: bool,
+}
+
+impl NodeMut<'_> {
+    pub fn id(&self) -> NodeId {
+        self.tree.hot[self.slot as usize].id
+    }
+
+    pub fn name(&self) -> &str {
+        &self.tree.cold[self.slot as usize].name
+    }
+
+    pub fn kind(&self) -> &NodeKind {
+        &self.tree.cold[self.slot as usize].kind
+    }
+
+    pub fn version(&self) -> u64 {
+        self.tree.cold[self.slot as usize].version
+    }
+
+    pub fn transform(&self) -> Transform {
+        self.tree.hot[self.slot as usize].transform
+    }
+
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.tree.cold[self.slot as usize].name = name.into();
+    }
+
+    /// Replace the content payload. The hot tag/cost mirrors refresh when
+    /// this view drops.
+    pub fn set_kind(&mut self, kind: NodeKind) {
+        self.tree.cold[self.slot as usize].kind = kind;
+        self.kind_touched = true;
+    }
+
+    /// In-place payload mutation (camera pose updates, avatar metadata).
+    pub fn kind_mut(&mut self) -> &mut NodeKind {
+        self.kind_touched = true;
+        &mut self.tree.cold[self.slot as usize].kind
+    }
+
+    /// Set the transform without bumping the version (subset extraction
+    /// and merge copy versions verbatim).
+    pub fn set_transform(&mut self, t: Transform) {
+        self.tree.hot[self.slot as usize].transform = t;
+    }
+
+    pub fn transform_mut(&mut self) -> &mut Transform {
+        &mut self.tree.hot[self.slot as usize].transform
+    }
+
+    pub fn bump_version(&mut self) {
+        self.tree.cold[self.slot as usize].version += 1;
+    }
+
+    pub fn set_version(&mut self, v: u64) {
+        self.tree.cold[self.slot as usize].version = v;
+    }
+}
+
+impl Drop for NodeMut<'_> {
+    fn drop(&mut self) {
+        if self.kind_touched {
+            let kind = &self.tree.cold[self.slot as usize].kind;
+            let (tag, cost) = (kind.tag(), kind.cost());
+            let h = &mut self.tree.hot[self.slot as usize];
+            h.tag = tag;
+            h.cost = cost;
+        }
+    }
+}
+
+/// Pre-order subtree traversal as a slice walk over the cached flat
+/// order. Created by [`SceneTree::descendants_iter`].
 pub struct Descendants<'a> {
     tree: &'a SceneTree,
-    stack: Vec<NodeId>,
+    slots: std::slice::Iter<'a, u32>,
 }
 
 impl<'a> Iterator for Descendants<'a> {
-    type Item = &'a Node;
+    type Item = NodeRef<'a>;
 
-    fn next(&mut self) -> Option<&'a Node> {
-        while let Some(id) = self.stack.pop() {
-            if let Some(node) = self.tree.nodes.get(&id) {
-                // Reverse so the first child is popped first.
-                self.stack.extend(node.children.iter().rev().copied());
-                return Some(node);
-            }
-        }
-        None
+    #[inline]
+    fn next(&mut self) -> Option<NodeRef<'a>> {
+        self.slots.next().map(|&slot| NodeRef { tree: self.tree, slot })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.slots.size_hint()
     }
 }
+
+impl ExactSizeIterator for Descendants<'_> {}
 
 /// Errors from structural tree edits.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -515,6 +1259,9 @@ pub enum TreeError {
     MissingNode(NodeId),
     DuplicateId(NodeId),
     CannotRemoveRoot,
+    CannotReparentRoot,
+    /// Reparenting a node under its own descendant (or itself).
+    WouldCreateCycle(NodeId),
 }
 
 impl std::fmt::Display for TreeError {
@@ -523,6 +1270,10 @@ impl std::fmt::Display for TreeError {
             TreeError::MissingNode(id) => write!(f, "node {id} does not exist"),
             TreeError::DuplicateId(id) => write!(f, "node {id} already exists"),
             TreeError::CannotRemoveRoot => write!(f, "the root node cannot be removed"),
+            TreeError::CannotReparentRoot => write!(f, "the root node cannot be reparented"),
+            TreeError::WouldCreateCycle(id) => {
+                write!(f, "reparenting {id} into its own subtree would create a cycle")
+            }
         }
     }
 }
@@ -593,6 +1344,21 @@ mod tests {
         t.remove(a).unwrap();
         let b = t.add_node(t.root(), "b", NodeKind::Group).unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn slots_are_reused_under_new_generations() {
+        let mut t = SceneTree::new();
+        let a = t.add_node(t.root(), "a", NodeKind::Group).unwrap();
+        let slot_a = t.slot(a).unwrap();
+        let gen_a = t.hot[slot_a as usize].generation;
+        t.remove(a).unwrap();
+        let b = t.add_node(t.root(), "b", NodeKind::Group).unwrap();
+        let slot_b = t.slot(b).unwrap();
+        assert_eq!(slot_a, slot_b, "freed slot is recycled");
+        assert!(t.hot[slot_b as usize].generation > gen_a, "generation bumped");
+        assert_eq!(t.hot.len(), 2, "arena stays dense under churn");
+        t.check_invariants().unwrap();
     }
 
     #[test]
@@ -670,10 +1436,10 @@ mod tests {
         assert!(sub.contains(m));
         assert!(sub.contains(g));
         // Ancestor content stripped — only orientation kept.
-        assert!(matches!(sub.node(g).unwrap().kind, NodeKind::Group));
-        assert_eq!(sub.node(g).unwrap().transform.translation, Vec3::new(5.0, 0.0, 0.0));
+        assert!(matches!(sub.node(g).unwrap().kind(), NodeKind::Group));
+        assert_eq!(sub.node(g).unwrap().transform().translation, Vec3::new(5.0, 0.0, 0.0));
         // The requested subtree keeps its payload.
-        assert!(matches!(sub.node(m).unwrap().kind, NodeKind::Mesh(_)));
+        assert!(matches!(sub.node(m).unwrap().kind(), NodeKind::Mesh(_)));
         // Cost of the subset is just the subtree's.
         assert_eq!(sub.total_cost().polygons, 1);
         // World transform identical in both trees.
@@ -698,7 +1464,7 @@ mod tests {
         replica.merge_subset(&subset_b);
         assert!(replica.contains(b));
         assert_eq!(
-            replica.node(a).unwrap().transform.translation,
+            replica.node(a).unwrap().transform().translation,
             Vec3::new(9.0, 0.0, 0.0),
             "existing node untouched by merge"
         );
@@ -724,7 +1490,7 @@ mod tests {
         let mut t = SceneTree::new();
         t.add_node(t.root(), "m", tri_mesh()).unwrap();
         t.add_node(t.root(), "g", NodeKind::Group).unwrap();
-        let meshes = t.find_all(|n| matches!(n.kind, NodeKind::Mesh(_)));
+        let meshes = t.find_all(|n| matches!(n.kind(), NodeKind::Mesh(_)));
         assert_eq!(meshes.len(), 1);
     }
 
@@ -738,7 +1504,7 @@ mod tests {
         t.add_node(a2, "a2x", tri_mesh()).unwrap();
         for start in [t.root(), a, b, a1, a2, NodeId(999)] {
             let eager = t.descendants(start);
-            let lazy: Vec<NodeId> = t.descendants_iter(start).map(|n| n.id).collect();
+            let lazy: Vec<NodeId> = t.descendants_iter(start).map(|n| n.id()).collect();
             assert_eq!(eager, lazy, "start {start:?}");
         }
     }
@@ -756,7 +1522,7 @@ mod tests {
         t.remove(m1).unwrap();
         assert_eq!(t.total_cost().polygons, 1);
         // Kind change through node_mut (the split_node pattern).
-        t.node_mut(m2).unwrap().kind = NodeKind::Group;
+        t.node_mut(m2).unwrap().set_kind(NodeKind::Group);
         assert_eq!(t.total_cost().polygons, 0);
         // Missing nodes cost zero, as the uncached walk did.
         assert_eq!(t.subtree_cost(NodeId(999)), NodeCost::ZERO);
@@ -779,6 +1545,40 @@ mod tests {
         assert_eq!(t.total_cost().polygons, 1, "source unaffected by clone's edit");
     }
 
+    /// Regression pin for the documented contract: `set_transform` is
+    /// deliberately exempt from cost invalidation (the per-frame avatar/
+    /// camera motion stream must never force an O(n) rebuild), while
+    /// `node_mut` — which may rewrite the kind — must invalidate. The
+    /// arena port keeps both behaviors observable via the test-only
+    /// cache probes.
+    #[test]
+    fn set_transform_is_exempt_from_cost_invalidation() {
+        let mut t = SceneTree::new();
+        let a = t.add_node(t.root(), "a", tri_mesh()).unwrap();
+        assert_eq!(t.total_cost().polygons, 1); // warm the cost cache
+        assert!(t.cost_cache_is_warm());
+        assert!(t.structure_cache_is_warm());
+
+        // The exemption: transform motion leaves both caches warm.
+        t.set_transform(a, Transform::from_translation(Vec3::new(2.0, 0.0, 0.0)));
+        assert!(t.cost_cache_is_warm(), "set_transform must NOT invalidate the cost cache");
+        assert!(t.structure_cache_is_warm(), "set_transform must NOT invalidate structure");
+        assert_eq!(t.total_cost().polygons, 1);
+
+        // The counterpart: node_mut (potential kind rewrite) invalidates
+        // costs but not structure…
+        t.node_mut(a).unwrap().set_kind(NodeKind::Group);
+        assert!(!t.cost_cache_is_warm(), "node_mut must invalidate the cost cache");
+        assert!(t.structure_cache_is_warm(), "kind edits keep the structure cache");
+        assert_eq!(t.total_cost().polygons, 0);
+
+        // …and structural edits invalidate both.
+        t.add_node(t.root(), "b", tri_mesh()).unwrap();
+        assert!(!t.structure_cache_is_warm(), "structural edits invalidate structure");
+        assert!(!t.cost_cache_is_warm());
+        assert_eq!(t.total_cost().polygons, 1);
+    }
+
     #[test]
     fn subset_closure_is_sorted_and_duplicate_free() {
         let mut t = SceneTree::new();
@@ -792,5 +1592,88 @@ mod tests {
         sorted.dedup();
         assert_eq!(closure, sorted);
         assert_eq!(closure, vec![t.root(), g, m, leaf]);
+    }
+
+    #[test]
+    fn reparent_moves_subtree_and_preserves_state() {
+        let mut t = SceneTree::new();
+        let a = t.add_node(t.root(), "a", NodeKind::Group).unwrap();
+        let b = t.add_node(t.root(), "b", NodeKind::Group).unwrap();
+        let m = t.add_node(a, "m", tri_mesh()).unwrap();
+        let leaf = t.add_node(m, "leaf", NodeKind::Group).unwrap();
+        t.set_transform(m, Transform::from_translation(Vec3::new(3.0, 0.0, 0.0)));
+        let version = t.node(m).unwrap().version();
+
+        t.reparent(m, b).unwrap();
+        t.check_invariants().unwrap();
+        assert_eq!(t.node(m).unwrap().parent(), Some(b));
+        assert_eq!(t.path_of(leaf).unwrap(), "/b/m/leaf");
+        assert_eq!(t.node(m).unwrap().transform().translation, Vec3::new(3.0, 0.0, 0.0));
+        assert_eq!(t.node(m).unwrap().version(), version, "reparent keeps versions");
+        assert_eq!(t.subtree_cost(a), NodeCost::ZERO, "cost follows the move");
+        assert_eq!(t.subtree_cost(b).polygons, 1);
+        // Pre-order reflects the move.
+        assert_eq!(t.descendants(t.root()), vec![t.root(), a, b, m, leaf]);
+    }
+
+    #[test]
+    fn reparent_rejects_cycles_and_root() {
+        let mut t = SceneTree::new();
+        let a = t.add_node(t.root(), "a", NodeKind::Group).unwrap();
+        let b = t.add_node(a, "b", NodeKind::Group).unwrap();
+        assert_eq!(t.reparent(t.root(), a), Err(TreeError::CannotReparentRoot));
+        assert_eq!(t.reparent(a, b), Err(TreeError::WouldCreateCycle(a)));
+        assert_eq!(t.reparent(a, a), Err(TreeError::WouldCreateCycle(a)));
+        assert!(matches!(t.reparent(NodeId(99), a), Err(TreeError::MissingNode(_))));
+        assert!(matches!(t.reparent(a, NodeId(99)), Err(TreeError::MissingNode(_))));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reparent_to_same_parent_moves_to_last() {
+        let mut t = SceneTree::new();
+        let a = t.add_node(t.root(), "a", NodeKind::Group).unwrap();
+        let b = t.add_node(t.root(), "b", NodeKind::Group).unwrap();
+        t.reparent(a, t.root()).unwrap();
+        let children: Vec<NodeId> = t.node(t.root()).unwrap().children().collect();
+        assert_eq!(children, vec![b, a]);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn iter_nodes_is_id_ordered_even_after_churn() {
+        let mut t = SceneTree::new();
+        let a = t.add_node(t.root(), "a", NodeKind::Group).unwrap();
+        let b = t.add_node(t.root(), "b", NodeKind::Group).unwrap();
+        t.remove(a).unwrap();
+        // Reuses a's slot: arena order now differs from id order.
+        let c = t.add_node(b, "c", NodeKind::Group).unwrap();
+        let ids: Vec<NodeId> = t.iter_nodes().map(|n| n.id()).collect();
+        assert_eq!(ids, vec![t.root(), b, c]);
+    }
+
+    #[test]
+    fn children_iterator_is_double_ended_and_exact() {
+        let mut t = SceneTree::new();
+        let ids: Vec<NodeId> = (0..5)
+            .map(|i| t.add_node(t.root(), format!("c{i}"), NodeKind::Group).unwrap())
+            .collect();
+        let root = t.node(t.root()).unwrap();
+        assert_eq!(root.child_count(), 5);
+        assert_eq!(root.children().len(), 5);
+        let fwd: Vec<NodeId> = root.children().collect();
+        assert_eq!(fwd, ids);
+        let mut rev: Vec<NodeId> = root.children().rev().collect();
+        rev.reverse();
+        assert_eq!(rev, ids);
+        // Meet-in-the-middle.
+        let mut it = root.children();
+        assert_eq!(it.next(), Some(ids[0]));
+        assert_eq!(it.next_back(), Some(ids[4]));
+        assert_eq!(it.next(), Some(ids[1]));
+        assert_eq!(it.next_back(), Some(ids[3]));
+        assert_eq!(it.next(), Some(ids[2]));
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next_back(), None);
     }
 }

@@ -81,21 +81,21 @@ impl SceneUpdate {
                 }
             }
             SceneUpdate::SetName { id, name } => {
-                let node =
+                let mut node =
                     tree.node_mut(*id).ok_or(UpdateError::Tree(TreeError::MissingNode(*id)))?;
-                node.name = name.clone();
-                node.version += 1;
+                node.set_name(name.clone());
+                node.bump_version();
             }
             SceneUpdate::ReplaceKind { id, kind } => {
-                let node =
+                let mut node =
                     tree.node_mut(*id).ok_or(UpdateError::Tree(TreeError::MissingNode(*id)))?;
-                node.kind = kind.clone();
-                node.version += 1;
+                node.set_kind(kind.clone());
+                node.bump_version();
             }
             SceneUpdate::CameraMoved { id, camera } => {
-                let node =
+                let mut node =
                     tree.node_mut(*id).ok_or(UpdateError::Tree(TreeError::MissingNode(*id)))?;
-                match &mut node.kind {
+                match node.kind_mut() {
                     NodeKind::Camera(c) => *c = *camera,
                     NodeKind::Avatar(a) => a.camera = *camera,
                     other => {
@@ -108,14 +108,15 @@ impl SceneUpdate {
                 }
                 // Mirror the pose into the node transform so observers see
                 // the avatar move.
-                node.transform.translation = camera.position;
-                node.transform.rotation = camera.orientation;
-                node.version += 1;
+                let t = node.transform_mut();
+                t.translation = camera.position;
+                t.rotation = camera.orientation;
+                node.bump_version();
             }
             SceneUpdate::AvatarUpdated { id, avatar } => {
-                let node =
+                let mut node =
                     tree.node_mut(*id).ok_or(UpdateError::Tree(TreeError::MissingNode(*id)))?;
-                match &mut node.kind {
+                match node.kind_mut() {
                     NodeKind::Avatar(a) => *a = avatar.clone(),
                     other => {
                         return Err(UpdateError::KindMismatch {
@@ -125,7 +126,7 @@ impl SceneUpdate {
                         })
                     }
                 }
-                node.version += 1;
+                node.bump_version();
             }
         }
         Ok(())
@@ -276,8 +277,8 @@ mod tests {
         let new_cam = CameraParams::look_at(Vec3::new(9.0, 0.0, 0.0), Vec3::ZERO, Vec3::Y);
         SceneUpdate::CameraMoved { id: cam, camera: new_cam }.apply(&mut tree).unwrap();
         let node = tree.node(cam).unwrap();
-        assert_eq!(node.transform.translation, Vec3::new(9.0, 0.0, 0.0));
-        match &node.kind {
+        assert_eq!(node.transform().translation, Vec3::new(9.0, 0.0, 0.0));
+        match node.kind() {
             NodeKind::Camera(c) => assert_eq!(c.position, new_cam.position),
             _ => unreachable!(),
         }
@@ -309,7 +310,7 @@ mod tests {
             .unwrap();
         let cam = CameraParams::look_at(Vec3::new(0.0, 3.0, 0.0), Vec3::ZERO, Vec3::Z);
         SceneUpdate::CameraMoved { id: av, camera: cam }.apply(&mut tree).unwrap();
-        match &tree.node(av).unwrap().kind {
+        match tree.node(av).unwrap().kind() {
             NodeKind::Avatar(a) => assert_eq!(a.camera.position, cam.position),
             _ => unreachable!(),
         }
@@ -343,9 +344,9 @@ mod tests {
     fn version_bumps_on_every_mutation() {
         let mut tree = SceneTree::new();
         let id = tree.add_node(tree.root(), "n", NodeKind::Group).unwrap();
-        let v0 = tree.node(id).unwrap().version;
+        let v0 = tree.node(id).unwrap().version();
         SceneUpdate::SetName { id, name: "renamed".into() }.apply(&mut tree).unwrap();
         SceneUpdate::SetTransform { id, transform: Transform::IDENTITY }.apply(&mut tree).unwrap();
-        assert_eq!(tree.node(id).unwrap().version, v0 + 2);
+        assert_eq!(tree.node(id).unwrap().version(), v0 + 2);
     }
 }

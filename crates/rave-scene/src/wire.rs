@@ -410,22 +410,22 @@ pub fn encode_tree(tree: &SceneTree) -> Vec<u8> {
     let mut out = Vec::with_capacity(64 * tree.len());
     put_u32(&mut out, tree.len() as u32);
     for node in tree.iter_nodes() {
-        put_u64(&mut out, node.id.0);
-        put_str(&mut out, &node.name);
-        put_transform(&mut out, &node.transform);
-        put_kind(&mut out, &node.kind);
-        match node.parent {
+        put_u64(&mut out, node.id().0);
+        put_str(&mut out, node.name());
+        put_transform(&mut out, &node.transform());
+        put_kind(&mut out, node.kind());
+        match node.parent() {
             Some(p) => {
                 put_u8(&mut out, 1);
                 put_u64(&mut out, p.0);
             }
             None => put_u8(&mut out, 0),
         }
-        put_u32(&mut out, node.children.len() as u32);
-        for c in &node.children {
+        put_u32(&mut out, node.child_count() as u32);
+        for c in node.children() {
             put_u64(&mut out, c.0);
         }
-        put_u64(&mut out, node.version);
+        put_u64(&mut out, node.version());
     }
     put_u64(&mut out, tree.root().0);
     put_u64(&mut out, tree.id_allocator_state());
@@ -459,10 +459,7 @@ pub fn decode_tree(buf: &[u8]) -> Result<SceneTree, WireError> {
     let root = NodeId(r.u64()?);
     let next_id = r.u64()?;
     r.finish()?;
-    if !nodes.contains_key(&root) {
-        return Err(WireError::Invalid("root node missing"));
-    }
-    Ok(SceneTree::from_parts(nodes, root, next_id))
+    SceneTree::from_parts(nodes, root, next_id).map_err(WireError::Invalid)
 }
 
 #[cfg(test)]

@@ -49,13 +49,13 @@ fn main() {
 
     // The replica tracked every step.
     let node7 = bridge.bindings[&7];
-    let replica_pos = sim.world.render(rs).scene.node(node7).unwrap().transform.translation;
+    let replica_pos = sim.world.render(rs).scene.node(node7).unwrap().transform().translation;
     println!("\nreplica's view of atom 7: {replica_pos:?}");
     assert_eq!(replica_pos, bridge.simulator.atoms[7].position);
 
     // Asynchronous collaboration: the recorded session replays bit-exact.
     let replayed = sim.world.data(ds).audit.replay_all().unwrap();
-    assert_eq!(replayed.node(node7).unwrap().transform.translation, replica_pos);
+    assert_eq!(replayed.node(node7).unwrap().transform().translation, replica_pos);
     println!(
         "audit trail: {} updates; replay reproduces the final pose exactly.",
         sim.world.data(ds).audit.len()

@@ -132,7 +132,7 @@ fn distributed_collaborative_session_converges() {
         let replica = &sim.world.render(rs).scene;
         assert!(replica.contains(who.avatar), "{rs} has the avatar");
         assert_eq!(
-            replica.node(who.avatar).unwrap().transform.translation,
+            replica.node(who.avatar).unwrap().transform().translation,
             cam2.position,
             "{rs} applied the camera move"
         );
@@ -186,8 +186,8 @@ fn session_persistence_roundtrip() {
     for n in replayed.descendants(replayed.root()) {
         let a = replayed.node(n).unwrap();
         let b = master.node(n).expect("same node set");
-        assert_eq!(a.name, b.name);
-        assert_eq!(a.transform, b.transform);
+        assert_eq!(a.name(), b.name());
+        assert_eq!(a.transform(), b.transform());
     }
 }
 

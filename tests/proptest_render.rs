@@ -96,7 +96,7 @@ proptest! {
 
         // Partition content nodes into two halves by index.
         let root = tree.root();
-        let content: Vec<_> = tree.node(root).unwrap().children.clone();
+        let content: Vec<_> = tree.node(root).unwrap().children().collect();
         let (half_a, half_b): (Vec<_>, Vec<_>) =
             content.iter().enumerate().partition(|(i, _)| i % 2 == 0);
         let subset = |ids: Vec<(usize, &rave::scene::NodeId)>| {
@@ -177,7 +177,13 @@ proptest! {
 
         let mut reversed_tree = tree.clone();
         let root = reversed_tree.root();
-        reversed_tree.node_mut(root).unwrap().children.reverse();
+        // Reverse the root's child order via reparent's move-to-last:
+        // moving each child to the back in reverse original order leaves
+        // the sibling list exactly reversed.
+        let kids: Vec<_> = reversed_tree.node(root).unwrap().children().collect();
+        for c in kids.into_iter().rev() {
+            reversed_tree.reparent(c, root).unwrap();
+        }
         let mut reversed = Framebuffer::new(40, 40);
         r.render(&reversed_tree, &cam, &mut reversed);
         // Opaque z-buffered content: order cannot matter except for exact
