@@ -2,9 +2,10 @@
 //! selection: the control-plane hot paths.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rave_core::capacity::CapacityReport;
-use rave_core::distribution::plan_distribution;
+use rave_core::capacity::{CapacityReport, Headroom};
+use rave_core::distribution::{plan_distribution, plan_incremental};
 use rave_core::migration::select_nodes_to_shed;
+use rave_core::sched::PlanState;
 use rave_core::RenderServiceId;
 use rave_math::Vec3;
 use rave_scene::{MeshData, NodeCost, NodeKind, SceneTree};
@@ -81,6 +82,54 @@ fn bench_planner_with_splits(c: &mut Criterion) {
     });
 }
 
+fn bench_replan_per_event(c: &mut Criterion) {
+    // Steady-state event handling over a 2k-node scene: each event adds
+    // one small mesh and removes it again next iteration. The full
+    // planner repacks the whole scene per event; the incremental engine
+    // folds the dirt into its persistent `PlanState` and replays only
+    // the affected queue suffix.
+    let services = 8u64;
+    let reports: Vec<_> = (1..=services).map(|i| report(i, 50_000_000)).collect();
+    let caps: Vec<(RenderServiceId, Headroom)> = (1..=services)
+        .map(|i| (RenderServiceId(i), Headroom { polygons: 50_000_000, texture_bytes: 1 << 40 }))
+        .collect();
+
+    let mut g = c.benchmark_group("replan_per_event");
+    g.bench_function("full_2k_nodes", |b| {
+        let mut scene = scene_with(2_000, 1_000);
+        let root = scene.root();
+        let mut step = 0u64;
+        b.iter(|| {
+            step += 1;
+            let id = scene
+                .add_node(root, format!("e{step}"), NodeKind::Mesh(Arc::new(strip_mesh(64))))
+                .unwrap();
+            let plan = std::hint::black_box(plan_distribution(&mut scene, &reports).unwrap());
+            scene.remove(id).unwrap();
+            plan
+        });
+    });
+    g.bench_function("incremental_2k_nodes", |b| {
+        let mut scene = scene_with(2_000, 1_000);
+        let root = scene.root();
+        let mut state = PlanState::new();
+        plan_incremental(&mut scene, &caps, &mut state, 0.0).unwrap().unwrap();
+        let mut step = 0u64;
+        b.iter(|| {
+            step += 1;
+            let id = scene
+                .add_node(root, format!("e{step}"), NodeKind::Mesh(Arc::new(strip_mesh(64))))
+                .unwrap();
+            let diff = std::hint::black_box(
+                plan_incremental(&mut scene, &caps, &mut state, 0.0).unwrap().unwrap(),
+            );
+            scene.remove(id).unwrap();
+            diff
+        });
+    });
+    g.finish();
+}
+
 fn bench_shed_selection(c: &mut Criterion) {
     let scene = scene_with(100, 2_000);
     let root = scene.root();
@@ -93,6 +142,6 @@ fn bench_shed_selection(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_planner, bench_planner_with_splits, bench_shed_selection
+    targets = bench_planner, bench_planner_with_splits, bench_replan_per_event, bench_shed_selection
 }
 criterion_main!(benches);

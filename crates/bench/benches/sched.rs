@@ -6,12 +6,21 @@
 //! plus the headline scaling metrics; the asserts at the bottom hold the
 //! unified engine to ≥10x over the old planner at 10k×4, sub-second
 //! plans at 100k nodes, and near-linear 1k→10k scaling (the quadratic
-//! regression guard). Each engine is timed best-of-N over consecutive
-//! rounds (steady-state, cache-warm). Set `SCHED_QUICK=1` for a tiny CI
-//! smoke run (fewer timing rounds, same JSON shape, same asserts).
+//! regression guard). A second section storms the *incremental*
+//! replanner (`plan_incremental` over a persistent `PlanState`) with
+//! localized per-event edits against cold full plans per event, emitting
+//! `incremental_speedup` (asserted ≥10x at 100k nodes in full mode) and
+//! `plans_per_sec_100k`. Cold configs are timed best-of-N over
+//! consecutive rounds, storms as the median per-event latency (both
+//! steady-state, cache-warm, robust to one-off scheduler noise). Set
+//! `SCHED_QUICK=1` for a tiny CI smoke run (fewer timing rounds, same
+//! JSON shape, relaxed floors).
 
-use rave_core::capacity::CapacityReport;
-use rave_core::distribution::{plan_distribution, split_node, DistributionPlan, PlanError};
+use rave_core::capacity::{CapacityReport, Headroom};
+use rave_core::distribution::{
+    plan_distribution, plan_incremental, split_node, DistributionPlan, PlanError,
+};
+use rave_core::sched::PlanState;
 use rave_core::RenderServiceId;
 use rave_math::Vec3;
 use rave_scene::{MeshData, NodeCost, NodeId, NodeKind, SceneTree};
@@ -161,6 +170,45 @@ struct ConfigTiming {
     new: f64,
 }
 
+struct StormTiming {
+    nodes: usize,
+    services: u64,
+    events: usize,
+    /// Median seconds of one full `plan_distribution` call per event.
+    cold: f64,
+    /// Median seconds of one `plan_incremental` replay per event.
+    incr: f64,
+}
+
+/// Median of per-event timings: a storm is a stream of equivalent
+/// events, so the representative per-event cost is the middle one —
+/// robust against a stray scheduler preemption or page-fault spike
+/// landing on a single event (a mean would let one 50 ms hiccup bury a
+/// 0.2 ms steady state).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// One localized storm event: add a small mesh, or remove one a previous
+/// event added. The churned nodes are *light* — lighter than nearly all
+/// of the standing scene — so they live near the tail of the
+/// weight-descending queue: the localized single-object drift shape,
+/// where the replay touches only a short suffix. (Heavy churn degrades
+/// gracefully to replaying from the edit's queue position.)
+fn storm_edit(scene: &mut SceneTree, extras: &mut Vec<NodeId>, rng: &mut Lcg, step: usize) {
+    let root = scene.root();
+    if step % 2 == 1 && !extras.is_empty() {
+        let victim = extras.swap_remove(rng.next() as usize % extras.len());
+        scene.remove(victim).unwrap();
+    } else {
+        let tris = rng.in_range(2, 40) as u32;
+        let name = format!("storm{}", rng.next());
+        let id = scene.add_node(root, name, NodeKind::Mesh(Arc::new(tiny_mesh(tris)))).unwrap();
+        extras.push(id);
+    }
+}
+
 fn main() {
     let quick = std::env::var("SCHED_QUICK").is_ok_and(|v| v == "1");
     let rounds = if quick { 3 } else { 9 };
@@ -208,6 +256,66 @@ fn main() {
         }
     }
 
+    // ---- Event-storm replanning: incremental vs full-per-event ----
+    // The steady state is not "plan once": overload, drift and
+    // membership events arrive continuously. A non-incremental engine
+    // cold-plans the whole scene on every event; the incremental engine
+    // folds the dirt into its persistent state and replays only the
+    // affected queue suffix. Same edits, same scenes, same basis.
+    let storm_events = if quick { 10 } else { 40 };
+    let mut storms: Vec<StormTiming> = Vec::new();
+    for &nodes in &[1_000usize, 10_000, 100_000] {
+        let services = 16u64;
+        let mut scene = scene_with(nodes);
+        let total_polys = scene.total_cost().polygons;
+        let per_service = (total_polys / services) * 2 + 1_000_000;
+        let reports: Vec<CapacityReport> = (1..=services).map(|i| report(i, per_service)).collect();
+        let caps: Vec<(RenderServiceId, Headroom)> = (1..=services)
+            .map(|i| {
+                (RenderServiceId(i), Headroom { polygons: per_service, texture_bytes: 1 << 40 })
+            })
+            .collect();
+        let mut rng = Lcg(0x5eed_5707 ^ nodes as u64);
+        let mut extras: Vec<NodeId> = Vec::new();
+
+        let mut cold_samples = Vec::with_capacity(storm_events);
+        for step in 0..storm_events {
+            storm_edit(&mut scene, &mut extras, &mut rng, step);
+            let t0 = Instant::now();
+            std::hint::black_box(plan_distribution(&mut scene, &reports).unwrap());
+            cold_samples.push(t0.elapsed().as_secs_f64());
+        }
+
+        // One untimed priming build, then per-event incremental replays.
+        let mut state = PlanState::new();
+        plan_incremental(&mut scene, &caps, &mut state, 0.0).unwrap().expect("priming build");
+        let mut incr_samples = Vec::with_capacity(storm_events);
+        for step in 0..storm_events {
+            storm_edit(&mut scene, &mut extras, &mut rng, step);
+            let t0 = Instant::now();
+            let diff = plan_incremental(&mut scene, &caps, &mut state, 0.0)
+                .unwrap()
+                .expect("zero staleness replans on any dirt");
+            incr_samples.push(t0.elapsed().as_secs_f64());
+            std::hint::black_box(diff);
+        }
+
+        // The storm must land exactly on the cold plan of the final
+        // scene before its timings are trusted.
+        let cold_final = plan_distribution(&mut scene, &reports).unwrap();
+        let flat: Vec<_> =
+            cold_final.assignments.iter().map(|a| (a.service, a.nodes.clone(), a.cost)).collect();
+        assert_eq!(state.assignments(), flat, "incremental storm diverged at {nodes} nodes");
+
+        storms.push(StormTiming {
+            nodes,
+            services,
+            events: storm_events,
+            cold: median(&mut cold_samples),
+            incr: median(&mut incr_samples),
+        });
+    }
+
     let old_total: f64 = results.iter().map(|c| c.old).sum();
     let new_total: f64 = results.iter().map(|c| c.new).sum();
     let aggregate_ratio = new_total / old_total;
@@ -217,6 +325,9 @@ fn main() {
     };
     let speedup_10k_x4 = at(10_000, 4).old / at(10_000, 4).new;
     let scaling_10k_over_1k = at(10_000, 4).new / at(1_000, 4).new;
+    let storm_100k = storms.iter().find(|s| s.nodes == 100_000).expect("storm config present");
+    let incremental_speedup = storm_100k.cold / storm_100k.incr.max(1e-12);
+    let plans_per_sec_100k = 1.0 / storm_100k.incr.max(1e-12);
 
     let configs: Vec<String> = results
         .iter()
@@ -234,14 +345,36 @@ fn main() {
         })
         .collect();
 
+    let storm_configs: Vec<String> = storms
+        .iter()
+        .map(|s| {
+            format!(
+                "{{ \"nodes\": {}, \"services\": {}, \"events\": {}, \
+                 \"cold_ms_per_plan\": {:.3}, \"incremental_ms_per_plan\": {:.3}, \
+                 \"speedup\": {:.1}, \"plans_per_sec\": {:.0} }}",
+                s.nodes,
+                s.services,
+                s.events,
+                s.cold * 1e3,
+                s.incr * 1e3,
+                s.cold / s.incr.max(1e-12),
+                1.0 / s.incr.max(1e-12),
+            )
+        })
+        .collect();
+
     let out = format!(
         "{{\n  \"bench\": \"sched\",\n  \"quick\": {quick},\n  \"configs\": [\n    {}\n  ],\n  \
+         \"storm_configs\": [\n    {}\n  ],\n  \
          \"old_total_ms\": {:.3},\n  \"unified_total_ms\": {:.3},\n  \
          \"aggregate_ratio\": {aggregate_ratio:.3},\n  \
          \"aggregate_speedup\": {aggregate_speedup:.1},\n  \
          \"speedup_10k_x4\": {speedup_10k_x4:.1},\n  \
-         \"scaling_10k_over_1k\": {scaling_10k_over_1k:.2}\n}}\n",
+         \"scaling_10k_over_1k\": {scaling_10k_over_1k:.2},\n  \
+         \"incremental_speedup\": {incremental_speedup:.1},\n  \
+         \"plans_per_sec_100k\": {plans_per_sec_100k:.0}\n}}\n",
         configs.join(",\n    "),
+        storm_configs.join(",\n    "),
         old_total * 1e3,
         new_total * 1e3,
     );
@@ -272,5 +405,13 @@ fn main() {
         scaling_10k_over_1k <= 25.0,
         "1k→10k plan time must scale near-linearly, ≤25x \
          (got {scaling_10k_over_1k:.1}x — quadratic regression?)"
+    );
+    // Quick mode runs too few events on too-noisy CI runners to hold the
+    // full 10x floor; it still must never be a pessimization.
+    let incr_floor = if quick { 1.0 } else { 10.0 };
+    assert!(
+        incremental_speedup >= incr_floor,
+        "incremental replanning must beat full-per-event replans at 100k nodes \
+         (got {incremental_speedup:.1}x, floor {incr_floor}x)"
     );
 }

@@ -71,6 +71,11 @@ pub struct RaveConfig {
     /// Emit a `TraceKind::SchedDecision` record (candidates, scores,
     /// choice) for every migration/failure placement decision.
     pub sched_decision_trace: bool,
+    /// Bounded staleness for the incremental replanner: defer a replan
+    /// while the accumulated dirty render weight stays at or below this
+    /// fraction of the total planned weight (0.0 = replan on any dirt).
+    /// Deferred dirt coalesces; a forced full replay is the escape hatch.
+    pub sched_max_staleness: f64,
     /// Cadence of the log-shipping replication driver: how often the
     /// primary plans and sends WAL frames to its warm standby.
     pub ship_interval: SimTime,
@@ -111,6 +116,7 @@ impl Default for RaveConfig {
             sched_ewma_alpha: 0.3,
             sched_drift_ratio: 0.5,
             sched_decision_trace: true,
+            sched_max_staleness: 0.0,
             ship_interval: SimTime::from_millis(250.0),
             ship_ack_window: 4,
             ship_max_lag: 64,
@@ -144,6 +150,10 @@ mod tests {
         assert!(c.sched_ewma_alpha > 0.0 && c.sched_ewma_alpha <= 1.0);
         assert!(c.sched_drift_ratio > 0.0 && c.sched_drift_ratio < 1.0);
         assert!(c.sched_decision_trace, "decision audit on by default");
+        assert!(
+            c.sched_max_staleness == 0.0,
+            "incremental replans are immediate unless opted into staleness"
+        );
     }
 
     #[test]

@@ -14,10 +14,11 @@
 //! vocabulary — [`DistributionPlan`], [`PlanError`], the feasibility
 //! pre-check, and the spatial [`split_node`] the engine calls back into.
 
-use crate::capacity::CapacityReport;
+use crate::capacity::{CapacityReport, Headroom};
 use crate::ids::RenderServiceId;
+use crate::sched::incremental::{PlanDiff, PlanState};
 use crate::sched::placement::{place_with_splitting, Ledger, PlaceError};
-use rave_scene::{KindTag, NodeCost, NodeId, NodeKind, SceneTree};
+use rave_scene::{CostDirt, KindTag, NodeCost, NodeId, NodeKind, SceneTree};
 use std::sync::Arc;
 
 /// One service's share of the scene.
@@ -148,7 +149,7 @@ pub fn split_node(scene: &mut SceneTree, id: NodeId) -> Option<(NodeId, NodeId)>
 /// Content units eligible for distribution: nodes with non-zero cost,
 /// excluding avatars/cameras (presence markers travel with every
 /// replica).
-fn distributable_units(scene: &SceneTree) -> Vec<(NodeId, NodeCost)> {
+pub(crate) fn distributable_units(scene: &SceneTree) -> Vec<(NodeId, NodeCost)> {
     // Sequential id-order walk rather than the pre-order
     // `descendants_iter`: every node is reachable from the root (tree
     // invariant), so the *set* is identical, and `place_with_splitting`
@@ -223,6 +224,95 @@ pub fn plan_distribution(
             .map(|(service, nodes, cost)| Assignment { service, nodes, cost })
             .collect(),
         splits_performed: outcome.splits,
+    })
+}
+
+/// The distribution eligibility rule as a per-node query: the cost the
+/// incremental plan should carry for `id`, or `None` when the node is
+/// not a distributable unit (gone, zero-cost, or a presence marker).
+fn eligible_cost(scene: &SceneTree, id: NodeId) -> Option<NodeCost> {
+    let node = scene.node(id)?;
+    let cost = node.own_cost();
+    let eligible = !cost.is_zero() && !matches!(node.kind_tag(), KindTag::Avatar | KindTag::Camera);
+    eligible.then_some(cost)
+}
+
+/// Incrementally (re)plan `scene` across an explicit per-service
+/// capacity basis, maintaining `state` between calls.
+///
+/// The scene's cost-dirt log ([`SceneTree::drain_cost_dirt`]) is folded
+/// into the plan as workload edits, the basis change (if any) is noted,
+/// and the engine replays from the first affected queue position —
+/// falling back to a full rebuild when the dirt log saturated or no plan
+/// exists yet. Returns `Ok(None)` when the bounded-staleness policy
+/// deferred the replan (the dirt stays accumulated), `Ok(Some(diff))`
+/// with the minimal migration set otherwise. The resulting assignment is
+/// always identical to what [`plan_distribution`] would produce from
+/// scratch on the same scene and basis.
+pub fn plan_incremental(
+    scene: &mut SceneTree,
+    caps: &[(RenderServiceId, Headroom)],
+    state: &mut PlanState,
+    max_staleness: f64,
+) -> Result<Option<PlanDiff>, PlanError> {
+    let mut rebuild = !state.is_planned();
+    match scene.drain_cost_dirt() {
+        CostDirt::Clean => {}
+        CostDirt::Everything => rebuild = true,
+        CostDirt::Nodes(ids) => {
+            for id in ids {
+                state.note_unit(id, eligible_cost(scene, id));
+            }
+        }
+    }
+    state.note_caps(caps);
+    if !rebuild && !state.should_replan(max_staleness) {
+        return Ok(None);
+    }
+
+    // The same explanatory refusals as the cold planner. The rebuild
+    // path walks the scene anyway and uses the whole-scene demand, like
+    // `plan_distribution`; the incremental path must not — re-totalling
+    // the tree is the O(n) walk the suffix replay exists to avoid — so
+    // it checks the queue's own maintained demand (the eligible units,
+    // which is what actually gets packed).
+    let (demand_polys, demand_tex, demand_empty) = if rebuild {
+        let demand = scene.total_cost();
+        (demand.polygons, demand.texture_bytes, demand.is_zero())
+    } else {
+        (
+            state.total_polygons(),
+            state.total_texture(),
+            state.total_weight() == 0 && state.total_texture() == 0,
+        )
+    };
+    if caps.is_empty() && !demand_empty {
+        return Err(PlanError::NoCandidates);
+    }
+    let total_polys = caps.iter().fold(0u64, |a, c| a.saturating_add(c.1.polygons));
+    let total_tex = caps.iter().fold(0u64, |a, c| a.saturating_add(c.1.texture_bytes));
+    if demand_polys > total_polys || demand_tex > total_tex {
+        return Err(PlanError::InsufficientResources {
+            required_polygons: demand_polys,
+            total_poly_headroom: total_polys,
+            required_texture: demand_tex,
+            total_texture_headroom: total_tex,
+        });
+    }
+
+    let units = if rebuild { distributable_units(scene) } else { Vec::new() };
+    let splitter = |id: NodeId| {
+        let (a, b) = split_node(scene, id)?;
+        let ca = scene.node(a).expect("split child").own_cost();
+        let cb = scene.node(b).expect("split child").own_cost();
+        Some([(a, ca), (b, cb)])
+    };
+    let result =
+        if rebuild { state.full_rebuild(units, caps, splitter) } else { state.replan(splitter) };
+    result.map(Some).map_err(|e| match e {
+        PlaceError::Indivisible { item, polygons, largest_headroom } => {
+            PlanError::IndivisibleNode { node: item, polygons, largest_headroom }
+        }
     })
 }
 

@@ -15,10 +15,14 @@
 //! [`SchedEvent`] stream.
 
 use crate::ids::{DataServiceId, RenderServiceId};
-use crate::sched::rebalance::{detect_overload, detect_underload, process_events};
+use crate::sched::rebalance::{
+    detect_cost_drift, detect_overload, detect_underload, process_events,
+};
 use crate::world::RaveSim;
 
-pub use crate::sched::rebalance::{select_nodes_to_shed, MigrationOutcome, SchedEvent};
+pub use crate::sched::rebalance::{
+    incremental_replan, select_nodes_to_shed, IncrementalOutcome, MigrationOutcome, SchedEvent,
+};
 
 /// One migration pass for `ds_id`: shed from overloaded services onto
 /// connected services with headroom, recruiting via UDDI when that is not
@@ -57,6 +61,19 @@ pub fn handle_service_failure(
 /// refused as lost.
 pub fn handle_data_service_failure(sim: &mut RaveSim, dead: DataServiceId) -> MigrationOutcome {
     process_events(sim, dead, &[SchedEvent::DataFailure { service: dead }])
+}
+
+/// One *incremental* rebalance pass for `ds_id`: run every detector and
+/// fold the whole event batch into the data service's persistent plan —
+/// the replay touches only the affected queue slice and emits a minimal
+/// migration diff, instead of the per-event shedding heuristics of
+/// [`check_and_migrate`]. Honors the `sched_max_staleness` coalescing
+/// knob.
+pub fn check_and_replan_incremental(sim: &mut RaveSim, ds_id: DataServiceId) -> IncrementalOutcome {
+    let mut events = detect_overload(sim, ds_id);
+    events.extend(detect_underload(sim, ds_id));
+    events.extend(detect_cost_drift(sim, ds_id));
+    incremental_replan(sim, ds_id, &events)
 }
 
 #[cfg(test)]

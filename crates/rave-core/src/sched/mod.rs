@@ -25,6 +25,11 @@
 //!   failure, cost drift) as one [`rebalance::SchedEvent`] stream with a
 //!   single handler, so initial plans, migrations and failover re-plans
 //!   all make their choices through the same ledger.
+//! * [`incremental`] — the persistent [`incremental::PlanState`]: dirty-set
+//!   extraction, checkpointed plan replay and minimal
+//!   [`incremental::PlanDiff`] migration sets, so steady-state event
+//!   streams replan only the affected slice instead of rebuilding the
+//!   whole assignment.
 //!
 //! **Parity guarantee**: this is a behaviour-preserving refactor at the
 //! seam. For the seeded paper-testbed scenarios the adapters in
@@ -33,11 +38,13 @@
 //! `tests/sched_parity.rs` and the existing unit/property suites).
 
 pub mod feedback;
+pub mod incremental;
 pub mod placement;
 pub mod rebalance;
 pub mod workload;
 
 pub use feedback::ThroughputTracker;
+pub use incremental::{DirtySet, PlanDiff, PlanState};
 pub use placement::{DecisionRecord, Ledger, PlaceError, PlacementOutcome};
 pub use rebalance::{MigrationOutcome, SchedEvent};
 pub use workload::{CostVector, Workload};

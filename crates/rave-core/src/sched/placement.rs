@@ -69,6 +69,17 @@ impl Ledger {
         ledger
     }
 
+    /// Build from an explicit per-service headroom basis — the
+    /// incremental planner's capacity snapshot, which carries no host
+    /// strings or fps telemetry. Produces exactly the ledger
+    /// [`Ledger::from_reports`] would for reports with these headrooms.
+    pub fn from_caps(caps: &[(RenderServiceId, Headroom)], keep_sorted: bool) -> Self {
+        let slots = caps.iter().map(|&(service, room)| Slot { service, room }).collect();
+        let mut ledger = Self { slots, keep_sorted, stale_tail: false };
+        ledger.sort();
+        ledger
+    }
+
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
     }
@@ -119,6 +130,55 @@ impl Ledger {
             }
         }
         Some(svc)
+    }
+
+    /// Replay a recorded debit against slot *contents* without touching
+    /// the order — checkpoint catch-up in the incremental planner, which
+    /// restores order once with [`Ledger::restore_order`] after the whole
+    /// prefix is re-applied. Sound because the keep-sorted order is a
+    /// pure function of slot contents: the `(polygons desc, service asc)`
+    /// key is a strict total order (service ids are unique), so sorting
+    /// the caught-up contents reproduces exactly the order the original
+    /// fit-by-fit resifts maintained.
+    pub(crate) fn replay_debit(&mut self, service: RenderServiceId, cost: &NodeCost) {
+        let slot = self
+            .slots
+            .iter_mut()
+            .find(|s| s.service == service)
+            .expect("recorded placement names a live slot");
+        slot.room.debit(cost);
+    }
+
+    /// Re-establish the canonical keep-sorted order after a run of
+    /// [`Ledger::replay_debit`]s.
+    pub(crate) fn restore_order(&mut self) {
+        self.sort();
+        self.stale_tail = false;
+    }
+
+    /// First-fit when the texture axis provably cannot bind (every
+    /// slot's remaining texture room covers the whole remaining demand):
+    /// the slots are sorted by polygon room descending, so the *first*
+    /// slot either fits or nothing does — no scan. Callers must only use
+    /// this under that precondition and with `keep_sorted`; the decision
+    /// and resulting state are then identical to [`Ledger::fit`].
+    pub(crate) fn fit_poly_fast(&mut self, cost: &NodeCost) -> Option<RenderServiceId> {
+        debug_assert!(self.keep_sorted && !self.stale_tail);
+        let first = self.slots.first_mut()?;
+        if first.room.polygons < cost.polygons {
+            return None;
+        }
+        first.room.debit(cost);
+        let svc = first.service;
+        self.resift(0);
+        Some(svc)
+    }
+
+    /// Slot order snapshot `(service, polygon room)` — for property
+    /// tests pinning the incremental resift against a naive re-sort.
+    #[doc(hidden)]
+    pub fn slot_states(&self) -> Vec<(RenderServiceId, u64)> {
+        self.slots.iter().map(|s| (s.service, s.room.polygons)).collect()
     }
 
     /// Like [`Ledger::fit`], also capturing the considered candidates and

@@ -149,14 +149,25 @@ pub fn detect_underload(sim: &mut RaveSim, ds_id: DataServiceId) -> Vec<SchedEve
 /// whatever the caller feeds it — comparisons only make sense against an
 /// `expected` in the same units, so the advertised `polys_per_sec` is
 /// used as the reference scale.
+/// Hysteresis: the EWMA jitters around `sched_drift_ratio × advertised`,
+/// and a trigger-happy detector would storm the scheduler with
+/// `CostDrift` events (defeating the incremental replanner's coalescing).
+/// A drift observation therefore only *arms* the service on its first
+/// detect pass (`world.sched.drift_pending`); the event fires when the
+/// drift persists into a second consecutive pass, and any recovered pass
+/// disarms it.
 pub fn detect_cost_drift(sim: &mut RaveSim, ds_id: DataServiceId) -> Vec<SchedEvent> {
     let cfg = sim.world.config.clone();
     let mut events = Vec::new();
     for rs in sim.world.data(ds_id).subscriber_ids() {
         let expected = sim.world.render(rs).capacity_report(&cfg).polys_per_sec;
         if sim.world.sched.throughput.drifted_below(rs, expected, cfg.sched_drift_ratio) {
-            let measured = sim.world.sched.throughput.throughput(rs).unwrap_or(0.0);
-            events.push(SchedEvent::CostDrift { service: rs, measured, expected });
+            if !sim.world.sched.drift_pending.insert(rs) {
+                let measured = sim.world.sched.throughput.throughput(rs).unwrap_or(0.0);
+                events.push(SchedEvent::CostDrift { service: rs, measured, expected });
+            }
+        } else {
+            sim.world.sched.drift_pending.remove(&rs);
         }
     }
     events
@@ -188,6 +199,27 @@ pub fn process_events(
     ds_id: DataServiceId,
     events: &[SchedEvent],
 ) -> MigrationOutcome {
+    // Coalesce per service before handling: `Overload` and `CostDrift`
+    // both shed through `handle_overload`, so a batch carrying both for
+    // the same service would shed twice. The first event of each
+    // (service, action) pair wins; later duplicates are dropped.
+    let mut seen_shed = BTreeSet::new();
+    let mut seen_pull = BTreeSet::new();
+    let mut seen_dead = BTreeSet::new();
+    let mut seen_ds_dead = BTreeSet::new();
+    let events: Vec<SchedEvent> = events
+        .iter()
+        .copied()
+        .filter(|ev| match ev {
+            SchedEvent::Overload { service } | SchedEvent::CostDrift { service, .. } => {
+                seen_shed.insert(*service)
+            }
+            SchedEvent::Underload { service } => seen_pull.insert(*service),
+            SchedEvent::Failure { service } => seen_dead.insert(*service),
+            SchedEvent::DataFailure { service } => seen_ds_dead.insert(*service),
+        })
+        .collect();
+    let events = events.as_slice();
     let mut outcome = MigrationOutcome::default();
     let mut batch = Batch {
         overloaded: events
@@ -707,6 +739,227 @@ fn refuse(sim: &mut RaveSim, ds_id: DataServiceId, unplaced: &[(NodeId, NodeCost
     );
 }
 
+/// What one incremental replan pass did.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalOutcome {
+    /// Movement bookkeeping in the same shape every other rebalance path
+    /// reports (moves, recruits, refusals).
+    pub migration: MigrationOutcome,
+    /// The applied plan diff — `None` when the pass was deferred or
+    /// refused.
+    pub diff: Option<crate::sched::incremental::PlanDiff>,
+    /// True when the staleness policy coalesced this pass's dirt instead
+    /// of replanning.
+    pub deferred: bool,
+}
+
+/// The incremental counterpart of [`process_events`]: instead of
+/// shedding through per-event heuristics, fold the batch into the data
+/// service's persistent [`crate::sched::incremental::PlanState`], replay
+/// the placement engine from the first affected queue position, and
+/// apply the resulting minimal [`crate::sched::incremental::PlanDiff`]
+/// as migrations.
+///
+/// Events carry *when*, the world carries *what*: failure events tear
+/// their service down here (which changes the capacity basis), while
+/// overload/drift conditions are read back from the throughput tracker
+/// when the gross basis is computed — so a deferred pass loses nothing.
+pub fn incremental_replan(
+    sim: &mut RaveSim,
+    ds_id: DataServiceId,
+    events: &[SchedEvent],
+) -> IncrementalOutcome {
+    let cfg = sim.world.config.clone();
+    let mut out = IncrementalOutcome::default();
+
+    // Teardown-type events first: they change the basis the replay packs
+    // against.
+    for ev in events {
+        match *ev {
+            SchedEvent::Failure { service } => teardown_render_service(sim, ds_id, service),
+            SchedEvent::DataFailure { service } => {
+                sim.world.sched.plans.remove(&service);
+                handle_data_failure(sim, service, &mut out.migration);
+            }
+            _ => {}
+        }
+    }
+    if !sim.world.data_services.contains_key(&ds_id) {
+        return out;
+    }
+
+    let basis = gross_basis(sim, ds_id, &cfg);
+    let mut state = sim.world.sched.plans.remove(&ds_id).unwrap_or_default();
+    let result = {
+        let ds = sim.world.data_services.get_mut(&ds_id).expect("checked above");
+        crate::distribution::plan_incremental(
+            &mut ds.scene,
+            &basis,
+            &mut state,
+            cfg.sched_max_staleness,
+        )
+    };
+    sim.world.sched.plans.insert(ds_id, state);
+    match result {
+        Ok(None) => out.deferred = true,
+        Ok(Some(diff)) => {
+            apply_plan_diff(sim, ds_id, &diff, &mut out.migration);
+            out.diff = Some(diff);
+        }
+        Err(err) => {
+            let now = sim.now();
+            sim.world.trace.record(
+                now,
+                TraceKind::Refusal,
+                format!("{ds_id}: incremental replan: {err}"),
+            );
+            out.migration.refused = true;
+        }
+    }
+    out
+}
+
+/// The incremental planner's capacity basis: *gross* per-service budgets
+/// (`poly_budget_at_fps × fill_factor`, total texture memory) rather
+/// than the interrogation report's remaining headroom — the replay
+/// decides the whole assignment itself, so already-assigned work must
+/// not be double-counted against capacity. Services whose measured
+/// throughput has drifted below the drift ratio are derated by the
+/// measured fraction, which is what makes a `CostDrift` event move work
+/// off them.
+fn gross_basis(
+    sim: &RaveSim,
+    ds_id: DataServiceId,
+    cfg: &crate::RaveConfig,
+) -> Vec<(RenderServiceId, crate::capacity::Headroom)> {
+    sim.world
+        .data(ds_id)
+        .subscriber_ids()
+        .into_iter()
+        .map(|rs_id| {
+            let rs = sim.world.render(rs_id);
+            let pixels = rs
+                .sessions
+                .values()
+                .map(|s| s.viewport.pixel_count() as u64)
+                .max()
+                .unwrap_or(160_000);
+            let budget = rs.machine.poly_budget_at_fps(cfg.target_fps, pixels);
+            let mut fillable = (budget as f64 * cfg.fill_factor) as u64;
+            let expected = rs.machine.poly_rate;
+            if sim.world.sched.throughput.drifted_below(rs_id, expected, cfg.sched_drift_ratio) {
+                let measured = sim.world.sched.throughput.throughput(rs_id).unwrap_or(0.0);
+                let scale = (measured / expected).clamp(0.0, 1.0);
+                fillable = (fillable as f64 * scale) as u64;
+            }
+            (
+                rs_id,
+                crate::capacity::Headroom {
+                    polygons: fillable,
+                    texture_bytes: rs.machine.texture_memory,
+                },
+            )
+        })
+        .collect()
+}
+
+/// The teardown half of [`handle_failure`] — unsubscribe, deregister,
+/// forget measurements. Re-homing the dead service's share is not done
+/// here: dropping it from the capacity basis makes the plan replay
+/// reassign every workload it held.
+fn teardown_render_service(sim: &mut RaveSim, ds_id: DataServiceId, dead: RenderServiceId) {
+    if !sim.world.render_services.contains_key(&dead) {
+        return;
+    }
+    let now = sim.now();
+    sim.world.data_mut(ds_id).unsubscribe(dead);
+    let dead_host = sim.world.render(dead).host.clone();
+    sim.world.render_services.remove(&dead);
+    sim.world.registry.unpublish("RAVE", &dead_host, &format!("render-{dead}"));
+    sim.world.sched.throughput.forget(dead);
+    sim.world.sched.drift_pending.remove(&dead);
+    sim.world.trace.record(
+        now,
+        TraceKind::Overload,
+        format!("{dead} failed; plan replay will re-home its share"),
+    );
+}
+
+/// Apply a plan diff to the world: placement changes become migrations,
+/// first placements install the subtree on their service, and dropped
+/// workloads are cleaned off the holder they left.
+fn apply_plan_diff(
+    sim: &mut RaveSim,
+    ds_id: DataServiceId,
+    diff: &crate::sched::incremental::PlanDiff,
+    outcome: &mut MigrationOutcome,
+) {
+    for &(node, old, new) in &diff.moved {
+        let cost =
+            sim.world.data(ds_id).scene.node(node).map(|n| n.own_cost()).unwrap_or(NodeCost::ZERO);
+        match old {
+            Some(from) => {
+                move_node(sim, ds_id, node, from, new, &cost);
+                outcome.moved.push((node, from, new));
+            }
+            None => install_node(sim, ds_id, node, new, &cost),
+        }
+    }
+    for &(node, from) in &diff.dropped {
+        uninstall_node(sim, ds_id, node, from);
+    }
+}
+
+/// First placement of a workload: interest surgery on the receiving side
+/// only, with the subtree transfer charged like a migration's.
+fn install_node(
+    sim: &mut RaveSim,
+    ds_id: DataServiceId,
+    node: NodeId,
+    to: RenderServiceId,
+    cost: &NodeCost,
+) {
+    let now = sim.now();
+    let ds_host = sim.world.data(ds_id).host.clone();
+    let Some(to_host) = sim.world.render_services.get(&to).map(|rs| rs.host.clone()) else {
+        return;
+    };
+    {
+        let ds = sim.world.data_mut(ds_id);
+        if let Some(sub) = ds.subscribers.get_mut(&to) {
+            sub.interest.add_root(node);
+        }
+        ds.refresh_interests();
+    }
+    let subtree = sim.world.data(ds_id).scene.extract_subset(&[node]);
+    let bytes = cost.data_bytes.max(256);
+    let arrival = sim.world.send_bytes(now, &ds_host, &to_host, bytes);
+    sim.schedule_at(arrival, move |sim| {
+        let at = sim.now();
+        if let Some(rs) = sim.world.render_services.get_mut(&to) {
+            rs.interest.add_root(node);
+            rs.scene.merge_subset(&subtree);
+        }
+        sim.world.trace.record(at, TraceKind::Migration, format!("node {node} installed on {to}"));
+    });
+}
+
+/// A workload left the plan (removed from the scene or split away):
+/// clean it off the service that held it.
+fn uninstall_node(sim: &mut RaveSim, ds_id: DataServiceId, node: NodeId, from: RenderServiceId) {
+    {
+        let ds = sim.world.data_mut(ds_id);
+        if let Some(sub) = ds.subscribers.get_mut(&from) {
+            sub.interest.remove_root(node);
+        }
+        ds.refresh_interests();
+    }
+    if let Some(rs) = sim.world.render_services.get_mut(&from) {
+        let _ = rs.scene.remove(node);
+        rs.interest.remove_root(node);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -852,11 +1105,96 @@ mod tests {
             sim.world.render(slow).capacity_report(&cfg).polys_per_sec
         };
         sim.world.sched.throughput.record(slow, (expected * 0.01) as u64, 1.0);
+        // First pass arms the hysteresis; the event fires when the drift
+        // persists into the second consecutive pass.
+        assert!(detect_cost_drift(&mut sim, ds).is_empty(), "first observation only arms");
         let events = detect_cost_drift(&mut sim, ds);
         assert_eq!(events.len(), 1);
         assert!(matches!(events[0], SchedEvent::CostDrift { service, .. } if service == slow));
         let outcome = process_events(&mut sim, ds, &events);
         assert!(outcome.acted(), "drifting service sheds work");
         assert!(outcome.moved.iter().all(|(_, from, to)| *from == slow && *to == fast));
+    }
+
+    #[test]
+    fn cost_drift_hysteresis_filters_oscillation() {
+        let (mut sim, ds, slow, _) = overload_world();
+        let expected = {
+            let cfg = sim.world.config.clone();
+            sim.world.render(slow).capacity_report(&cfg).polys_per_sec
+        };
+        // Drift observed once: armed, no event.
+        sim.world.sched.throughput.record(slow, (expected * 0.01) as u64, 1.0);
+        assert!(detect_cost_drift(&mut sim, ds).is_empty());
+        // The EWMA jitters back above the ratio: disarmed, no event.
+        sim.world.sched.throughput.forget(slow);
+        sim.world.sched.throughput.record(slow, expected as u64, 1.0);
+        assert!(detect_cost_drift(&mut sim, ds).is_empty());
+        // Drifts again: only arms again — the oscillation never fired.
+        sim.world.sched.throughput.forget(slow);
+        sim.world.sched.throughput.record(slow, (expected * 0.01) as u64, 1.0);
+        assert!(detect_cost_drift(&mut sim, ds).is_empty(), "re-arm after recovery");
+        // Persisting for a second consecutive pass finally fires.
+        assert_eq!(detect_cost_drift(&mut sim, ds).len(), 1);
+    }
+
+    #[test]
+    fn incremental_replan_builds_applies_and_defers() {
+        let (mut sim, ds, _slow, _fast) = overload_world();
+        // First pass: no plan exists, so the whole scene is packed.
+        let out = incremental_replan(&mut sim, ds, &[]);
+        assert!(!out.deferred);
+        assert!(!out.migration.refused);
+        let diff = out.diff.expect("first pass builds the plan");
+        assert!(diff.full_replay);
+        assert!(!diff.moved.is_empty());
+        assert!(diff.moved.iter().all(|&(_, old, _)| old.is_none()), "first placements install");
+        sim.run();
+        // Every planned workload landed as an interest root on its service.
+        for &(node, _, to) in &diff.moved {
+            assert!(
+                sim.world.render(to).interest.roots().any(|r| r == node),
+                "node {node} missing from {to} interest"
+            );
+        }
+        // A clean second pass defers: nothing is dirty.
+        let out = incremental_replan(&mut sim, ds, &[]);
+        assert!(out.deferred);
+        assert!(out.diff.is_none());
+        // Removing a planned node drops it from the plan and its holder.
+        let &(gone, _, holder) = diff.moved.last().unwrap();
+        let _ = sim.world.data_mut(ds).scene.remove(gone);
+        let out = incremental_replan(&mut sim, ds, &[]);
+        let diff = out.diff.expect("removal replans");
+        assert!(
+            diff.dropped.iter().any(|&(n, from)| n == gone && from == holder),
+            "removed node must be dropped from its holder: {diff:?}"
+        );
+        assert!(!sim.world.render(holder).interest.roots().any(|r| r == gone));
+    }
+
+    #[test]
+    fn overload_and_drift_for_one_service_shed_once() {
+        // A batch carrying both `Overload` and `CostDrift` for the same
+        // service must shed exactly what `Overload` alone sheds — not
+        // twice through `handle_overload`.
+        let moved_with = |extra_drift: bool| {
+            let (mut sim, ds, slow, _) = overload_world();
+            make_overloaded(&mut sim, slow);
+            let mut events = vec![SchedEvent::Overload { service: slow }];
+            if extra_drift {
+                events.push(SchedEvent::CostDrift {
+                    service: slow,
+                    measured: 1.0,
+                    expected: 100.0,
+                });
+            }
+            let mut moved = process_events(&mut sim, ds, &events).moved;
+            moved.sort();
+            moved
+        };
+        let baseline = moved_with(false);
+        assert!(!baseline.is_empty());
+        assert_eq!(moved_with(true), baseline, "duplicate shed events must coalesce");
     }
 }

@@ -16,7 +16,7 @@ use rave_net::{Channel, Network};
 use rave_render::MachineProfile;
 use rave_scene::{SceneUpdate, UpdateError};
 use rave_sim::{SimRng, SimTime, Simulation};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The simulation type every RAVE experiment drives.
 pub type RaveSim = Simulation<RaveWorld>;
@@ -61,6 +61,14 @@ pub struct SchedState {
     /// When each render service first reported sustained under-load
     /// (debounce state for §3.2.7's "for a given amount of time").
     pub underload_since: BTreeMap<RenderServiceId, SimTime>,
+    /// The persistent incremental plan per data service: workload →
+    /// service with ledger checkpoints, replayed (not rebuilt) on each
+    /// rebalance pass.
+    pub plans: BTreeMap<DataServiceId, crate::sched::PlanState>,
+    /// Drift hysteresis: services whose measured throughput fell below
+    /// the drift ratio on the *last* detect pass. A `CostDrift` event
+    /// only fires once the drift persists into a second consecutive pass.
+    pub drift_pending: BTreeSet<RenderServiceId>,
 }
 
 impl SchedState {
@@ -68,6 +76,8 @@ impl SchedState {
         Self {
             throughput: ThroughputTracker::with_alpha(config.sched_ewma_alpha),
             underload_since: BTreeMap::new(),
+            plans: BTreeMap::new(),
+            drift_pending: BTreeSet::new(),
         }
     }
 }

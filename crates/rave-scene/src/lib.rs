@@ -37,6 +37,6 @@ pub use cost::NodeCost;
 pub use geometry::{MeshData, PointCloudData, VolumeData};
 pub use interest::InterestSet;
 pub use node::{AvatarInfo, Interaction, KindTag, Node, NodeId, NodeKind, Transform};
-pub use tree::{Children, Descendants, NodeMut, NodeRef, SceneTree, TreeError};
+pub use tree::{Children, CostDirt, Descendants, NodeMut, NodeRef, SceneTree, TreeError};
 pub use update::{SceneUpdate, StampedUpdate, UpdateError};
 pub use wire::WireError;

@@ -136,6 +136,63 @@ struct FlatCache {
     id_order: Vec<u32>,
 }
 
+/// What changed since a consumer last drained the tree's cost-dirt log.
+/// This is the scheduler's dirty-set source: instead of re-walking the
+/// whole scene after every edit, an incremental planner asks the tree
+/// which nodes could have changed their own cost or plan eligibility.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CostDirt {
+    /// No cost-relevant edit since the last drain.
+    Clean,
+    /// Exactly these nodes were touched (sorted, deduplicated). A listed
+    /// id may no longer exist (it was removed) — consumers re-resolve
+    /// each id against the tree.
+    Nodes(Vec<NodeId>),
+    /// The log overflowed, the tree was cloned/deserialized, or it was
+    /// never drained: assume every node changed.
+    Everything,
+}
+
+/// Bounded recorder behind [`SceneTree::drain_cost_dirt`]. Mirrors the
+/// cache-invalidation hooks: every edit that takes the cost cache also
+/// lands here; `set_transform` is exempt from both.
+#[derive(Debug, Clone)]
+struct DirtLog {
+    /// Monotone count of cost-invalidating edits — cheap staleness probe
+    /// for consumers that only want to know *whether* anything changed.
+    epoch: u64,
+    nodes: Vec<NodeId>,
+    /// Log overflowed (or was never drained): the node list is
+    /// meaningless and the next drain reports [`CostDirt::Everything`].
+    saturated: bool,
+}
+
+/// Past this many distinct touches between drains, enumerating dirt is
+/// no cheaper than a full re-walk for the consumer — give up and report
+/// `Everything`.
+const DIRT_LOG_CAP: usize = 512;
+
+impl DirtLog {
+    /// Fresh trees (and clones / deserialized trees) start saturated: a
+    /// consumer that has never drained must treat everything as dirty.
+    fn saturated() -> Self {
+        Self { epoch: 0, nodes: Vec::new(), saturated: true }
+    }
+
+    fn note(&mut self, id: NodeId) {
+        self.epoch += 1;
+        if self.saturated {
+            return;
+        }
+        if self.nodes.len() >= DIRT_LOG_CAP {
+            self.nodes = Vec::new();
+            self.saturated = true;
+        } else {
+            self.nodes.push(id);
+        }
+    }
+}
+
 /// A scene tree: a rooted hierarchy of typed nodes over a flat
 /// generational arena (see the module docs for the layout).
 pub struct SceneTree {
@@ -155,6 +212,9 @@ pub struct SceneTree {
     /// Per-slot subtree-cost aggregates; invalidated by structural *and*
     /// kind edits, exempt from transform updates.
     costs: OnceLock<Vec<NodeCost>>,
+    /// Cost-invalidation export for incremental consumers — like the
+    /// caches, derived data: never serialized, never compared.
+    dirt: DirtLog,
 }
 
 impl std::fmt::Debug for SceneTree {
@@ -185,6 +245,9 @@ impl Clone for SceneTree {
             next_id: self.next_id,
             structure: OnceLock::new(),
             costs: OnceLock::new(),
+            // The clone has new consumers with no drain history: report
+            // Everything on their first drain.
+            dirt: DirtLog::saturated(),
         }
     }
 }
@@ -257,6 +320,7 @@ impl SceneTree {
             next_id: 1,
             structure: OnceLock::new(),
             costs: OnceLock::new(),
+            dirt: DirtLog::saturated(),
         };
         tree.root_slot = tree.alloc_slot(root, NIL, "root", NodeKind::Group);
         tree
@@ -473,6 +537,7 @@ impl SceneTree {
     pub fn node_mut(&mut self, id: NodeId) -> Option<NodeMut<'_>> {
         let slot = self.slot(id)?;
         self.invalidate_costs();
+        self.dirt.note(id);
         Some(NodeMut { tree: self, slot, kind_touched: false })
     }
 
@@ -512,6 +577,7 @@ impl SceneTree {
             next_id,
             structure: OnceLock::new(),
             costs: OnceLock::new(),
+            dirt: DirtLog::saturated(),
         };
         tree.index.reserve(nodes.len());
         tree.root_slot = tree.alloc_slot(root, NIL, root_rec.name.clone(), root_rec.kind.clone());
@@ -588,6 +654,7 @@ impl SceneTree {
         self.link_last_child(parent_slot, slot);
         self.next_id = self.next_id.max(id.0 + 1);
         self.invalidate_structure();
+        self.dirt.note(id);
         Ok(())
     }
 
@@ -626,6 +693,9 @@ impl SceneTree {
         }
         self.live -= removed.len();
         self.invalidate_structure();
+        for &id in &removed {
+            self.dirt.note(id);
+        }
         Ok(removed)
     }
 
@@ -659,6 +729,9 @@ impl SceneTree {
             self.link_last_child(parent_slot, slot);
         }
         self.invalidate_structure();
+        // A reparent leaves the node's own cost unchanged, but consumers
+        // tracking subtree membership still want to hear about it.
+        self.dirt.note(id);
         Ok(())
     }
 
@@ -973,6 +1046,37 @@ impl SceneTree {
             }
             None => false,
         }
+    }
+
+    // ---- cost-dirt export -----------------------------------------------
+
+    /// Monotone count of cost-invalidating edits. Two equal epochs mean
+    /// no node's own cost (or plan eligibility) changed in between —
+    /// the cheap "anything to do?" probe for incremental planners.
+    /// Transform updates are exempt, exactly like the cost cache.
+    pub fn cost_epoch(&self) -> u64 {
+        self.dirt.epoch
+    }
+
+    /// Drain the accumulated cost-dirt log: which nodes were touched by
+    /// cost-invalidating edits since the last drain. Resets the log to
+    /// [`CostDirt::Clean`]. Fresh, cloned and deserialized trees report
+    /// [`CostDirt::Everything`] on their first drain, as does any tree
+    /// whose log overflowed — consumers must then re-derive their view
+    /// with a full walk.
+    pub fn drain_cost_dirt(&mut self) -> CostDirt {
+        let out = if self.dirt.saturated {
+            CostDirt::Everything
+        } else if self.dirt.nodes.is_empty() {
+            CostDirt::Clean
+        } else {
+            let mut ids = std::mem::take(&mut self.dirt.nodes);
+            ids.sort_unstable();
+            ids.dedup();
+            CostDirt::Nodes(ids)
+        };
+        self.dirt = DirtLog { epoch: self.dirt.epoch, nodes: Vec::new(), saturated: false };
+        out
     }
 
     // ---- test-only cache instrumentation --------------------------------
@@ -1577,6 +1681,61 @@ mod tests {
         assert!(!t.structure_cache_is_warm(), "structural edits invalidate structure");
         assert!(!t.cost_cache_is_warm());
         assert_eq!(t.total_cost().polygons, 1);
+    }
+
+    #[test]
+    fn cost_dirt_log_tracks_the_invalidation_contract() {
+        let mut t = SceneTree::new();
+        // Never drained: everything is dirty.
+        assert_eq!(t.drain_cost_dirt(), CostDirt::Everything);
+        assert_eq!(t.drain_cost_dirt(), CostDirt::Clean, "drain resets the log");
+
+        let epoch0 = t.cost_epoch();
+        let a = t.add_node(t.root(), "a", tri_mesh()).unwrap();
+        let b = t.add_node(t.root(), "b", tri_mesh()).unwrap();
+        assert!(t.cost_epoch() > epoch0, "inserts bump the epoch");
+        assert_eq!(t.drain_cost_dirt(), CostDirt::Nodes(vec![a, b]));
+
+        // set_transform is exempt, exactly like the cost cache.
+        let epoch = t.cost_epoch();
+        t.set_transform(a, Transform::from_translation(Vec3::new(1.0, 0.0, 0.0)));
+        assert_eq!(t.cost_epoch(), epoch, "set_transform must not dirty costs");
+        assert_eq!(t.drain_cost_dirt(), CostDirt::Clean);
+
+        // node_mut touches are recorded and deduplicated.
+        t.node_mut(a).unwrap().bump_version();
+        t.node_mut(a).unwrap().bump_version();
+        assert_eq!(t.drain_cost_dirt(), CostDirt::Nodes(vec![a]));
+
+        // A subtree removal reports every removed id.
+        let c = t.add_node(b, "c", tri_mesh()).unwrap();
+        t.drain_cost_dirt();
+        t.remove(b).unwrap();
+        assert_eq!(t.drain_cost_dirt(), CostDirt::Nodes(vec![b, c]));
+    }
+
+    #[test]
+    fn cost_dirt_log_saturates_to_everything() {
+        let mut t = SceneTree::new();
+        t.drain_cost_dirt();
+        let mut last = t.root();
+        for i in 0..(DIRT_LOG_CAP + 10) {
+            last = t.add_node(t.root(), format!("n{i}"), NodeKind::Group).unwrap();
+        }
+        assert_eq!(t.drain_cost_dirt(), CostDirt::Everything);
+        // The saturated state drains away: subsequent edits enumerate.
+        t.node_mut(last).unwrap().bump_version();
+        assert_eq!(t.drain_cost_dirt(), CostDirt::Nodes(vec![last]));
+    }
+
+    #[test]
+    fn clones_report_everything_dirty() {
+        let mut t = SceneTree::new();
+        t.add_node(t.root(), "a", tri_mesh()).unwrap();
+        t.drain_cost_dirt();
+        let mut copy = t.clone();
+        assert_eq!(copy.drain_cost_dirt(), CostDirt::Everything);
+        assert_eq!(t.drain_cost_dirt(), CostDirt::Clean, "source log untouched");
     }
 
     #[test]

@@ -1,8 +1,11 @@
-//! Property tests on the unified scheduler's event loop: arbitrary
-//! sequences of rebalance events — overload, underload, failure, cost
-//! drift — conserve the scene. Every content node stays claimed by
-//! exactly one live subscriber, replica contents partition the master,
-//! and the master copy itself is never touched.
+//! Property tests on the unified scheduler: arbitrary sequences of
+//! rebalance events — overload, underload, failure, cost drift —
+//! conserve the scene (every content node stays claimed by exactly one
+//! live subscriber, replica contents partition the master, and the
+//! master copy itself is never touched); the ledger's incremental
+//! resift tracks a naive full re-sort over arbitrary debit/push
+//! sequences; and the incremental planner's suffix replays land on the
+//! cold plan of the final workload set after arbitrary edit storms.
 
 use proptest::prelude::*;
 use rave::core::bootstrap::connect_render_service;
@@ -117,6 +120,193 @@ proptest! {
                 .map(|rs| sim.world.render(*rs).assigned_cost().polygons)
                 .sum();
             prop_assert_eq!(total_replica, master_polys, "replicas conserve cost after {:?}", event);
+        }
+    }
+}
+
+mod ledger_resift {
+    //! The `Ledger` keeps its most-spacious-first order two ways: an
+    //! O(log s) `partition_point`/`rotate_left` resift after an in-order
+    //! debit, and a full re-sort deferred to the next successful fit
+    //! after an out-of-order `push` (the `stale_tail` flag). Both must
+    //! agree — choice by choice and slot order by slot order — with the
+    //! pre-refactor policy: a naive stable re-sort after every debit.
+
+    use proptest::prelude::*;
+    use rave::core::capacity::Headroom;
+    use rave::core::sched::Ledger;
+    use rave::core::RenderServiceId;
+    use rave::scene::NodeCost;
+
+    /// The naive reference ledger: first-fit over the mirrored slot
+    /// order, full stable re-sort after every successful debit, pushes
+    /// appended unsorted until the next debit's re-sort folds them in.
+    struct Naive(Vec<(RenderServiceId, u64, u64)>);
+
+    impl Naive {
+        fn fit(&mut self, polys: u64, tex: u64) -> Option<RenderServiceId> {
+            let idx = self.0.iter().position(|&(_, p, t)| polys <= p && tex <= t)?;
+            self.0[idx].1 -= polys;
+            self.0[idx].2 -= tex;
+            let svc = self.0[idx].0;
+            self.0.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            Some(svc)
+        }
+
+        fn states(&self) -> Vec<(RenderServiceId, u64)> {
+            self.0.iter().map(|&(s, p, _)| (s, p)).collect()
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Arbitrary interleavings of fits (op 1..5, hit or miss on
+        /// either capacity axis) and recruit pushes (op 0) leave the
+        /// live ledger and the naive model in identical slot states at
+        /// every step, choosing identical services.
+        #[test]
+        fn incremental_resift_matches_a_naive_stable_resort(
+            initial in prop::collection::vec((1u64..200_000, 0u64..4_000), 1..10),
+            ops in prop::collection::vec((0usize..5, 0u64..100_000, 0u64..3_000), 1..60),
+        ) {
+            let caps: Vec<(RenderServiceId, Headroom)> = initial
+                .iter()
+                .enumerate()
+                .map(|(i, &(p, t))| {
+                    (RenderServiceId(i as u64 + 1), Headroom { polygons: p, texture_bytes: t })
+                })
+                .collect();
+            let mut ledger = Ledger::from_caps(&caps, true);
+            let mut model: Vec<(RenderServiceId, u64, u64)> =
+                caps.iter().map(|&(s, h)| (s, h.polygons, h.texture_bytes)).collect();
+            model.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            let mut naive = Naive(model);
+            let mut next_svc = initial.len() as u64 + 1;
+
+            for &(kind, a, b) in &ops {
+                if kind == 0 {
+                    ledger.push(
+                        RenderServiceId(next_svc),
+                        Headroom { polygons: a, texture_bytes: b },
+                    );
+                    naive.0.push((RenderServiceId(next_svc), a, b));
+                    next_svc += 1;
+                } else {
+                    let cost = NodeCost { polygons: a, texture_bytes: b, ..NodeCost::ZERO };
+                    prop_assert_eq!(ledger.fit(&cost), naive.fit(a, b));
+                }
+                prop_assert_eq!(ledger.slot_states(), naive.states());
+            }
+        }
+    }
+}
+
+mod plan_state_storms {
+    //! Edit-storm exactness at the `PlanState` level, away from any
+    //! scene: arbitrary interleavings of unit upserts, removals, basis
+    //! swaps, forced full replays and replans must always land the
+    //! incremental state on exactly the assignment a cold
+    //! `place_with_splitting` of the final workload set produces — and
+    //! the emitted diffs, applied move by move, must reconstruct it.
+
+    use proptest::prelude::*;
+    use rave::core::capacity::Headroom;
+    use rave::core::sched::placement::{place_with_splitting, Ledger};
+    use rave::core::sched::PlanState;
+    use rave::core::RenderServiceId;
+    use rave::scene::{NodeCost, NodeId};
+    use std::collections::BTreeMap;
+
+    fn cold(
+        units: &BTreeMap<NodeId, NodeCost>,
+        caps: &[(RenderServiceId, Headroom)],
+    ) -> Vec<(RenderServiceId, Vec<NodeId>, NodeCost)> {
+        let mut ledger = Ledger::from_caps(caps, true);
+        let queue: Vec<(NodeId, NodeCost)> = units.iter().map(|(&id, &c)| (id, c)).collect();
+        place_with_splitting(&mut ledger, queue, |_| None, false)
+            .expect("feasible by construction")
+            .assignments
+    }
+
+    fn basis(n_services: usize, shuffle: u64) -> Vec<(RenderServiceId, Headroom)> {
+        (0..n_services)
+            .map(|i| {
+                // Distinct per-service room (no key ties), perturbed by
+                // the basis generation so swaps really reorder slots.
+                let polygons = 60_000 + (i as u64) * 9_001 + (shuffle % 7) * 1_003;
+                (RenderServiceId(i as u64 + 1), Headroom { polygons, texture_bytes: 1 << 30 })
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Workload ids live in a 40-id space with costs under 2k
+        /// polygons against ≥3 services of ≥60k each, so every storm is
+        /// feasible without splitting and every divergence is an engine
+        /// bug. Ops: 0-3 upsert, 4-5 remove, 6 swap the capacity basis,
+        /// 7 force a full replay, 8 replan now (plus a final replan).
+        #[test]
+        fn edit_storms_replan_to_the_cold_plan(
+            n_services in 3usize..7,
+            storm in prop::collection::vec((0usize..9, any::<u64>(), 1u64..2_000), 1..80),
+        ) {
+            let mut generation = 0u64;
+            let mut caps = basis(n_services, generation);
+            let mut units: BTreeMap<NodeId, NodeCost> = BTreeMap::new();
+            let mut state = PlanState::new();
+            state.full_rebuild(Vec::new(), &caps, |_| None).unwrap();
+            let mut applied: BTreeMap<NodeId, RenderServiceId> = BTreeMap::new();
+
+            let mut replan = |state: &mut PlanState,
+                              applied: &mut BTreeMap<NodeId, RenderServiceId>,
+                              units: &BTreeMap<NodeId, NodeCost>,
+                              caps: &Vec<(RenderServiceId, Headroom)>|
+             -> Result<(), TestCaseError> {
+                let diff = state.replan(|_| None).unwrap();
+                for &(node, from, to) in &diff.moved {
+                    prop_assert_eq!(applied.insert(node, to), from);
+                }
+                for &(node, svc) in &diff.dropped {
+                    prop_assert_eq!(applied.remove(&node), Some(svc));
+                }
+                prop_assert_eq!(state.assignments(), cold(units, caps));
+                Ok(())
+            };
+
+            for &(kind, pick, polys) in &storm {
+                let id = NodeId(pick % 40);
+                match kind {
+                    0..=3 => {
+                        let cost =
+                            NodeCost { polygons: polys, data_bytes: polys, ..NodeCost::ZERO };
+                        units.insert(id, cost);
+                        state.note_unit(id, Some(cost));
+                    }
+                    4 | 5 => {
+                        units.remove(&id);
+                        state.note_unit(id, None);
+                    }
+                    6 => {
+                        generation += 1;
+                        caps = basis(n_services, generation);
+                        state.note_caps(&caps);
+                    }
+                    7 => state.force_full_replay(),
+                    _ => replan(&mut state, &mut applied, &units, &caps)?,
+                }
+            }
+            replan(&mut state, &mut applied, &units, &caps)?;
+            // Nothing lingers: the applied diffs and the final plan are
+            // the same node→service map.
+            let flat: BTreeMap<NodeId, RenderServiceId> = state
+                .assignments()
+                .into_iter()
+                .flat_map(|(svc, nodes, _)| nodes.into_iter().map(move |n| (n, svc)))
+                .collect();
+            prop_assert_eq!(flat, applied);
         }
     }
 }

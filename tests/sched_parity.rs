@@ -285,6 +285,165 @@ fn dataset_plan_splits_are_pinned() {
     assert_eq!(new.total_cost().polygons, 4_000);
 }
 
+mod incremental_parity {
+    //! The incremental replanner must be *exact*: after any sequence of
+    //! scene edits, (a) `PlanState::assignments()` equals a cold
+    //! `plan_distribution` of the final (post-split) scene, and (b) the
+    //! emitted [`PlanDiff`]s, applied move by move, reconstruct that same
+    //! assignment — the "identical migration set modulo no-ops" pin.
+
+    use super::*;
+    use rave::core::capacity::Headroom;
+    use rave::core::distribution::plan_incremental;
+    use rave::core::sched::{PlanDiff, PlanState};
+    use rave::scene::NodeCost;
+    use std::collections::BTreeMap;
+
+    fn basis(caps: &[u64]) -> Vec<(RenderServiceId, Headroom)> {
+        caps.iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                (RenderServiceId(i as u64 + 1), Headroom { polygons: c, texture_bytes: 1 << 40 })
+            })
+            .collect()
+    }
+
+    /// Cold-plan a clone of the scene over the same capacity basis. The
+    /// incremental engine guarantees equality against the cold plan of
+    /// the *final* scene — splits it performed are already in the master,
+    /// so the verification plan must not need any further ones.
+    fn cold_assignments(
+        scene: &SceneTree,
+        caps: &[u64],
+    ) -> Vec<(RenderServiceId, Vec<NodeId>, NodeCost)> {
+        let reports: Vec<CapacityReport> =
+            caps.iter().enumerate().map(|(i, &c)| report(i as u64 + 1, c)).collect();
+        let mut clone = scene.clone();
+        let plan = plan_distribution(&mut clone, &reports).expect("feasible by construction");
+        assert_eq!(plan.splits_performed, 0, "verification plan re-splits a settled scene");
+        plan.assignments.into_iter().map(|a| (a.service, a.nodes, a.cost)).collect()
+    }
+
+    /// Apply a diff to a node→service map, asserting each entry's `from`
+    /// side matches what the map currently says — i.e. the diff is the
+    /// exact delta between consecutive plans, with no phantom moves.
+    fn apply_diff(applied: &mut BTreeMap<NodeId, RenderServiceId>, diff: &PlanDiff) {
+        for &(node, from, to) in &diff.moved {
+            assert_eq!(applied.insert(node, to), from, "move of {node} misstates its origin");
+        }
+        for &(node, svc) in &diff.dropped {
+            assert_eq!(applied.remove(&node), Some(svc), "drop of {node} misstates its holder");
+        }
+    }
+
+    fn flatten(
+        assignments: &[(RenderServiceId, Vec<NodeId>, NodeCost)],
+    ) -> BTreeMap<NodeId, RenderServiceId> {
+        assignments
+            .iter()
+            .flat_map(|(svc, nodes, _)| nodes.iter().map(move |&n| (n, *svc)))
+            .collect()
+    }
+
+    #[test]
+    fn incremental_replans_match_cold_plans_across_edit_storms() {
+        let mut rng = Lcg(0x5eed_0007);
+        for round in 0..15 {
+            let n_meshes = rng.in_range(2, 10) as usize;
+            let sizes: Vec<u64> = (0..n_meshes).map(|_| rng.in_range(2, 4_000)).collect();
+            let n_services = rng.in_range(2, 6) as usize;
+            // Ample room: the storm never forces splits or refusals, so
+            // every divergence is an engine bug, not a feasibility edge.
+            let caps: Vec<u64> = (0..n_services).map(|_| rng.in_range(60_000, 100_000)).collect();
+
+            let mut scene = scene_with_meshes(&sizes);
+            let mut state = PlanState::new();
+            let mut applied = BTreeMap::new();
+            let diff = plan_incremental(&mut scene, &basis(&caps), &mut state, 0.0)
+                .unwrap()
+                .expect("the first plan is never deferred");
+            apply_diff(&mut applied, &diff);
+            assert_eq!(state.assignments(), cold_assignments(&scene, &caps), "round {round}");
+
+            let mut live: Vec<NodeId> = scene.find_all(|n| !n.own_cost().is_zero());
+            for step in 0..10 {
+                if rng.in_range(0, 3) == 0 && live.len() > 1 {
+                    let victim = live.remove((rng.next() as usize) % live.len());
+                    scene.remove(victim).unwrap();
+                } else {
+                    let root = scene.root();
+                    let tris = rng.in_range(2, 4_000) as u32;
+                    let id = scene
+                        .add_node(
+                            root,
+                            format!("s{step}"),
+                            NodeKind::Mesh(Arc::new(strip_mesh(tris))),
+                        )
+                        .unwrap();
+                    live.push(id);
+                }
+                let diff = plan_incremental(&mut scene, &basis(&caps), &mut state, 0.0)
+                    .unwrap()
+                    .expect("max_staleness 0 replans on any dirt");
+                apply_diff(&mut applied, &diff);
+                let want = cold_assignments(&scene, &caps);
+                assert_eq!(state.assignments(), want, "round {round} step {step}");
+                assert_eq!(flatten(&want), applied, "round {round} step {step}: diffs drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_split_storms_match_cold_plans_of_the_final_scene() {
+        // Every mesh oversized for every service: the splitter runs both
+        // inside the initial rebuild and inside each incremental replay,
+        // and the equality target is the cold plan of the *post-split*
+        // master (split children are ordinary queue items by then).
+        let mut rng = Lcg(0x5eed_0009);
+        for round in 0..10 {
+            let n_meshes = rng.in_range(1, 5) as usize;
+            let sizes: Vec<u64> = (0..n_meshes).map(|_| rng.in_range(2_000, 9_000)).collect();
+            // Capacity covers the initial meshes plus the four storm
+            // inserts below (≤ 9k triangles each), in sub-mesh slots.
+            let demand: u64 = sizes.iter().sum::<u64>() + 4 * 9_000;
+            let n_services = (demand / 1_000 + 2) as usize;
+            let caps: Vec<u64> = (0..n_services).map(|_| rng.in_range(1_000, 1_900)).collect();
+
+            let mut scene = scene_with_meshes(&sizes);
+            let mut state = PlanState::new();
+            let mut applied = BTreeMap::new();
+            let mut splits = 0u32;
+            let diff = plan_incremental(&mut scene, &basis(&caps), &mut state, 0.0)
+                .unwrap()
+                .expect("the first plan is never deferred");
+            splits += diff.splits;
+            apply_diff(&mut applied, &diff);
+            assert_eq!(state.assignments(), cold_assignments(&scene, &caps), "round {round}");
+
+            for step in 0..4 {
+                let root = scene.root();
+                let tris = rng.in_range(2_000, 9_000) as u32;
+                let id = scene
+                    .add_node(root, format!("s{step}"), NodeKind::Mesh(Arc::new(strip_mesh(tris))))
+                    .unwrap();
+                let _ = id;
+                let diff = plan_incremental(&mut scene, &basis(&caps), &mut state, 0.0)
+                    .unwrap()
+                    .expect("max_staleness 0 replans on any dirt");
+                splits += diff.splits;
+                apply_diff(&mut applied, &diff);
+                let want = cold_assignments(&scene, &caps);
+                assert_eq!(state.assignments(), want, "round {round} step {step}");
+                assert_eq!(flatten(&want), applied, "round {round} step {step}: diffs drifted");
+            }
+            assert!(
+                splits >= (n_meshes + 4) as u32,
+                "round {round}: every oversized node had to split (saw {splits})"
+            );
+        }
+    }
+}
+
 #[test]
 fn tile_plans_match_the_pre_refactor_planner() {
     let mut rng = Lcg(0x5eed_0005);
