@@ -55,8 +55,34 @@ fn streamed_fps(polys: usize, frames: u64, mode: CompressionMode) -> (f64, f64) 
     let (mut sim, cl) = pda_session(polys, mode);
     stream_frames(&mut sim, cl, frames);
     sim.run();
-    let stats = &mut sim.world.client_mut(cl).stats;
+    let stats = &sim.world.client(cl).stats;
     (stats.fps(), stats.compression_ratio())
+}
+
+/// One pipelined stream at a given depth: fps, wire utilization over the
+/// run, stall count, and the per-frame wire occupancy (for the ceiling).
+struct PipeRun {
+    fps: f64,
+    wire_util: f64,
+    stalls: u64,
+    wire_busy: f64,
+    frames: u64,
+}
+
+fn pipelined_run(polys: usize, frames: u64, mode: CompressionMode, depth: usize) -> PipeRun {
+    let (mut sim, cl) = pda_session(polys, mode);
+    sim.world.config.pipeline_depth = depth;
+    stream_frames(&mut sim, cl, frames);
+    sim.run();
+    let stats = &sim.world.client(cl).stats;
+    let span = stats.last_display.expect("frames displayed");
+    PipeRun {
+        fps: stats.fps(),
+        wire_util: stats.wire_utilization(span),
+        stalls: stats.stalled_frames,
+        wire_busy: stats.wire_busy,
+        frames: stats.frames,
+    }
 }
 
 fn main() {
@@ -136,6 +162,44 @@ fn main() {
     let (fps_adaptive, ratio) = streamed_fps(830_000, sim_frames, CompressionMode::Adaptive);
     let fps_gain = fps_adaptive / fps_raw;
 
+    // Pipelined-vs-serial grid on the same scenario: mode x depth, always
+    // 12 frames (virtual-time, deterministic, identical in quick and full
+    // runs so CI can hold `serial_fps` against the committed baseline).
+    const PIPE_FRAMES: u64 = 12;
+    const DEPTHS: [usize; 4] = [1, 2, 3, 4];
+    let mut grid_json = Vec::new();
+    let mut runs: Vec<(CompressionMode, usize, PipeRun)> = Vec::new();
+    for mode in [CompressionMode::Raw, CompressionMode::Adaptive] {
+        for depth in DEPTHS {
+            let r = pipelined_run(830_000, PIPE_FRAMES, mode, depth);
+            let tag = match mode {
+                CompressionMode::Raw => "raw",
+                CompressionMode::Adaptive => "adaptive",
+            };
+            grid_json.push(format!(
+                "\"{tag}_d{depth}\": {{ \"fps\": {:.2}, \"wire_utilization\": {:.3}, \
+                 \"stalled_frames\": {} }}",
+                r.fps, r.wire_util, r.stalls
+            ));
+            runs.push((mode, depth, r));
+        }
+    }
+    let find = |mode: CompressionMode, depth: usize| -> &PipeRun {
+        &runs.iter().find(|(m, d, _)| *m == mode && *d == depth).expect("grid run").2
+    };
+    let raw_serial = find(CompressionMode::Raw, 1);
+    let raw_piped = find(CompressionMode::Raw, 3);
+    let ad_serial = find(CompressionMode::Adaptive, 1);
+    let ad_piped = find(CompressionMode::Adaptive, 3);
+    // The pure-wire-time ceiling: if the wire never idled, the stream
+    // would run one frame per tx time.
+    let wire_ceiling_fps = raw_piped.frames as f64 / raw_piped.wire_busy;
+    let gap_closed = (raw_piped.fps - raw_serial.fps) / (wire_ceiling_fps - raw_serial.fps);
+    let serial_fps = ad_serial.fps;
+    let pipelined_fps = ad_piped.fps;
+    let pipeline_speedup = pipelined_fps / serial_fps;
+    let wire_utilization = raw_piped.wire_util;
+
     let strip_json: Vec<String> =
         strip_par.iter().map(|(t, s)| format!("\"{t}\": {:.1}", mb / s)).collect();
     let out = format!(
@@ -145,12 +209,19 @@ fn main() {
          \"delta_wordwide_mb_s\": {:.1},\n    \"delta_speedup\": {speedup_delta:.2}\n  }},\n  \
          \"strip_parallel_mb_s\": {{ {} }},\n  \"sim\": {{\n    \"fps_raw\": {fps_raw:.2},\n    \
          \"fps_adaptive\": {fps_adaptive:.2},\n    \"fps_gain\": {fps_gain:.2},\n    \
-         \"compression_ratio\": {ratio:.4}\n  }}\n}}\n",
+         \"compression_ratio\": {ratio:.4}\n  }},\n  \"pipeline\": {{\n    \
+         \"frames\": {PIPE_FRAMES},\n    \"serial_fps\": {serial_fps:.2},\n    \
+         \"pipelined_fps\": {pipelined_fps:.2},\n    \
+         \"pipeline_speedup\": {pipeline_speedup:.2},\n    \
+         \"wire_utilization\": {wire_utilization:.3},\n    \
+         \"wire_ceiling_fps\": {wire_ceiling_fps:.2},\n    \"gap_closed\": {gap_closed:.3},\n    \
+         \"grid\": {{ {} }}\n  }}\n}}\n",
         mb / rle_scalar,
         mb / rle_word,
         mb / delta_scalar,
         mb / delta_word,
         strip_json.join(", "),
+        grid_json.join(", "),
     );
     let dest = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_frame_stream.json");
     std::fs::write(&dest, &out).unwrap();
@@ -169,4 +240,38 @@ fn main() {
         fps_gain > 1.2,
         "adaptive stream should beat raw 24 bpp on wireless (got {fps_gain:.2}x)"
     );
+
+    // Pipeline floors. Depth 1 must reproduce the serial loop exactly
+    // (full mode streams the same 12 frames through both paths).
+    if !quick {
+        assert!(
+            (raw_serial.fps - fps_raw).abs() < 1e-9 && (serial_fps - fps_adaptive).abs() < 1e-9,
+            "depth 1 == serial loop: {} vs {fps_raw}, {serial_fps} vs {fps_adaptive}",
+            raw_serial.fps
+        );
+    }
+    assert!(
+        gap_closed >= 0.6,
+        "depth >= 2 over wireless should close >= 60% of the gap to the pure-wire-time \
+         ceiling (closed {gap_closed:.3}: serial {:.2} -> piped {:.2}, ceiling \
+         {wire_ceiling_fps:.2})",
+        raw_serial.fps,
+        raw_piped.fps
+    );
+    assert!(
+        pipeline_speedup >= 1.3,
+        "pipelining the adaptive stream should speed it up >= 1.3x (got {pipeline_speedup:.2}x)"
+    );
+    assert!(
+        wire_utilization >= 0.9,
+        "the pipelined raw wireless stream should keep the wire >= 90% busy \
+         (got {wire_utilization:.3})"
+    );
+    // Depth 2 already overlaps; deeper never hurts.
+    for mode in [CompressionMode::Raw, CompressionMode::Adaptive] {
+        let d1 = find(mode, 1).fps;
+        let d2 = find(mode, 2).fps;
+        let d4 = find(mode, 4).fps;
+        assert!(d2 > d1 && d4 >= d2 * 0.999, "monotone depth scaling: {d1} {d2} {d4}");
+    }
 }

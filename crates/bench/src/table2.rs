@@ -72,7 +72,7 @@ pub fn run(_opts: &RunOpts) -> Vec<Row> {
             connect(&mut sim, pda, rs);
             stream_frames(&mut sim, pda, 20);
             sim.run();
-            let stats = &mut sim.world.client_mut(pda).stats;
+            let stats = &sim.world.client(pda).stats;
             Row {
                 model,
                 polygons,

@@ -61,6 +61,14 @@ pub struct RaveConfig {
     pub allow_lossy_frames: bool,
     /// Target bytes per strip in the dirty-strip frame container.
     pub frame_strip_bytes: usize,
+    /// Maximum frames in flight (requested but not yet displayed) on a
+    /// thin-client stream. Depth 1 is the paper's strictly serial cycle
+    /// (request → render → transfer → display, one at a time) and
+    /// reproduces the Table-2 timings bit-identically; depth ≥ 2 overlaps
+    /// the render of frame N+1 with the encode/transmit of frame N and
+    /// the decode/import of frame N−1, hiding every latency except the
+    /// bottleneck stage's.
+    pub pipeline_depth: usize,
     /// EWMA weight of the newest measured throughput observation in the
     /// scheduler's [`crate::sched::ThroughputTracker`], in (0, 1].
     pub sched_ewma_alpha: f64,
@@ -113,6 +121,7 @@ impl Default for RaveConfig {
             codec_ewma_alpha: 0.3,
             allow_lossy_frames: true,
             frame_strip_bytes: 16 * 1024,
+            pipeline_depth: 1,
             sched_ewma_alpha: 0.3,
             sched_drift_ratio: 0.5,
             sched_decision_trace: true,
@@ -142,6 +151,7 @@ mod tests {
         assert_eq!(c.frame_compression, CompressionMode::Raw);
         assert!(c.codec_ewma_alpha > 0.0 && c.codec_ewma_alpha <= 1.0);
         assert!(c.frame_strip_bytes > 0);
+        assert_eq!(c.pipeline_depth, 1, "serial frame cycle keeps Table-2 calibration");
     }
 
     #[test]

@@ -123,8 +123,15 @@ pub struct FrameSendOutcome {
     pub codec: Codec,
     pub encoded_bytes: u64,
     pub logical_bytes: u64,
+    /// When the encoder CPU actually started on this frame (>= the
+    /// frame's ready time when a previous frame was still encoding).
+    pub encode_start: SimTime,
     /// Sender-side encode CPU time, already charged before the send.
     pub encode_secs: f64,
+    /// When the frame's bits started flowing (after any wire backlog).
+    pub wire_start: SimTime,
+    /// Wire occupancy of the encoded container (tx time, no latency).
+    pub wire_secs: f64,
     /// Receiver-side decode CPU time (the caller schedules display after
     /// it — the wire does not wait on it).
     pub decode_secs: f64,
@@ -137,10 +144,38 @@ pub struct FrameSendOutcome {
 /// `to`) through the adaptive compressed stream: pick a codec, encode
 /// into the dirty-strip container, charge encode CPU + encoded wire bytes
 /// to the sim, and report the decode CPU the receiver will spend.
+///
+/// The encode starts at `now`; use [`send_frame_after`] when a separate
+/// encoder timeline gates the start.
 #[allow(clippy::too_many_arguments)]
 pub fn send_frame(
     world: &mut RaveWorld,
     now: SimTime,
+    rs: RenderServiceId,
+    client: ClientId,
+    from: &str,
+    to: &str,
+    cur: &[u8],
+    sender: EndpointSpeed,
+    receiver: EndpointSpeed,
+    allow_lossy: bool,
+) -> FrameSendOutcome {
+    send_frame_after(world, now, now, rs, client, from, to, cur, sender, receiver, allow_lossy)
+}
+
+/// [`send_frame`] for a pipelined stream: the frame's pixels are `ready`
+/// (rendered) but the encoder CPU may still be busy with an earlier
+/// in-flight frame until `encoder_free` — the encode starts at
+/// `max(ready, encoder_free)`. The delta base handed to the codec is the
+/// channel's double buffer (`last_raw`/`prev_view`): the *previous*
+/// frame's pixels and reconstruction, which are valid even while that
+/// frame is still on the wire or undecoded at the client, because both
+/// sides advance their view strictly in frame order.
+#[allow(clippy::too_many_arguments)]
+pub fn send_frame_after(
+    world: &mut RaveWorld,
+    ready: SimTime,
+    encoder_free: SimTime,
     rs: RenderServiceId,
     client: ClientId,
     from: &str,
@@ -168,9 +203,12 @@ pub fn send_frame(
     );
 
     // Sender CPU, then the wire (encoded bytes only), receiver CPU after.
+    let encode_start = ready.max(encoder_free);
     let encode_secs =
         adaptive::encode_cost_bytes(codec, cur.len()) as f64 / sender.codec_bytes_per_sec;
-    let t_sent = now + SimTime::from_secs(encode_secs);
+    let t_sent = encode_start + SimTime::from_secs(encode_secs);
+    let wire_secs = link.tx_time(payload.len() as u64).as_secs();
+    let wire_start = t_sent.max(world.channel(from, to).busy_until());
     let arrival =
         world.send_encoded_bytes(t_sent, from, to, payload.len() as u64, cur.len() as u64);
     let decode_secs = adaptive::decode_cost_bytes(codec, cur.len(), payload.len()) as f64
@@ -183,7 +221,7 @@ pub fn send_frame(
     let switched = ch.last_codec.is_some_and(|prev| prev != codec);
     if switched {
         world.trace.record(
-            now,
+            encode_start,
             TraceKind::CodecSwitch,
             format!(
                 "{rs}->{client}: {} -> {} (ratio {:.3})",
@@ -210,7 +248,10 @@ pub fn send_frame(
         codec,
         encoded_bytes: payload.len() as u64,
         logical_bytes: cur.len() as u64,
+        encode_start,
         encode_secs,
+        wire_start,
+        wire_secs,
         decode_secs,
         strips: meta.strips,
         strips_skipped: meta.skipped,

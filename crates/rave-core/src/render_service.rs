@@ -12,7 +12,7 @@ use crate::ids::{ClientId, RenderServiceId};
 use rave_math::Viewport;
 use rave_render::{Framebuffer, MachineProfile, OffscreenMode, RenderCost, Renderer};
 use rave_scene::{CameraParams, InterestSet, NodeCost, SceneTree};
-use rave_sim::SimTime;
+use rave_sim::{Occupancy, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 
 /// One client's rendering session on a render service.
@@ -47,6 +47,14 @@ pub struct RenderService {
     /// client* (§3.1.2) "can only render to the screen and does not
     /// support off-screen rendering" because it has no service container.
     pub offscreen_capable: bool,
+    /// The render hardware's occupancy timeline: one off-screen frame at
+    /// a time, queued back-to-back. Pipelined streams queue the render of
+    /// frame N+1 behind frame N here while N's encode/transmit proceeds
+    /// on other resources.
+    pub gpu: Occupancy,
+    /// The frame-encoder CPU's occupancy timeline (distinct from the
+    /// GPU, so encoding frame N never blocks rendering N+1).
+    pub encoder: Occupancy,
 }
 
 impl RenderService {
@@ -62,6 +70,8 @@ impl RenderService {
             frame_times: VecDeque::new(),
             bootstrapping: false,
             offscreen_capable: true,
+            gpu: Occupancy::new(),
+            encoder: Occupancy::new(),
         }
     }
 
@@ -152,6 +162,14 @@ impl RenderService {
         let mut fb = Framebuffer::new(tile.width, tile.height);
         let stats = self.renderer.render_tile(&self.scene, camera, full_viewport, tile, &mut fb);
         (fb, stats)
+    }
+
+    /// Queue one off-screen render on the GPU timeline: it starts no
+    /// earlier than `ready` (the frame's request arrival) and no earlier
+    /// than the previous queued render's completion. Returns the render's
+    /// `(start, done)` window.
+    pub fn queue_render(&mut self, ready: SimTime, render_secs: f64) -> (SimTime, SimTime) {
+        self.gpu.acquire(ready, render_secs)
     }
 
     /// Record a frame completion for load tracking.
@@ -331,6 +349,20 @@ mod tests {
         let fb = rs.rasterize(ClientId(1)).unwrap();
         assert!(fb.coverage(rs.renderer.background) > 0);
         assert!(rs.sessions[&ClientId(1)].last_frame.is_some());
+    }
+
+    #[test]
+    fn queue_render_runs_back_to_back() {
+        let mut rs = service_with_polys(10);
+        let (s1, d1) = rs.queue_render(SimTime::from_secs(1.0), 0.5);
+        assert_eq!(s1, SimTime::from_secs(1.0));
+        assert_eq!(d1, SimTime::from_secs(1.5));
+        // Second frame ready while the first still renders: queues.
+        let (s2, d2) = rs.queue_render(SimTime::from_secs(1.2), 0.5);
+        assert_eq!(s2, d1);
+        assert_eq!(d2, SimTime::from_secs(2.0));
+        assert_eq!(rs.gpu.jobs(), 2);
+        assert!((rs.gpu.busy_secs() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub enum TraceKind {
     /// A warm standby was promoted to primary after a data-service
     /// failure.
     Promote,
+    /// A pipelined frame waited on a busy resource (render GPU, wire, or
+    /// client CPU); the detail names the binding resource and the stall.
+    /// Never emitted at `pipeline_depth = 1` — the serial cycle has no
+    /// overlap, hence nothing to wait on.
+    PipelineStall,
 }
 
 /// One trace record.

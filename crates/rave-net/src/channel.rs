@@ -6,14 +6,15 @@
 //! frame's *arrival* time is `max(now, link_free) + tx + latency`.
 
 use crate::link::LinkSpec;
-use rave_sim::SimTime;
+use rave_sim::{Occupancy, SimTime};
 
 /// A one-way serializing channel over a link.
 #[derive(Debug, Clone)]
 pub struct Channel {
     link: LinkSpec,
-    /// When the wire finishes carrying the last queued message.
-    busy_until: SimTime,
+    /// The wire's occupancy timeline: one message at a time, queued
+    /// back-to-back. Also the book of record for wire utilization.
+    wire: Occupancy,
     /// Total *wire* bytes accepted — what actually crossed the link,
     /// after any compression.
     bytes_sent: u64,
@@ -26,7 +27,7 @@ impl Channel {
     pub fn new(link: LinkSpec) -> Self {
         Self {
             link,
-            busy_until: SimTime::ZERO,
+            wire: Occupancy::new(),
             bytes_sent: 0,
             logical_bytes_sent: 0,
             messages_sent: 0,
@@ -63,7 +64,12 @@ impl Channel {
 
     /// Time the wire becomes free.
     pub fn busy_until(&self) -> SimTime {
-        self.busy_until
+        self.wire.busy_until()
+    }
+
+    /// The wire's occupancy timeline (busy seconds, utilization).
+    pub fn occupancy(&self) -> &Occupancy {
+        &self.wire
     }
 
     /// Queue a message of `bytes` at time `now`; returns its arrival time
@@ -78,9 +84,7 @@ impl Channel {
     /// crossed the wire while [`Channel::compression_ratio`] reports the
     /// saving.
     pub fn send_encoded(&mut self, now: SimTime, wire_bytes: u64, logical_bytes: u64) -> SimTime {
-        let start = now.max(self.busy_until);
-        let done_tx = start + self.link.tx_time(wire_bytes);
-        self.busy_until = done_tx;
+        let (_, done_tx) = self.wire.acquire(now, self.link.tx_time(wire_bytes).as_secs());
         self.bytes_sent += wire_bytes;
         self.logical_bytes_sent += logical_bytes;
         self.messages_sent += 1;
@@ -90,11 +94,7 @@ impl Channel {
     /// Queueing delay a message sent at `now` would experience before its
     /// bits start flowing.
     pub fn backlog(&self, now: SimTime) -> SimTime {
-        if self.busy_until > now {
-            self.busy_until - now
-        } else {
-            SimTime::ZERO
-        }
+        self.wire.wait(now)
     }
 
     /// Mean goodput since t=0 if the channel has been saturated.
@@ -180,6 +180,21 @@ mod tests {
         // Goodput measures the wire, not the logical stream.
         let g = compressed.observed_goodput(a_comp);
         assert!(g < 600_000.0, "goodput reflects wire bytes: {g}");
+    }
+
+    #[test]
+    fn occupancy_books_tx_time_only() {
+        let mut c = Channel::new(LinkSpec::wireless_11mb(1.0));
+        let a1 = c.send(SimTime::ZERO, 120_000);
+        let tx = c.link().tx_time(120_000).as_secs();
+        assert!((c.occupancy().busy_secs() - tx).abs() < 1e-12);
+        // Latency is propagation, not wire occupancy.
+        assert_eq!(c.busy_until() + c.link().latency, a1);
+        // Two back-to-back frames: the wire is busy the whole span.
+        c.send(SimTime::ZERO, 120_000);
+        let u = c.occupancy().utilization(c.busy_until());
+        assert!((u - 1.0).abs() < 1e-9, "saturated wire utilization {u}");
+        assert_eq!(c.occupancy().jobs(), 2);
     }
 
     #[test]

@@ -33,7 +33,7 @@ fn main() {
     sim.run();
     println!(
         "uncompressed 200x200 over full-strength wireless: {:.1} fps",
-        sim.world.client_mut(pda).stats.fps()
+        sim.world.client(pda).stats.fps()
     );
 
     // --- The adaptive-codec extension ---------------------------------

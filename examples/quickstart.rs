@@ -53,7 +53,7 @@ fn main() {
     stream_frames(&mut sim, pda, 10);
     sim.run();
 
-    let stats = &mut sim.world.client_mut(pda).stats;
+    let stats = &sim.world.client(pda).stats;
     println!("streamed {} frames over 11Mb wireless:", stats.frames);
     println!("  frame rate     : {:.1} fps", stats.fps());
     println!("  total latency  : {:.3} s", stats.total_latency.mean());

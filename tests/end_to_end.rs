@@ -57,7 +57,7 @@ fn model_file_to_pda_frames() {
     connect(&mut sim, pda, rs);
     stream_frames(&mut sim, pda, 5);
     sim.run();
-    let stats = &mut sim.world.client_mut(pda).stats;
+    let stats = &sim.world.client(pda).stats;
     assert_eq!(stats.frames, 5);
     let fps = stats.fps();
     // Small model at 200x200: the wireless wire is the ceiling (~4 fps
