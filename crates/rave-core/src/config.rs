@@ -95,6 +95,17 @@ pub struct RaveConfig {
     /// count (0 = ship every entry immediately). Sealed segments always
     /// ship whole.
     pub ship_max_lag: u64,
+    /// Record a `TraceKind::UpdateDelivered` event per applied update per
+    /// replica. On by default (tests and experiment logs read them);
+    /// scale runs with 10k subscribers turn it off — one presence update
+    /// would otherwise allocate 10k trace strings.
+    pub update_delivery_trace: bool,
+    /// Maximum live `(render service, client)` frame-stream channels held
+    /// in the world's `FrameCache`; past it the least-recently-used
+    /// stream is evicted (it restarts from a keyframe on its next frame)
+    /// and a `TraceKind::FrameCacheEvict` event is recorded. 0 =
+    /// unbounded, the pre-10k-session behaviour.
+    pub frame_cache_budget: usize,
 }
 
 impl Default for RaveConfig {
@@ -129,6 +140,8 @@ impl Default for RaveConfig {
             ship_interval: SimTime::from_millis(250.0),
             ship_ack_window: 4,
             ship_max_lag: 64,
+            update_delivery_trace: true,
+            frame_cache_budget: 0,
         }
     }
 }
@@ -164,6 +177,13 @@ mod tests {
             c.sched_max_staleness == 0.0,
             "incremental replans are immediate unless opted into staleness"
         );
+    }
+
+    #[test]
+    fn default_collab_knobs_sane() {
+        let c = RaveConfig::default();
+        assert!(c.update_delivery_trace, "delivery audit on by default");
+        assert_eq!(c.frame_cache_budget, 0, "frame cache unbounded unless opted in");
     }
 
     #[test]

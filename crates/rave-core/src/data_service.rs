@@ -4,7 +4,8 @@
 use crate::ids::{DataServiceId, RenderServiceId};
 use crate::persist::{Persistence, StorePersistence};
 use rave_scene::{
-    AuditEntry, AuditTrail, InterestSet, SceneTree, SceneUpdate, StampedUpdate, UpdateError,
+    AuditEntry, AuditTrail, CostDirt, InterestIndex, InterestSet, SceneTree, SceneUpdate,
+    StampedUpdate, UpdateError,
 };
 use rave_store::StoreConfig;
 use std::collections::BTreeMap;
@@ -17,9 +18,53 @@ pub enum SubState {
     /// replayed on arrival so the replica comes up pre-synchronised
     /// (§5.5: "We overlap update messages with the initial bootstrap
     /// messages, so the remote resource does not miss any updates").
-    Bootstrapping { buffered: Vec<StampedUpdate> },
+    /// Buffered updates are `Arc`-shared with every other buffering
+    /// subscriber — a 10k-client bootstrap storm holds one copy of each
+    /// update, not 10k.
+    Bootstrapping { buffered: Vec<Arc<StampedUpdate>> },
     /// Replica live; updates stream as they are published.
     Live,
+}
+
+/// Running totals of the delivery fan-out a data service has charged
+/// through segment multicast, against the unicast baseline. The
+/// collab-scale bench and EXPERIMENTS tables read these.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FanoutTotals {
+    /// Updates routed to at least one remote receiver.
+    pub updates_routed: u64,
+    /// Wire transmissions performed (one per receiving segment per
+    /// update).
+    pub transmissions: u64,
+    /// Transmissions unicast would have performed (one per remote
+    /// receiver per update).
+    pub unicast_transmissions: u64,
+    /// Bytes multicast put on the wire.
+    pub wire_bytes: u64,
+    /// Bytes unicast would have put on the wire.
+    pub unicast_wire_bytes: u64,
+    /// Receivers skipped because their host left the network topology.
+    pub skipped_receivers: u64,
+}
+
+impl FanoutTotals {
+    pub fn record(&mut self, d: &rave_net::MulticastDelivery) {
+        self.updates_routed += 1;
+        self.transmissions += d.cost.transmissions as u64;
+        self.unicast_transmissions += d.cost.unicast_transmissions as u64;
+        self.wire_bytes += d.wire_bytes;
+        self.unicast_wire_bytes += d.unicast_wire_bytes;
+        self.skipped_receivers += d.cost.skipped as u64;
+    }
+
+    /// Multicast wire bytes as a fraction of the unicast baseline
+    /// (1.0 when nothing was fanned out).
+    pub fn wire_ratio(&self) -> f64 {
+        if self.unicast_wire_bytes == 0 {
+            return 1.0;
+        }
+        self.wire_bytes as f64 / self.unicast_wire_bytes as f64
+    }
 }
 
 /// One render service's subscription.
@@ -56,6 +101,23 @@ pub struct DataService {
     /// Trace lines from checkpoints taken inside [`DataService::commit`],
     /// drained by the world into the event trace.
     checkpoint_notes: Vec<String>,
+    /// The inverted interest index `route` consults, plus its slot → id
+    /// map. Lazily (re)built: subscription changes bump `index_rev`, the
+    /// next route rebuilds; structural scene edits are folded in via the
+    /// tree's structure-dirt log instead of a rebuild.
+    index: InterestIndex,
+    index_sub_ids: Vec<RenderServiceId>,
+    /// Slot → is the subscriber `Live`? Snapshotted at rebuild (state
+    /// flips bump `index_rev`), so routing's hot path never touches the
+    /// subscriber map for live matches.
+    index_live: Vec<bool>,
+    index_rev: u64,
+    index_built_rev: u64,
+    /// Scratch for `route`'s matched slots, reused across calls.
+    route_slots: Vec<rave_scene::SubSlot>,
+    /// Multicast-vs-unicast delivery accounting, fed by the world's
+    /// publish path.
+    pub fanout: FanoutTotals,
 }
 
 impl DataService {
@@ -71,6 +133,13 @@ impl DataService {
             persistence: None,
             store_dir: None,
             checkpoint_notes: Vec::new(),
+            index: InterestIndex::new(),
+            index_sub_ids: Vec::new(),
+            index_live: Vec::new(),
+            index_rev: 1,
+            index_built_rev: 0,
+            route_slots: Vec::new(),
+            fanout: FanoutTotals::default(),
         }
     }
 
@@ -179,6 +248,7 @@ impl DataService {
         let mut interest = interest;
         interest.refresh(&self.scene);
         self.subscribers.insert(rs, Subscription { interest, state: SubState::Live });
+        self.index_rev += 1;
     }
 
     /// Begin a bootstrap: subscriber is registered but buffered.
@@ -189,12 +259,13 @@ impl DataService {
             rs,
             Subscription { interest, state: SubState::Bootstrapping { buffered: Vec::new() } },
         );
+        self.index_rev += 1;
     }
 
     /// Finish a bootstrap: returns the updates buffered while the
     /// snapshot was in flight, in seq order, and flips the subscriber
     /// live.
-    pub fn complete_bootstrap(&mut self, rs: RenderServiceId) -> Vec<StampedUpdate> {
+    pub fn complete_bootstrap(&mut self, rs: RenderServiceId) -> Vec<Arc<StampedUpdate>> {
         match self.subscribers.get_mut(&rs) {
             Some(sub) => {
                 let drained = match &mut sub.state {
@@ -202,6 +273,8 @@ impl DataService {
                     SubState::Live => Vec::new(),
                 };
                 sub.state = SubState::Live;
+                // The liveness cache went stale; next route re-snapshots.
+                self.index_rev += 1;
                 drained
             }
             None => Vec::new(),
@@ -209,7 +282,11 @@ impl DataService {
     }
 
     pub fn unsubscribe(&mut self, rs: RenderServiceId) -> bool {
-        self.subscribers.remove(&rs).is_some()
+        let removed = self.subscribers.remove(&rs).is_some();
+        if removed {
+            self.index_rev += 1;
+        }
+        removed
     }
 
     /// Ids of every current subscriber, in stable (id) order.
@@ -217,28 +294,85 @@ impl DataService {
         self.subscribers.keys().copied().collect()
     }
 
-    /// Route a freshly committed update: returns the live subscribers it
-    /// must be delivered to, buffering it for bootstrapping ones.
-    pub fn route(&mut self, stamped: &StampedUpdate) -> Vec<RenderServiceId> {
-        let mut deliver = Vec::new();
-        for (rs, sub) in &mut self.subscribers {
-            if !sub.interest.relevant(&stamped.update, &self.scene) {
-                continue;
-            }
-            match &mut sub.state {
-                SubState::Bootstrapping { buffered } => buffered.push(stamped.clone()),
-                SubState::Live => deliver.push(*rs),
+    /// Bring the inverted index in sync with the subscriber map and the
+    /// scene: a full rebuild if subscriptions changed (or the map was
+    /// mutated behind our back — failover clears it directly), otherwise
+    /// an incremental repair from the tree's structure-dirt log.
+    fn ensure_index(&mut self) {
+        if self.index_built_rev != self.index_rev
+            || self.index_sub_ids.len() != self.subscribers.len()
+        {
+            // A rebuild reads the current tree; any pending repair work
+            // in the dirt log is superseded — drain it away.
+            let _ = self.scene.drain_structure_dirt();
+            self.index_sub_ids.clear();
+            self.index_sub_ids.extend(self.subscribers.keys().copied());
+            self.index_live.clear();
+            self.index_live
+                .extend(self.subscribers.values().map(|s| matches!(s.state, SubState::Live)));
+            self.index.rebuild(&self.scene, self.subscribers.values().map(|s| &s.interest));
+            self.index_built_rev = self.index_rev;
+        } else {
+            let dirt = self.scene.drain_structure_dirt();
+            if !matches!(dirt, CostDirt::Clean) {
+                self.index.repair(&self.scene, &dirt);
             }
         }
+    }
+
+    /// Route a freshly committed update: returns the live subscribers it
+    /// must be delivered to, buffering an `Arc` share of it for
+    /// bootstrapping ones. O(log roots + matches) through the inverted
+    /// interest index — the naive O(subscribers) scan survives as
+    /// [`DataService::route_naive`], the index's parity oracle.
+    pub fn route(&mut self, stamped: &Arc<StampedUpdate>) -> Vec<RenderServiceId> {
+        self.ensure_index();
+        let mut slots = std::mem::take(&mut self.route_slots);
+        self.index.matches(&stamped.update, &self.scene, &mut slots);
+        let mut deliver = Vec::with_capacity(slots.len());
+        for &slot in &slots {
+            let rs = self.index_sub_ids[slot as usize];
+            // Hot path: the liveness snapshot (refreshed with the index)
+            // spares a subscriber-map lookup per matched slot — at 10k
+            // subscribers the lookups, not the stab, dominate routing.
+            if self.index_live[slot as usize] {
+                deliver.push(rs);
+                continue;
+            }
+            // The map cannot have shrunk (ensure_index compares counts),
+            // but stay defensive about membership anyway.
+            if let Some(sub) = self.subscribers.get_mut(&rs) {
+                match &mut sub.state {
+                    SubState::Bootstrapping { buffered } => buffered.push(Arc::clone(stamped)),
+                    SubState::Live => deliver.push(rs),
+                }
+            }
+        }
+        self.route_slots = slots;
         deliver
     }
 
+    /// The pre-index routing decision, kept as the embedded parity oracle
+    /// for the inverted index: one `InterestSet::relevant` probe per
+    /// subscriber against its current closure. Read-only — does not
+    /// buffer for bootstrapping subscribers; returns every interested
+    /// subscriber regardless of state, in id order.
+    pub fn route_naive(&self, stamped: &StampedUpdate) -> Vec<RenderServiceId> {
+        self.subscribers
+            .iter()
+            .filter(|(_, sub)| sub.interest.relevant(&stamped.update, &self.scene))
+            .map(|(rs, _)| *rs)
+            .collect()
+    }
+
     /// Refresh every subscriber's interest closure after structural scene
-    /// changes.
+    /// changes, and schedule an index rebuild (the rebalancer edits
+    /// subscriber interests in place and then calls this).
     pub fn refresh_interests(&mut self) {
         for sub in self.subscribers.values_mut() {
             sub.interest.refresh(&self.scene);
         }
+        self.index_rev += 1;
     }
 
     /// Stream the session to disk (§3.1.1: "The data are intermittently
@@ -313,16 +447,19 @@ mod tests {
         ds.begin_bootstrap(RenderServiceId(2), InterestSet::everything());
         let u = add_update(&mut ds, "x");
         ds.commit(0.0, &u).unwrap();
+        let u = Arc::new(u);
         let deliver = ds.route(&u);
         assert_eq!(deliver, vec![RenderServiceId(1)]);
-        // Completing the bootstrap yields the buffered update.
+        // Completing the bootstrap yields the buffered update, sharing
+        // the routed allocation rather than cloning it.
         let drained = ds.complete_bootstrap(RenderServiceId(2));
         assert_eq!(drained.len(), 1);
         assert_eq!(drained[0].seq, u.seq);
+        assert!(Arc::ptr_eq(&drained[0], &u));
         // Next update now goes to both.
         let u2 = add_update(&mut ds, "y");
         ds.commit(0.0, &u2).unwrap();
-        assert_eq!(ds.route(&u2).len(), 2);
+        assert_eq!(ds.route(&Arc::new(u2)).len(), 2);
     }
 
     #[test]
@@ -335,7 +472,8 @@ mod tests {
         ds.subscribe_live(RenderServiceId(2), InterestSet::subtrees([right]));
         let u = ds.stamp("t", SceneUpdate::SetName { id: left, name: "renamed".into() });
         ds.commit(0.0, &u).unwrap();
-        assert_eq!(ds.route(&u), vec![RenderServiceId(1)]);
+        assert_eq!(ds.route_naive(&u), vec![RenderServiceId(1)], "oracle agrees");
+        assert_eq!(ds.route(&Arc::new(u)), vec![RenderServiceId(1)]);
     }
 
     #[test]
@@ -346,7 +484,7 @@ mod tests {
         assert!(!ds.unsubscribe(RenderServiceId(1)));
         let u = add_update(&mut ds, "x");
         ds.commit(0.0, &u).unwrap();
-        assert!(ds.route(&u).is_empty());
+        assert!(ds.route(&Arc::new(u)).is_empty());
     }
 
     #[test]

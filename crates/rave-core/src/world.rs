@@ -270,52 +270,122 @@ pub fn publish_update(
     origin: &str,
     update: SceneUpdate,
 ) -> Result<u64, UpdateError> {
+    let seqs = publish_batch(sim, ds_id, vec![(origin.to_string(), update)])?;
+    Ok(seqs[0])
+}
+
+/// Publish a batch of updates through a data service in one pass: every
+/// update is committed and stamped in order, routed through the inverted
+/// interest index (which folds the batch's structural edits in once, not
+/// per subscriber), and delivered with segment-multicast fan-out — one
+/// wire transmission per receiving segment per update, booked into
+/// [`crate::data_service::FanoutTotals`]. Each matched subscriber gets
+/// **one** delivery event carrying `Arc`-shared updates applied in seq
+/// order, so a 10k-client session tick schedules 10k events, not
+/// 10k × updates, and each replica's derived caches rebuild once per
+/// batch. Per-subscriber FIFO is preserved against earlier publishes via
+/// the delivery high-water mark.
+///
+/// On a commit failure the batch stops: the already-committed prefix is
+/// still delivered (it is in the audit trail), the failed update and the
+/// rest are dropped, and the error is returned.
+pub fn publish_batch(
+    sim: &mut RaveSim,
+    ds_id: DataServiceId,
+    updates: Vec<(String, SceneUpdate)>,
+) -> Result<Vec<u64>, UpdateError> {
     let now = sim.now();
-    let (stamped, targets, checkpoints) = {
+    let mut seqs = Vec::with_capacity(updates.len());
+    let mut batch: Vec<std::sync::Arc<rave_scene::StampedUpdate>> =
+        Vec::with_capacity(updates.len());
+    let mut failure = None;
+    {
         let ds = sim.world.data_mut(ds_id);
-        let stamped = ds.stamp(origin, update);
-        ds.commit(now.as_secs(), &stamped)?;
-        ds.refresh_interests();
-        let targets = ds.route(&stamped);
-        let checkpoints = ds.take_checkpoint_notes();
-        (stamped, targets, checkpoints)
-    };
-    let seq = stamped.seq;
-    for note in checkpoints {
+        for (origin, update) in updates {
+            let stamped = ds.stamp(&origin, update);
+            match ds.commit(now.as_secs(), &stamped) {
+                Ok(()) => {
+                    seqs.push(stamped.seq);
+                    batch.push(std::sync::Arc::new(stamped));
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+    }
+    for note in sim.world.data_mut(ds_id).take_checkpoint_notes() {
         sim.world.trace.record(now, TraceKind::Checkpoint, format!("{ds_id}: {note}"));
     }
-    sim.world.trace.record(
-        now,
-        TraceKind::UpdatePublished,
-        format!("{ds_id} seq={seq} from {origin}"),
-    );
+    for stamped in &batch {
+        sim.world.trace.record(
+            now,
+            TraceKind::UpdatePublished,
+            format!("{ds_id} seq={} from {}", stamped.seq, stamped.origin),
+        );
+    }
     let ds_host = sim.world.data(ds_id).host.clone();
-    let size = stamped.wire_size();
-    for rs_id in targets {
-        let rs_host = sim.world.render(rs_id).host.clone();
-        // Multicast semantics: receivers are served in parallel (one
-        // transmission per segment), so each arrival is an independent
-        // transfer-time offset, not a serialized channel send — but
-        // deliveries to any one subscriber stay FIFO in publish order.
-        let wire = now + sim.world.network.transfer_time(&ds_host, &rs_host, size);
-        let hw = sim.world.delivery_high_water.entry((ds_id, rs_id)).or_insert(SimTime::ZERO);
-        let arrival = wire.max(*hw);
-        *hw = arrival;
-        let stamped = stamped.clone();
-        sim.schedule_at(arrival, move |sim| {
+    // Delivery plan: per subscriber, the batch's matched updates (already
+    // in seq order) and their latest FIFO-adjusted arrival.
+    let mut per_sub: BTreeMap<
+        RenderServiceId,
+        (SimTime, Vec<std::sync::Arc<rave_scene::StampedUpdate>>),
+    > = BTreeMap::new();
+    for stamped in &batch {
+        let targets = sim.world.data_mut(ds_id).route(stamped);
+        if targets.is_empty() {
+            continue;
+        }
+        let size = stamped.wire_size();
+        // Multicast semantics: receivers grouped by host, each receiving
+        // segment charged one transmission, every arrival an independent
+        // transfer-time offset rather than a serialized channel send.
+        let (arrivals, delivery) = {
+            let world = &sim.world;
+            let hosts: Vec<&str> =
+                targets.iter().map(|rs| world.render(*rs).host.as_str()).collect();
+            let delivery = rave_net::multicast_deliver(&world.network, &ds_host, &hosts, size);
+            let arrivals: Vec<(RenderServiceId, SimTime)> =
+                delivery.arrivals.iter().map(|&(i, at)| (targets[i], now + at)).collect();
+            (arrivals, delivery)
+        };
+        sim.world.data_mut(ds_id).fanout.record(&delivery);
+        for (rs_id, wire) in arrivals {
+            // Deliveries to any one subscriber stay FIFO in publish order
+            // (TCP semantics): never earlier than anything already queued.
+            let hw = sim.world.delivery_high_water.entry((ds_id, rs_id)).or_insert(SimTime::ZERO);
+            let arrival = wire.max(*hw);
+            *hw = arrival;
+            let entry = per_sub.entry(rs_id).or_insert_with(|| (SimTime::ZERO, Vec::new()));
+            entry.0 = entry.0.max(arrival);
+            entry.1.push(std::sync::Arc::clone(stamped));
+        }
+    }
+    for (rs_id, (at, list)) in per_sub {
+        sim.schedule_at(at, move |sim| {
             let now = sim.now();
-            let rs = sim.world.render_mut(rs_id);
-            // A benign race: the replica may legitimately reject an update
-            // to a node it never held (interest narrowed since routing).
-            let applied = stamped.update.apply(&mut rs.scene).is_ok();
-            sim.world.trace.record(
-                now,
-                TraceKind::UpdateDelivered,
-                format!("seq={} -> {rs_id} applied={applied}", stamped.seq),
-            );
+            let trace_deliveries = sim.world.config.update_delivery_trace;
+            for stamped in &list {
+                let rs = sim.world.render_mut(rs_id);
+                // A benign race: the replica may legitimately reject an
+                // update to a node it never held (interest narrowed since
+                // routing).
+                let applied = stamped.update.apply(&mut rs.scene).is_ok();
+                if trace_deliveries {
+                    sim.world.trace.record(
+                        now,
+                        TraceKind::UpdateDelivered,
+                        format!("seq={} -> {rs_id} applied={applied}", stamped.seq),
+                    );
+                }
+            }
         });
     }
-    Ok(seq)
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(seqs),
+    }
 }
 
 #[cfg(test)]

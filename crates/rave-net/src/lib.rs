@@ -29,4 +29,7 @@ pub mod topology;
 pub use channel::Channel;
 pub use frame::{Frame, FrameError, FrameKind};
 pub use link::LinkSpec;
+pub use multicast::{
+    multicast_cost, multicast_deliver, unicast_cost, FanoutCost, MulticastDelivery,
+};
 pub use topology::Network;

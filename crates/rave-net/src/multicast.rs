@@ -20,6 +20,10 @@ pub struct FanoutCost {
     pub transmissions: u32,
     /// Transmissions unicast would have performed (= receiver count).
     pub unicast_transmissions: u32,
+    /// Receivers skipped because their host is not on the network (a
+    /// subscriber raced its host's teardown); they get nothing, and a
+    /// caller that must not lose them can check this is zero.
+    pub skipped: u32,
 }
 
 impl FanoutCost {
@@ -38,23 +42,72 @@ impl FanoutCost {
 /// segment transmission too, since 2004 multicast rode the LAN broadcast
 /// domain).
 pub fn multicast_cost(net: &Network, sender: &str, receivers: &[&str], bytes: u64) -> FanoutCost {
-    let mut segments = BTreeSet::new();
+    multicast_deliver(net, sender, receivers, bytes).cost
+}
+
+/// One multicast fan-out with per-receiver arrival times: what a data
+/// service delivering one update to its matched subscribers books.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticastDelivery {
+    pub cost: FanoutCost,
+    /// `(index into the receivers slice, arrival offset)` for every
+    /// receiver whose host is known, in input order. Receivers on the
+    /// sender's own host arrive at loopback transfer time (no wire
+    /// transmission charged).
+    pub arrivals: Vec<(usize, SimTime)>,
+    /// Bytes the multicast fan-out puts on the wire (one copy per
+    /// receiving segment).
+    pub wire_bytes: u64,
+    /// Bytes unicast would have put on the wire (one copy per receiver).
+    pub unicast_wire_bytes: u64,
+}
+
+/// Deliver `bytes` from `sender` to `receivers` with multicast fan-out:
+/// one transmission per distinct receiving segment, every receiver on a
+/// segment served by the same copy, arrival at its own transfer time.
+/// Unknown receiver hosts are skipped and counted (not panicked on —
+/// `FanoutCost::skipped`); segment dedup borrows the topology's segment
+/// names instead of allocating one `String` per receiver.
+pub fn multicast_deliver(
+    net: &Network,
+    sender: &str,
+    receivers: &[&str],
+    bytes: u64,
+) -> MulticastDelivery {
+    let mut segments: BTreeSet<&str> = BTreeSet::new();
     let mut slowest = SimTime::ZERO;
-    let mut count = 0u32;
-    for r in receivers {
+    let mut transmissions = 0u32;
+    let mut unicast = 0u32;
+    let mut skipped = 0u32;
+    let mut arrivals = Vec::with_capacity(receivers.len());
+    for (i, r) in receivers.iter().enumerate() {
         if *r == sender {
-            continue; // local delivery is free
+            // Local delivery: loopback time, no wire transmission.
+            arrivals.push((i, net.transfer_time(sender, r, bytes)));
+            continue;
         }
-        let seg = net.segment_of(r).unwrap_or_else(|| panic!("unknown host {r}")).to_string();
+        let Some(seg) = net.segment_of(r) else {
+            skipped += 1;
+            continue;
+        };
+        unicast += 1;
         if segments.insert(seg) {
-            count += 1;
+            transmissions += 1;
         }
-        slowest = slowest.max(net.transfer_time(sender, r, bytes));
+        let at = net.transfer_time(sender, r, bytes);
+        slowest = slowest.max(at);
+        arrivals.push((i, at));
     }
-    FanoutCost {
-        completion: slowest,
-        transmissions: count,
-        unicast_transmissions: receivers.iter().filter(|r| **r != sender).count() as u32,
+    MulticastDelivery {
+        cost: FanoutCost {
+            completion: slowest,
+            transmissions,
+            unicast_transmissions: unicast,
+            skipped,
+        },
+        arrivals,
+        wire_bytes: transmissions as u64 * bytes,
+        unicast_wire_bytes: unicast as u64 * bytes,
     }
 }
 
@@ -116,6 +169,28 @@ mod tests {
         let m = multicast_cost(&net, "laptop", &receivers, 1_000_000).completion;
         let u = unicast_cost(&net, "laptop", &receivers, 1_000_000);
         assert!(u.as_secs() > m.as_secs() * 3.0, "unicast {u} vs multicast {m}");
+    }
+
+    #[test]
+    fn unknown_receiver_is_skipped_and_counted() {
+        let net = Network::paper_testbed(1.0);
+        let d = multicast_deliver(&net, "laptop", &["desktop", "ghost", "tower"], 1000);
+        assert_eq!(d.cost.skipped, 1);
+        assert_eq!(d.cost.unicast_transmissions, 2);
+        assert_eq!(d.cost.transmissions, 1); // desktop + tower share the lan
+                                             // Arrivals only for known hosts, input order preserved.
+        assert_eq!(d.arrivals.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(d.wire_bytes, 1000);
+        assert_eq!(d.unicast_wire_bytes, 2000);
+    }
+
+    #[test]
+    fn local_receivers_ride_loopback_off_the_wire() {
+        let net = Network::paper_testbed(1.0);
+        let d = multicast_deliver(&net, "laptop", &["laptop", "desktop"], 1000);
+        assert_eq!(d.cost.transmissions, 1, "loopback is not a wire transmission");
+        assert_eq!(d.arrivals[0].1, net.transfer_time("laptop", "laptop", 1000));
+        assert!(d.arrivals[1].1 > d.arrivals[0].1, "lan hop slower than loopback");
     }
 
     #[test]

@@ -5,11 +5,11 @@
 //! render service must be updated if the data service receives any changes
 //! to this subset of the data" (§3.2.5).
 
-use crate::node::NodeId;
-use crate::tree::SceneTree;
+use crate::node::{KindTag, NodeId, NodeKind};
+use crate::tree::{CostDirt, SceneTree};
 use crate::update::SceneUpdate;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 /// The set of subtree roots a render service has subscribed to, plus the
 /// expanded node set (descendants + ancestor orientation chain) computed
@@ -106,6 +106,290 @@ impl InterestSet {
     }
 }
 
+/// A subscriber's dense handle inside an [`InterestIndex`]: slots are
+/// assigned `0..n` in the iteration order of the interest sets passed to
+/// [`InterestIndex::rebuild`], and stay valid until the next rebuild.
+pub type SubSlot = u32;
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// One unique interest root shared by every subscriber that listed it.
+#[derive(Debug, Clone)]
+struct RootEntry {
+    root: NodeId,
+    /// Subscriber slots holding this root (each at most once: roots are a
+    /// set per subscriber).
+    subs: Vec<SubSlot>,
+    /// The root's ancestor chain (bottom-up, root excluded) as of the
+    /// last rebuild/repair — keyed by stable ids, so it survives
+    /// pre-order position shifts and is only recomputed when a structural
+    /// edit touched the root or one of these ancestors.
+    chain: Vec<NodeId>,
+}
+
+/// A root's subtree as a pre-order interval `[start, end)`, linked to its
+/// nearest enclosing indexed interval. Subtree intervals of one pre-order
+/// form a *laminar* family — any two are nested or disjoint, never
+/// partially overlapping — so "all intervals containing position p" is
+/// exactly the parent chain upward from the innermost one.
+#[derive(Debug, Clone, Copy)]
+struct Interval {
+    start: u32,
+    end: u32,
+    /// Index into `InterestIndex::roots`.
+    entry: u32,
+    /// Index of the nearest enclosing interval, `NO_PARENT` at top level.
+    parent: u32,
+}
+
+/// The inverted interest index: instead of asking every subscriber's
+/// [`InterestSet`] whether one update is relevant (O(subscribers) closure
+/// probes per update), index the subscriptions once and ask which
+/// subscribers one update reaches — O(log roots + matches) per update.
+///
+/// Layout: subscribers with `everything` interest live in a bitset;
+/// subtree interests become pre-order intervals (stabbed by binary search
+/// plus a parent-chain walk, see [`Interval`]); ancestor-of-root interest
+/// ("the parent nodes to orientate the scene subset", §3.2.5) is a
+/// hash-map from ancestor id to subscriber slots. Decisions are
+/// bit-for-bit those of [`InterestSet::relevant`] against freshly
+/// refreshed closures — proptest-pinned in `tests/proptest_interest.rs`.
+///
+/// Maintenance is incremental: structural edits drain from
+/// [`SceneTree::drain_structure_dirt`] into [`InterestIndex::repair`],
+/// which re-resolves intervals (O(roots) id lookups) and recomputes only
+/// the ancestor chains the dirty ids could have changed, instead of
+/// re-expanding every subscriber's closure against the whole scene.
+#[derive(Debug, Clone, Default)]
+pub struct InterestIndex {
+    n_subs: usize,
+    /// Bitset of subscribers with `all` interest.
+    everything: Vec<u64>,
+    roots: Vec<RootEntry>,
+    /// Resolved intervals, sorted by (start asc, end desc) — enclosing
+    /// intervals sort before enclosed ones.
+    intervals: Vec<Interval>,
+    /// Ancestor id → subscriber slots owed the node because it orients
+    /// one of their interest roots.
+    ancestor_subs: HashMap<NodeId, Vec<SubSlot>>,
+    /// Match accumulator reused across queries.
+    scratch: Vec<u64>,
+}
+
+impl InterestIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribers indexed by the last [`InterestIndex::rebuild`].
+    pub fn n_subs(&self) -> usize {
+        self.n_subs
+    }
+
+    /// Re-index from scratch: slot `i` is the `i`-th interest set of
+    /// `interests`. Call when the subscriber population or any set's
+    /// roots changed; for structural scene edits [`InterestIndex::repair`]
+    /// is the cheap path.
+    pub fn rebuild<'a>(
+        &mut self,
+        tree: &SceneTree,
+        interests: impl IntoIterator<Item = &'a InterestSet>,
+    ) {
+        self.roots.clear();
+        self.everything.clear();
+        let mut entry_of: HashMap<NodeId, u32> = HashMap::new();
+        let mut n = 0usize;
+        for (i, set) in interests.into_iter().enumerate() {
+            let slot = i as SubSlot;
+            n = i + 1;
+            if set.is_everything() {
+                let w = (slot / 64) as usize;
+                if self.everything.len() <= w {
+                    self.everything.resize(w + 1, 0);
+                }
+                self.everything[w] |= 1u64 << (slot % 64);
+                continue;
+            }
+            for root in set.roots() {
+                let e = *entry_of.entry(root).or_insert_with(|| {
+                    self.roots.push(RootEntry { root, subs: Vec::new(), chain: Vec::new() });
+                    (self.roots.len() - 1) as u32
+                });
+                self.roots[e as usize].subs.push(slot);
+            }
+        }
+        self.n_subs = n;
+        self.everything.resize(n.div_ceil(64), 0);
+        for e in &mut self.roots {
+            e.chain = if tree.contains(e.root) { tree.ancestors(e.root) } else { Vec::new() };
+        }
+        self.rebuild_ancestor_map();
+        self.resolve_intervals(tree);
+    }
+
+    /// Fold a drained structural-dirt batch into the index. Intervals are
+    /// re-resolved against the current pre-order; a root's ancestor chain
+    /// is recomputed only if the batch touched the root or a node of its
+    /// recorded chain — sufficient, because an edit moving node `x` moves
+    /// exactly `subtree(x)`, and root `r ∈ subtree(x)` iff `x` is `r` or
+    /// on `r`'s chain as recorded before the edit.
+    pub fn repair(&mut self, tree: &SceneTree, dirt: &CostDirt) {
+        let dirty_ids: &[NodeId] = match dirt {
+            CostDirt::Clean => return,
+            CostDirt::Nodes(ids) => ids,
+            CostDirt::Everything => &[],
+        };
+        let all = matches!(dirt, CostDirt::Everything);
+        let mut chains_changed = false;
+        for e in &mut self.roots {
+            let affected = all
+                || dirty_ids.binary_search(&e.root).is_ok()
+                || e.chain.iter().any(|a| dirty_ids.binary_search(a).is_ok());
+            if !affected {
+                continue;
+            }
+            let chain = if tree.contains(e.root) { tree.ancestors(e.root) } else { Vec::new() };
+            if chain != e.chain {
+                e.chain = chain;
+                chains_changed = true;
+            }
+        }
+        if chains_changed {
+            self.rebuild_ancestor_map();
+        }
+        self.resolve_intervals(tree);
+    }
+
+    /// Which subscribers must `update` reach? Fills `out` with matching
+    /// slots in ascending order. Decision per slot is identical to
+    /// [`InterestSet::relevant`] on a freshly refreshed set:
+    /// presence (avatar/camera) updates and updates to unknown targets go
+    /// to everyone; `AddNode` is judged by its parent; everything else by
+    /// its target.
+    pub fn matches(&mut self, update: &SceneUpdate, tree: &SceneTree, out: &mut Vec<SubSlot>) {
+        out.clear();
+        if self.n_subs == 0 {
+            return;
+        }
+        let words = self.n_subs.div_ceil(64);
+        self.scratch.clear();
+        self.scratch.resize(words, 0);
+        let presence = |id: NodeId| {
+            matches!(
+                tree.node(id).map(|n| n.kind_tag()),
+                Some(KindTag::Avatar) | Some(KindTag::Camera)
+            )
+        };
+        let point = match update {
+            SceneUpdate::AddNode { parent, id, kind, .. } => {
+                if matches!(kind, NodeKind::Avatar(_) | NodeKind::Camera(_)) || presence(*id) {
+                    None // presence join: everyone renders the new collaborator
+                } else {
+                    Some(*parent)
+                }
+            }
+            other => {
+                let t = other.target();
+                if !tree.contains(t) || presence(t) {
+                    None // unknown target (deliver conservatively) or presence
+                } else {
+                    Some(t)
+                }
+            }
+        };
+        match point {
+            None => {
+                // Deliver to all: whole words, then mask the tail.
+                for w in &mut self.scratch {
+                    *w = !0u64;
+                }
+                let tail = self.n_subs % 64;
+                if tail > 0 {
+                    self.scratch[words - 1] = (1u64 << tail) - 1;
+                }
+            }
+            Some(p) => {
+                for (w, &e) in self.scratch.iter_mut().zip(&self.everything) {
+                    *w |= e;
+                }
+                if let Some((pos, _)) = tree.preorder_interval(p) {
+                    // Stab: the predecessor by start is the innermost
+                    // candidate; climb to the first interval containing
+                    // `pos`, then every further parent contains it too.
+                    let idx = self.intervals.partition_point(|iv| iv.start <= pos);
+                    let mut i = match idx {
+                        0 => NO_PARENT,
+                        _ => (idx - 1) as u32,
+                    };
+                    while i != NO_PARENT && self.intervals[i as usize].end <= pos {
+                        i = self.intervals[i as usize].parent;
+                    }
+                    while i != NO_PARENT {
+                        let iv = self.intervals[i as usize];
+                        for &s in &self.roots[iv.entry as usize].subs {
+                            self.scratch[(s / 64) as usize] |= 1u64 << (s % 64);
+                        }
+                        i = iv.parent;
+                    }
+                }
+                if let Some(subs) = self.ancestor_subs.get(&p) {
+                    for &s in subs {
+                        self.scratch[(s / 64) as usize] |= 1u64 << (s % 64);
+                    }
+                }
+            }
+        }
+        for (w, &bits) in self.scratch.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                out.push(w as u32 * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    fn rebuild_ancestor_map(&mut self) {
+        self.ancestor_subs.clear();
+        for e in &self.roots {
+            for &a in &e.chain {
+                self.ancestor_subs.entry(a).or_default().extend_from_slice(&e.subs);
+            }
+        }
+    }
+
+    /// Re-resolve every root to its current pre-order interval (roots no
+    /// longer in the tree drop out), sort, and wire the laminar parent
+    /// links with one monotone stack pass.
+    fn resolve_intervals(&mut self, tree: &SceneTree) {
+        self.intervals.clear();
+        for (idx, e) in self.roots.iter().enumerate() {
+            if let Some((pos, len)) = tree.preorder_interval(e.root) {
+                self.intervals.push(Interval {
+                    start: pos,
+                    end: pos + len,
+                    entry: idx as u32,
+                    parent: NO_PARENT,
+                });
+            }
+        }
+        self.intervals.sort_unstable_by(|a, b| a.start.cmp(&b.start).then(b.end.cmp(&a.end)));
+        let mut stack: Vec<u32> = Vec::new();
+        for i in 0..self.intervals.len() {
+            let start = self.intervals[i].start;
+            while let Some(&t) = stack.last() {
+                if self.intervals[t as usize].end <= start {
+                    stack.pop(); // disjoint: closed before we start
+                } else {
+                    break; // laminar + sort order ⇒ the top encloses us
+                }
+            }
+            self.intervals[i].parent = stack.last().copied().unwrap_or(NO_PARENT);
+            stack.push(i as u32);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +468,130 @@ mod tests {
         assert!(!set.remove_root(right));
         set.refresh(&tree);
         assert!(!set.contains(right));
+    }
+
+    // ---- inverted index -------------------------------------------------
+
+    /// The oracle: every set refreshed against the tree, then scanned.
+    fn naive(sets: &mut [InterestSet], u: &SceneUpdate, tree: &SceneTree) -> Vec<u32> {
+        sets.iter_mut().for_each(|s| s.refresh(tree));
+        sets.iter()
+            .enumerate()
+            .filter(|(_, s)| s.relevant(u, tree))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    fn indexed(ix: &mut InterestIndex, u: &SceneUpdate, tree: &SceneTree) -> Vec<u32> {
+        let mut out = Vec::new();
+        ix.matches(u, tree, &mut out);
+        out
+    }
+
+    #[test]
+    fn index_matches_refreshed_naive_scan() {
+        let (tree, left, leaf, right) = build_tree();
+        let mut sets = vec![
+            InterestSet::everything(),
+            InterestSet::subtrees([left]),
+            InterestSet::subtrees([right]),
+            InterestSet::subtrees([leaf]),
+            InterestSet::subtrees([left, right]),
+        ];
+        let mut ix = InterestIndex::new();
+        ix.rebuild(&tree, sets.iter());
+        let updates = [
+            SceneUpdate::SetName { id: left, name: "l".into() },
+            SceneUpdate::SetName { id: leaf, name: "f".into() },
+            SceneUpdate::SetName { id: right, name: "r".into() },
+            SceneUpdate::SetTransform { id: tree.root(), transform: Transform::IDENTITY },
+            SceneUpdate::RemoveNode { id: NodeId(999) }, // unknown: everyone
+            SceneUpdate::AddNode {
+                id: NodeId(50),
+                parent: leaf,
+                name: "n".into(),
+                kind: NodeKind::Group,
+            },
+        ];
+        for u in &updates {
+            assert_eq!(indexed(&mut ix, u, &tree), naive(&mut sets, u, &tree), "update {u:?}");
+        }
+    }
+
+    #[test]
+    fn index_presence_reaches_every_subscriber() {
+        let (mut tree, left, ..) = build_tree();
+        let info = crate::node::AvatarInfo {
+            label: "u".into(),
+            color: rave_math::Vec3::X,
+            camera: Default::default(),
+        };
+        let av = tree.add_node(tree.root(), "av", NodeKind::Avatar(info)).unwrap();
+        let sets = vec![InterestSet::subtrees([left]), InterestSet::subtrees([NodeId(999)])];
+        let mut ix = InterestIndex::new();
+        ix.rebuild(&tree, sets.iter());
+        let u = SceneUpdate::CameraMoved { id: av, camera: Default::default() };
+        assert_eq!(indexed(&mut ix, &u, &tree), vec![0, 1], "avatar updates reach everyone");
+    }
+
+    #[test]
+    fn index_repair_follows_structural_edits() {
+        let (mut tree, left, leaf, right) = build_tree();
+        let mut sets = vec![
+            InterestSet::subtrees([left]),
+            InterestSet::subtrees([right]),
+            InterestSet::everything(),
+        ];
+        let mut ix = InterestIndex::new();
+        tree.drain_structure_dirt();
+        ix.rebuild(&tree, sets.iter());
+        // Grow the subscribed subtree, move `leaf` across to `right`,
+        // remove `left` entirely — repairing from dirt after each edit.
+        let grown = tree.add_node(left, "grown", NodeKind::Group).unwrap();
+        let dirt = tree.drain_structure_dirt();
+        ix.repair(&tree, &dirt);
+        let u = SceneUpdate::SetName { id: grown, name: "g".into() };
+        assert_eq!(indexed(&mut ix, &u, &tree), naive(&mut sets, &u, &tree));
+
+        tree.reparent(leaf, right).unwrap();
+        let dirt = tree.drain_structure_dirt();
+        ix.repair(&tree, &dirt);
+        let u = SceneUpdate::SetName { id: leaf, name: "f".into() };
+        assert_eq!(indexed(&mut ix, &u, &tree), naive(&mut sets, &u, &tree));
+
+        tree.remove(left).unwrap();
+        let dirt = tree.drain_structure_dirt();
+        ix.repair(&tree, &dirt);
+        // The removed root matches nothing but unknown-target updates now
+        // go to everyone — exactly like the refreshed naive scan.
+        let u = SceneUpdate::SetName { id: grown, name: "x".into() };
+        assert_eq!(indexed(&mut ix, &u, &tree), naive(&mut sets, &u, &tree));
+        let u = SceneUpdate::SetName { id: leaf, name: "y".into() };
+        assert_eq!(indexed(&mut ix, &u, &tree), naive(&mut sets, &u, &tree));
+    }
+
+    #[test]
+    fn index_repair_recomputes_ancestor_chains() {
+        // Reparenting a subscribed root under a new ancestor must reroute
+        // that ancestor's orientation updates to the subscriber.
+        let mut tree = SceneTree::new();
+        let a = tree.add_node(tree.root(), "a", NodeKind::Group).unwrap();
+        let b = tree.add_node(tree.root(), "b", NodeKind::Group).unwrap();
+        let x = tree.add_node(a, "x", NodeKind::Group).unwrap();
+        let mut sets = vec![InterestSet::subtrees([x])];
+        let mut ix = InterestIndex::new();
+        tree.drain_structure_dirt();
+        ix.rebuild(&tree, sets.iter());
+        let u_a = SceneUpdate::SetName { id: a, name: "a2".into() };
+        let u_b = SceneUpdate::SetName { id: b, name: "b2".into() };
+        assert_eq!(indexed(&mut ix, &u_a, &tree), vec![0], "old ancestor relevant");
+        assert_eq!(indexed(&mut ix, &u_b, &tree), Vec::<u32>::new());
+
+        tree.reparent(x, b).unwrap();
+        let dirt = tree.drain_structure_dirt();
+        ix.repair(&tree, &dirt);
+        assert_eq!(indexed(&mut ix, &u_a, &tree), naive(&mut sets, &u_a, &tree));
+        assert_eq!(indexed(&mut ix, &u_b, &tree), naive(&mut sets, &u_b, &tree));
+        assert_eq!(indexed(&mut ix, &u_b, &tree), vec![0], "new ancestor now relevant");
     }
 }

@@ -35,7 +35,7 @@ pub use audit::AuditTrail;
 pub use camera::CameraParams;
 pub use cost::NodeCost;
 pub use geometry::{MeshData, PointCloudData, VolumeData};
-pub use interest::InterestSet;
+pub use interest::{InterestIndex, InterestSet, SubSlot};
 pub use node::{AvatarInfo, Interaction, KindTag, Node, NodeId, NodeKind, Transform};
 pub use tree::{Children, CostDirt, Descendants, NodeMut, NodeRef, SceneTree, TreeError};
 pub use update::{SceneUpdate, StampedUpdate, UpdateError};

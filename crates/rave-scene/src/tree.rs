@@ -215,6 +215,11 @@ pub struct SceneTree {
     /// Cost-invalidation export for incremental consumers — like the
     /// caches, derived data: never serialized, never compared.
     dirt: DirtLog,
+    /// Structure-invalidation export: which nodes were touched by edits
+    /// that move pre-order positions (insert/remove/reparent). A second,
+    /// independent log so the interest index and the scheduler can each
+    /// drain at their own cadence without starving the other.
+    sdirt: DirtLog,
 }
 
 impl std::fmt::Debug for SceneTree {
@@ -248,6 +253,7 @@ impl Clone for SceneTree {
             // The clone has new consumers with no drain history: report
             // Everything on their first drain.
             dirt: DirtLog::saturated(),
+            sdirt: DirtLog::saturated(),
         }
     }
 }
@@ -321,6 +327,7 @@ impl SceneTree {
             structure: OnceLock::new(),
             costs: OnceLock::new(),
             dirt: DirtLog::saturated(),
+            sdirt: DirtLog::saturated(),
         };
         tree.root_slot = tree.alloc_slot(root, NIL, "root", NodeKind::Group);
         tree
@@ -578,6 +585,7 @@ impl SceneTree {
             structure: OnceLock::new(),
             costs: OnceLock::new(),
             dirt: DirtLog::saturated(),
+            sdirt: DirtLog::saturated(),
         };
         tree.index.reserve(nodes.len());
         tree.root_slot = tree.alloc_slot(root, NIL, root_rec.name.clone(), root_rec.kind.clone());
@@ -655,6 +663,7 @@ impl SceneTree {
         self.next_id = self.next_id.max(id.0 + 1);
         self.invalidate_structure();
         self.dirt.note(id);
+        self.sdirt.note(id);
         Ok(())
     }
 
@@ -695,6 +704,7 @@ impl SceneTree {
         self.invalidate_structure();
         for &id in &removed {
             self.dirt.note(id);
+            self.sdirt.note(id);
         }
         Ok(removed)
     }
@@ -732,6 +742,7 @@ impl SceneTree {
         // A reparent leaves the node's own cost unchanged, but consumers
         // tracking subtree membership still want to hear about it.
         self.dirt.note(id);
+        self.sdirt.note(id);
         Ok(())
     }
 
@@ -1077,6 +1088,48 @@ impl SceneTree {
         };
         self.dirt = DirtLog { epoch: self.dirt.epoch, nodes: Vec::new(), saturated: false };
         out
+    }
+
+    // ---- structure-dirt export ------------------------------------------
+
+    /// Monotone count of pre-order-moving edits (insert/remove/reparent).
+    /// Transform, name and kind edits are exempt: they move no intervals.
+    pub fn structure_epoch(&self) -> u64 {
+        self.sdirt.epoch
+    }
+
+    /// Drain the accumulated structural-dirt log: which nodes were
+    /// inserted, removed or reparented since the last drain. Same
+    /// contract as [`SceneTree::drain_cost_dirt`] (fresh/cloned/
+    /// deserialized trees and overflowed logs report
+    /// [`CostDirt::Everything`]; listed ids may no longer exist) but on
+    /// an independent log, so the interest index draining here never
+    /// starves the scheduler draining the cost log.
+    pub fn drain_structure_dirt(&mut self) -> CostDirt {
+        let out = if self.sdirt.saturated {
+            CostDirt::Everything
+        } else if self.sdirt.nodes.is_empty() {
+            CostDirt::Clean
+        } else {
+            let mut ids = std::mem::take(&mut self.sdirt.nodes);
+            ids.sort_unstable();
+            ids.dedup();
+            CostDirt::Nodes(ids)
+        };
+        self.sdirt = DirtLog { epoch: self.sdirt.epoch, nodes: Vec::new(), saturated: false };
+        out
+    }
+
+    /// A node's subtree as its contiguous pre-order slice: `(pos, len)`
+    /// with every descendant (itself included) at positions
+    /// `[pos, pos + len)`. This is the interval an interest subscription
+    /// on the node occupies in the flat pre-order, the basis of the
+    /// inverted interest index. Positions are only stable until the next
+    /// structural edit.
+    pub fn preorder_interval(&self, id: NodeId) -> Option<(u32, u32)> {
+        let s = self.slot(id)?;
+        let flat = self.flat();
+        Some((flat.pos[s as usize], flat.subtree_len[s as usize]))
     }
 
     // ---- test-only cache instrumentation --------------------------------
